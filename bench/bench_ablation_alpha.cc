@@ -1,0 +1,67 @@
+// Ablation of the joint-loss balancing weight alpha (Sec 5.2 / Algo 1
+// line 10; the paper fixes alpha = 0.5). alpha = 0 removes distillation
+// (degenerating toward the re-trained baseline); alpha = 1 removes the
+// contrastive term (the embedding space barely moves, as with the
+// pre-trained baseline). The sweep shows the trade-off between new-class
+// recall and old-class retention.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "eval/metrics.h"
+
+namespace pilote {
+namespace bench {
+namespace {
+
+void Run(BenchConfig config) {
+  const std::vector<float> alphas = {0.0f, 0.25f, 0.5f, 0.75f, 1.0f};
+  std::printf(
+      "Ablation: joint-loss weight alpha (new class 'Run', %d rounds)\n\n",
+      config.rounds);
+  ScenarioData scenario = MakeScenario(config, har::Activity::kRun);
+  core::CloudPretrainResult cloud = Pretrain(config, scenario);
+
+  data::Dataset old_test = scenario.test.FilterByClasses(scenario.old_labels);
+  data::Dataset new_test =
+      scenario.test.FilterByClass(har::ActivityLabel(scenario.new_activity));
+
+  std::printf("%-6s | %-19s | %-12s | %-12s\n", "alpha", "overall acc",
+              "old-class acc", "new recall");
+  for (float alpha : alphas) {
+    BenchConfig point = config;
+    point.pilote.alpha = alpha;
+    std::vector<double> overall;
+    std::vector<double> old_acc;
+    std::vector<double> new_recall;
+    for (int round = 0; round < config.rounds; ++round) {
+      const uint64_t seed = 4000 + 41 * static_cast<uint64_t>(round);
+      LearnerRun run =
+          RunLearner("pilote", cloud.artifact, point, scenario, seed);
+      overall.push_back(run.accuracy);
+      old_acc.push_back(run.learner->Evaluate(old_test));
+      new_recall.push_back(run.learner->Evaluate(new_test));
+    }
+    std::printf("%-6.2f | %-19s | %-12.4f | %-12.4f\n", alpha,
+                FormatMeanStd(overall).c_str(),
+                eval::Summarize(old_acc).mean,
+                eval::Summarize(new_recall).mean);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nExpected shape: old-class accuracy increases with alpha while\n"
+      "new-class recall decreases; overall accuracy peaks in the middle\n"
+      "(the paper's alpha = 0.5 operating point).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pilote
+
+int main(int argc, char** argv) {
+  pilote::WallTimer timer;
+  pilote::bench::Run(pilote::bench::BenchConfig::FromArgs(argc, argv));
+  std::printf("[total %.1fs]\n", timer.ElapsedSeconds());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation of the model-capacity knobs the paper fixes without sweeping:
+// the contrastive margin m (Eq. 2) and the embedding dimension (128 in
+// Sec 6.1.2). Each point re-runs the cloud + edge pipeline on the 'Run'
+// scenario.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+
+namespace pilote {
+namespace bench {
+namespace {
+
+double PointAccuracy(const BenchConfig& config, const ScenarioData& scenario) {
+  core::CloudPretrainResult cloud = Pretrain(config, scenario);
+  return RunLearner("pilote", cloud.artifact, config, scenario, 1).accuracy;
+}
+
+void Run(BenchConfig config) {
+  std::printf("Ablation: contrastive margin and embedding dimension\n");
+  std::printf("(new class 'Run'; one run per point)\n\n");
+  ScenarioData scenario = MakeScenario(config, har::Activity::kRun);
+
+  std::printf("--- margin sweep (embedding dim %lld) ---\n",
+              static_cast<long long>(config.pilote.backbone.embedding_dim));
+  std::printf("%-8s | %-10s\n", "margin", "accuracy");
+  for (float margin : {1.0f, 2.5f, 5.0f, 10.0f}) {
+    BenchConfig point = config;
+    point.pilote.pretrain.margin = margin;
+    point.pilote.incremental.margin = margin;
+    std::printf("%-8.1f | %-10.4f\n", margin, PointAccuracy(point, scenario));
+    std::fflush(stdout);
+  }
+
+  std::printf("\n--- embedding-dimension sweep (margin %.1f) ---\n",
+              config.pilote.incremental.margin);
+  std::printf("%-8s | %-10s\n", "dim", "accuracy");
+  for (int64_t dim : {8, 32, 128}) {
+    BenchConfig point = config;
+    point.pilote.backbone.embedding_dim = dim;
+    std::printf("%-8lld | %-10.4f\n", static_cast<long long>(dim),
+                PointAccuracy(point, scenario));
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nExpected shape: accuracy is flat over a broad margin range (the\n"
+      "loss is scale-covariant) and saturates with embedding dimension —\n"
+      "the paper's 128-d choice is comfortable rather than critical.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pilote
+
+int main(int argc, char** argv) {
+  pilote::WallTimer timer;
+  pilote::bench::Run(pilote::bench::BenchConfig::FromArgs(argc, argv));
+  std::printf("[total %.1fs]\n", timer.ElapsedSeconds());
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation of PILOTE's pair reduction (Sec 5.2): the paper argues that
+// because distillation pins the old-class structure, the contrastive term
+// only needs (old x new) cross pairs plus (new x new) pairs — C(n_t, 2) +
+// |D_o|*|D_n| candidates instead of all pairs over the union. This bench
+// compares the reduced pool against all-pairs on accuracy, candidate-pool
+// size and wall-clock.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "eval/metrics.h"
+#include "losses/pair_sampler.h"
+
+namespace pilote {
+namespace bench {
+namespace {
+
+const char* StrategyName(losses::PairStrategy strategy) {
+  switch (strategy) {
+    case losses::PairStrategy::kCrossAndNew:
+      return "cross+new (reduced)";
+    case losses::PairStrategy::kAllPairs:
+      return "all pairs";
+    case losses::PairStrategy::kBalancedRandom:
+      return "balanced random";
+  }
+  return "?";
+}
+
+void Run(BenchConfig config) {
+  std::printf("Ablation: incremental pair strategy (new class 'Run', %d rounds)\n\n",
+              config.rounds);
+  ScenarioData scenario = MakeScenario(config, har::Activity::kRun);
+  core::CloudPretrainResult cloud = Pretrain(config, scenario);
+
+  // Candidate-pool sizes for the paper's complexity claim.
+  data::Dataset old_support = cloud.artifact.support.ToDataset();
+  for (losses::PairStrategy strategy :
+       {losses::PairStrategy::kCrossAndNew, losses::PairStrategy::kAllPairs}) {
+    losses::PairSampler sampler(old_support.features(), old_support.labels(),
+                                scenario.d_new.features(),
+                                scenario.d_new.labels(), strategy, 1);
+    std::printf("candidate pairs [%s]: %lld\n", StrategyName(strategy),
+                static_cast<long long>(sampler.CandidatePairCount()));
+  }
+  std::printf("\n%-22s | %-19s | %-10s | %-10s\n", "strategy", "accuracy",
+              "epochs", "s/epoch");
+
+  for (losses::PairStrategy strategy :
+       {losses::PairStrategy::kCrossAndNew, losses::PairStrategy::kAllPairs}) {
+    BenchConfig point = config;
+    point.pilote.incremental_pairs = strategy;
+    std::vector<double> accuracy;
+    std::vector<double> epochs;
+    std::vector<double> epoch_seconds;
+    for (int round = 0; round < config.rounds; ++round) {
+      const uint64_t seed = 5000 + 43 * static_cast<uint64_t>(round);
+      LearnerRun run =
+          RunLearner("pilote", cloud.artifact, point, scenario, seed);
+      accuracy.push_back(run.accuracy);
+      epochs.push_back(run.report.epochs_completed);
+      epoch_seconds.push_back(run.report.mean_epoch_seconds);
+    }
+    std::printf("%-22s | %-19s | %-10.1f | %-10.4f\n", StrategyName(strategy),
+                FormatMeanStd(accuracy).c_str(),
+                eval::Summarize(epochs).mean,
+                eval::Summarize(epoch_seconds).mean);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nExpected shape: the reduced pool matches (or beats) all-pairs\n"
+      "accuracy while sampling from a candidate set that is orders of\n"
+      "magnitude smaller — the distillation term already pins old-old\n"
+      "structure, so old-old pairs add no signal.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pilote
+
+int main(int argc, char** argv) {
+  pilote::WallTimer timer;
+  pilote::bench::Run(pilote::bench::BenchConfig::FromArgs(argc, argv));
+  std::printf("[total %.1fs]\n", timer.ElapsedSeconds());
+  return 0;
+}

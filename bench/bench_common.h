@@ -1,0 +1,70 @@
+#ifndef PILOTE_BENCH_BENCH_COMMON_H_
+#define PILOTE_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cloud.h"
+#include "core/edge_learner.h"
+#include "data/dataset.h"
+#include "har/activity.h"
+
+namespace pilote {
+namespace bench {
+
+// Shared setup for the experiment binaries that regenerate the paper's
+// tables and figures. Defaults are sized for a single-core box; pass
+// --paper for the paper-scale backbone ([1024,512,128,64]->128) and
+// larger corpora (slow!), --rounds=N to change the number of repetitions.
+struct BenchConfig {
+  core::PiloteConfig pilote;
+  // The cloud corpus must dwarf the edge support set (in the paper the
+  // support is <1% of ~40k rows/class): that asymmetry is what makes
+  // re-training on the support lossy while PILOTE's anchoring pays off.
+  int64_t train_per_class = 700;  // cloud corpus rows per old class
+  int64_t test_per_class = 100;   // held-out test rows per class
+  int64_t new_samples = 120;      // new-class rows that reach the edge
+  int rounds = 3;                 // paper reports 5 rounds
+  uint64_t data_seed = 20230328;  // EDBT 2023 :)
+  bool paper_scale = false;
+
+  static BenchConfig FromArgs(int argc, char** argv);
+};
+
+// One leave-one-activity-out scenario: the cloud pre-trains on the other
+// four activities; `d_new` arrives at the edge; `test` covers all five.
+struct ScenarioData {
+  har::Activity new_activity;
+  std::vector<int> old_labels;
+  data::Dataset d_old;
+  data::Dataset d_new;
+  data::Dataset test;
+};
+
+ScenarioData MakeScenario(const BenchConfig& config,
+                          har::Activity new_activity);
+
+// Runs the cloud phase for a scenario.
+core::CloudPretrainResult Pretrain(const BenchConfig& config,
+                                   const ScenarioData& scenario);
+
+// One edge run of a strategy ("pretrained" / "retrained" / "pilote").
+struct LearnerRun {
+  std::unique_ptr<core::EdgeLearner> learner;
+  core::TrainReport report;
+  double accuracy = 0.0;  // on scenario.test (all five classes)
+};
+
+LearnerRun RunLearner(const std::string& strategy,
+                      const core::CloudArtifact& artifact,
+                      const BenchConfig& config, const ScenarioData& scenario,
+                      uint64_t round_seed);
+
+// "0.9372 +/- 0.0319"-style cell.
+std::string FormatMeanStd(const std::vector<double>& values);
+
+}  // namespace bench
+}  // namespace pilote
+
+#endif  // PILOTE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,75 @@
+// Regenerates Figure 4 of the paper (Sec 6.2, Q1): confusion matrices of
+// the three models when the new activity is 'Run', with 200 exemplars per
+// class in the support set. The paper's qualitative claim: the re-trained
+// model floods 'Run' with false positives at the expense of 'Walk';
+// PILOTE keeps the two apart.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "eval/metrics.h"
+
+namespace pilote {
+namespace bench {
+namespace {
+
+void PrintConfusion(const std::string& title, core::EdgeLearner& learner,
+                    const data::Dataset& test) {
+  std::vector<int> classes;
+  std::vector<std::string> names;
+  for (har::Activity activity : har::AllActivities()) {
+    classes.push_back(har::ActivityLabel(activity));
+    names.emplace_back(har::ActivityName(activity));
+  }
+  eval::ConfusionMatrix cm(classes);
+  cm.AddAll(test.labels(), learner.Predict(test.features()));
+  std::printf("--- %s (accuracy %.4f) ---\n%s\n", title.c_str(),
+              cm.OverallAccuracy(), cm.ToString(names).c_str());
+  // The paper's focal cells: Walk predicted as Run, and Run recall.
+  std::printf("Walk->Run rate: %.3f   Run recall: %.3f\n\n",
+              cm.rate(har::ActivityLabel(har::Activity::kWalk),
+                      har::ActivityLabel(har::Activity::kRun)),
+              cm.rate(har::ActivityLabel(har::Activity::kRun),
+                      har::ActivityLabel(har::Activity::kRun)));
+  std::fflush(stdout);
+}
+
+void Run(const BenchConfig& config) {
+  std::printf(
+      "Figure 4: confusion matrices, new class 'Run', %lld exemplars/class\n\n",
+      static_cast<long long>(config.pilote.exemplars_per_class));
+  ScenarioData scenario = MakeScenario(config, har::Activity::kRun);
+  core::CloudPretrainResult cloud = Pretrain(config, scenario);
+
+  LearnerRun pretrained =
+      RunLearner("pretrained", cloud.artifact, config, scenario, 1);
+  LearnerRun retrained =
+      RunLearner("retrained", cloud.artifact, config, scenario, 1);
+  LearnerRun pilote =
+      RunLearner("pilote", cloud.artifact, config, scenario, 1);
+
+  PrintConfusion("Pre-trained model", *pretrained.learner, scenario.test);
+  PrintConfusion("Re-trained model", *retrained.learner, scenario.test);
+  PrintConfusion("PILOTE", *pilote.learner, scenario.test);
+
+  std::printf(
+      "Expected shape (paper): all confusion concentrates on the Run/Walk\n"
+      "pair; the pre-trained model sends most 'Run' windows to 'Walk',\n"
+      "and the adapted models trade some Walk->Run false positives for\n"
+      "Run recall (in the paper the re-trained model floods Run with\n"
+      "Walk false positives; on this substrate the flood shows up at\n"
+      "smaller support budgets — see bench_fig6).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pilote
+
+int main(int argc, char** argv) {
+  pilote::WallTimer timer;
+  pilote::bench::Run(pilote::bench::BenchConfig::FromArgs(argc, argv));
+  std::printf("[total %.1fs]\n", timer.ElapsedSeconds());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Regenerates Figure 7 of the paper (Sec 6.4, Q3): model accuracy as a
+// function of the number of new-class ('Run') exemplars available at the
+// extreme edge, with 200 representative exemplars per old class. The
+// pre-trained model's accuracy is shown as the warm-start reference line.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "data/splits.h"
+
+namespace pilote {
+namespace bench {
+namespace {
+
+void Run(BenchConfig config) {
+  const std::vector<int64_t> counts = {5, 10, 20, 30, 50, 100, 200};
+  config.new_samples = counts.back();
+  config.train_per_class =
+      std::max(config.train_per_class, config.pilote.exemplars_per_class + 60);
+
+  std::printf(
+      "Figure 7: accuracy vs new-class exemplar count (new class 'Run',\n"
+      "%lld old exemplars/class, %d rounds)\n\n",
+      static_cast<long long>(config.pilote.exemplars_per_class),
+      config.rounds);
+
+  ScenarioData scenario = MakeScenario(config, har::Activity::kRun);
+  core::CloudPretrainResult cloud = Pretrain(config, scenario);
+
+  // The warm-start reference: accuracy when the new class only gets
+  // prototypes from the full new sample set.
+  LearnerRun reference =
+      RunLearner("pretrained", cloud.artifact, config, scenario, 1);
+  std::printf("Pre-trained reference (warm start): %.4f\n\n",
+              reference.accuracy);
+  std::printf("%-10s | %-19s | %-19s\n", "exemplars", "Re-trained", "PILOTE");
+
+  for (int64_t count : counts) {
+    std::vector<double> retrained_acc;
+    std::vector<double> pilote_acc;
+    for (int round = 0; round < config.rounds; ++round) {
+      // Each round draws a fresh random subset of new-class samples — at
+      // the extreme edge the handful of recorded samples is itself random.
+      Rng subset_rng(config.data_seed + static_cast<uint64_t>(count) * 131 +
+                     static_cast<uint64_t>(round));
+      ScenarioData point_scenario = scenario;
+      point_scenario.d_new =
+          data::SampleRows(scenario.d_new, count, subset_rng);
+      const uint64_t seed = 3000 + 37 * static_cast<uint64_t>(round);
+      retrained_acc.push_back(
+          RunLearner("retrained", cloud.artifact, config, point_scenario, seed)
+              .accuracy);
+      pilote_acc.push_back(
+          RunLearner("pilote", cloud.artifact, config, point_scenario, seed)
+              .accuracy);
+    }
+    std::printf("%-10lld | %-19s | %-19s\n", static_cast<long long>(count),
+                FormatMeanStd(retrained_acc).c_str(),
+                FormatMeanStd(pilote_acc).c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nExpected shape (paper): PILOTE beats the re-trained model across\n"
+      "the sweep, with the largest margin below ~50 exemplars; around 30\n"
+      "exemplars PILOTE already approaches its plateau accuracy.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pilote
+
+int main(int argc, char** argv) {
+  pilote::WallTimer timer;
+  pilote::bench::Run(pilote::bench::BenchConfig::FromArgs(argc, argv));
+  std::printf("[total %.1fs]\n", timer.ElapsedSeconds());
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Microbenchmarks (google-benchmark) of the edge-side budget claims from
+// Sec 6.3 (Q2): end-to-end inference latency per 1-second window, the
+// cloud->edge transfer payload, and the cost of one incremental training
+// epoch. Inference latency is measured at both backbone scales; the
+// training-epoch benchmark uses the small backbone so the binary stays
+// fast on single-core CI (the paper-scale number is reported by
+// bench_table2 --paper).
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "core/embedding.h"
+#include "core/trainer.h"
+#include "har/har_dataset.h"
+#include "losses/pair_sampler.h"
+#include "nn/backbone.h"
+#include "serialize/io.h"
+
+namespace pilote {
+namespace {
+
+nn::BackboneConfig ConfigFor(int64_t scale) {
+  return scale == 0 ? nn::BackboneConfig::Small()
+                    : nn::BackboneConfig::Paper();
+}
+
+// One window through the embedding model + NCM-style distance (batch 1):
+// the user-facing inference path on the device.
+void BM_InferenceLatencyPerWindow(benchmark::State& state) {
+  Rng rng(1);
+  nn::MlpBackbone model(ConfigFor(state.range(0)), rng);
+  model.SetTraining(false);
+  Tensor window_features = Tensor::RandNormal(Shape::Matrix(1, 80), rng);
+  for (auto _ : state) {
+    Tensor embedding = core::Embed(model, window_features);
+    benchmark::DoNotOptimize(embedding.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InferenceLatencyPerWindow)
+    ->Arg(0)  // small backbone
+    ->Arg(1)  // paper backbone [1024,512,128,64]->128
+    ->Unit(benchmark::kMicrosecond);
+
+// Batched inference throughput (windows/second at batch 64).
+void BM_InferenceBatch64(benchmark::State& state) {
+  Rng rng(2);
+  nn::MlpBackbone model(ConfigFor(state.range(0)), rng);
+  model.SetTraining(false);
+  Tensor batch = Tensor::RandNormal(Shape::Matrix(64, 80), rng);
+  for (auto _ : state) {
+    Tensor embeddings = core::Embed(model, batch);
+    benchmark::DoNotOptimize(embeddings.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_InferenceBatch64)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// The cloud->edge model transfer (serialize + deserialize round trip).
+void BM_ModelTransfer(benchmark::State& state) {
+  Rng rng(3);
+  nn::MlpBackbone cloud_model(ConfigFor(state.range(0)), rng);
+  nn::MlpBackbone edge_model(ConfigFor(state.range(0)), rng);
+  int64_t payload_bytes = 0;
+  for (auto _ : state) {
+    std::string payload = serialize::SerializeModuleToString(cloud_model);
+    payload_bytes = static_cast<int64_t>(payload.size());
+    Status status =
+        serialize::DeserializeModuleFromString(payload, edge_model);
+    benchmark::DoNotOptimize(status.ok());
+  }
+  state.counters["payload_bytes"] =
+      benchmark::Counter(static_cast<double>(payload_bytes));
+  state.SetBytesProcessed(state.iterations() * payload_bytes);
+}
+BENCHMARK(BM_ModelTransfer)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// One incremental PILOTE training epoch (small backbone, 200 exemplars
+// over four old classes + 40 new samples) — the paper's "< 0.5 s per
+// epoch" regime, scaled to this host.
+void BM_IncrementalTrainingEpoch(benchmark::State& state) {
+  Rng rng(4);
+  nn::MlpBackbone model(nn::BackboneConfig::Small(), rng);
+  har::HarDataGenerator generator(5);
+  data::Dataset old_support = generator.GenerateBalanced(
+      50, {har::Activity::kDrive, har::Activity::kEscooter,
+           har::Activity::kStill, har::Activity::kWalk});
+  data::Dataset d_new = generator.Generate(har::Activity::kRun, 40);
+
+  core::DistillationTask distill;
+  distill.features = old_support.features();
+  distill.teacher_embeddings =
+      core::EmbedBatched(model, old_support.features());
+  distill.alpha = 0.5f;
+  distill.batch_size = 64;
+
+  core::TrainerOptions options;
+  options.max_epochs = 1;  // one epoch per iteration
+  options.batch_size = 64;
+  options.batches_per_epoch = 12;
+  options.freeze_batchnorm_stats = true;
+  options.early_stop_patience = 1000;
+
+  for (auto _ : state) {
+    losses::PairSampler train_sampler(
+        old_support.features(), old_support.labels(), d_new.features(),
+        d_new.labels(), losses::PairStrategy::kCrossAndNew, 7);
+    losses::PairSampler val_sampler(
+        old_support.features(), old_support.labels(), d_new.features(),
+        d_new.labels(), losses::PairStrategy::kCrossAndNew, 8);
+    core::SiameseTrainer trainer(model, options);
+    core::TrainReport report =
+        trainer.Train(train_sampler, val_sampler, &distill);
+    benchmark::DoNotOptimize(report.final_train_loss);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IncrementalTrainingEpoch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pilote
+
+BENCHMARK_MAIN();

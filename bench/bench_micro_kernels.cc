@@ -1,0 +1,103 @@
+// Microbenchmarks (google-benchmark) of the computational kernels behind
+// the pipeline: GEMM at the paper backbone's layer shapes, the 80-feature
+// extractor, NCM classification, and herding selection.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/exemplar_selector.h"
+#include "core/ncm_classifier.h"
+#include "har/feature_extractor.h"
+#include "har/sensor_simulator.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace {
+
+void BM_GemmLayerShape(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  const int64_t in = state.range(1);
+  const int64_t out = state.range(2);
+  Rng rng(1);
+  Tensor x = Tensor::RandNormal(Shape::Matrix(batch, in), rng);
+  Tensor w = Tensor::RandNormal(Shape::Matrix(out, in), rng);
+  for (auto _ : state) {
+    Tensor y = MatMulTransB(x, w);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * batch * in * out);
+}
+// The paper backbone's layer shapes at a 128-row siamese batch.
+BENCHMARK(BM_GemmLayerShape)
+    ->Args({128, 80, 1024})
+    ->Args({128, 1024, 512})
+    ->Args({128, 512, 128})
+    ->Args({128, 128, 64})
+    ->Args({128, 64, 128});
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  har::SensorSimulator sim(2);
+  Tensor window = sim.GenerateWindow(har::Activity::kWalk);
+  for (auto _ : state) {
+    Tensor features = har::ExtractFeatures(window);
+    benchmark::DoNotOptimize(features.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_WindowSimulation(benchmark::State& state) {
+  har::SensorSimulator sim(3);
+  for (auto _ : state) {
+    Tensor window = sim.GenerateWindow(har::Activity::kRun);
+    benchmark::DoNotOptimize(window.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WindowSimulation);
+
+void BM_NcmPredict(benchmark::State& state) {
+  const int64_t num_classes = state.range(0);
+  const int64_t dim = 128;
+  Rng rng(4);
+  core::NcmClassifier ncm;
+  for (int64_t c = 0; c < num_classes; ++c) {
+    ncm.SetPrototype(static_cast<int>(c),
+                     Tensor::RandNormal(Shape::Vector(dim), rng));
+  }
+  Tensor queries = Tensor::RandNormal(Shape::Matrix(64, dim), rng);
+  for (auto _ : state) {
+    auto predictions = ncm.Predict(queries);
+    benchmark::DoNotOptimize(predictions.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_NcmPredict)->Arg(5)->Arg(20)->Arg(100);
+
+void BM_HerdingSelect(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(5);
+  Tensor embeddings = Tensor::RandNormal(Shape::Matrix(n, 128), rng);
+  for (auto _ : state) {
+    auto selected = core::HerdingSelect(embeddings, n / 4);
+    benchmark::DoNotOptimize(selected.data());
+  }
+}
+BENCHMARK(BM_HerdingSelect)->Arg(200)->Arg(800);
+
+void BM_PairwiseSquaredDistance(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(6);
+  Tensor a = Tensor::RandNormal(Shape::Matrix(n, 128), rng);
+  Tensor b = Tensor::RandNormal(Shape::Matrix(5, 128), rng);
+  for (auto _ : state) {
+    Tensor d = PairwiseSquaredDistance(a, b);
+    benchmark::DoNotOptimize(d.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 5);
+}
+BENCHMARK(BM_PairwiseSquaredDistance)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace pilote
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Inspects the HAR feature pipeline: prints the 80 statistical features
+// the paper extracts from each 1-second window (Sec 6.1.1) and shows
+// which of them separate the five activities, using per-class means of
+// the most discriminative features. Useful when adapting the pipeline to
+// a different sensor suite.
+//
+// Build & run:  ./build/examples/feature_inspection
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "har/feature_extractor.h"
+#include "har/har_dataset.h"
+#include "tensor/tensor_ops.h"
+
+using pilote::Tensor;
+using pilote::har::Activity;
+using pilote::har::ActivityName;
+using pilote::har::AllActivities;
+using pilote::har::FeatureNames;
+using pilote::har::kNumFeatures;
+
+int main() {
+  std::printf("feature vector: %d features per 1 s window "
+              "(%d channels x {mean, var} + %d tri-axis channels x "
+              "{jerk mean, jerk var})\n\n",
+              kNumFeatures, pilote::har::kNumChannels,
+              pilote::har::kNumTriAxisChannels);
+
+  // Per-activity feature means and stddevs over a sample of windows.
+  pilote::har::HarDataGenerator generator(4);
+  const int per_class = 60;
+  std::vector<Tensor> means;
+  std::vector<Tensor> vars;
+  for (Activity activity : AllActivities()) {
+    pilote::data::Dataset ds = generator.Generate(activity, per_class);
+    Tensor mean = pilote::ColumnMean(ds.features());
+    vars.push_back(pilote::ColumnVariance(ds.features(), mean));
+    means.push_back(std::move(mean));
+  }
+
+  // Rank features by a crude Fisher score: variance of class means over
+  // mean within-class variance.
+  std::vector<std::pair<double, int>> scored;
+  for (int f = 0; f < kNumFeatures; ++f) {
+    double mean_of_means = 0.0;
+    for (const Tensor& m : means) mean_of_means += m[f];
+    mean_of_means /= means.size();
+    double between = 0.0;
+    double within = 0.0;
+    for (size_t c = 0; c < means.size(); ++c) {
+      between += (means[c][f] - mean_of_means) * (means[c][f] - mean_of_means);
+      within += vars[c][f];
+    }
+    between /= means.size();
+    within /= vars.size();
+    scored.emplace_back(within > 1e-12 ? between / within : 0.0, f);
+  }
+  std::sort(scored.rbegin(), scored.rend());
+
+  std::printf("top 10 most class-discriminative features (Fisher score):\n");
+  std::printf("%-22s %-10s", "feature", "score");
+  for (Activity activity : AllActivities()) {
+    std::printf(" %-10.9s", std::string(ActivityName(activity)).c_str());
+  }
+  std::printf("\n");
+  for (int rank = 0; rank < 10; ++rank) {
+    const int f = scored[static_cast<size_t>(rank)].second;
+    std::printf("%-22s %-10.2f",
+                FeatureNames()[static_cast<size_t>(f)].c_str(),
+                scored[static_cast<size_t>(rank)].first);
+    for (size_t c = 0; c < means.size(); ++c) {
+      std::printf(" %-10.3f", means[c][f]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nbottom 5 (near-noise) features:\n");
+  for (size_t rank = scored.size() - 5; rank < scored.size(); ++rank) {
+    std::printf("  %-22s score %.4f\n",
+                FeatureNames()[static_cast<size_t>(scored[rank].second)].c_str(),
+                scored[rank].first);
+  }
+  std::printf(
+      "\nNote how no single feature separates Run from Walk cleanly —\n"
+      "that is the gap the learned embedding closes.\n");
+  return 0;
+}

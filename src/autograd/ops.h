@@ -1,0 +1,75 @@
+#ifndef PILOTE_AUTOGRAD_OPS_H_
+#define PILOTE_AUTOGRAD_OPS_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace pilote {
+namespace autograd {
+
+// Differentiable operator library. Each function runs the forward kernel
+// from tensor/tensor_ops.h and records a backward closure on the graph.
+// Ops propagate gradients only to parents with requires_grad.
+
+// ---- Arithmetic ----
+Variable Add(const Variable& a, const Variable& b);
+Variable Sub(const Variable& a, const Variable& b);
+Variable Mul(const Variable& a, const Variable& b);  // elementwise
+Variable AddScalar(const Variable& a, float s);
+Variable MulScalar(const Variable& a, float s);
+Variable Neg(const Variable& a);
+Variable Square(const Variable& a);
+// Elementwise sqrt(a + eps); eps > 0 keeps the gradient finite at 0.
+Variable Sqrt(const Variable& a, float eps = 0.0f);
+Variable Relu(const Variable& a);
+
+// ---- Matrix products ----
+// [n,k] x [k,m] -> [n,m]
+Variable MatMul(const Variable& a, const Variable& b);
+// x [n,in] x w [out,in]^T -> [n,out]  (the Linear-layer kernel)
+Variable LinearTransform(const Variable& x, const Variable& w);
+
+// ---- Row broadcasting ----
+// m [n,d] + v [d] with column-sum gradient for v.
+Variable AddRowVector(const Variable& m, const Variable& v);
+// m [n,d] * v [d] elementwise per row.
+Variable MulRowVector(const Variable& m, const Variable& v);
+
+// ---- Reductions ----
+// [n,d] -> [n], summing each row.
+Variable RowSum(const Variable& m);
+// -> [1]
+Variable Sum(const Variable& a);
+// -> [1]
+Variable Mean(const Variable& a);
+
+// ---- Structural ----
+// Vertical concatenation of rank-2 Variables sharing a column count.
+Variable ConcatRows(const std::vector<Variable>& parts);
+// Rows [begin, end); gradient scatters back into the source range.
+Variable SliceRows(const Variable& m, int64_t begin, int64_t end);
+
+// ---- Batch normalization ----
+struct BatchNormOutput {
+  Variable y;
+  // Biased batch statistics (per column), for running-stat updates.
+  Tensor batch_mean;
+  Tensor batch_var;
+};
+
+// Training-mode batch norm over columns of x [n,d] with learnable
+// gamma [d], beta [d]. Backward implements the full batch-statistics
+// chain rule.
+BatchNormOutput BatchNormTraining(const Variable& x, const Variable& gamma,
+                                  const Variable& beta, float eps);
+
+// Inference-mode batch norm with fixed (running) statistics.
+Variable BatchNormInference(const Variable& x, const Variable& gamma,
+                            const Variable& beta, const Tensor& mean,
+                            const Tensor& var, float eps);
+
+}  // namespace autograd
+}  // namespace pilote
+
+#endif  // PILOTE_AUTOGRAD_OPS_H_

@@ -1,0 +1,123 @@
+#include "autograd/variable.h"
+
+#include <atomic>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace autograd {
+namespace {
+
+std::atomic<uint64_t> g_sequence{0};
+
+}  // namespace
+
+void Node::AccumulateGrad(const Tensor& delta) {
+  PILOTE_CHECK(delta.shape() == value.shape())
+      << "grad shape " << delta.shape().ToString() << " vs value "
+      << value.shape().ToString();
+  if (grad.numel() == 0) {
+    grad = delta;
+  } else {
+    Axpy(1.0f, delta, grad);
+  }
+}
+
+Variable::Variable(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+  node_->sequence = g_sequence.fetch_add(1);
+}
+
+const Tensor& Variable::value() const {
+  PILOTE_CHECK(defined());
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  PILOTE_CHECK(defined());
+  return node_->value;
+}
+
+const Tensor& Variable::grad() const {
+  PILOTE_CHECK(defined());
+  return node_->grad;
+}
+
+bool Variable::requires_grad() const {
+  PILOTE_CHECK(defined());
+  return node_->requires_grad;
+}
+
+void Variable::ZeroGrad() {
+  PILOTE_CHECK(defined());
+  node_->grad = Tensor();
+}
+
+Variable Variable::FromNode(std::shared_ptr<Node> node) {
+  Variable v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+std::shared_ptr<Node> Variable::MakeNode(
+    Tensor value, std::vector<std::shared_ptr<Node>> parents,
+    std::function<void(Node&)> backward_fn) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->sequence = g_sequence.fetch_add(1);
+  for (const auto& parent : parents) {
+    PILOTE_CHECK(parent != nullptr);
+    if (parent->requires_grad) node->requires_grad = true;
+  }
+  if (node->requires_grad) {
+    node->parents = std::move(parents);
+    node->backward_fn = std::move(backward_fn);
+  }
+  return node;
+}
+
+void Variable::Backward() const {
+  PILOTE_CHECK(defined());
+  PILOTE_CHECK_EQ(node_->value.numel(), 1)
+      << "Backward() requires a scalar loss";
+  PILOTE_CHECK(node_->requires_grad)
+      << "Backward() on a graph with no trainable inputs";
+
+  // Iterative post-order DFS to produce a topological order (parents before
+  // children in `order` after the reverse below).
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [node, next_parent] = stack.back();
+    if (next_parent < node->parents.size()) {
+      Node* parent = node->parents[next_parent].get();
+      ++next_parent;
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  node_->AccumulateGrad(Tensor::Ones(node_->value.shape()));
+  // `order` is post-order (leaves first); walk it backwards so each node's
+  // grad is complete before it is propagated to parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn && node->grad.numel() != 0) {
+      node->backward_fn(*node);
+    }
+  }
+}
+
+}  // namespace autograd
+}  // namespace pilote

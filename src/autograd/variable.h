@@ -1,0 +1,84 @@
+#ifndef PILOTE_AUTOGRAD_VARIABLE_H_
+#define PILOTE_AUTOGRAD_VARIABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pilote {
+namespace autograd {
+
+// One node in the define-by-run computation graph. Owned via shared_ptr by
+// the Variables (and children) that reference it.
+struct Node {
+  Tensor value;
+  // Gradient of the scalar loss w.r.t. `value`; allocated lazily on first
+  // accumulation, empty (numel == 0) before that.
+  Tensor grad;
+  bool requires_grad = false;
+  // Parents in the forward graph (inputs of the op that produced `value`).
+  std::vector<std::shared_ptr<Node>> parents;
+  // Propagates this node's grad into its parents. Unset for leaves and for
+  // nodes that do not require grad.
+  std::function<void(Node&)> backward_fn;
+  // Creation sequence number; used for a deterministic topological order.
+  uint64_t sequence = 0;
+
+  // Accumulates `delta` into grad, allocating on first use.
+  void AccumulateGrad(const Tensor& delta);
+};
+
+// Handle to a graph node. Cheap to copy (shared_ptr semantics): copies alias
+// the same node. The library's modules take and return Variables; calling
+// Backward() on a scalar Variable runs reverse-mode differentiation over
+// every reachable node that requires grad.
+class Variable {
+ public:
+  // Empty handle; most APIs CHECK against using one.
+  Variable() = default;
+
+  // Wraps a value as a leaf node.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  // A constant leaf (no gradient tracking).
+  static Variable Constant(Tensor value) {
+    return Variable(std::move(value), /*requires_grad=*/false);
+  }
+  // A trainable leaf (parameters).
+  static Variable Parameter(Tensor value) {
+    return Variable(std::move(value), /*requires_grad=*/true);
+  }
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const;
+  Tensor& mutable_value();
+  // Empty tensor if backward has not touched this node.
+  const Tensor& grad() const;
+  bool requires_grad() const;
+
+  // Clears the accumulated gradient (keeps the allocation's shape empty).
+  void ZeroGrad();
+
+  // Runs reverse-mode autodiff from this scalar (single-element) Variable.
+  // Gradients accumulate into every reachable node with requires_grad.
+  void Backward() const;
+
+  const std::shared_ptr<Node>& node() const { return node_; }
+
+  // Graph-construction hook used by the op library.
+  static Variable FromNode(std::shared_ptr<Node> node);
+  static std::shared_ptr<Node> MakeNode(
+      Tensor value, std::vector<std::shared_ptr<Node>> parents,
+      std::function<void(Node&)> backward_fn);
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+}  // namespace autograd
+}  // namespace pilote
+
+#endif  // PILOTE_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,82 @@
+#ifndef PILOTE_COMMON_MACROS_H_
+#define PILOTE_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace pilote {
+namespace internal {
+
+// Accumulates a streamed message and aborts the process when destroyed.
+// Used as the right-hand side of the CHECK macros below; never instantiate
+// directly.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  [[noreturn]] ~CheckFailure() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Gives the streamed CheckFailure chain a void type so the CHECK macros can
+// sit in a ternary expression ("voidify" idiom). operator& binds looser
+// than operator<<, so the whole message is built first.
+struct Voidify {
+  void operator&(const CheckFailure&) const {}
+};
+
+}  // namespace internal
+}  // namespace pilote
+
+// Fatal invariant check, active in all build modes, streamable:
+//   PILOTE_CHECK(n > 0) << "details " << n;
+// Violations indicate programmer error (e.g. tensor shape mismatches), not
+// recoverable conditions; recoverable conditions use Status/Result instead.
+#define PILOTE_CHECK(condition)                                \
+  (condition) ? (void)0                                        \
+              : ::pilote::internal::Voidify() &                \
+                    ::pilote::internal::CheckFailure(          \
+                        __FILE__, __LINE__, #condition)
+
+#define PILOTE_CHECK_OP(lhs, rhs, op)                           \
+  ((lhs)op(rhs)) ? (void)0                                      \
+                 : ::pilote::internal::Voidify() &              \
+                       (::pilote::internal::CheckFailure(       \
+                            __FILE__, __LINE__,                 \
+                            #lhs " " #op " " #rhs)              \
+                        << "(" << (lhs) << " vs " << (rhs) << ") ")
+
+#define PILOTE_CHECK_EQ(lhs, rhs) PILOTE_CHECK_OP(lhs, rhs, ==)
+#define PILOTE_CHECK_NE(lhs, rhs) PILOTE_CHECK_OP(lhs, rhs, !=)
+#define PILOTE_CHECK_LT(lhs, rhs) PILOTE_CHECK_OP(lhs, rhs, <)
+#define PILOTE_CHECK_LE(lhs, rhs) PILOTE_CHECK_OP(lhs, rhs, <=)
+#define PILOTE_CHECK_GT(lhs, rhs) PILOTE_CHECK_OP(lhs, rhs, >)
+#define PILOTE_CHECK_GE(lhs, rhs) PILOTE_CHECK_OP(lhs, rhs, >=)
+
+// Debug-only check; compiles (but never evaluates) in release builds.
+#ifdef NDEBUG
+#define PILOTE_DCHECK(condition) PILOTE_CHECK(true || (condition))
+#else
+#define PILOTE_DCHECK(condition) PILOTE_CHECK(condition)
+#endif
+
+#endif  // PILOTE_COMMON_MACROS_H_

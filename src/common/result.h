@@ -1,0 +1,73 @@
+#ifndef PILOTE_COMMON_RESULT_H_
+#define PILOTE_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace pilote {
+
+// Either a value of type T or a non-OK Status — the StatusOr / arrow::Result
+// idiom. Accessing the value of a failed Result is a fatal error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    PILOTE_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    PILOTE_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    PILOTE_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    PILOTE_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;           // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace pilote
+
+// Evaluates `rexpr` (a Result<T>), propagating errors; on success binds the
+// value to `lhs`. `lhs` may include a type declaration: ASSIGN_OR_RETURN(auto x, F());
+#define PILOTE_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  PILOTE_ASSIGN_OR_RETURN_IMPL(                                   \
+      PILOTE_RESULT_CONCAT(_result_tmp_, __LINE__), lhs, rexpr)
+
+#define PILOTE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define PILOTE_RESULT_CONCAT_INNER(a, b) a##b
+#define PILOTE_RESULT_CONCAT(a, b) PILOTE_RESULT_CONCAT_INNER(a, b)
+
+#endif  // PILOTE_COMMON_RESULT_H_

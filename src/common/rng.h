@@ -1,0 +1,72 @@
+#ifndef PILOTE_COMMON_RNG_H_
+#define PILOTE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace pilote {
+
+// Deterministic, seedable pseudo-random number generator (xoshiro256**,
+// seeded through splitmix64). Every stochastic component in the library
+// takes an explicit Rng (or seed) so experiments are exactly reproducible.
+//
+// Not thread-safe; use one Rng per thread, created via Fork().
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Reseed(seed); }
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  void Reseed(uint64_t seed);
+
+  // Derives an independent child stream; deterministic in (state, call order).
+  Rng Fork();
+
+  // Raw 64 random bits.
+  uint64_t NextUint64();
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t UniformUint64(uint64_t n);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi);
+
+  // Uniform in [0, 1).
+  double UniformDouble();
+
+  // Uniform in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // Standard normal via Box-Muller (cached spare).
+  double Gaussian();
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  // Bernoulli with probability p of true.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformUint64(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  // k distinct indices sampled uniformly from [0, n) in random order.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+ private:
+  uint64_t state_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace pilote
+
+#endif  // PILOTE_COMMON_RNG_H_

@@ -1,0 +1,98 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/macros.h"
+
+namespace pilote {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  num_threads_ = num_threads;
+  // With one logical thread everything runs inline; spawn no workers.
+  if (num_threads_ == 1) return;
+  workers_.reserve(static_cast<size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock,
+                           [this] { return shutting_down_ || !tasks_.empty(); });
+      if (shutting_down_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t count,
+                             const std::function<void(int64_t)>& fn) {
+  ParallelForRanges(count, [&fn](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelForRanges(
+    int64_t count, const std::function<void(int64_t, int64_t)>& fn) {
+  if (count <= 0) return;
+  const int64_t chunks =
+      std::min<int64_t>(count, static_cast<int64_t>(num_threads_));
+  if (chunks <= 1 || workers_.empty()) {
+    fn(0, count);
+    return;
+  }
+  const int64_t chunk_size = (count + chunks - 1) / chunks;
+
+  std::atomic<int64_t> remaining{chunks};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  for (int64_t c = 0; c < chunks; ++c) {
+    const int64_t begin = c * chunk_size;
+    const int64_t end = std::min(count, begin + chunk_size);
+    Submit([&, begin, end] {
+      fn(begin, end);
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+}  // namespace pilote

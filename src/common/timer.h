@@ -1,0 +1,29 @@
+#ifndef PILOTE_COMMON_TIMER_H_
+#define PILOTE_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace pilote {
+
+// Monotonic wall-clock stopwatch for latency accounting (edge profile,
+// per-epoch timing).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pilote
+
+#endif  // PILOTE_COMMON_TIMER_H_

@@ -1,0 +1,151 @@
+#include "core/artifact_io.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "serialize/io.h"
+
+namespace pilote {
+namespace core {
+namespace {
+
+constexpr uint32_t kArtifactMagic = 0x504C5441;  // "PLTA"
+constexpr uint32_t kArtifactVersion = 1;
+
+void WriteU32(std::ostream& os, uint32_t value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void WriteI64(std::ostream& os, int64_t value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+Result<uint32_t> ReadU32(std::istream& is) {
+  uint32_t value = 0;
+  is.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!is) return Status::DataLoss("truncated artifact (u32)");
+  return value;
+}
+
+Result<int64_t> ReadI64(std::istream& is) {
+  int64_t value = 0;
+  is.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!is) return Status::DataLoss("truncated artifact (i64)");
+  return value;
+}
+
+}  // namespace
+
+Status SaveArtifact(const std::string& path, const CloudArtifact& artifact) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IoError("cannot open for write: " + path);
+
+  WriteU32(os, kArtifactMagic);
+  WriteU32(os, kArtifactVersion);
+
+  // Backbone config.
+  const nn::BackboneConfig& backbone = artifact.backbone_config;
+  WriteI64(os, backbone.input_dim);
+  WriteI64(os, static_cast<int64_t>(backbone.hidden_dims.size()));
+  for (int64_t dim : backbone.hidden_dims) WriteI64(os, dim);
+  WriteI64(os, backbone.embedding_dim);
+  WriteU32(os, backbone.use_batchnorm ? 1u : 0u);
+  os.write(reinterpret_cast<const char*>(&backbone.bn_eps),
+           sizeof(backbone.bn_eps));
+  os.write(reinterpret_cast<const char*>(&backbone.bn_momentum),
+           sizeof(backbone.bn_momentum));
+
+  // Model payload (already-serialized module bytes).
+  WriteI64(os, static_cast<int64_t>(artifact.model_payload.size()));
+  os.write(artifact.model_payload.data(),
+           static_cast<std::streamsize>(artifact.model_payload.size()));
+
+  // Scaler.
+  PILOTE_RETURN_IF_ERROR(serialize::WriteTensor(os, artifact.scaler.mean()));
+  PILOTE_RETURN_IF_ERROR(
+      serialize::WriteTensor(os, artifact.scaler.stddev()));
+
+  // Old-class list.
+  WriteI64(os, static_cast<int64_t>(artifact.old_classes.size()));
+  for (int label : artifact.old_classes) WriteU32(os, static_cast<uint32_t>(label));
+
+  // Support set: per-class exemplar matrices.
+  const std::vector<int> classes = artifact.support.Classes();
+  WriteI64(os, static_cast<int64_t>(classes.size()));
+  for (int label : classes) {
+    WriteU32(os, static_cast<uint32_t>(label));
+    PILOTE_RETURN_IF_ERROR(
+        serialize::WriteTensor(os, artifact.support.ClassExemplars(label)));
+  }
+  if (!os) return Status::IoError("failed writing artifact");
+  return Status::Ok();
+}
+
+Result<CloudArtifact> LoadArtifact(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open for read: " + path);
+
+  PILOTE_ASSIGN_OR_RETURN(uint32_t magic, ReadU32(is));
+  if (magic != kArtifactMagic) return Status::DataLoss("bad artifact magic");
+  PILOTE_ASSIGN_OR_RETURN(uint32_t version, ReadU32(is));
+  if (version != kArtifactVersion) {
+    return Status::DataLoss("unsupported artifact version " +
+                            std::to_string(version));
+  }
+
+  CloudArtifact artifact;
+  nn::BackboneConfig& backbone = artifact.backbone_config;
+  PILOTE_ASSIGN_OR_RETURN(backbone.input_dim, ReadI64(is));
+  PILOTE_ASSIGN_OR_RETURN(int64_t num_hidden, ReadI64(is));
+  if (num_hidden < 0 || num_hidden > 64) {
+    return Status::DataLoss("implausible hidden layer count");
+  }
+  backbone.hidden_dims.clear();
+  for (int64_t i = 0; i < num_hidden; ++i) {
+    PILOTE_ASSIGN_OR_RETURN(int64_t dim, ReadI64(is));
+    backbone.hidden_dims.push_back(dim);
+  }
+  PILOTE_ASSIGN_OR_RETURN(backbone.embedding_dim, ReadI64(is));
+  PILOTE_ASSIGN_OR_RETURN(uint32_t use_bn, ReadU32(is));
+  backbone.use_batchnorm = use_bn != 0;
+  is.read(reinterpret_cast<char*>(&backbone.bn_eps), sizeof(backbone.bn_eps));
+  is.read(reinterpret_cast<char*>(&backbone.bn_momentum),
+          sizeof(backbone.bn_momentum));
+  if (!is) return Status::DataLoss("truncated backbone config");
+
+  PILOTE_ASSIGN_OR_RETURN(int64_t payload_size, ReadI64(is));
+  if (payload_size < 0 || payload_size > (1LL << 32)) {
+    return Status::DataLoss("implausible model payload size");
+  }
+  artifact.model_payload.resize(static_cast<size_t>(payload_size));
+  is.read(artifact.model_payload.data(), payload_size);
+  if (!is) return Status::DataLoss("truncated model payload");
+
+  PILOTE_ASSIGN_OR_RETURN(Tensor mean, serialize::ReadTensor(is));
+  PILOTE_ASSIGN_OR_RETURN(Tensor stddev, serialize::ReadTensor(is));
+  artifact.scaler.SetState(std::move(mean), std::move(stddev));
+
+  PILOTE_ASSIGN_OR_RETURN(int64_t num_old, ReadI64(is));
+  if (num_old < 0 || num_old > 1 << 20) {
+    return Status::DataLoss("implausible old-class count");
+  }
+  for (int64_t i = 0; i < num_old; ++i) {
+    PILOTE_ASSIGN_OR_RETURN(uint32_t label, ReadU32(is));
+    artifact.old_classes.push_back(static_cast<int>(label));
+  }
+
+  PILOTE_ASSIGN_OR_RETURN(int64_t num_classes, ReadI64(is));
+  if (num_classes < 0 || num_classes > 1 << 20) {
+    return Status::DataLoss("implausible support class count");
+  }
+  for (int64_t i = 0; i < num_classes; ++i) {
+    PILOTE_ASSIGN_OR_RETURN(uint32_t label, ReadU32(is));
+    PILOTE_ASSIGN_OR_RETURN(Tensor exemplars, serialize::ReadTensor(is));
+    artifact.support.SetClassExemplars(static_cast<int>(label),
+                                       std::move(exemplars));
+  }
+  return artifact;
+}
+
+}  // namespace core
+}  // namespace pilote

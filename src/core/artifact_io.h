@@ -1,0 +1,22 @@
+#ifndef PILOTE_CORE_ARTIFACT_IO_H_
+#define PILOTE_CORE_ARTIFACT_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/cloud.h"
+
+namespace pilote {
+namespace core {
+
+// Persistence for the full cloud artifact — the single file MAGNETO ships
+// from the training cluster to a device. Layout (versioned, little
+// endian): backbone config, serialized model payload, scaler state and
+// the per-class exemplar support set.
+Status SaveArtifact(const std::string& path, const CloudArtifact& artifact);
+Result<CloudArtifact> LoadArtifact(const std::string& path);
+
+}  // namespace core
+}  // namespace pilote
+
+#endif  // PILOTE_CORE_ARTIFACT_IO_H_

@@ -1,0 +1,53 @@
+#ifndef PILOTE_CORE_CLOUD_H_
+#define PILOTE_CORE_CLOUD_H_
+
+#include <string>
+
+#include "core/config.h"
+#include "core/support_set.h"
+#include "data/dataset.h"
+#include "data/scaler.h"
+
+namespace pilote {
+namespace core {
+
+// Everything the cloud ships to an edge device (MAGNETO Sec 3): the
+// serialized pre-trained model, the feature scaler, and the exemplar
+// support set. Copyable so one pre-training run can seed several edge
+// learners (the paper evaluates all three models from the same
+// pre-trained starting point).
+struct CloudArtifact {
+  nn::BackboneConfig backbone_config;
+  std::string model_payload;   // serialize::SerializeModuleToString output
+  data::StandardScaler scaler;
+  SupportSet support;          // scaled old-class exemplar features
+  std::vector<int> old_classes;
+
+  // Payload size of the cloud->edge transfer in bytes.
+  int64_t TransferBytes() const;
+};
+
+// Result of the cloud phase.
+struct CloudPretrainResult {
+  CloudArtifact artifact;
+  TrainReport report;
+};
+
+// The cloud side of the pipeline: fits the scaler, pre-trains the siamese
+// embedding model on the old-class corpus with balanced contrastive pairs,
+// and herds the per-class exemplar support set (Algo 1, cloud part).
+class CloudPretrainer {
+ public:
+  explicit CloudPretrainer(const PiloteConfig& config) : config_(config) {}
+
+  // `d_old` holds raw (unscaled) feature rows of the initial classes.
+  CloudPretrainResult Run(const data::Dataset& d_old);
+
+ private:
+  PiloteConfig config_;
+};
+
+}  // namespace core
+}  // namespace pilote
+
+#endif  // PILOTE_CORE_CLOUD_H_

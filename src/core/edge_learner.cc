@@ -1,0 +1,237 @@
+#include "core/edge_learner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/embedding.h"
+#include "data/splits.h"
+#include "eval/metrics.h"
+#include "serialize/io.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace core {
+namespace {
+
+// Holds out a validation share of the tiny new-class set when it is large
+// enough (paper: 0.2 validation split); otherwise validates on the
+// training rows (the early-stop rule then acts as a plateau detector).
+struct NewDataSplit {
+  data::Dataset train;
+  data::Dataset val;
+};
+
+NewDataSplit SplitNewData(const data::Dataset& scaled_new,
+                          double validation_fraction, Rng& rng) {
+  bool splittable = true;
+  for (const auto& [label, count] : scaled_new.ClassCounts()) {
+    if (count < 10) splittable = false;
+  }
+  if (splittable && validation_fraction > 0.0) {
+    data::TrainTestSplit split =
+        data::StratifiedSplit(scaled_new, validation_fraction, rng);
+    return {std::move(split.train), std::move(split.test)};
+  }
+  return {scaled_new, scaled_new};
+}
+
+}  // namespace
+
+EdgeLearner::EdgeLearner(const CloudArtifact& artifact,
+                         const PiloteConfig& config)
+    : config_(config),
+      scaler_(artifact.scaler),
+      support_(artifact.support),
+      known_classes_(artifact.old_classes),
+      rng_(config.seed ^ 0x9E3779B97F4A7C15ULL) {
+  PILOTE_CHECK(artifact.backbone_config.input_dim == config.backbone.input_dim)
+      << "artifact/config backbone mismatch";
+  Rng init_rng(config.seed);
+  model_ = std::make_unique<nn::MlpBackbone>(artifact.backbone_config,
+                                             init_rng);
+  // The edge receives the model as bytes: a real deserialization models
+  // the MAGNETO transfer step.
+  Status status =
+      serialize::DeserializeModuleFromString(artifact.model_payload, *model_);
+  PILOTE_CHECK(status.ok()) << status.ToString();
+  model_->SetTraining(false);
+  RebuildPrototypes();
+}
+
+data::Dataset EdgeLearner::Scale(const data::Dataset& raw) const {
+  return scaler_.Transform(raw);
+}
+
+Tensor EdgeLearner::EmbedRaw(const Tensor& raw_features) {
+  return EmbedBatched(*model_, scaler_.Transform(raw_features));
+}
+
+std::vector<int> EdgeLearner::Predict(const Tensor& raw_features) {
+  return classifier_.Predict(EmbedRaw(raw_features));
+}
+
+double EdgeLearner::Evaluate(const data::Dataset& raw_test) {
+  PILOTE_CHECK(!raw_test.empty());
+  return eval::Accuracy(Predict(raw_test.features()), raw_test.labels());
+}
+
+void EdgeLearner::RebuildPrototypes() {
+  classifier_.Clear();
+  for (int label : support_.Classes()) {
+    Tensor embeddings =
+        EmbedBatched(*model_, support_.ClassExemplars(label));
+    classifier_.SetPrototypeFromEmbeddings(label, embeddings);
+  }
+}
+
+void EdgeLearner::EnrichSupportSet(const data::Dataset& scaled_new) {
+  for (int label : scaled_new.Classes()) {
+    PILOTE_CHECK(!support_.HasClass(label))
+        << "class " << label << " already known";
+    data::Dataset class_rows = scaled_new.FilterByClass(label);
+    data::Dataset sampled =
+        data::SampleRows(class_rows, config_.exemplars_per_class, rng_);
+    support_.SetClassExemplars(label, sampled.features());
+    known_classes_.push_back(label);
+  }
+  std::sort(known_classes_.begin(), known_classes_.end());
+}
+
+TrainReport PretrainedLearner::LearnNewClasses(const data::Dataset& d_new) {
+  PILOTE_CHECK(!d_new.empty());
+  data::Dataset scaled_new = Scale(d_new);
+  EnrichSupportSet(scaled_new);
+  // No training: the frozen embedding space simply gains prototypes.
+  RebuildPrototypes();
+  return TrainReport{};
+}
+
+TrainReport RetrainedLearner::LearnNewClasses(const data::Dataset& d_new) {
+  PILOTE_CHECK(!d_new.empty());
+  data::Dataset scaled_new = Scale(d_new);
+
+  // Table 2's "without considering the catastrophic forgetting problem"
+  // baseline: re-run the cloud's contrastive training recipe on the
+  // enriched support set (balanced pairs over ALL classes — the paper's
+  // pair reduction is a PILOTE feature enabled by distillation, so the
+  // baseline keeps the unreduced pool) with none of PILOTE's forgetting
+  // counter-measures: no distillation term, free batch-norm statistics,
+  // no stop-gradient anchoring.
+  EnrichSupportSet(scaled_new);
+  data::Dataset enriched = support_.ToDataset();
+  NewDataSplit split =
+      SplitNewData(enriched, config_.validation_fraction, rng_);
+  losses::PairSampler train_sampler(split.train.features(),
+                                    split.train.labels(),
+                                    losses::PairStrategy::kBalancedRandom,
+                                    rng_.NextUint64());
+  losses::PairSampler val_sampler(split.val.features(), split.val.labels(),
+                                  losses::PairStrategy::kBalancedRandom,
+                                  rng_.NextUint64());
+
+  TrainerOptions options = config_.incremental;
+  options.freeze_batchnorm_stats = false;
+  options.anchor_old_pair_side = false;
+  SiameseTrainer trainer(*model_, options);
+  TrainReport report =
+      trainer.Train(train_sampler, val_sampler, /*distill=*/nullptr);
+
+  RebuildPrototypes();
+  return report;
+}
+
+TrainReport PiloteLearner::LearnNewClasses(const data::Dataset& d_new) {
+  PILOTE_CHECK(!d_new.empty());
+  data::Dataset scaled_new = Scale(d_new);
+
+  // Snapshot the teacher BEFORE any update: phi_old of the old exemplars
+  // anchors the distillation term (Algo 1 line 11).
+  data::Dataset old_support = support_.ToDataset();
+  DistillationTask distill;
+  distill.features = old_support.features();
+  distill.teacher_embeddings =
+      EmbedBatched(*model_, old_support.features());
+  distill.alpha = config_.alpha;
+  distill.batch_size = config_.distill_batch_size;
+
+  // Contrastive term over the reduced pair set (Sec 5.2): old x new cross
+  // pairs plus new x new pairs.
+  NewDataSplit split =
+      SplitNewData(scaled_new, config_.validation_fraction, rng_);
+  losses::PairSampler train_sampler(
+      old_support.features(), old_support.labels(), split.train.features(),
+      split.train.labels(), config_.incremental_pairs, rng_.NextUint64());
+  losses::PairSampler val_sampler(
+      old_support.features(), old_support.labels(), split.val.features(),
+      split.val.labels(), config_.incremental_pairs, rng_.NextUint64());
+
+  // Frozen normalization statistics are part of PILOTE's knowledge
+  // preservation: the distillation anchor is only meaningful if the
+  // normalization the prototypes/teacher were computed under persists.
+  TrainerOptions options = config_.incremental;
+  options.freeze_batchnorm_stats = true;
+  options.anchor_old_pair_side = config_.anchor_old_pair_side;
+  SiameseTrainer trainer(*model_, options);
+  TrainReport report = trainer.Train(train_sampler, val_sampler, &distill);
+
+  EnrichSupportSet(scaled_new);
+  RebuildPrototypes();
+  return report;
+}
+
+TrainReport GdumbLearner::LearnNewClasses(const data::Dataset& d_new) {
+  PILOTE_CHECK(!d_new.empty());
+  data::Dataset scaled_new = Scale(d_new);
+  EnrichSupportSet(scaled_new);
+  // Greedy balancing: every class keeps at most the size of the smallest
+  // class' cache (GDumb's balanced reservoir).
+  int64_t smallest = config_.exemplars_per_class;
+  for (int label : support_.Classes()) {
+    smallest = std::min(smallest, support_.CountForClass(label));
+  }
+  support_.TrimPerClass(std::max<int64_t>(1, smallest));
+
+  // Retrain from scratch: the transferred weights are discarded entirely.
+  Rng init_rng(config_.seed ^ 0xD00DULL);
+  model_ = std::make_unique<nn::MlpBackbone>(config_.backbone, init_rng);
+
+  data::Dataset cache = support_.ToDataset();
+  NewDataSplit split = SplitNewData(cache, config_.validation_fraction, rng_);
+  losses::PairSampler train_sampler(split.train.features(),
+                                    split.train.labels(),
+                                    losses::PairStrategy::kBalancedRandom,
+                                    rng_.NextUint64());
+  losses::PairSampler val_sampler(split.val.features(), split.val.labels(),
+                                  losses::PairStrategy::kBalancedRandom,
+                                  rng_.NextUint64());
+  TrainerOptions options = config_.incremental;
+  options.freeze_batchnorm_stats = false;  // fresh model, fresh statistics
+  options.anchor_old_pair_side = false;
+  SiameseTrainer trainer(*model_, options);
+  TrainReport report =
+      trainer.Train(train_sampler, val_sampler, /*distill=*/nullptr);
+  RebuildPrototypes();
+  return report;
+}
+
+std::unique_ptr<EdgeLearner> MakeEdgeLearner(const std::string& strategy,
+                                             const CloudArtifact& artifact,
+                                             const PiloteConfig& config) {
+  if (strategy == "pretrained") {
+    return std::make_unique<PretrainedLearner>(artifact, config);
+  }
+  if (strategy == "retrained") {
+    return std::make_unique<RetrainedLearner>(artifact, config);
+  }
+  if (strategy == "pilote") {
+    return std::make_unique<PiloteLearner>(artifact, config);
+  }
+  if (strategy == "gdumb") {
+    return std::make_unique<GdumbLearner>(artifact, config);
+  }
+  PILOTE_CHECK(false) << "unknown edge learner strategy: " << strategy;
+  return nullptr;
+}
+
+}  // namespace core
+}  // namespace pilote

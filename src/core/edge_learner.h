@@ -1,0 +1,122 @@
+#ifndef PILOTE_CORE_EDGE_LEARNER_H_
+#define PILOTE_CORE_EDGE_LEARNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/cloud.h"
+#include "core/config.h"
+#include "core/ncm_classifier.h"
+#include "core/support_set.h"
+#include "data/dataset.h"
+
+namespace pilote {
+namespace core {
+
+// Base of the three edge-side learners the paper compares (Sec 6.1.3).
+// Construction deserializes the cloud artifact (modeling the transfer),
+// rebuilds the class prototypes and is immediately ready for inference.
+// LearnNewClasses integrates a batch of new-class samples; each subclass
+// implements the paper's corresponding update strategy.
+class EdgeLearner {
+ public:
+  EdgeLearner(const CloudArtifact& artifact, const PiloteConfig& config);
+  virtual ~EdgeLearner() = default;
+
+  EdgeLearner(const EdgeLearner&) = delete;
+  EdgeLearner& operator=(const EdgeLearner&) = delete;
+
+  // Integrates `d_new` (raw feature rows of previously unseen classes).
+  // The rows of `d_new` are the entire new-class data available at the
+  // extreme edge (D_n of Algo 1); the caller controls its size (Figure 7
+  // sweeps it). Returns the training report (empty for the pre-trained
+  // baseline, which does not train).
+  virtual TrainReport LearnNewClasses(const data::Dataset& d_new) = 0;
+
+  // NCM inference on raw feature rows.
+  std::vector<int> Predict(const Tensor& raw_features);
+  // Accuracy on a raw-feature test set.
+  double Evaluate(const data::Dataset& raw_test);
+
+  // Embeds raw feature rows (scaling + model forward).
+  Tensor EmbedRaw(const Tensor& raw_features);
+
+  const NcmClassifier& classifier() const { return classifier_; }
+  const SupportSet& support() const { return support_; }
+  SupportSet& mutable_support() { return support_; }
+  nn::MlpBackbone& model() { return *model_; }
+  const std::vector<int>& known_classes() const { return known_classes_; }
+  const PiloteConfig& config() const { return config_; }
+
+  // Re-embeds every support-set class and refreshes all prototypes
+  // (required after any model update).
+  void RebuildPrototypes();
+
+ protected:
+  // Adds new-class rows to the support set: keeps up to
+  // config.exemplars_per_class rows per class, chosen uniformly at random
+  // as in the paper ("enriches the support set with random new-class
+  // data"), and registers the classes as known.
+  void EnrichSupportSet(const data::Dataset& scaled_new);
+
+  // Scales a raw dataset with the cloud scaler.
+  data::Dataset Scale(const data::Dataset& raw) const;
+
+  PiloteConfig config_;
+  data::StandardScaler scaler_;
+  std::unique_ptr<nn::MlpBackbone> model_;
+  SupportSet support_;
+  NcmClassifier classifier_;
+  std::vector<int> known_classes_;
+  Rng rng_;
+};
+
+// Baseline 1 (Sec 6.1.3): the pre-trained model is used as-is; new classes
+// only get prototypes from their (random) exemplars. No edge training.
+class PretrainedLearner : public EdgeLearner {
+ public:
+  using EdgeLearner::EdgeLearner;
+  TrainReport LearnNewClasses(const data::Dataset& d_new) override;
+};
+
+// Baseline 2 (Sec 6.1.3, Table 2's "without considering the catastrophic
+// forgetting problem"): the pre-trained model is fine-tuned with the same
+// incremental contrastive training as PILOTE, but with every forgetting
+// counter-measure removed (no distillation, free batch-norm statistics,
+// no anchoring of the old pair side).
+class RetrainedLearner : public EdgeLearner {
+ public:
+  using EdgeLearner::EdgeLearner;
+  TrainReport LearnNewClasses(const data::Dataset& d_new) override;
+};
+
+// PILOTE (Algo 1, edge part): joint distillation + contrastive objective
+// over the reduced pair set (old x new cross pairs plus new x new pairs).
+class PiloteLearner : public EdgeLearner {
+ public:
+  using EdgeLearner::EdgeLearner;
+  TrainReport LearnNewClasses(const data::Dataset& d_new) override;
+};
+
+// Extra continual-learning baseline from the paper's related work
+// (Prabhu et al., ECCV 2020): GDumb keeps a greedily balanced exemplar
+// cache and, whenever queried, retrains the model FROM SCRATCH on the
+// cache alone. It questions whether incremental methods beat the dumb
+// strategy; here it inherits the siamese/NCM pipeline so the comparison
+// is apples-to-apples.
+class GdumbLearner : public EdgeLearner {
+ public:
+  using EdgeLearner::EdgeLearner;
+  TrainReport LearnNewClasses(const data::Dataset& d_new) override;
+};
+
+// Factory covering the strategies by name ("pretrained", "retrained",
+// "pilote", "gdumb"); CHECK-fails on unknown names.
+std::unique_ptr<EdgeLearner> MakeEdgeLearner(const std::string& strategy,
+                                             const CloudArtifact& artifact,
+                                             const PiloteConfig& config);
+
+}  // namespace core
+}  // namespace pilote
+
+#endif  // PILOTE_CORE_EDGE_LEARNER_H_

@@ -1,0 +1,61 @@
+#include "core/edge_profile.h"
+
+#include <sstream>
+
+#include "common/timer.h"
+#include "serialize/quantize.h"
+
+namespace pilote {
+namespace core {
+
+std::string EdgeProfileReport::ToString() const {
+  std::ostringstream os;
+  os << "model: " << model_parameters << " params (" << model_bytes
+     << " B)\n"
+     << "support set: " << support_exemplars << " exemplars ("
+     << support_bytes_fp32 << " B fp32, " << support_bytes_fp16
+     << " B fp16, " << support_bytes_int8 << " B int8)\n"
+     << "prototypes: " << prototype_bytes << " B\n"
+     << "inference: " << inference_ms_per_window << " ms/window\n"
+     << "training: " << train_epoch_seconds << " s/epoch";
+  return os.str();
+}
+
+EdgeProfileReport ProfileEdge(EdgeLearner& learner,
+                              const Tensor& probe_features,
+                              const TrainReport* last_report) {
+  EdgeProfileReport report;
+
+  nn::MlpBackbone& model = learner.model();
+  report.model_parameters = model.NumParameters();
+  int64_t state_elements = 0;
+  for (const Tensor* tensor : model.StateTensors()) {
+    state_elements += tensor->numel();
+  }
+  report.model_bytes = state_elements * static_cast<int64_t>(sizeof(float));
+
+  const SupportSet& support = learner.support();
+  report.support_exemplars = support.TotalExemplars();
+  report.support_bytes_fp32 =
+      support.StorageBytes(serialize::QuantMode::kFloat32);
+  report.support_bytes_fp16 =
+      support.StorageBytes(serialize::QuantMode::kFloat16);
+  report.support_bytes_int8 =
+      support.StorageBytes(serialize::QuantMode::kInt8);
+  report.prototype_bytes = learner.classifier().StorageBytes();
+
+  // Amortized end-to-end inference latency (scaling + embedding + NCM).
+  PILOTE_CHECK_GT(probe_features.rows(), 0);
+  WallTimer timer;
+  std::vector<int> predictions = learner.Predict(probe_features);
+  report.inference_ms_per_window =
+      timer.ElapsedMillis() / static_cast<double>(probe_features.rows());
+
+  if (last_report != nullptr) {
+    report.train_epoch_seconds = last_report->mean_epoch_seconds;
+  }
+  return report;
+}
+
+}  // namespace core
+}  // namespace pilote

@@ -1,0 +1,38 @@
+#ifndef PILOTE_CORE_EDGE_PROFILE_H_
+#define PILOTE_CORE_EDGE_PROFILE_H_
+
+#include <string>
+
+#include "core/edge_learner.h"
+
+namespace pilote {
+namespace core {
+
+// Resource footprint of an edge deployment (the paper's Q2: storage and
+// compute budget on the device).
+struct EdgeProfileReport {
+  int64_t model_parameters = 0;
+  int64_t model_bytes = 0;          // parameters + buffers, float32
+  int64_t support_exemplars = 0;
+  int64_t support_bytes_fp32 = 0;
+  int64_t support_bytes_fp16 = 0;
+  int64_t support_bytes_int8 = 0;
+  int64_t prototype_bytes = 0;
+  double inference_ms_per_window = 0.0;  // scale + embed + NCM, amortized
+  double train_epoch_seconds = 0.0;      // from the last training report
+
+  std::string ToString() const;
+};
+
+// Measures the learner's storage footprint and its amortized per-window
+// inference latency over `probe_features` (raw rows; more rows = tighter
+// estimate). `last_report` supplies the per-epoch training time (pass
+// nullptr if the learner never trained).
+EdgeProfileReport ProfileEdge(EdgeLearner& learner,
+                              const Tensor& probe_features,
+                              const TrainReport* last_report);
+
+}  // namespace core
+}  // namespace pilote
+
+#endif  // PILOTE_CORE_EDGE_PROFILE_H_

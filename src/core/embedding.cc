@@ -1,0 +1,37 @@
+#include "core/embedding.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "common/macros.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace core {
+
+Tensor Embed(nn::Module& model, const Tensor& features) {
+  PILOTE_CHECK_EQ(features.rank(), 2);
+  const bool was_training = model.training();
+  model.SetTraining(false);
+  autograd::Variable out =
+      model.Forward(autograd::Variable::Constant(features));
+  model.SetTraining(was_training);
+  return out.value();
+}
+
+Tensor EmbedBatched(nn::Module& model, const Tensor& features,
+                    int64_t batch_size) {
+  PILOTE_CHECK_GT(batch_size, 0);
+  const int64_t n = features.rows();
+  if (n <= batch_size) return Embed(model, features);
+  std::vector<Tensor> chunks;
+  for (int64_t begin = 0; begin < n; begin += batch_size) {
+    const int64_t end = std::min(n, begin + batch_size);
+    chunks.push_back(Embed(model, SliceRows(features, begin, end)));
+  }
+  return ConcatRows(chunks);
+}
+
+}  // namespace core
+}  // namespace pilote

@@ -1,0 +1,22 @@
+#ifndef PILOTE_CORE_EMBEDDING_H_
+#define PILOTE_CORE_EMBEDDING_H_
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace pilote {
+namespace core {
+
+// Inference-mode embedding of a feature batch [n, in] -> [n, d]: switches
+// the model to eval (running batch-norm statistics), runs a gradient-free
+// forward pass, and restores the previous mode.
+Tensor Embed(nn::Module& model, const Tensor& features);
+
+// Embeds rows in chunks of `batch_size` to bound peak memory on large sets.
+Tensor EmbedBatched(nn::Module& model, const Tensor& features,
+                    int64_t batch_size = 512);
+
+}  // namespace core
+}  // namespace pilote
+
+#endif  // PILOTE_CORE_EMBEDDING_H_

@@ -1,0 +1,88 @@
+#include "core/exemplar_selector.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+#include "core/embedding.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace core {
+
+const char* SelectionStrategyName(SelectionStrategy strategy) {
+  switch (strategy) {
+    case SelectionStrategy::kRepresentative:
+      return "representative";
+    case SelectionStrategy::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+std::vector<int64_t> HerdingSelect(const Tensor& embeddings, int64_t count) {
+  PILOTE_CHECK_EQ(embeddings.rank(), 2);
+  const int64_t n = embeddings.rows();
+  const int64_t d = embeddings.cols();
+  count = std::min(count, n);
+  PILOTE_CHECK_GT(count, 0);
+
+  Tensor mu = ColumnMean(embeddings);  // class prototype
+  // running_sum accumulates the selected embeddings.
+  Tensor running_sum = Tensor::Zeros(Shape::Vector(d));
+  std::vector<bool> taken(static_cast<size_t>(n), false);
+  std::vector<int64_t> selected;
+  selected.reserve(static_cast<size_t>(count));
+
+  for (int64_t k = 1; k <= count; ++k) {
+    // argmin_x || mu - (running_sum + phi(x)) / k ||
+    int64_t best = -1;
+    float best_dist = std::numeric_limits<float>::max();
+    const float inv_k = 1.0f / static_cast<float>(k);
+    for (int64_t i = 0; i < n; ++i) {
+      if (taken[static_cast<size_t>(i)]) continue;
+      const float* e = embeddings.row(i);
+      float dist = 0.0f;
+      for (int64_t c = 0; c < d; ++c) {
+        const float candidate_mean = (running_sum[c] + e[c]) * inv_k;
+        const float diff = mu[c] - candidate_mean;
+        dist += diff * diff;
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = i;
+      }
+    }
+    PILOTE_CHECK_GE(best, 0);
+    taken[static_cast<size_t>(best)] = true;
+    selected.push_back(best);
+    Axpy(1.0f, RowAt(embeddings, best), running_sum);
+  }
+  return selected;
+}
+
+std::vector<int64_t> SelectExemplars(nn::Module& model,
+                                     const Tensor& class_features,
+                                     int64_t count,
+                                     SelectionStrategy strategy, Rng& rng) {
+  PILOTE_CHECK_EQ(class_features.rank(), 2);
+  const int64_t n = class_features.rows();
+  count = std::min(count, n);
+  PILOTE_CHECK_GT(count, 0);
+  switch (strategy) {
+    case SelectionStrategy::kRepresentative: {
+      Tensor embeddings = EmbedBatched(model, class_features);
+      return HerdingSelect(embeddings, count);
+    }
+    case SelectionStrategy::kRandom: {
+      std::vector<int> picked = rng.SampleWithoutReplacement(
+          static_cast<int>(n), static_cast<int>(count));
+      return std::vector<int64_t>(picked.begin(), picked.end());
+    }
+  }
+  PILOTE_CHECK(false) << "unreachable";
+  return {};
+}
+
+}  // namespace core
+}  // namespace pilote

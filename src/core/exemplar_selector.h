@@ -1,0 +1,42 @@
+#ifndef PILOTE_CORE_EXEMPLAR_SELECTOR_H_
+#define PILOTE_CORE_EXEMPLAR_SELECTOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace pilote {
+namespace core {
+
+// How class exemplars are chosen for the edge support set (the two
+// strategies compared in the paper's Figure 6).
+enum class SelectionStrategy {
+  // Algo 1 lines 5-6 (iCaRL-style herding): greedily pick the sample whose
+  // inclusion keeps the running exemplar mean closest to the class
+  // prototype. The selection is ordered: any prefix of the result is itself
+  // the best herding subset, so trimming the support set never reselects.
+  kRepresentative,
+  // Uniform random subset.
+  kRandom,
+};
+
+const char* SelectionStrategyName(SelectionStrategy strategy);
+
+// Selects `count` row indices of `class_features` (all rows share one
+// class). For kRepresentative, `model` embeds the rows; for kRandom the
+// model is unused. count is clamped to the number of rows.
+std::vector<int64_t> SelectExemplars(nn::Module& model,
+                                     const Tensor& class_features,
+                                     int64_t count,
+                                     SelectionStrategy strategy, Rng& rng);
+
+// Herding over precomputed embeddings [n, d] (exposed for testing and for
+// callers that already embedded the rows).
+std::vector<int64_t> HerdingSelect(const Tensor& embeddings, int64_t count);
+
+}  // namespace core
+}  // namespace pilote
+
+#endif  // PILOTE_CORE_EXEMPLAR_SELECTOR_H_

@@ -1,0 +1,120 @@
+#include "core/ncm_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace core {
+
+void NcmClassifier::SetPrototype(int label, Tensor prototype) {
+  PILOTE_CHECK_EQ(prototype.rank(), 1);
+  if (!labels_.empty()) {
+    PILOTE_CHECK_EQ(prototype.dim(0), prototypes_.front().dim(0))
+        << "prototype dimension mismatch";
+  }
+  const auto it = std::lower_bound(labels_.begin(), labels_.end(), label);
+  if (it != labels_.end() && *it == label) {
+    prototypes_[static_cast<size_t>(it - labels_.begin())] =
+        std::move(prototype);
+    return;
+  }
+  const size_t pos = static_cast<size_t>(it - labels_.begin());
+  labels_.insert(it, label);
+  prototypes_.insert(prototypes_.begin() + static_cast<ptrdiff_t>(pos),
+                     std::move(prototype));
+}
+
+void NcmClassifier::SetPrototypeFromEmbeddings(int label,
+                                               const Tensor& embeddings) {
+  PILOTE_CHECK_EQ(embeddings.rank(), 2);
+  PILOTE_CHECK_GT(embeddings.rows(), 0);
+  SetPrototype(label, ColumnMean(embeddings));
+}
+
+void NcmClassifier::Clear() {
+  labels_.clear();
+  prototypes_.clear();
+}
+
+bool NcmClassifier::HasPrototype(int label) const {
+  const auto it = std::lower_bound(labels_.begin(), labels_.end(), label);
+  return it != labels_.end() && *it == label;
+}
+
+int NcmClassifier::IndexOf(int label) const {
+  const auto it = std::lower_bound(labels_.begin(), labels_.end(), label);
+  PILOTE_CHECK(it != labels_.end() && *it == label)
+      << "no prototype for class " << label;
+  return static_cast<int>(it - labels_.begin());
+}
+
+const Tensor& NcmClassifier::prototype(int label) const {
+  return prototypes_[static_cast<size_t>(IndexOf(label))];
+}
+
+std::vector<int> NcmClassifier::Labels() const { return labels_; }
+
+int64_t NcmClassifier::embedding_dim() const {
+  PILOTE_CHECK(!prototypes_.empty());
+  return prototypes_.front().dim(0);
+}
+
+Tensor NcmClassifier::PrototypeMatrix() const {
+  const int64_t d = embedding_dim();
+  Tensor protos(Shape::Matrix(static_cast<int64_t>(prototypes_.size()), d));
+  for (size_t i = 0; i < prototypes_.size(); ++i) {
+    std::copy(prototypes_[i].data(), prototypes_[i].data() + d,
+              protos.row(static_cast<int64_t>(i)));
+  }
+  return protos;
+}
+
+Tensor NcmClassifier::DistanceMatrix(const Tensor& embeddings) const {
+  PILOTE_CHECK(!prototypes_.empty()) << "no prototypes registered";
+  Tensor protos = PrototypeMatrix();
+  switch (distance_) {
+    case NcmDistance::kSquaredEuclidean:
+      return PairwiseSquaredDistance(embeddings, protos);
+    case NcmDistance::kCosine: {
+      // 1 - <x, mu> / (||x|| ||mu||); degenerate zero vectors score 1.
+      Tensor dots = MatMulTransB(embeddings, protos);
+      Tensor x_norm = RowSquaredNorm(embeddings);
+      Tensor p_norm = RowSquaredNorm(protos);
+      Tensor out(dots.shape());
+      for (int64_t i = 0; i < dots.rows(); ++i) {
+        for (int64_t j = 0; j < dots.cols(); ++j) {
+          const float denom = std::sqrt(x_norm[i] * p_norm[j]);
+          out(i, j) =
+              denom > 1e-12f ? 1.0f - dots(i, j) / denom : 1.0f;
+        }
+      }
+      return out;
+    }
+  }
+  PILOTE_CHECK(false) << "unreachable";
+  return Tensor();
+}
+
+std::vector<int> NcmClassifier::Predict(const Tensor& embeddings) const {
+  Tensor distances = DistanceMatrix(embeddings);
+  std::vector<int64_t> nearest = ArgMinPerRow(distances);
+  std::vector<int> result(nearest.size());
+  for (size_t i = 0; i < nearest.size(); ++i) {
+    result[i] = labels_[static_cast<size_t>(nearest[i])];
+  }
+  return result;
+}
+
+int64_t NcmClassifier::StorageBytes() const {
+  int64_t total = 0;
+  for (const Tensor& p : prototypes_) {
+    total += p.numel() * static_cast<int64_t>(sizeof(float));
+  }
+  return total;
+}
+
+}  // namespace core
+}  // namespace pilote

@@ -1,0 +1,66 @@
+#ifndef PILOTE_CORE_NCM_CLASSIFIER_H_
+#define PILOTE_CORE_NCM_CLASSIFIER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pilote {
+namespace core {
+
+// Distance used between an embedding and a prototype.
+enum class NcmDistance {
+  kSquaredEuclidean,  // the paper's Eq. 1
+  kCosine,            // 1 - cos(x, mu); scale-invariant alternative
+};
+
+// Nearest-class-mean classifier over class prototypes (paper Eq. 1):
+//   y* = argmin_y dist(phi(x), mu_y),  mu_y = mean of class-y exemplar
+// embeddings. Works purely in the embedding space; the caller supplies the
+// embeddings (see core::Embed).
+class NcmClassifier {
+ public:
+  explicit NcmClassifier(NcmDistance distance = NcmDistance::kSquaredEuclidean)
+      : distance_(distance) {}
+
+  // Registers (or replaces) the prototype of `label`.
+  void SetPrototype(int label, Tensor prototype);
+
+  // Computes mu_y as the mean of `embeddings` rows and registers it.
+  void SetPrototypeFromEmbeddings(int label, const Tensor& embeddings);
+
+  void Clear();
+
+  bool HasPrototype(int label) const;
+  const Tensor& prototype(int label) const;
+  // Labels in ascending order.
+  std::vector<int> Labels() const;
+  int64_t NumClasses() const { return static_cast<int64_t>(labels_.size()); }
+  int64_t embedding_dim() const;
+
+  // Nearest-prototype label per row of `embeddings` [n, d].
+  std::vector<int> Predict(const Tensor& embeddings) const;
+
+  // Distance of each row to each prototype under the configured metric,
+  // columns ordered as Labels() -> [n, k].
+  Tensor DistanceMatrix(const Tensor& embeddings) const;
+
+  NcmDistance distance() const { return distance_; }
+
+  // Bytes needed to store the prototypes (float32).
+  int64_t StorageBytes() const;
+
+ private:
+  int IndexOf(int label) const;
+  // Prototypes stacked into one [k, d] matrix.
+  Tensor PrototypeMatrix() const;
+
+  NcmDistance distance_ = NcmDistance::kSquaredEuclidean;
+  std::vector<int> labels_;          // sorted
+  std::vector<Tensor> prototypes_;   // aligned with labels_
+};
+
+}  // namespace core
+}  // namespace pilote
+
+#endif  // PILOTE_CORE_NCM_CLASSIFIER_H_

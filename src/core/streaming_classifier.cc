@@ -1,0 +1,82 @@
+#include "core/streaming_classifier.h"
+
+#include <algorithm>
+
+#include "har/feature_extractor.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace core {
+
+StreamingClassifier::StreamingClassifier(EdgeLearner* learner,
+                                         const Options& options)
+    : learner_(learner), options_(options) {
+  PILOTE_CHECK(learner != nullptr);
+  PILOTE_CHECK_GT(options.window_length, 1);
+  PILOTE_CHECK_GE(options.vote_window, 1);
+  buffer_.reserve(static_cast<size_t>(options.window_length));
+}
+
+std::optional<int> StreamingClassifier::PushSample(const Tensor& sample) {
+  PILOTE_CHECK_EQ(sample.rank(), 1);
+  PILOTE_CHECK_EQ(sample.dim(0), har::kNumChannels);
+  buffer_.push_back(sample.Reshape(Shape::Matrix(1, har::kNumChannels)));
+  if (static_cast<int>(buffer_.size()) < options_.window_length) {
+    return std::nullopt;
+  }
+  return ClassifyWindow();
+}
+
+std::vector<int> StreamingClassifier::PushBlock(const Tensor& samples) {
+  PILOTE_CHECK_EQ(samples.rank(), 2);
+  PILOTE_CHECK_EQ(samples.cols(), har::kNumChannels);
+  std::vector<int> predictions;
+  for (int64_t t = 0; t < samples.rows(); ++t) {
+    std::optional<int> label = PushSample(RowAt(samples, t));
+    if (label.has_value()) predictions.push_back(*label);
+  }
+  return predictions;
+}
+
+int StreamingClassifier::ClassifyWindow() {
+  Tensor window = ConcatRows(buffer_);
+  buffer_.clear();
+  window = har::DenoiseMovingAverage(window, options_.denoise_half_width);
+  Tensor features = har::ExtractFeatures(window)
+                        .Reshape(Shape::Matrix(1, har::kNumFeatures));
+  const int raw = learner_->Predict(features).front();
+
+  window_history_.push_back(raw);
+  recent_.push_back(raw);
+  while (static_cast<int>(recent_.size()) > options_.vote_window) {
+    recent_.pop_front();
+  }
+  current_ = MajorityVote();
+  return *current_;
+}
+
+int StreamingClassifier::MajorityVote() const {
+  std::map<int, int> counts;
+  for (int label : recent_) ++counts[label];
+  // Ties break toward the most recent label.
+  int best = recent_.back();
+  int best_count = 0;
+  for (const auto& [label, count] : counts) {
+    if (count > best_count ||
+        (count == best_count && label == recent_.back())) {
+      best = label;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+Result<int> StreamingClassifier::CurrentActivity() const {
+  if (!current_.has_value()) {
+    return Status::NotFound("no complete window classified yet");
+  }
+  return *current_;
+}
+
+}  // namespace core
+}  // namespace pilote

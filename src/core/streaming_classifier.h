@@ -1,0 +1,67 @@
+#ifndef PILOTE_CORE_STREAMING_CLASSIFIER_H_
+#define PILOTE_CORE_STREAMING_CLASSIFIER_H_
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/edge_learner.h"
+#include "har/preprocessing.h"
+
+namespace pilote {
+namespace core {
+
+// On-device streaming inference: consumes the raw sensor stream sample by
+// sample, runs the paper's preprocessing (denoise + 1 s segmentation +
+// feature extraction), classifies every completed window and smooths the
+// prediction with a majority vote over the last `vote_window` windows
+// (activities change on multi-second timescales, so a vote suppresses
+// isolated misclassifications — the "post-processing" the paper's Sec 2.3
+// alludes to).
+class StreamingClassifier {
+ public:
+  struct Options {
+    int window_length = har::kWindowLength;
+    int denoise_half_width = 1;
+    int vote_window = 3;  // majority vote span; 1 disables smoothing
+  };
+
+  // `learner` must outlive the classifier; its current model/prototypes
+  // are used for every window (so incremental updates apply immediately).
+  StreamingClassifier(EdgeLearner* learner, const Options& options);
+
+  // Feeds one sensor sample [har::kNumChannels]. Returns a prediction
+  // when this sample completes a window, std::nullopt otherwise.
+  std::optional<int> PushSample(const Tensor& sample);
+
+  // Feeds a [t, kNumChannels] block; returns one label per completed
+  // window, in order.
+  std::vector<int> PushBlock(const Tensor& samples);
+
+  // Most recent smoothed prediction (NotFound before the first window).
+  Result<int> CurrentActivity() const;
+
+  // Raw (unsmoothed) per-window labels seen so far.
+  const std::vector<int>& window_history() const { return window_history_; }
+  int64_t windows_classified() const {
+    return static_cast<int64_t>(window_history_.size());
+  }
+
+ private:
+  int ClassifyWindow();
+  int MajorityVote() const;
+
+  EdgeLearner* learner_;
+  Options options_;
+  std::vector<Tensor> buffer_;           // samples of the current window
+  std::deque<int> recent_;               // last vote_window raw labels
+  std::vector<int> window_history_;
+  std::optional<int> current_;
+};
+
+}  // namespace core
+}  // namespace pilote
+
+#endif  // PILOTE_CORE_STREAMING_CLASSIFIER_H_

@@ -1,0 +1,92 @@
+#include "core/support_set.h"
+
+#include "common/macros.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace core {
+
+void SupportSet::SetClassExemplars(int label, Tensor features) {
+  PILOTE_CHECK_EQ(features.rank(), 2);
+  PILOTE_CHECK_GT(features.rows(), 0);
+  if (!exemplars_.empty()) {
+    PILOTE_CHECK_EQ(features.cols(), exemplars_.begin()->second.cols())
+        << "feature dimension mismatch";
+  }
+  exemplars_[label] = std::move(features);
+}
+
+const Tensor& SupportSet::ClassExemplars(int label) const {
+  const auto it = exemplars_.find(label);
+  PILOTE_CHECK(it != exemplars_.end()) << "no exemplars for class " << label;
+  return it->second;
+}
+
+std::vector<int> SupportSet::Classes() const {
+  std::vector<int> classes;
+  classes.reserve(exemplars_.size());
+  for (const auto& [label, unused] : exemplars_) classes.push_back(label);
+  return classes;
+}
+
+int64_t SupportSet::CountForClass(int label) const {
+  const auto it = exemplars_.find(label);
+  return it == exemplars_.end() ? 0 : it->second.rows();
+}
+
+int64_t SupportSet::TotalExemplars() const {
+  int64_t total = 0;
+  for (const auto& [label, features] : exemplars_) total += features.rows();
+  return total;
+}
+
+void SupportSet::TrimPerClass(int64_t per_class) {
+  PILOTE_CHECK_GT(per_class, 0);
+  for (auto& [label, features] : exemplars_) {
+    if (features.rows() > per_class) {
+      features = SliceRows(features, 0, per_class);
+    }
+  }
+}
+
+void SupportSet::EnforceCacheSize(int64_t cache_size) {
+  PILOTE_CHECK_GT(cache_size, 0);
+  PILOTE_CHECK(!exemplars_.empty());
+  const int64_t per_class = cache_size / NumClasses();
+  PILOTE_CHECK_GT(per_class, 0)
+      << "cache size " << cache_size << " too small for " << NumClasses()
+      << " classes";
+  TrimPerClass(per_class);
+}
+
+data::Dataset SupportSet::ToDataset() const {
+  PILOTE_CHECK(!exemplars_.empty());
+  std::vector<Tensor> features;
+  std::vector<int> labels;
+  for (const auto& [label, rows] : exemplars_) {
+    features.push_back(rows);
+    labels.insert(labels.end(), static_cast<size_t>(rows.rows()), label);
+  }
+  return data::Dataset(ConcatRows(features), std::move(labels));
+}
+
+int64_t SupportSet::StorageBytes(serialize::QuantMode mode) const {
+  int64_t total = 0;
+  for (const auto& [label, features] : exemplars_) {
+    total += serialize::QuantizedTensor::Quantize(features, mode).SizeBytes();
+  }
+  return total;
+}
+
+SupportSet SupportSet::QuantizeRoundTrip(serialize::QuantMode mode) const {
+  SupportSet result;
+  for (const auto& [label, features] : exemplars_) {
+    result.SetClassExemplars(
+        label,
+        serialize::QuantizedTensor::Quantize(features, mode).Dequantize());
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace pilote

@@ -1,0 +1,57 @@
+#ifndef PILOTE_CORE_SUPPORT_SET_H_
+#define PILOTE_CORE_SUPPORT_SET_H_
+
+#include <map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "serialize/quantize.h"
+#include "tensor/tensor.h"
+
+namespace pilote {
+namespace core {
+
+// The on-device exemplar cache P = (P^1, ..., P^t): per-class feature rows
+// kept in herding order (so trimming keeps the most representative prefix).
+// Raw features — not embeddings — are stored because the model keeps
+// evolving on the edge and prototypes must be re-embedded after updates.
+class SupportSet {
+ public:
+  SupportSet() = default;
+
+  // Replaces the exemplars of `label`. Rows should already be in selection
+  // (herding) order.
+  void SetClassExemplars(int label, Tensor features);
+
+  bool HasClass(int label) const { return exemplars_.count(label) > 0; }
+  const Tensor& ClassExemplars(int label) const;
+  std::vector<int> Classes() const;
+  int64_t NumClasses() const { return static_cast<int64_t>(exemplars_.size()); }
+  int64_t CountForClass(int label) const;
+  int64_t TotalExemplars() const;
+
+  // Trims every class to at most `per_class` exemplars (keeps the prefix).
+  void TrimPerClass(int64_t per_class);
+  // Enforces a total cache budget of K exemplars: per Algo 1 line 1 each
+  // class keeps m = K / num_classes.
+  void EnforceCacheSize(int64_t cache_size);
+
+  // Flattens the cache into one labeled dataset (training input D_0).
+  data::Dataset ToDataset() const;
+
+  // Device storage footprint of the exemplar payload under a compression
+  // mode (float32 / float16 / int8).
+  int64_t StorageBytes(serialize::QuantMode mode) const;
+
+  // Round-trips every class through quantization, modeling a cache that is
+  // physically stored compressed (lossy for fp16/int8).
+  SupportSet QuantizeRoundTrip(serialize::QuantMode mode) const;
+
+ private:
+  std::map<int, Tensor> exemplars_;  // label -> [m_label, d]
+};
+
+}  // namespace core
+}  // namespace pilote
+
+#endif  // PILOTE_CORE_SUPPORT_SET_H_

@@ -1,0 +1,232 @@
+#include "core/trainer.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/embedding.h"
+#include "losses/contrastive.h"
+#include "losses/distillation.h"
+#include "losses/joint.h"
+#include "optim/adam.h"
+#include "optim/lr_scheduler.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace core {
+namespace {
+
+namespace ag = autograd;
+
+// Embeds the two pair branches through one concatenated forward pass and
+// returns the contrastive term.
+ag::Variable PairForward(nn::Module& model, const losses::PairBatch& batch,
+                         float margin, losses::ContrastiveForm form) {
+  const int64_t n = batch.left.rows();
+  ag::Variable combined = ag::Variable::Constant(
+      ConcatRows({batch.left, batch.right}));
+  ag::Variable embedded = model.Forward(combined);
+  ag::Variable left = ag::SliceRows(embedded, 0, n);
+  ag::Variable right = ag::SliceRows(embedded, n, 2 * n);
+  return losses::ContrastiveLoss(left, right, batch.similar, margin, form);
+}
+
+// PairForward variant that stop-gradients the old-exemplar side of cross
+// pairs: those rows are embedded without gradient tracking, so the hinge
+// moves only the new-class sample (the old side is held by distillation).
+ag::Variable AnchoredPairForward(nn::Module& model,
+                                 const losses::PairBatch& batch,
+                                 float margin, losses::ContrastiveForm form) {
+  const int64_t n = batch.left.rows();
+  std::vector<int64_t> anchored;
+  std::vector<int64_t> free_rows;
+  for (int64_t i = 0; i < n; ++i) {
+    if (batch.left_is_old[static_cast<size_t>(i)]) {
+      anchored.push_back(i);
+    } else {
+      free_rows.push_back(i);
+    }
+  }
+  if (anchored.empty()) return PairForward(model, batch, margin, form);
+
+  auto gather_similar = [&batch](const std::vector<int64_t>& rows) {
+    Tensor out(Shape::Vector(static_cast<int64_t>(rows.size())));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      out[static_cast<int64_t>(i)] = batch.similar[rows[i]];
+    }
+    return out;
+  };
+
+  const int64_t nf = static_cast<int64_t>(free_rows.size());
+  const int64_t na = static_cast<int64_t>(anchored.size());
+
+  // Everything that needs gradients goes through one forward pass.
+  std::vector<Tensor> grad_parts;
+  if (nf > 0) {
+    grad_parts.push_back(GatherRows(batch.left, free_rows));
+    grad_parts.push_back(GatherRows(batch.right, free_rows));
+  }
+  grad_parts.push_back(GatherRows(batch.right, anchored));
+  ag::Variable embedded =
+      model.Forward(ag::Variable::Constant(ConcatRows(grad_parts)));
+
+  // The anchored old side is embedded without gradients.
+  Tensor anchored_left_emb =
+      Embed(model, GatherRows(batch.left, anchored));
+
+  ag::Variable anchored_right =
+      ag::SliceRows(embedded, 2 * nf, 2 * nf + na);
+  ag::Variable anchored_loss = losses::ContrastiveLoss(
+      ag::Variable::Constant(anchored_left_emb), anchored_right,
+      gather_similar(anchored), margin, form);
+  if (nf == 0) return anchored_loss;
+
+  ag::Variable free_left = ag::SliceRows(embedded, 0, nf);
+  ag::Variable free_right = ag::SliceRows(embedded, nf, 2 * nf);
+  ag::Variable free_loss = losses::ContrastiveLoss(
+      free_left, free_right, gather_similar(free_rows), margin, form);
+
+  // Recombine the two per-row means into the overall batch mean.
+  const float wf = static_cast<float>(nf) / static_cast<float>(n);
+  const float wa = static_cast<float>(na) / static_cast<float>(n);
+  return ag::Add(ag::MulScalar(free_loss, wf),
+                 ag::MulScalar(anchored_loss, wa));
+}
+
+}  // namespace
+
+SiameseTrainer::SiameseTrainer(nn::Module& model,
+                               const TrainerOptions& options)
+    : model_(model), options_(options) {
+  PILOTE_CHECK_GT(options.max_epochs, 0);
+  PILOTE_CHECK_GT(options.batch_size, 0);
+  PILOTE_CHECK_GT(options.batches_per_epoch, 0);
+  PILOTE_CHECK_GT(options.margin, 0.0f);
+}
+
+float SiameseTrainer::ValidationLoss(const losses::PairBatch& val_pairs,
+                                     const DistillationTask* distill) {
+  Tensor left = Embed(model_, val_pairs.left);
+  Tensor right = Embed(model_, val_pairs.right);
+  float loss = losses::ContrastiveLossValue(
+      left, right, val_pairs.similar, options_.margin,
+      options_.contrastive_form);
+  if (distill != nullptr) {
+    Tensor student = EmbedBatched(model_, distill->features);
+    const float distill_value =
+        losses::DistillationLossValue(student, distill->teacher_embeddings);
+    loss = distill->alpha * distill_value + (1.0f - distill->alpha) * loss;
+  }
+  return loss;
+}
+
+TrainReport SiameseTrainer::Train(losses::PairSampler& train_sampler,
+                                  losses::PairSampler& val_sampler,
+                                  const DistillationTask* distill) {
+  if (distill != nullptr) {
+    PILOTE_CHECK_EQ(distill->features.rows(),
+                    distill->teacher_embeddings.rows());
+    PILOTE_CHECK(distill->alpha >= 0.0f && distill->alpha <= 1.0f);
+  }
+
+  model_.SetNormalizationFrozen(options_.freeze_batchnorm_stats);
+  optim::Adam optimizer(model_.Parameters(), {.lr = options_.initial_lr});
+  optim::HalvingLr scheduler(&optimizer, options_.initial_lr,
+                             options_.min_lr);
+  Rng rng(options_.seed);
+
+  // Fixed validation pair set (drawn once, reused every epoch).
+  const losses::PairBatch val_pairs =
+      val_sampler.Next(options_.num_val_pairs);
+
+  TrainReport report;
+  WallTimer total_timer;
+  int plateau_count = 0;
+  float previous_val_loss = 0.0f;
+  bool have_previous = false;
+
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    scheduler.OnEpochBegin(epoch);
+    model_.SetTraining(true);
+
+    double train_loss_sum = 0.0;
+    for (int step = 0; step < options_.batches_per_epoch; ++step) {
+      losses::PairBatch batch = train_sampler.Next(options_.batch_size);
+      const bool anchor =
+          options_.anchor_old_pair_side && !batch.left_is_old.empty();
+      ag::Variable loss =
+          anchor ? AnchoredPairForward(model_, batch, options_.margin,
+                                       options_.contrastive_form)
+                 : PairForward(model_, batch, options_.margin,
+                               options_.contrastive_form);
+
+      if (distill != nullptr) {
+        // Minibatch of old-class exemplars for the distillation term.
+        const int64_t m = distill->features.rows();
+        Tensor features;
+        Tensor teacher;
+        if (distill->batch_size <= 0 ||
+            m <= static_cast<int64_t>(distill->batch_size)) {
+          features = distill->features;
+          teacher = distill->teacher_embeddings;
+        } else {
+          std::vector<int> picked = rng.SampleWithoutReplacement(
+              static_cast<int>(m), distill->batch_size);
+          std::vector<int64_t> indices(picked.begin(), picked.end());
+          features = GatherRows(distill->features, indices);
+          teacher = GatherRows(distill->teacher_embeddings, indices);
+        }
+        ag::Variable student =
+            model_.Forward(ag::Variable::Constant(features));
+        ag::Variable distill_loss =
+            losses::DistillationLoss(student, teacher);
+        loss = losses::JointLoss(distill_loss, loss, distill->alpha);
+      }
+
+      optimizer.ZeroGrad();
+      loss.Backward();
+      if (options_.grad_clip_norm > 0.0f) {
+        auto params = model_.Parameters();
+        optim::ClipGradNorm(params, options_.grad_clip_norm);
+      }
+      optimizer.Step();
+      train_loss_sum += loss.value()[0];
+    }
+    report.final_train_loss = static_cast<float>(
+        train_loss_sum / static_cast<double>(options_.batches_per_epoch));
+
+    // Validation with frozen statistics.
+    const float val_loss = ValidationLoss(val_pairs, distill);
+    report.val_loss_history.push_back(val_loss);
+    report.epochs_completed = epoch + 1;
+
+    if (have_previous &&
+        std::fabs(val_loss - previous_val_loss) < options_.early_stop_delta) {
+      ++plateau_count;
+    } else {
+      plateau_count = 0;
+    }
+    previous_val_loss = val_loss;
+    have_previous = true;
+    if (plateau_count >= options_.early_stop_patience) {
+      report.early_stopped = true;
+      break;
+    }
+  }
+
+  report.final_val_loss = report.val_loss_history.empty()
+                              ? 0.0f
+                              : report.val_loss_history.back();
+  model_.SetNormalizationFrozen(false);
+  report.total_seconds = total_timer.ElapsedSeconds();
+  report.mean_epoch_seconds =
+      report.epochs_completed > 0
+          ? report.total_seconds / report.epochs_completed
+          : 0.0;
+  model_.SetTraining(false);
+  return report;
+}
+
+}  // namespace core
+}  // namespace pilote

@@ -1,0 +1,99 @@
+#ifndef PILOTE_CORE_TRAINER_H_
+#define PILOTE_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "losses/contrastive.h"
+#include "losses/pair_sampler.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace pilote {
+namespace core {
+
+// Hyperparameters of one siamese training run (paper Sec 6.1.2).
+struct TrainerOptions {
+  int max_epochs = 30;
+  int batch_size = 64;          // pairs per optimizer step
+  int batches_per_epoch = 24;   // pairs/epoch = batch_size * batches_per_epoch
+  float margin = 5.0f;          // contrastive margin m (Eq. 2)
+  // Negative-pair hinge form. The paper's Eq. 2 (kSquaredHinge) has a
+  // vanishing gradient when two embeddings coincide; kHadsell keeps a
+  // finite repulsion there (recommended for incremental updates, where a
+  // new class can land exactly on an old cluster).
+  losses::ContrastiveForm contrastive_form =
+      losses::ContrastiveForm::kSquaredHinge;
+  float initial_lr = 0.01f;     // Adam, halved every epoch (paper schedule)
+  float min_lr = 1e-5f;
+  float grad_clip_norm = 10.0f; // 0 disables clipping
+  // Early stopping: |val_loss[e] - val_loss[e-1]| < early_stop_delta for
+  // early_stop_patience consecutive epochs (paper: 1e-4, 5 steps).
+  float early_stop_delta = 1e-4f;
+  int early_stop_patience = 5;
+  int num_val_pairs = 256;      // size of the fixed validation pair set
+  // Keep batch-norm running statistics fixed during this run (normalize
+  // with them even in training mode). Essential for edge-side incremental
+  // updates: tiny, new-class-heavy batches would otherwise drag the
+  // statistics away from what the old-class prototypes and the
+  // distillation teacher were computed with.
+  bool freeze_batchnorm_stats = false;
+  // Treat the old-exemplar side of cross pairs as a constant
+  // (stop-gradient): the contrastive push then moves only the new-class
+  // sample, matching Sec 5.2's reading that distillation already
+  // constrains old-class representations. Only meaningful with a pair
+  // strategy that marks cross pairs (kCrossAndNew) and with
+  // freeze_batchnorm_stats (so the no-grad embedding uses the same
+  // normalization as the training pass).
+  bool anchor_old_pair_side = false;
+  uint64_t seed = 1;
+};
+
+// The distillation side of PILOTE's joint objective. `features` are the
+// old-class exemplars (scaled feature space); `teacher_embeddings` their
+// embeddings under the frozen pre-update model.
+struct DistillationTask {
+  Tensor features;             // [m, in]
+  Tensor teacher_embeddings;   // [m, d]
+  float alpha = 0.5f;          // joint balancing weight
+  int batch_size = 64;         // exemplar minibatch per step (0 = full set)
+};
+
+// Outcome of a training run.
+struct TrainReport {
+  int epochs_completed = 0;
+  bool early_stopped = false;
+  float final_train_loss = 0.0f;
+  float final_val_loss = 0.0f;
+  std::vector<float> val_loss_history;
+  double total_seconds = 0.0;
+  double mean_epoch_seconds = 0.0;
+};
+
+// Optimizes a siamese embedding model with the (joint) contrastive +
+// distillation objective. Both pair branches share one forward pass
+// (concatenated batch), so batch normalization sees identical statistics
+// on both branches.
+class SiameseTrainer {
+ public:
+  SiameseTrainer(nn::Module& model, const TrainerOptions& options);
+
+  // Runs up to max_epochs. `train_sampler` feeds the contrastive term;
+  // `val_sampler` provides a fixed validation pair set drawn once at the
+  // start; `distill` (may be null) adds the distillation term.
+  TrainReport Train(losses::PairSampler& train_sampler,
+                    losses::PairSampler& val_sampler,
+                    const DistillationTask* distill);
+
+ private:
+  // Joint validation loss on the fixed pair set (eval mode, no grad).
+  float ValidationLoss(const losses::PairBatch& val_pairs,
+                       const DistillationTask* distill);
+
+  nn::Module& model_;
+  TrainerOptions options_;
+};
+
+}  // namespace core
+}  // namespace pilote
+
+#endif  // PILOTE_CORE_TRAINER_H_

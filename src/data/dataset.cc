@@ -1,0 +1,68 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace data {
+
+Dataset::Dataset(Tensor features, std::vector<int> labels)
+    : features_(std::move(features)), labels_(std::move(labels)) {
+  PILOTE_CHECK_EQ(features_.rank(), 2);
+  PILOTE_CHECK_EQ(features_.rows(), static_cast<int64_t>(labels_.size()));
+}
+
+std::vector<int> Dataset::Classes() const {
+  std::vector<int> classes = labels_;
+  std::sort(classes.begin(), classes.end());
+  classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+  return classes;
+}
+
+std::map<int, int64_t> Dataset::ClassCounts() const {
+  std::map<int, int64_t> counts;
+  for (int label : labels_) ++counts[label];
+  return counts;
+}
+
+Dataset Dataset::FilterByClass(int label) const {
+  return FilterByClasses({label});
+}
+
+Dataset Dataset::FilterByClasses(const std::vector<int>& labels) const {
+  std::vector<int64_t> indices;
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (std::find(labels.begin(), labels.end(), labels_[i]) != labels.end()) {
+      indices.push_back(static_cast<int64_t>(i));
+    }
+  }
+  return Subset(indices);
+}
+
+Dataset Dataset::Subset(const std::vector<int64_t>& indices) const {
+  std::vector<int> new_labels;
+  new_labels.reserve(indices.size());
+  for (int64_t i : indices) {
+    PILOTE_CHECK(i >= 0 && i < size()) << "Subset index " << i;
+    new_labels.push_back(labels_[static_cast<size_t>(i)]);
+  }
+  return Dataset(GatherRows(features_, indices), std::move(new_labels));
+}
+
+Dataset Dataset::Concat(const std::vector<Dataset>& parts) {
+  PILOTE_CHECK(!parts.empty());
+  std::vector<Tensor> features;
+  std::vector<int> labels;
+  for (const Dataset& part : parts) {
+    if (part.empty()) continue;
+    features.push_back(part.features());
+    labels.insert(labels.end(), part.labels().begin(), part.labels().end());
+  }
+  PILOTE_CHECK(!features.empty()) << "Concat of all-empty datasets";
+  return Dataset(ConcatRows(features), std::move(labels));
+}
+
+}  // namespace data
+}  // namespace pilote

@@ -1,0 +1,52 @@
+#ifndef PILOTE_DATA_DATASET_H_
+#define PILOTE_DATA_DATASET_H_
+
+#include <map>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pilote {
+namespace data {
+
+// An in-memory labeled feature set: features [n, d] with integer class
+// labels. Value type; copies are deep.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Tensor features, std::vector<int> labels);
+
+  int64_t size() const { return features_.rank() == 2 ? features_.rows() : 0; }
+  int64_t num_features() const {
+    return features_.rank() == 2 ? features_.cols() : 0;
+  }
+  bool empty() const { return size() == 0; }
+
+  const Tensor& features() const { return features_; }
+  const std::vector<int>& labels() const { return labels_; }
+  int label(int64_t i) const { return labels_.at(static_cast<size_t>(i)); }
+
+  // Distinct labels in ascending order.
+  std::vector<int> Classes() const;
+  // Sample count per label.
+  std::map<int, int64_t> ClassCounts() const;
+
+  // Rows whose label equals `label`.
+  Dataset FilterByClass(int label) const;
+  // Rows whose label is in `labels`.
+  Dataset FilterByClasses(const std::vector<int>& labels) const;
+  // Rows at `indices`, in order.
+  Dataset Subset(const std::vector<int64_t>& indices) const;
+
+  // Vertical concatenation (feature dims must match).
+  static Dataset Concat(const std::vector<Dataset>& parts);
+
+ private:
+  Tensor features_;
+  std::vector<int> labels_;
+};
+
+}  // namespace data
+}  // namespace pilote
+
+#endif  // PILOTE_DATA_DATASET_H_

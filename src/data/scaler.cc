@@ -1,0 +1,41 @@
+#include "data/scaler.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace data {
+
+void StandardScaler::Fit(const Tensor& features) {
+  PILOTE_CHECK_EQ(features.rank(), 2);
+  PILOTE_CHECK_GT(features.rows(), 0);
+  mean_ = ColumnMean(features);
+  Tensor var = ColumnVariance(features, mean_);
+  stddev_ = Tensor(var.shape());
+  for (int64_t c = 0; c < var.numel(); ++c) {
+    const float s = std::sqrt(var[c]);
+    stddev_[c] = (s > 1e-8f) ? s : 1.0f;
+  }
+}
+
+Tensor StandardScaler::Transform(const Tensor& features) const {
+  PILOTE_CHECK(fitted()) << "StandardScaler::Transform before Fit";
+  PILOTE_CHECK_EQ(features.cols(), mean_.dim(0));
+  return DivRowVector(SubRowVector(features, mean_), stddev_);
+}
+
+Dataset StandardScaler::Transform(const Dataset& dataset) const {
+  return Dataset(Transform(dataset.features()), dataset.labels());
+}
+
+void StandardScaler::SetState(Tensor mean, Tensor stddev) {
+  PILOTE_CHECK_EQ(mean.rank(), 1);
+  PILOTE_CHECK(mean.shape() == stddev.shape());
+  mean_ = std::move(mean);
+  stddev_ = std::move(stddev);
+}
+
+}  // namespace data
+}  // namespace pilote

@@ -1,0 +1,40 @@
+#ifndef PILOTE_DATA_SCALER_H_
+#define PILOTE_DATA_SCALER_H_
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace pilote {
+namespace data {
+
+// Per-feature standardization (zero mean, unit variance), fit on the cloud
+// pre-training data and shipped to the edge with the model. Features with
+// (near-)zero variance pass through centered but unscaled.
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  // Estimates mean and stddev per column of `features` [n, d].
+  void Fit(const Tensor& features);
+
+  bool fitted() const { return mean_.numel() > 0; }
+
+  // (x - mean) / std per column. Requires fitted().
+  Tensor Transform(const Tensor& features) const;
+  Dataset Transform(const Dataset& dataset) const;
+
+  const Tensor& mean() const { return mean_; }
+  const Tensor& stddev() const { return stddev_; }
+
+  // Direct state access for serialization.
+  void SetState(Tensor mean, Tensor stddev);
+
+ private:
+  Tensor mean_;    // [d]
+  Tensor stddev_;  // [d]
+};
+
+}  // namespace data
+}  // namespace pilote
+
+#endif  // PILOTE_DATA_SCALER_H_

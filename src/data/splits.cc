@@ -1,0 +1,59 @@
+#include "data/splits.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace pilote {
+namespace data {
+
+TrainTestSplit StratifiedSplit(const Dataset& dataset, double test_fraction,
+                               Rng& rng) {
+  PILOTE_CHECK(test_fraction >= 0.0 && test_fraction < 1.0)
+      << "test_fraction=" << test_fraction;
+  std::vector<int64_t> train_indices;
+  std::vector<int64_t> test_indices;
+  for (int label : dataset.Classes()) {
+    std::vector<int64_t> rows;
+    for (int64_t i = 0; i < dataset.size(); ++i) {
+      if (dataset.label(i) == label) rows.push_back(i);
+    }
+    rng.Shuffle(rows);
+    int64_t n_test = static_cast<int64_t>(
+        static_cast<double>(rows.size()) * test_fraction + 0.5);
+    if (test_fraction > 0.0 && n_test == 0 && rows.size() >= 2) n_test = 1;
+    n_test = std::min<int64_t>(n_test, static_cast<int64_t>(rows.size()) - 1);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (static_cast<int64_t>(i) < n_test) {
+        test_indices.push_back(rows[i]);
+      } else {
+        train_indices.push_back(rows[i]);
+      }
+    }
+  }
+  // Keep deterministic row order independent of class iteration interleaving.
+  std::sort(train_indices.begin(), train_indices.end());
+  std::sort(test_indices.begin(), test_indices.end());
+  return {dataset.Subset(train_indices), dataset.Subset(test_indices)};
+}
+
+Dataset SampleRows(const Dataset& dataset, int64_t count, Rng& rng) {
+  if (count >= dataset.size()) return dataset;
+  std::vector<int> picked = rng.SampleWithoutReplacement(
+      static_cast<int>(dataset.size()), static_cast<int>(count));
+  std::vector<int64_t> indices(picked.begin(), picked.end());
+  std::sort(indices.begin(), indices.end());
+  return dataset.Subset(indices);
+}
+
+Dataset SamplePerClass(const Dataset& dataset, int64_t per_class, Rng& rng) {
+  std::vector<Dataset> parts;
+  for (int label : dataset.Classes()) {
+    Dataset class_rows = dataset.FilterByClass(label);
+    parts.push_back(SampleRows(class_rows, per_class, rng));
+  }
+  return Dataset::Concat(parts);
+}
+
+}  // namespace data
+}  // namespace pilote

@@ -1,0 +1,31 @@
+#ifndef PILOTE_DATA_SPLITS_H_
+#define PILOTE_DATA_SPLITS_H_
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace pilote {
+namespace data {
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+// Splits per class so both halves keep the class proportions
+// (the paper holds out 30% as test, 20% of the rest for validation).
+// `test_fraction` of each class (rounded, at least 1 when the class has
+// >= 2 samples) goes into `test`.
+TrainTestSplit StratifiedSplit(const Dataset& dataset, double test_fraction,
+                               Rng& rng);
+
+// Uniform random subsample of `count` rows (or the full set if smaller).
+Dataset SampleRows(const Dataset& dataset, int64_t count, Rng& rng);
+
+// Random subsample of up to `per_class` rows from each class.
+Dataset SamplePerClass(const Dataset& dataset, int64_t per_class, Rng& rng);
+
+}  // namespace data
+}  // namespace pilote
+
+#endif  // PILOTE_DATA_SPLITS_H_

@@ -1,0 +1,190 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace pilote {
+namespace eval {
+
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& labels) {
+  PILOTE_CHECK_EQ(predictions.size(), labels.size());
+  PILOTE_CHECK(!labels.empty());
+  int64_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+std::map<int, double> PerClassAccuracy(const std::vector<int>& predictions,
+                                       const std::vector<int>& labels) {
+  PILOTE_CHECK_EQ(predictions.size(), labels.size());
+  std::map<int, int64_t> correct;
+  std::map<int, int64_t> total;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    ++total[labels[i]];
+    if (predictions[i] == labels[i]) ++correct[labels[i]];
+  }
+  std::map<int, double> result;
+  for (const auto& [label, count] : total) {
+    result[label] =
+        static_cast<double>(correct[label]) / static_cast<double>(count);
+  }
+  return result;
+}
+
+MeanStd Summarize(const std::vector<double>& values) {
+  PILOTE_CHECK(!values.empty());
+  MeanStd result;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  result.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double acc = 0.0;
+    for (double v : values) acc += (v - result.mean) * (v - result.mean);
+    result.stddev = std::sqrt(acc / static_cast<double>(values.size() - 1));
+  }
+  return result;
+}
+
+ConfusionMatrix::ConfusionMatrix(std::vector<int> classes)
+    : classes_(std::move(classes)) {
+  PILOTE_CHECK(!classes_.empty());
+  PILOTE_CHECK(std::is_sorted(classes_.begin(), classes_.end()))
+      << "classes must be sorted";
+  counts_.assign(classes_.size() * classes_.size(), 0);
+}
+
+int ConfusionMatrix::IndexOf(int label) const {
+  const auto it = std::lower_bound(classes_.begin(), classes_.end(), label);
+  PILOTE_CHECK(it != classes_.end() && *it == label)
+      << "unknown class " << label;
+  return static_cast<int>(it - classes_.begin());
+}
+
+void ConfusionMatrix::Add(int true_label, int predicted_label) {
+  const size_t r = static_cast<size_t>(IndexOf(true_label));
+  const size_t c = static_cast<size_t>(IndexOf(predicted_label));
+  ++counts_[r * classes_.size() + c];
+}
+
+void ConfusionMatrix::AddAll(const std::vector<int>& labels,
+                             const std::vector<int>& predictions) {
+  PILOTE_CHECK_EQ(labels.size(), predictions.size());
+  for (size_t i = 0; i < labels.size(); ++i) Add(labels[i], predictions[i]);
+}
+
+int64_t ConfusionMatrix::count(int true_label, int predicted_label) const {
+  const size_t r = static_cast<size_t>(IndexOf(true_label));
+  const size_t c = static_cast<size_t>(IndexOf(predicted_label));
+  return counts_[r * classes_.size() + c];
+}
+
+double ConfusionMatrix::rate(int true_label, int predicted_label) const {
+  const size_t r = static_cast<size_t>(IndexOf(true_label));
+  int64_t row_total = 0;
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    row_total += counts_[r * classes_.size() + c];
+  }
+  if (row_total == 0) return 0.0;
+  return static_cast<double>(count(true_label, predicted_label)) /
+         static_cast<double>(row_total);
+}
+
+int64_t ConfusionMatrix::total() const {
+  int64_t sum = 0;
+  for (int64_t c : counts_) sum += c;
+  return sum;
+}
+
+double ConfusionMatrix::OverallAccuracy() const {
+  const int64_t n = total();
+  PILOTE_CHECK_GT(n, 0);
+  int64_t diag = 0;
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    diag += counts_[i * classes_.size() + i];
+  }
+  return static_cast<double>(diag) / static_cast<double>(n);
+}
+
+std::string ConfusionMatrix::ToString(const std::vector<std::string>& names,
+                                      bool normalized) const {
+  std::vector<std::string> display;
+  if (names.empty()) {
+    for (int label : classes_) display.push_back(std::to_string(label));
+  } else {
+    PILOTE_CHECK_EQ(names.size(), classes_.size());
+    display = names;
+  }
+  size_t width = 9;
+  for (const std::string& name : display) width = std::max(width, name.size() + 2);
+
+  std::ostringstream os;
+  os << std::setw(static_cast<int>(width)) << "true\\pred";
+  for (const std::string& name : display) {
+    os << std::setw(static_cast<int>(width)) << name;
+  }
+  os << "\n";
+  for (size_t r = 0; r < classes_.size(); ++r) {
+    os << std::setw(static_cast<int>(width)) << display[r];
+    for (size_t c = 0; c < classes_.size(); ++c) {
+      if (normalized) {
+        os << std::setw(static_cast<int>(width)) << std::fixed
+           << std::setprecision(3) << rate(classes_[r], classes_[c]);
+      } else {
+        os << std::setw(static_cast<int>(width))
+           << counts_[r * classes_.size() + c];
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+ForgettingReport ComputeForgetting(const std::vector<int>& labels,
+                                   const std::vector<int>& preds_before,
+                                   const std::vector<int>& preds_after,
+                                   const std::vector<int>& old_classes,
+                                   const std::vector<int>& new_classes) {
+  PILOTE_CHECK_EQ(labels.size(), preds_before.size());
+  PILOTE_CHECK_EQ(labels.size(), preds_after.size());
+  auto in = [](const std::vector<int>& set, int label) {
+    return std::find(set.begin(), set.end(), label) != set.end();
+  };
+  int64_t old_total = 0;
+  int64_t old_correct_before = 0;
+  int64_t old_correct_after = 0;
+  int64_t new_total = 0;
+  int64_t new_correct_after = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (in(old_classes, labels[i])) {
+      ++old_total;
+      if (preds_before[i] == labels[i]) ++old_correct_before;
+      if (preds_after[i] == labels[i]) ++old_correct_after;
+    } else if (in(new_classes, labels[i])) {
+      ++new_total;
+      if (preds_after[i] == labels[i]) ++new_correct_after;
+    }
+  }
+  ForgettingReport report;
+  if (old_total > 0) {
+    report.old_acc_before =
+        static_cast<double>(old_correct_before) / static_cast<double>(old_total);
+    report.old_acc_after =
+        static_cast<double>(old_correct_after) / static_cast<double>(old_total);
+  }
+  if (new_total > 0) {
+    report.new_acc_after =
+        static_cast<double>(new_correct_after) / static_cast<double>(new_total);
+  }
+  report.forgetting = report.old_acc_before - report.old_acc_after;
+  return report;
+}
+
+}  // namespace eval
+}  // namespace pilote

@@ -1,0 +1,75 @@
+#ifndef PILOTE_EVAL_METRICS_H_
+#define PILOTE_EVAL_METRICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pilote {
+namespace eval {
+
+// Fraction of predictions equal to the label. Sizes must match.
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& labels);
+
+// Accuracy restricted to samples of each class.
+std::map<int, double> PerClassAccuracy(const std::vector<int>& predictions,
+                                       const std::vector<int>& labels);
+
+// Mean and (sample) standard deviation of a series of run results.
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MeanStd Summarize(const std::vector<double>& values);
+
+// Square confusion-matrix counts over a fixed class list. Rows are true
+// classes, columns predictions (the paper's Figure 4 layout).
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::vector<int> classes);
+
+  void Add(int true_label, int predicted_label);
+  void AddAll(const std::vector<int>& labels,
+              const std::vector<int>& predictions);
+
+  int64_t count(int true_label, int predicted_label) const;
+  // Row-normalized rate in [0, 1]; 0 for empty rows.
+  double rate(int true_label, int predicted_label) const;
+  const std::vector<int>& classes() const { return classes_; }
+  int64_t total() const;
+  double OverallAccuracy() const;
+
+  // Fixed-width table with the given per-class display names (defaults to
+  // numeric labels). `normalized` prints row rates instead of counts.
+  std::string ToString(const std::vector<std::string>& names = {},
+                       bool normalized = true) const;
+
+ private:
+  int IndexOf(int label) const;
+
+  std::vector<int> classes_;
+  std::vector<int64_t> counts_;  // row-major [k, k]
+};
+
+// Catastrophic-forgetting measures (Def. 2 of the paper): how much
+// old-class performance degrades after the incremental update.
+struct ForgettingReport {
+  double old_acc_before = 0.0;   // old-class accuracy of the old model
+  double old_acc_after = 0.0;    // old-class accuracy of the updated model
+  double new_acc_after = 0.0;    // new-class accuracy of the updated model
+  double forgetting = 0.0;       // before - after on old classes
+};
+
+ForgettingReport ComputeForgetting(const std::vector<int>& labels,
+                                   const std::vector<int>& preds_before,
+                                   const std::vector<int>& preds_after,
+                                   const std::vector<int>& old_classes,
+                                   const std::vector<int>& new_classes);
+
+}  // namespace eval
+}  // namespace pilote
+
+#endif  // PILOTE_EVAL_METRICS_H_

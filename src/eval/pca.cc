@@ -1,0 +1,126 @@
+#include "eval/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace eval {
+
+Pca::Pca(const Tensor& data, int num_components, int max_iterations) {
+  PILOTE_CHECK_EQ(data.rank(), 2);
+  const int64_t n = data.rows();
+  const int64_t d = data.cols();
+  PILOTE_CHECK_GT(n, 1);
+  PILOTE_CHECK(num_components >= 1 && num_components <= d);
+
+  mean_ = ColumnMean(data);
+  Tensor centered = SubRowVector(data, mean_);
+  // Covariance [d, d] = X^T X / (n - 1).
+  Tensor cov = MulScalar(MatMulTransA(centered, centered),
+                         1.0f / static_cast<float>(n - 1));
+  double total_variance = 0.0;
+  for (int64_t i = 0; i < d; ++i) total_variance += cov(i, i);
+
+  components_ = Tensor(Shape::Matrix(num_components, d));
+  explained_ratio_.clear();
+  Rng rng(0xC0FFEE);
+
+  for (int k = 0; k < num_components; ++k) {
+    // Power iteration for the leading eigenvector of the deflated matrix.
+    Tensor v = Tensor::RandNormal(Shape::Matrix(d, 1), rng);
+    double eigenvalue = 0.0;
+    for (int iter = 0; iter < max_iterations; ++iter) {
+      Tensor w = MatMul(cov, v);
+      double norm = 0.0;
+      for (int64_t i = 0; i < d; ++i) norm += w[i] * w[i];
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) break;
+      for (int64_t i = 0; i < d; ++i) w[i] = static_cast<float>(w[i] / norm);
+      // Rayleigh quotient as convergence signal.
+      Tensor cw = MatMul(cov, w);
+      double lambda = 0.0;
+      for (int64_t i = 0; i < d; ++i) lambda += w[i] * cw[i];
+      v = w;
+      if (std::abs(lambda - eigenvalue) < 1e-10 * std::max(1.0, lambda)) {
+        eigenvalue = lambda;
+        break;
+      }
+      eigenvalue = lambda;
+    }
+    for (int64_t i = 0; i < d; ++i) components_(k, i) = v[i];
+    explained_ratio_.push_back(
+        total_variance > 0.0 ? std::max(0.0, eigenvalue) / total_variance
+                             : 0.0);
+    // Deflate: cov -= lambda * v v^T.
+    for (int64_t i = 0; i < d; ++i) {
+      for (int64_t j = 0; j < d; ++j) {
+        cov(i, j) -= static_cast<float>(eigenvalue) * v[i] * v[j];
+      }
+    }
+  }
+}
+
+Tensor Pca::Transform(const Tensor& data) const {
+  PILOTE_CHECK_EQ(data.rank(), 2);
+  PILOTE_CHECK_EQ(data.cols(), mean_.dim(0));
+  return MatMulTransB(SubRowVector(data, mean_), components_);
+}
+
+ClusterSeparation ComputeClusterSeparation(const Tensor& embeddings,
+                                           const std::vector<int>& labels) {
+  PILOTE_CHECK_EQ(embeddings.rank(), 2);
+  PILOTE_CHECK_EQ(embeddings.rows(), static_cast<int64_t>(labels.size()));
+  PILOTE_CHECK(!labels.empty());
+
+  // Class centroids.
+  std::map<int, std::pair<Tensor, int64_t>> accum;
+  const int64_t d = embeddings.cols();
+  for (size_t i = 0; i < labels.size(); ++i) {
+    auto [it, inserted] = accum.try_emplace(
+        labels[i], std::make_pair(Tensor::Zeros(Shape::Vector(d)), 0));
+    Axpy(1.0f, RowAt(embeddings, static_cast<int64_t>(i)), it->second.first);
+    ++it->second.second;
+  }
+  std::map<int, Tensor> centroids;
+  for (auto& [label, pair] : accum) {
+    centroids.emplace(label,
+                      MulScalar(pair.first, 1.0f / static_cast<float>(pair.second)));
+  }
+
+  ClusterSeparation sep;
+  // Within-class scatter.
+  double within = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    within += SquaredDistance(RowAt(embeddings, static_cast<int64_t>(i)),
+                              centroids.at(labels[i]));
+  }
+  sep.within_class_scatter = within / static_cast<double>(labels.size());
+
+  // Between-class scatter and min centroid distance.
+  double between = 0.0;
+  double min_dist = -1.0;
+  int64_t pairs = 0;
+  for (auto it_a = centroids.begin(); it_a != centroids.end(); ++it_a) {
+    for (auto it_b = std::next(it_a); it_b != centroids.end(); ++it_b) {
+      const double d2 = SquaredDistance(it_a->second, it_b->second);
+      between += d2;
+      ++pairs;
+      const double dist = std::sqrt(d2);
+      if (min_dist < 0.0 || dist < min_dist) min_dist = dist;
+    }
+  }
+  if (pairs > 0) sep.between_class_scatter = between / static_cast<double>(pairs);
+  sep.min_centroid_distance = std::max(0.0, min_dist);
+  sep.fisher_ratio = sep.within_class_scatter > 1e-12
+                         ? sep.between_class_scatter / sep.within_class_scatter
+                         : 0.0;
+  return sep;
+}
+
+}  // namespace eval
+}  // namespace pilote

@@ -1,0 +1,55 @@
+#ifndef PILOTE_EVAL_PCA_H_
+#define PILOTE_EVAL_PCA_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pilote {
+namespace eval {
+
+// Principal component analysis for embedding-space visualization (the
+// paper's Figure 5). Components are extracted from the covariance matrix
+// by power iteration with deflation — no external linear-algebra library.
+class Pca {
+ public:
+  // Fits `num_components` principal directions of `data` [n, d].
+  // Deterministic (fixed internal seed).
+  Pca(const Tensor& data, int num_components, int max_iterations = 200);
+
+  // Projects rows of `data` [m, d] onto the fitted components -> [m, k].
+  Tensor Transform(const Tensor& data) const;
+
+  // Fraction of total variance captured by each component.
+  const std::vector<double>& explained_variance_ratio() const {
+    return explained_ratio_;
+  }
+  const Tensor& components() const { return components_; }  // [k, d]
+  const Tensor& mean() const { return mean_; }              // [d]
+
+ private:
+  Tensor mean_;
+  Tensor components_;
+  std::vector<double> explained_ratio_;
+};
+
+// Scatter statistics of a labeled embedding (quantifying Figure 5's
+// visual claim that PILOTE separates classes more cleanly).
+struct ClusterSeparation {
+  // Mean within-class squared distance to the class centroid.
+  double within_class_scatter = 0.0;
+  // Mean squared distance between class centroids.
+  double between_class_scatter = 0.0;
+  // Fisher-style ratio between/within (higher = cleaner separation).
+  double fisher_ratio = 0.0;
+  // Smallest centroid-to-centroid distance over all class pairs.
+  double min_centroid_distance = 0.0;
+};
+
+ClusterSeparation ComputeClusterSeparation(const Tensor& embeddings,
+                                           const std::vector<int>& labels);
+
+}  // namespace eval
+}  // namespace pilote
+
+#endif  // PILOTE_EVAL_PCA_H_

@@ -1,0 +1,56 @@
+#ifndef PILOTE_HAR_ACTIVITY_H_
+#define PILOTE_HAR_ACTIVITY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace pilote {
+namespace har {
+
+// The five activities of the paper's data collection campaign (Sec 6.1.1).
+enum class Activity : int {
+  kDrive = 0,
+  kEscooter = 1,
+  kRun = 2,
+  kStill = 3,
+  kWalk = 4,
+};
+
+inline constexpr int kNumActivities = 5;
+
+inline std::string_view ActivityName(Activity activity) {
+  switch (activity) {
+    case Activity::kDrive:
+      return "Drive";
+    case Activity::kEscooter:
+      return "E-scooter";
+    case Activity::kRun:
+      return "Run";
+    case Activity::kStill:
+      return "Still";
+    case Activity::kWalk:
+      return "Walk";
+  }
+  return "Unknown";
+}
+
+inline Activity ActivityFromLabel(int label) {
+  PILOTE_CHECK(label >= 0 && label < kNumActivities) << "label " << label;
+  return static_cast<Activity>(label);
+}
+
+inline int ActivityLabel(Activity activity) {
+  return static_cast<int>(activity);
+}
+
+inline std::vector<Activity> AllActivities() {
+  return {Activity::kDrive, Activity::kEscooter, Activity::kRun,
+          Activity::kStill, Activity::kWalk};
+}
+
+}  // namespace har
+}  // namespace pilote
+
+#endif  // PILOTE_HAR_ACTIVITY_H_

@@ -1,0 +1,33 @@
+#include "har/har_dataset.h"
+
+#include "common/macros.h"
+#include "har/feature_extractor.h"
+
+namespace pilote {
+namespace har {
+
+data::Dataset HarDataGenerator::Generate(Activity activity, int64_t count) {
+  PILOTE_CHECK_GT(count, 0);
+  Tensor features(Shape::Matrix(count, kNumFeatures));
+  for (int64_t i = 0; i < count; ++i) {
+    Tensor window = simulator_.GenerateWindow(activity);
+    Tensor row = ExtractFeatures(window);
+    std::copy(row.data(), row.data() + kNumFeatures, features.row(i));
+  }
+  std::vector<int> labels(static_cast<size_t>(count), ActivityLabel(activity));
+  return data::Dataset(std::move(features), std::move(labels));
+}
+
+data::Dataset HarDataGenerator::GenerateBalanced(
+    int64_t per_class, std::vector<Activity> activities) {
+  if (activities.empty()) activities = AllActivities();
+  std::vector<data::Dataset> parts;
+  parts.reserve(activities.size());
+  for (Activity activity : activities) {
+    parts.push_back(Generate(activity, per_class));
+  }
+  return data::Dataset::Concat(parts);
+}
+
+}  // namespace har
+}  // namespace pilote

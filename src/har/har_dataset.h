@@ -1,0 +1,37 @@
+#ifndef PILOTE_HAR_HAR_DATASET_H_
+#define PILOTE_HAR_HAR_DATASET_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "har/activity.h"
+#include "har/sensor_simulator.h"
+
+namespace pilote {
+namespace har {
+
+// End-to-end generator: simulated sensor windows -> 80-d feature vectors
+// labeled by activity. This is the repository's stand-in for the paper's
+// collected corpus (Sec 6.1.1; ~200k records over 5 activities).
+class HarDataGenerator {
+ public:
+  explicit HarDataGenerator(uint64_t seed) : simulator_(seed) {}
+
+  // `count` feature vectors of one activity.
+  data::Dataset Generate(Activity activity, int64_t count);
+
+  // `per_class` feature vectors of each of the given activities
+  // (all five when `activities` is empty).
+  data::Dataset GenerateBalanced(int64_t per_class,
+                                 std::vector<Activity> activities = {});
+
+  SensorSimulator& simulator() { return simulator_; }
+
+ private:
+  SensorSimulator simulator_;
+};
+
+}  // namespace har
+}  // namespace pilote
+
+#endif  // PILOTE_HAR_HAR_DATASET_H_

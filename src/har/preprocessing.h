@@ -1,0 +1,57 @@
+#ifndef PILOTE_HAR_PREPROCESSING_H_
+#define PILOTE_HAR_PREPROCESSING_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "har/activity.h"
+#include "har/sensor_simulator.h"
+#include "tensor/tensor.h"
+
+namespace pilote {
+namespace har {
+
+// The paper's edge-side preprocessing (Sec 5, Figure 3): the raw sensor
+// stream is denoised, segmented into one-second windows and normalized,
+// all in linear time, before feature extraction.
+
+// Centered moving-average smoothing of each channel of a [t, c] recording
+// (odd window size; ends use the available neighborhood). half_width = 0
+// returns the input unchanged.
+Tensor DenoiseMovingAverage(const Tensor& recording, int half_width);
+
+// Splits a [t, c] recording into fixed-length windows with the given
+// stride (stride == window_length -> disjoint windows, the paper's
+// 1-second segmentation; smaller stride -> overlapping windows). Trailing
+// samples that do not fill a window are dropped. Errors if the recording
+// is shorter than one window.
+Result<std::vector<Tensor>> SegmentWindows(const Tensor& recording,
+                                           int window_length, int stride);
+
+// A continuous labeled recording, as produced on the device.
+struct Recording {
+  Tensor samples;  // [t, kNumChannels]
+  Activity activity;
+};
+
+// Generates a continuous recording of `num_windows` seconds by
+// concatenating simulator episodes (each episode spans 1-4 windows, so
+// consecutive windows are correlated like a real stream).
+Recording RecordContinuous(SensorSimulator& simulator, Activity activity,
+                           int num_windows);
+
+// Full preprocessing pipeline: denoise -> segment -> per-window feature
+// extraction -> [n, kNumFeatures] feature rows.
+struct PreprocessOptions {
+  int denoise_half_width = 1;
+  int window_length = kWindowLength;
+  int stride = kWindowLength;
+};
+
+Result<Tensor> PreprocessRecording(const Tensor& recording,
+                                   const PreprocessOptions& options);
+
+}  // namespace har
+}  // namespace pilote
+
+#endif  // PILOTE_HAR_PREPROCESSING_H_

@@ -1,0 +1,42 @@
+#ifndef PILOTE_HAR_SENSOR_LAYOUT_H_
+#define PILOTE_HAR_SENSOR_LAYOUT_H_
+
+#include <array>
+#include <string_view>
+
+namespace pilote {
+namespace har {
+
+// Channel layout of the simulated phone: 6 three-axis sensors (18 channels)
+// followed by 4 scalar sensors, for the paper's 22 mobile-sensor channels
+// sampled at 120 Hz in 1-second windows (Sec 6.1.1).
+inline constexpr int kNumChannels = 22;
+inline constexpr int kNumTriAxisSensors = 6;
+inline constexpr int kNumTriAxisChannels = 18;
+inline constexpr int kSampleRateHz = 120;
+inline constexpr int kWindowLength = 120;  // one second
+
+// Tri-axis sensor base channel indices.
+inline constexpr int kAccelerometer = 0;        // includes gravity
+inline constexpr int kGyroscope = 3;
+inline constexpr int kMagnetometer = 6;
+inline constexpr int kLinearAcceleration = 9;   // gravity-compensated
+inline constexpr int kGravity = 12;
+inline constexpr int kOrientation = 15;         // roll/pitch/yaw (rad)
+
+// Scalar channels.
+inline constexpr int kBarometer = 18;           // hPa
+inline constexpr int kAmbientLight = 19;        // lux (log-scale-ish)
+inline constexpr int kProximity = 20;           // cm
+inline constexpr int kGpsSpeed = 21;            // m/s
+
+inline constexpr std::array<std::string_view, kNumChannels> kChannelNames = {
+    "acc_x",  "acc_y",  "acc_z",   "gyro_x", "gyro_y", "gyro_z",
+    "mag_x",  "mag_y",  "mag_z",   "lin_x",  "lin_y",  "lin_z",
+    "grav_x", "grav_y", "grav_z",  "roll",   "pitch",  "yaw",
+    "baro",   "light",  "proximity", "gps_speed"};
+
+}  // namespace har
+}  // namespace pilote
+
+#endif  // PILOTE_HAR_SENSOR_LAYOUT_H_

@@ -1,0 +1,279 @@
+#include "har/sensor_simulator.h"
+
+#include <cmath>
+
+namespace pilote {
+namespace har {
+namespace {
+
+constexpr double kTwoPi = 2.0 * M_PI;
+constexpr double kGravityMs2 = 9.81;
+// Earth magnetic field magnitude (uT), roughly.
+constexpr double kEarthFieldUt = 45.0;
+
+}  // namespace
+
+SensorSimulator::Episode SensorSimulator::DrawEpisode(Activity activity) {
+  Episode e;
+  // Carrying placement: a discrete mode with its own attitude band, axis
+  // profile and light/proximity signature. Driving allows mount or
+  // pocket; other activities pocket, hand or backpack.
+  if (activity == Activity::kDrive) {
+    e.placement = rng_.Bernoulli(0.6) ? Placement::kMount : Placement::kPocket;
+  } else {
+    const int pick = rng_.UniformInt(0, 2);
+    e.placement = pick == 0   ? Placement::kPocket
+                  : pick == 1 ? Placement::kHand
+                              : Placement::kBackpack;
+  }
+  auto jitter_axis = [this](double v) {
+    return std::max(0.05, v + rng_.Gaussian(0.0, 0.08));
+  };
+  switch (e.placement) {
+    case Placement::kPocket:
+      // Sideways in a trouser pocket: gravity mostly along x, screen
+      // covered (proximity ~0, little light).
+      e.roll = rng_.UniformDouble(1.1, 1.7);
+      e.pitch = rng_.UniformDouble(-0.4, 0.4);
+      e.axis_x = jitter_axis(0.85);
+      e.axis_y = jitter_axis(0.3);
+      e.axis_z = jitter_axis(0.4);
+      e.light = rng_.UniformDouble(0.0, 30.0);
+      e.proximity = rng_.UniformDouble(0.0, 1.0);
+      break;
+    case Placement::kHand:
+      // Held tilted toward the face; screen uncovered.
+      e.roll = rng_.UniformDouble(-0.3, 0.3);
+      e.pitch = rng_.UniformDouble(-0.9, -0.3);
+      e.axis_x = jitter_axis(0.2);
+      e.axis_y = jitter_axis(0.25);
+      e.axis_z = jitter_axis(0.9);
+      e.light = rng_.UniformDouble(80.0, 900.0);
+      e.proximity = rng_.UniformDouble(4.0, 8.0);
+      break;
+    case Placement::kBackpack:
+      // Upright-ish in a bag; dark, uncovered sensor.
+      e.roll = rng_.UniformDouble(-0.4, 0.4);
+      e.pitch = rng_.UniformDouble(0.9, 1.5);
+      e.axis_x = jitter_axis(0.3);
+      e.axis_y = jitter_axis(0.8);
+      e.axis_z = jitter_axis(0.45);
+      e.light = rng_.UniformDouble(0.0, 15.0);
+      e.proximity = rng_.UniformDouble(3.0, 8.0);
+      break;
+    case Placement::kMount:
+      // Windshield mount: near-vertical, bright cabin, vibration couples
+      // into the z axis.
+      e.roll = rng_.UniformDouble(-0.15, 0.15);
+      e.pitch = rng_.UniformDouble(-1.5, -1.0);
+      e.axis_x = jitter_axis(0.25);
+      e.axis_y = jitter_axis(0.35);
+      e.axis_z = jitter_axis(0.85);
+      e.light = rng_.UniformDouble(40.0, 600.0);
+      e.proximity = rng_.UniformDouble(4.0, 8.0);
+      break;
+  }
+  e.yaw = rng_.UniformDouble(0.0, kTwoPi);
+  e.gait_phase = rng_.UniformDouble(0.0, kTwoPi);
+  e.vib_phase = rng_.UniformDouble(0.0, kTwoPi);
+  e.baro = rng_.UniformDouble(1000.0, 1025.0);
+  e.baro_drift = rng_.Gaussian(0.0, 0.02);
+  // Roughly a third of episodes happen without a GPS fix (indoors, urban
+  // canyons): the speed channel then carries no signal.
+  e.gps_fix = rng_.Bernoulli(0.65);
+  e.noise_scale = rng_.UniformDouble(0.8, 2.2);
+
+  // Gait parameters are driven by a shared per-episode intensity u in
+  // [0, 1] so they co-vary realistically: a slow run (low u) overlaps a
+  // brisk walk (high u) on frequency, amplitude, speed AND rotation at
+  // once — the paper's Run/Walk confusion pair (Figure 4). What still
+  // separates the overlap zone is the sharper foot-strike impact and
+  // stronger harmonic content of running — subtle cues an adapted model
+  // can pick up but a frozen 4-class embedding underweights.
+  const double u = rng_.UniformDouble(0.0, 1.0);
+  auto jitter = [this](double v) {
+    return v * rng_.UniformDouble(0.92, 1.08);
+  };
+
+  switch (activity) {
+    case Activity::kStill:
+      // "Still" includes fidgeting, typing, shifting weight: a weak,
+      // slow pseudo-gait that overlaps the bottom of the Walk range.
+      e.gait_freq = rng_.UniformDouble(0.4, 1.7);
+      e.gait_amp = rng_.UniformDouble(0.0, 1.1);
+      e.gait_harmonic = rng_.UniformDouble(0.0, 0.3);
+      e.gait_impact = rng_.UniformDouble(0.0, 0.2);
+      e.acc_noise = rng_.UniformDouble(0.02, 0.12);
+      e.gyro_amp = rng_.UniformDouble(0.005, 0.08);
+      e.speed = std::abs(rng_.Gaussian(0.0, 0.05));
+      e.sway_freq = rng_.UniformDouble(0.1, 0.3);
+      e.sway_amp = rng_.UniformDouble(0.0, 0.08);
+      break;
+    case Activity::kWalk:
+      e.gait_freq = jitter(1.5 + 1.2 * u);   // 1.4 .. 2.9
+      e.gait_amp = jitter(0.7 + 2.2 * u);    // 0.6 .. 3.1
+      e.gait_harmonic = rng_.UniformDouble(0.15, 0.4);
+      e.gait_impact = rng_.UniformDouble(0.08, 0.38);
+      e.speed = jitter(0.6 + 1.9 * u);       // 0.55 .. 2.7
+      e.gyro_amp = jitter(0.15 + 0.55 * u);
+      e.acc_noise = rng_.UniformDouble(0.1, 0.35);
+      e.sway_freq = rng_.UniformDouble(0.3, 0.7);
+      e.sway_amp = rng_.UniformDouble(0.1, 0.35);
+      break;
+    case Activity::kRun:
+      // At matched amplitude a run has a LOWER cadence than a brisk walk
+      // and a much sharper foot strike — the learnable cues that separate
+      // the overlap zone (a frozen 4-class embedding underweights them;
+      // an adapted model can exploit them).
+      e.gait_freq = jitter(1.9 + 1.0 * u);   // 1.75 .. 3.15
+      e.gait_amp = jitter(1.9 + 4.0 * u);    // 1.75 .. 6.4
+      e.gait_harmonic = rng_.UniformDouble(0.45, 0.8);
+      e.gait_impact = rng_.UniformDouble(0.45, 0.9);
+      e.speed = jitter(1.2 + 3.2 * u);       // 1.1 .. 4.75
+      e.gyro_amp = jitter(0.3 + 0.9 * u);
+      e.acc_noise = rng_.UniformDouble(0.15, 0.5);
+      e.sway_freq = rng_.UniformDouble(0.4, 0.8);
+      e.sway_amp = rng_.UniformDouble(0.15, 0.5);
+      break;
+    case Activity::kDrive:
+      // Engine + road vibration: high frequency, small amplitude; high
+      // speed; magnetometer distorted by the car body.
+      e.vib_freq = rng_.UniformDouble(16.0, 42.0);
+      e.vib_amp = rng_.UniformDouble(0.08, 0.55);
+      e.speed = rng_.UniformDouble(4.0, 30.0);
+      e.gyro_amp = rng_.UniformDouble(0.01, 0.1);
+      e.acc_noise = rng_.UniformDouble(0.05, 0.15);
+      e.sway_freq = rng_.UniformDouble(0.15, 0.5);
+      e.sway_amp = rng_.UniformDouble(0.1, 0.5);
+      e.mag_distortion = rng_.UniformDouble(10.0, 35.0);
+      break;
+    case Activity::kEscooter:
+      // Road buzz through the deck: mid-band vibration, moderate speed,
+      // standing posture (stable gravity), some steering activity.
+      e.vib_freq = rng_.UniformDouble(8.0, 22.0);
+      e.vib_amp = rng_.UniformDouble(0.4, 1.6);
+      e.speed = rng_.UniformDouble(3.0, 8.0);
+      e.gyro_amp = rng_.UniformDouble(0.1, 0.35);
+      e.acc_noise = rng_.UniformDouble(0.1, 0.3);
+      e.sway_freq = rng_.UniformDouble(0.2, 0.6);
+      e.sway_amp = rng_.UniformDouble(0.1, 0.4);
+      e.mag_distortion = rng_.UniformDouble(0.0, 8.0);
+      break;
+  }
+  return e;
+}
+
+Tensor SensorSimulator::GenerateWindow(Activity activity) {
+  const Episode e = DrawEpisode(activity);
+  Tensor window(Shape::Matrix(kWindowLength, kNumChannels));
+
+  // Gravity direction in device frame from roll/pitch.
+  const double gx = -std::sin(e.pitch) * kGravityMs2;
+  const double gy = std::sin(e.roll) * std::cos(e.pitch) * kGravityMs2;
+  const double gz = std::cos(e.roll) * std::cos(e.pitch) * kGravityMs2;
+
+  // Earth magnetic field rotated by yaw (flat-field approximation), then
+  // offset by vehicle distortion.
+  const double mx = kEarthFieldUt * std::cos(e.yaw) + e.mag_distortion;
+  const double my = kEarthFieldUt * std::sin(e.yaw);
+  const double mz = -30.0 + 0.3 * e.mag_distortion;
+
+  // Distribution of the dynamic signal across device axes, fixed by the
+  // carrying placement for this episode.
+  const double axis_x = e.axis_x;
+  const double axis_y = e.axis_y;
+  const double axis_z = e.axis_z;
+
+  const double dt = 1.0 / kSampleRateHz;
+  double yaw_t = e.yaw;
+  // Slow yaw wander (turning while moving).
+  const double yaw_rate = rng_.Gaussian(0.0, e.gyro_amp * 0.3);
+
+  for (int t = 0; t < kWindowLength; ++t) {
+    const double time = t * dt;
+    float* row = window.row(t);
+
+    // ---- Dynamic (linear) acceleration ----
+    double dynamic = 0.0;
+    if (e.gait_amp > 0.0) {
+      const double phase = kTwoPi * e.gait_freq * time + e.gait_phase;
+      // Fundamental + second harmonic + impact spikes near foot strike.
+      dynamic += e.gait_amp * std::sin(phase);
+      dynamic += e.gait_amp * e.gait_harmonic * std::sin(2.0 * phase);
+      const double strike = std::sin(phase);
+      if (strike > 0.95) dynamic += e.gait_amp * e.gait_impact * 2.2;
+    }
+    if (e.vib_amp > 0.0) {
+      const double phase = kTwoPi * e.vib_freq * time + e.vib_phase;
+      // Narrow-band vibration with amplitude jitter.
+      dynamic += e.vib_amp * std::sin(phase) *
+                 (1.0 + 0.3 * rng_.Gaussian());
+    }
+    if (e.sway_amp > 0.0) {
+      dynamic += e.sway_amp * std::sin(kTwoPi * e.sway_freq * time);
+    }
+
+    const double acc_sigma = e.acc_noise * e.noise_scale;
+    const double lin_x = axis_x * dynamic + rng_.Gaussian(0.0, acc_sigma);
+    const double lin_y = axis_y * dynamic + rng_.Gaussian(0.0, acc_sigma);
+    const double lin_z = axis_z * dynamic + rng_.Gaussian(0.0, acc_sigma);
+
+    row[kAccelerometer + 0] = static_cast<float>(gx + lin_x);
+    row[kAccelerometer + 1] = static_cast<float>(gy + lin_y);
+    row[kAccelerometer + 2] = static_cast<float>(gz + lin_z);
+    row[kLinearAcceleration + 0] = static_cast<float>(lin_x);
+    row[kLinearAcceleration + 1] = static_cast<float>(lin_y);
+    row[kLinearAcceleration + 2] = static_cast<float>(lin_z);
+    row[kGravity + 0] = static_cast<float>(gx + rng_.Gaussian(0.0, 0.01));
+    row[kGravity + 1] = static_cast<float>(gy + rng_.Gaussian(0.0, 0.01));
+    row[kGravity + 2] = static_cast<float>(gz + rng_.Gaussian(0.0, 0.01));
+
+    // ---- Gyroscope: rotational counterpart of the dynamic signal ----
+    const double rot_base =
+        e.gait_amp > 0.0
+            ? std::cos(kTwoPi * e.gait_freq * time + e.gait_phase)
+            : std::sin(kTwoPi * std::max(e.sway_freq, 0.1) * time);
+    row[kGyroscope + 0] = static_cast<float>(
+        e.gyro_amp * rot_base * 0.8 + rng_.Gaussian(0.0, e.gyro_amp * 0.2 + 0.005));
+    row[kGyroscope + 1] = static_cast<float>(
+        e.gyro_amp * rot_base * 0.5 + rng_.Gaussian(0.0, e.gyro_amp * 0.2 + 0.005));
+    row[kGyroscope + 2] = static_cast<float>(
+        yaw_rate + rng_.Gaussian(0.0, e.gyro_amp * 0.15 + 0.005));
+
+    // ---- Magnetometer ----
+    yaw_t += yaw_rate * dt;
+    row[kMagnetometer + 0] = static_cast<float>(
+        kEarthFieldUt * std::cos(yaw_t) + e.mag_distortion +
+        rng_.Gaussian(0.0, 0.8));
+    row[kMagnetometer + 1] = static_cast<float>(
+        kEarthFieldUt * std::sin(yaw_t) + rng_.Gaussian(0.0, 0.8));
+    row[kMagnetometer + 2] =
+        static_cast<float>(mz + rng_.Gaussian(0.0, 0.8));
+    (void)mx;
+    (void)my;
+
+    // ---- Orientation (roll/pitch wobble follows the gait) ----
+    const double wobble =
+        0.03 * dynamic / (1.0 + std::abs(dynamic)) + rng_.Gaussian(0.0, 0.004);
+    row[kOrientation + 0] = static_cast<float>(e.roll + wobble);
+    row[kOrientation + 1] = static_cast<float>(e.pitch + wobble * 0.7);
+    row[kOrientation + 2] = static_cast<float>(yaw_t);
+
+    // ---- Scalar channels ----
+    row[kBarometer] = static_cast<float>(e.baro + e.baro_drift * time +
+                                         rng_.Gaussian(0.0, 0.01));
+    row[kAmbientLight] =
+        static_cast<float>(e.light * (1.0 + 0.02 * rng_.Gaussian()));
+    row[kProximity] =
+        static_cast<float>(e.proximity + rng_.Gaussian(0.0, 0.05));
+    // GPS speed updates slowly; without a fix it reads ~0 for any motion.
+    const double reported_speed = e.gps_fix ? e.speed : 0.0;
+    row[kGpsSpeed] = static_cast<float>(std::max(
+        0.0,
+        reported_speed + rng_.Gaussian(0.0, 0.05 * reported_speed + 0.02)));
+  }
+  return window;
+}
+
+}  // namespace har
+}  // namespace pilote

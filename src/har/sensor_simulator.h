@@ -1,0 +1,102 @@
+#ifndef PILOTE_HAR_SENSOR_SIMULATOR_H_
+#define PILOTE_HAR_SENSOR_SIMULATOR_H_
+
+#include "common/rng.h"
+#include "har/activity.h"
+#include "har/sensor_layout.h"
+#include "tensor/tensor.h"
+
+namespace pilote {
+namespace har {
+
+// Stochastic generative model of the 22-channel phone sensor stream,
+// substituting for the paper's proprietary data collection campaign.
+//
+// Each call to GenerateWindow draws a fresh "episode": activity-specific
+// physical parameters (gait frequency/amplitude, vibration spectrum, speed,
+// device orientation) are sampled from per-activity distributions, then a
+// 1-second window of kWindowLength samples is synthesized at 120 Hz.
+//
+// Design goals (matching the paper's evaluation structure):
+//  * 'Run' and 'Walk' share the same gait process with overlapping
+//    frequency/amplitude ranges, so they are the hardest pair to separate
+//    (the paper's Figure 4 confusion structure).
+//  * 'Drive' and 'E-scooter' are vibration-dominated and distinguishable
+//    mostly by speed and vibration band, making them the easier classes.
+//  * 'Still' is a near-constant signal with orientation variety.
+class SensorSimulator {
+ public:
+  explicit SensorSimulator(uint64_t seed) : rng_(seed) {}
+
+  // Synthesizes one window: [kWindowLength, kNumChannels].
+  Tensor GenerateWindow(Activity activity);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  // Where the phone is carried during an episode. Each placement has a
+  // distinct attitude, dynamic-axis profile and light/proximity signature,
+  // making every activity class multimodal — a small exemplar cache
+  // undercovers the modes, as a real support set undercovers real data.
+  enum class Placement { kPocket, kHand, kBackpack, kMount };
+
+  // Per-window episode parameters shared across channels.
+  struct Episode {
+    Placement placement = Placement::kHand;
+    // Device attitude (radians); gravity projects through these.
+    double roll = 0.0;
+    double pitch = 0.0;
+    double yaw = 0.0;
+    // Projection of the dynamic (gait/vibration) signal onto device axes;
+    // placement-dependent.
+    double axis_x = 0.2;
+    double axis_y = 0.2;
+    double axis_z = 0.9;
+    // Gait component (Walk/Run): dominant frequency (Hz) and vertical
+    // amplitude (m/s^2); zero amplitude disables it.
+    double gait_freq = 0.0;
+    double gait_amp = 0.0;
+    double gait_phase = 0.0;
+    // Second-harmonic relative strength of the gait.
+    double gait_harmonic = 0.0;
+    // Foot-strike impact strength relative to the gait amplitude: the
+    // subtle cue separating a slow run from a brisk walk.
+    double gait_impact = 0.0;
+    // Vibration component (Drive/E-scooter): center frequency and RMS amp.
+    double vib_freq = 0.0;
+    double vib_amp = 0.0;
+    double vib_phase = 0.0;
+    // Body sway (low frequency, all moving activities).
+    double sway_freq = 0.0;
+    double sway_amp = 0.0;
+    // Locomotion speed reported by GPS (m/s). `gps_fix` models indoor /
+    // urban-canyon episodes where the speed channel reads ~0 regardless
+    // of the true motion.
+    double speed = 0.0;
+    bool gps_fix = true;
+    // Per-episode sensor-quality multiplier on all noise floors (device
+    // and placement vary between recordings).
+    double noise_scale = 1.0;
+    // Rotation intensity for the gyroscope (rad/s RMS).
+    double gyro_amp = 0.0;
+    // White-noise floor on the accelerometer (m/s^2).
+    double acc_noise = 0.0;
+    // Magnetic distortion offset (uT) — vehicles distort the field.
+    double mag_distortion = 0.0;
+    // Ambient light (lux) and proximity (cm) levels.
+    double light = 0.0;
+    double proximity = 0.0;
+    // Barometric baseline (hPa) and per-second drift.
+    double baro = 1013.0;
+    double baro_drift = 0.0;
+  };
+
+  Episode DrawEpisode(Activity activity);
+
+  Rng rng_;
+};
+
+}  // namespace har
+}  // namespace pilote
+
+#endif  // PILOTE_HAR_SENSOR_SIMULATOR_H_

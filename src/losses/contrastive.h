@@ -1,0 +1,37 @@
+#ifndef PILOTE_LOSSES_CONTRASTIVE_H_
+#define PILOTE_LOSSES_CONTRASTIVE_H_
+
+#include "autograd/variable.h"
+
+namespace pilote {
+namespace losses {
+
+// Functional form of the negative-pair hinge.
+enum class ContrastiveForm {
+  // The paper's Eq. 2: Y * d^2 + (1 - Y) * max(0, m^2 - d^2).
+  // Note: the gradient of the hinge vanishes as d -> 0, so two classes
+  // collapsed onto the same embedding point cannot be pushed apart.
+  kSquaredHinge,
+  // Hadsell-Chopra-LeCun (2006): Y * d^2 + (1 - Y) * max(0, m - d)^2.
+  // Finite repulsion near d = 0; the robust choice for incremental updates
+  // where a new class may land exactly on an old cluster.
+  kHadsell,
+};
+
+// Supervised margin contrastive loss over a batch of embedded pairs,
+// averaged over the batch. `left` and `right` are [n, d] embeddings;
+// `similar` is a length-n 0/1 tensor (Y = 1 for same-class pairs).
+autograd::Variable ContrastiveLoss(
+    const autograd::Variable& left, const autograd::Variable& right,
+    const Tensor& similar, float margin,
+    ContrastiveForm form = ContrastiveForm::kSquaredHinge);
+
+// Forward-only value on plain tensors (validation / monitoring path).
+float ContrastiveLossValue(const Tensor& left, const Tensor& right,
+                           const Tensor& similar, float margin,
+                           ContrastiveForm form = ContrastiveForm::kSquaredHinge);
+
+}  // namespace losses
+}  // namespace pilote
+
+#endif  // PILOTE_LOSSES_CONTRASTIVE_H_

@@ -1,0 +1,28 @@
+#include "losses/distillation.h"
+
+#include "autograd/ops.h"
+#include "common/macros.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace losses {
+
+autograd::Variable DistillationLoss(const autograd::Variable& student,
+                                    const Tensor& teacher) {
+  namespace ag = autograd;
+  PILOTE_CHECK(student.value().shape() == teacher.shape())
+      << "distillation embedding shape mismatch";
+  ag::Variable target = ag::Variable::Constant(teacher);
+  // Mean over rows of the per-sample squared embedding drift.
+  return ag::Mean(ag::RowSum(ag::Square(ag::Sub(student, target))));
+}
+
+float DistillationLossValue(const Tensor& student, const Tensor& teacher) {
+  PILOTE_CHECK(student.shape() == teacher.shape());
+  PILOTE_CHECK_GT(student.rows(), 0);
+  return SquaredDistance(student, teacher) /
+         static_cast<float>(student.rows());
+}
+
+}  // namespace losses
+}  // namespace pilote

@@ -1,0 +1,23 @@
+#ifndef PILOTE_LOSSES_DISTILLATION_H_
+#define PILOTE_LOSSES_DISTILLATION_H_
+
+#include "autograd/variable.h"
+
+namespace pilote {
+namespace losses {
+
+// Embedding distillation loss (Algo 1 line 11):
+//   L_disti = sum_i ||phi_new(x_i) - phi_old(x_i)||^2
+// averaged over the batch for scale stability. `student` is the current
+// model's embedding of the old-class exemplars ([n, d], gradient-tracked);
+// `teacher` is the frozen pre-update model's embedding of the same inputs.
+autograd::Variable DistillationLoss(const autograd::Variable& student,
+                                    const Tensor& teacher);
+
+// Forward-only value.
+float DistillationLossValue(const Tensor& student, const Tensor& teacher);
+
+}  // namespace losses
+}  // namespace pilote
+
+#endif  // PILOTE_LOSSES_DISTILLATION_H_

@@ -1,0 +1,205 @@
+#include "losses/pair_sampler.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/macros.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace losses {
+namespace {
+
+// Number of classes in `set` that can produce a positive pair.
+int NumClassesWithPairs(const std::vector<std::vector<int>>& rows_by_class) {
+  int count = 0;
+  for (const auto& rows : rows_by_class) {
+    if (rows.size() >= 2) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+PairSampler::IndexedSet PairSampler::BuildIndex(Tensor features,
+                                                std::vector<int> labels) {
+  PILOTE_CHECK_EQ(features.rank(), 2);
+  PILOTE_CHECK_EQ(features.rows(), static_cast<int64_t>(labels.size()));
+  IndexedSet set;
+  set.features = std::move(features);
+  set.labels = std::move(labels);
+  std::vector<int> sorted_classes = set.labels;
+  std::sort(sorted_classes.begin(), sorted_classes.end());
+  sorted_classes.erase(
+      std::unique(sorted_classes.begin(), sorted_classes.end()),
+      sorted_classes.end());
+  set.classes = sorted_classes;
+  set.rows_by_class.resize(set.classes.size());
+  for (size_t r = 0; r < set.labels.size(); ++r) {
+    const auto it = std::lower_bound(set.classes.begin(), set.classes.end(),
+                                     set.labels[r]);
+    set.rows_by_class[static_cast<size_t>(it - set.classes.begin())].push_back(
+        static_cast<int>(r));
+  }
+  return set;
+}
+
+PairSampler::PairSampler(Tensor features, std::vector<int> labels,
+                         PairStrategy strategy, uint64_t seed)
+    : strategy_(strategy), rng_(seed) {
+  PILOTE_CHECK(strategy != PairStrategy::kCrossAndNew)
+      << "kCrossAndNew requires the two-set constructor";
+  old_ = BuildIndex(std::move(features), std::move(labels));
+  PILOTE_CHECK_GE(old_.labels.size(), 2u) << "need at least two samples";
+}
+
+PairSampler::PairSampler(Tensor old_features, std::vector<int> old_labels,
+                         Tensor new_features, std::vector<int> new_labels,
+                         PairStrategy strategy, uint64_t seed)
+    : strategy_(strategy), rng_(seed), two_sets_(true) {
+  old_ = BuildIndex(std::move(old_features), std::move(old_labels));
+  new_ = BuildIndex(std::move(new_features), std::move(new_labels));
+  PILOTE_CHECK(!old_.labels.empty());
+  PILOTE_CHECK(!new_.labels.empty());
+  PILOTE_CHECK_EQ(old_.features.cols(), new_.features.cols());
+}
+
+void PairSampler::SamplePositiveWithin(const IndexedSet& set, int* left,
+                                       int* right) {
+  // Pick uniformly among classes that have at least two samples, then two
+  // distinct rows of that class.
+  std::vector<int> eligible;
+  for (size_t c = 0; c < set.rows_by_class.size(); ++c) {
+    if (set.rows_by_class[c].size() >= 2) eligible.push_back(static_cast<int>(c));
+  }
+  PILOTE_CHECK(!eligible.empty()) << "no class has two samples";
+  const auto& rows = set.rows_by_class[static_cast<size_t>(
+      eligible[static_cast<size_t>(rng_.UniformInt(
+          0, static_cast<int>(eligible.size()) - 1))])];
+  const int i = rng_.UniformInt(0, static_cast<int>(rows.size()) - 1);
+  int j = rng_.UniformInt(0, static_cast<int>(rows.size()) - 2);
+  if (j >= i) ++j;
+  *left = rows[static_cast<size_t>(i)];
+  *right = rows[static_cast<size_t>(j)];
+}
+
+void PairSampler::SampleNegativeWithin(const IndexedSet& set, int* left,
+                                       int* right) {
+  PILOTE_CHECK_GE(set.classes.size(), 2u) << "need two classes for negatives";
+  const int ca = rng_.UniformInt(0, static_cast<int>(set.classes.size()) - 1);
+  int cb = rng_.UniformInt(0, static_cast<int>(set.classes.size()) - 2);
+  if (cb >= ca) ++cb;
+  const auto& rows_a = set.rows_by_class[static_cast<size_t>(ca)];
+  const auto& rows_b = set.rows_by_class[static_cast<size_t>(cb)];
+  *left = rows_a[static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int>(rows_a.size()) - 1))];
+  *right = rows_b[static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int>(rows_b.size()) - 1))];
+}
+
+PairBatch PairSampler::Next(int batch_size) {
+  PILOTE_CHECK_GE(batch_size, 1);
+  const int64_t d = old_.features.cols();
+  PairBatch batch;
+  batch.left = Tensor(Shape::Matrix(batch_size, d));
+  batch.right = Tensor(Shape::Matrix(batch_size, d));
+  batch.similar = Tensor(Shape::Vector(batch_size));
+  if (strategy_ == PairStrategy::kCrossAndNew) {
+    batch.left_is_old.assign(static_cast<size_t>(batch_size), false);
+  }
+
+  auto copy_row = [d](Tensor& dst, int64_t dst_row, const Tensor& src,
+                      int src_row) {
+    std::memcpy(dst.row(dst_row), src.row(src_row),
+                static_cast<size_t>(d) * sizeof(float));
+  };
+
+  for (int b = 0; b < batch_size; ++b) {
+    int left = 0;
+    int right = 0;
+    float similar = 0.0f;
+    switch (strategy_) {
+      case PairStrategy::kBalancedRandom: {
+        const bool can_pos = NumClassesWithPairs(old_.rows_by_class) > 0;
+        const bool can_neg = old_.classes.size() >= 2;
+        PILOTE_CHECK(can_pos || can_neg);
+        const bool positive = can_pos && (!can_neg || rng_.Bernoulli(0.5));
+        if (positive) {
+          SamplePositiveWithin(old_, &left, &right);
+          similar = 1.0f;
+        } else {
+          SampleNegativeWithin(old_, &left, &right);
+        }
+        copy_row(batch.left, b, old_.features, left);
+        copy_row(batch.right, b, old_.features, right);
+        break;
+      }
+      case PairStrategy::kAllPairs: {
+        // Uniform over the union; `similar` from labels.
+        const int total = static_cast<int>(old_.labels.size()) +
+                          static_cast<int>(new_.labels.size());
+        PILOTE_CHECK_GE(total, 2);
+        const int i = rng_.UniformInt(0, total - 1);
+        int j = rng_.UniformInt(0, total - 2);
+        if (j >= i) ++j;
+        auto resolve = [&](int idx, Tensor& dst, int64_t dst_row) -> int {
+          const int n_old = static_cast<int>(old_.labels.size());
+          if (idx < n_old) {
+            copy_row(dst, dst_row, old_.features, idx);
+            return old_.labels[static_cast<size_t>(idx)];
+          }
+          copy_row(dst, dst_row, new_.features, idx - n_old);
+          return new_.labels[static_cast<size_t>(idx - n_old)];
+        };
+        const int label_i = resolve(i, batch.left, b);
+        const int label_j = resolve(j, batch.right, b);
+        similar = (label_i == label_j) ? 1.0f : 0.0f;
+        break;
+      }
+      case PairStrategy::kCrossAndNew: {
+        PILOTE_CHECK(two_sets_);
+        const bool can_pos = NumClassesWithPairs(new_.rows_by_class) > 0;
+        const bool positive = can_pos && rng_.Bernoulli(0.5);
+        if (positive) {
+          // (new, new) same-class pair.
+          SamplePositiveWithin(new_, &left, &right);
+          copy_row(batch.left, b, new_.features, left);
+          copy_row(batch.right, b, new_.features, right);
+          similar = 1.0f;
+        } else {
+          // Cross pair: an old exemplar against a new sample. Classes are
+          // disjoint between the two sets, so the pair is negative.
+          left = rng_.UniformInt(0, static_cast<int>(old_.labels.size()) - 1);
+          right = rng_.UniformInt(0, static_cast<int>(new_.labels.size()) - 1);
+          copy_row(batch.left, b, old_.features, left);
+          copy_row(batch.right, b, new_.features, right);
+          batch.left_is_old[static_cast<size_t>(b)] = true;
+          PILOTE_DCHECK(old_.labels[static_cast<size_t>(left)] !=
+                        new_.labels[static_cast<size_t>(right)]);
+        }
+        break;
+      }
+    }
+    batch.similar[b] = similar;
+  }
+  return batch;
+}
+
+int64_t PairSampler::CandidatePairCount() const {
+  const int64_t n_old = static_cast<int64_t>(old_.labels.size());
+  const int64_t n_new = static_cast<int64_t>(new_.labels.size());
+  switch (strategy_) {
+    case PairStrategy::kBalancedRandom:
+      return n_old * (n_old - 1) / 2;
+    case PairStrategy::kAllPairs: {
+      const int64_t total = n_old + n_new;
+      return total * (total - 1) / 2;
+    }
+    case PairStrategy::kCrossAndNew:
+      return n_new * (n_new - 1) / 2 + n_old * n_new;
+  }
+  return 0;
+}
+
+}  // namespace losses
+}  // namespace pilote

@@ -1,0 +1,89 @@
+#ifndef PILOTE_LOSSES_PAIR_SAMPLER_H_
+#define PILOTE_LOSSES_PAIR_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace pilote {
+namespace losses {
+
+// Which candidate pairs feed the contrastive loss.
+enum class PairStrategy {
+  // Random pairs over one sample set, balanced 50/50 positive/negative.
+  // Used for cloud pre-training and the re-trained baseline.
+  kBalancedRandom,
+  // PILOTE's reduced pair set (Sec 5.2): (old exemplar x new sample) cross
+  // pairs — negatives by construction — plus (new x new) pairs. Old-old
+  // structure is pinned by the distillation term, so old-old pairs are
+  // omitted, reducing the pair pool to C(n_t, 2) + |D_o|*|D_n|.
+  kCrossAndNew,
+  // Uniform random pairs over the union of both sets (the unreduced
+  // alternative; kept for the pair-strategy ablation).
+  kAllPairs,
+};
+
+// A batch of feature pairs for the contrastive loss.
+struct PairBatch {
+  Tensor left;     // [b, d]
+  Tensor right;    // [b, d]
+  Tensor similar;  // [b], 1.0 when the pair shares a class
+  // True where `left` is an old-class exemplar of a cross pair. PILOTE's
+  // trainer treats those rows as constants (stop-gradient): distillation
+  // already pins the old side, so the contrastive push moves only the new
+  // sample (Sec 5.2). Empty when the strategy produces no cross pairs.
+  std::vector<bool> left_is_old;
+};
+
+// Stochastic pair generator over one or two labeled sample sets.
+// Deterministic given the seed.
+class PairSampler {
+ public:
+  // Single-set sampler (kBalancedRandom or kAllPairs).
+  PairSampler(Tensor features, std::vector<int> labels, PairStrategy strategy,
+              uint64_t seed);
+
+  // Two-set sampler for the incremental phase: `old_*` is the exemplar
+  // support set, `new_*` the incoming new-class samples.
+  PairSampler(Tensor old_features, std::vector<int> old_labels,
+              Tensor new_features, std::vector<int> new_labels,
+              PairStrategy strategy, uint64_t seed);
+
+  // Draws a batch of pairs. batch_size >= 1.
+  PairBatch Next(int batch_size);
+
+  // Size of the candidate pair pool implied by the strategy (analytic; the
+  // sampler never materializes it). Reported by the pair ablation bench.
+  int64_t CandidatePairCount() const;
+
+  PairStrategy strategy() const { return strategy_; }
+
+ private:
+  struct IndexedSet {
+    Tensor features;
+    std::vector<int> labels;
+    // Per-class row indices, keyed by dense position in `classes`.
+    std::vector<int> classes;
+    std::vector<std::vector<int>> rows_by_class;
+  };
+
+  static IndexedSet BuildIndex(Tensor features, std::vector<int> labels);
+
+  // Draws a (set, row) positive pair within `set`.
+  void SamplePositiveWithin(const IndexedSet& set, int* left, int* right);
+  // Draws a negative pair within `set` (two distinct classes).
+  void SampleNegativeWithin(const IndexedSet& set, int* left, int* right);
+
+  PairStrategy strategy_;
+  Rng rng_;
+  IndexedSet old_;   // single-set mode stores its data here
+  IndexedSet new_;   // rows empty in single-set mode
+  bool two_sets_ = false;
+};
+
+}  // namespace losses
+}  // namespace pilote
+
+#endif  // PILOTE_LOSSES_PAIR_SAMPLER_H_

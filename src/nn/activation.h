@@ -1,0 +1,25 @@
+#ifndef PILOTE_NN_ACTIVATION_H_
+#define PILOTE_NN_ACTIVATION_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace pilote {
+namespace nn {
+
+// Rectified linear unit activation (stateless).
+class ReLU : public Module {
+ public:
+  ReLU() = default;
+
+  autograd::Variable Forward(const autograd::Variable& x) override {
+    return autograd::Relu(x);
+  }
+  std::vector<autograd::Variable> Parameters() override { return {}; }
+  std::vector<Tensor*> StateTensors() override { return {}; }
+};
+
+}  // namespace nn
+}  // namespace pilote
+
+#endif  // PILOTE_NN_ACTIVATION_H_

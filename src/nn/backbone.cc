@@ -1,0 +1,58 @@
+#include "nn/backbone.h"
+
+#include "nn/activation.h"
+#include "nn/batchnorm.h"
+#include "nn/linear.h"
+
+namespace pilote {
+namespace nn {
+
+MlpBackbone::MlpBackbone(const BackboneConfig& config, Rng& rng)
+    : config_(config) {
+  PILOTE_CHECK_GT(config.input_dim, 0);
+  PILOTE_CHECK_GT(config.embedding_dim, 0);
+  int64_t in_dim = config.input_dim;
+  for (int64_t hidden : config.hidden_dims) {
+    layers_.Emplace<Linear>(in_dim, hidden, rng);
+    if (config.use_batchnorm) {
+      layers_.Emplace<BatchNorm1d>(hidden, config.bn_eps, config.bn_momentum);
+    }
+    layers_.Emplace<ReLU>();
+    in_dim = hidden;
+  }
+  // Final projection into the embedding space (no activation: the
+  // contrastive loss operates on the raw embedding).
+  layers_.Emplace<Linear>(in_dim, config.embedding_dim, rng);
+}
+
+autograd::Variable MlpBackbone::Forward(const autograd::Variable& x) {
+  return layers_.Forward(x);
+}
+
+std::vector<autograd::Variable> MlpBackbone::Parameters() {
+  return layers_.Parameters();
+}
+
+std::vector<Tensor*> MlpBackbone::StateTensors() {
+  return layers_.StateTensors();
+}
+
+void MlpBackbone::SetTraining(bool training) {
+  Module::SetTraining(training);
+  layers_.SetTraining(training);
+}
+
+void MlpBackbone::SetNormalizationFrozen(bool frozen) {
+  layers_.SetNormalizationFrozen(frozen);
+}
+
+std::unique_ptr<MlpBackbone> MlpBackbone::Clone() const {
+  Rng scratch_rng(0);
+  auto clone = std::make_unique<MlpBackbone>(config_, scratch_rng);
+  clone->layers_.CopyStateFrom(layers_);
+  clone->SetTraining(false);
+  return clone;
+}
+
+}  // namespace nn
+}  // namespace pilote

@@ -1,0 +1,68 @@
+#ifndef PILOTE_NN_BACKBONE_H_
+#define PILOTE_NN_BACKBONE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/sequential.h"
+
+namespace pilote {
+namespace nn {
+
+// Configuration of the embedding backbone. The paper's model (Sec 6.1.2) is
+// a fully connected network [1024, 512, 128, 64] with BatchNorm + ReLU on
+// the hidden layers, projecting 80 input features into a 128-d embedding.
+struct BackboneConfig {
+  int64_t input_dim = 80;
+  std::vector<int64_t> hidden_dims = {1024, 512, 128, 64};
+  int64_t embedding_dim = 128;
+  bool use_batchnorm = true;
+  float bn_eps = 1e-5f;
+  float bn_momentum = 0.1f;
+
+  // The configuration used in the paper's experiments.
+  static BackboneConfig Paper() { return BackboneConfig{}; }
+
+  // A smaller configuration with the same layer pattern, sized for
+  // single-core test/bench runs.
+  static BackboneConfig Small() {
+    BackboneConfig config;
+    config.hidden_dims = {128, 64};
+    config.embedding_dim = 32;
+    return config;
+  }
+};
+
+// The siamese embedding network phi_theta: X -> R^d. Both branches of the
+// siamese pair share this single module (shared parameters and, in training
+// mode, shared batch statistics via a concatenated forward pass upstream).
+class MlpBackbone : public Module {
+ public:
+  MlpBackbone(const BackboneConfig& config, Rng& rng);
+
+  autograd::Variable Forward(const autograd::Variable& x) override;
+  std::vector<autograd::Variable> Parameters() override;
+  std::vector<Tensor*> StateTensors() override;
+  void SetTraining(bool training) override;
+  void SetNormalizationFrozen(bool frozen) override;
+
+  const BackboneConfig& config() const { return config_; }
+  int64_t embedding_dim() const { return config_.embedding_dim; }
+  int64_t input_dim() const { return config_.input_dim; }
+
+  // Deep copy with identical parameters and buffers (the distillation
+  // teacher snapshot). The clone's RNG usage is irrelevant because all
+  // state is overwritten.
+  std::unique_ptr<MlpBackbone> Clone() const;
+
+ private:
+  BackboneConfig config_;
+  mutable Sequential layers_;
+};
+
+}  // namespace nn
+}  // namespace pilote
+
+#endif  // PILOTE_NN_BACKBONE_H_

@@ -1,0 +1,47 @@
+#include "nn/batchnorm.h"
+
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace nn {
+
+BatchNorm1d::BatchNorm1d(int64_t num_features, float eps, float momentum)
+    : num_features_(num_features), eps_(eps), momentum_(momentum) {
+  PILOTE_CHECK_GT(num_features, 0);
+  gamma_ = autograd::Variable::Parameter(
+      Tensor::Ones(Shape::Vector(num_features)));
+  beta_ = autograd::Variable::Parameter(
+      Tensor::Zeros(Shape::Vector(num_features)));
+  running_mean_ = Tensor::Zeros(Shape::Vector(num_features));
+  running_var_ = Tensor::Ones(Shape::Vector(num_features));
+}
+
+autograd::Variable BatchNorm1d::Forward(const autograd::Variable& x) {
+  PILOTE_CHECK_EQ(x.value().rank(), 2);
+  PILOTE_CHECK_EQ(x.value().cols(), num_features_);
+  if (training() && !frozen_stats_) {
+    autograd::BatchNormOutput out =
+        autograd::BatchNormTraining(x, gamma_, beta_, eps_);
+    // running <- (1 - momentum) * running + momentum * batch
+    running_mean_ = Add(MulScalar(running_mean_, 1.0f - momentum_),
+                        MulScalar(out.batch_mean, momentum_));
+    running_var_ = Add(MulScalar(running_var_, 1.0f - momentum_),
+                       MulScalar(out.batch_var, momentum_));
+    return out.y;
+  }
+  return autograd::BatchNormInference(x, gamma_, beta_, running_mean_,
+                                      running_var_, eps_);
+}
+
+std::vector<autograd::Variable> BatchNorm1d::Parameters() {
+  return {gamma_, beta_};
+}
+
+std::vector<Tensor*> BatchNorm1d::StateTensors() {
+  return {&gamma_.mutable_value(), &beta_.mutable_value(), &running_mean_,
+          &running_var_};
+}
+
+}  // namespace nn
+}  // namespace pilote

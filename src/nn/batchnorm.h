@@ -1,0 +1,42 @@
+#ifndef PILOTE_NN_BATCHNORM_H_
+#define PILOTE_NN_BATCHNORM_H_
+
+#include "nn/module.h"
+
+namespace pilote {
+namespace nn {
+
+// 1-D batch normalization over the feature (column) dimension, as in the
+// paper's backbone (Ioffe & Szegedy). Training mode normalizes with batch
+// statistics and maintains exponential running statistics; eval mode uses
+// the running statistics. gamma starts at 1, beta at 0.
+class BatchNorm1d : public Module {
+ public:
+  explicit BatchNorm1d(int64_t num_features, float eps = 1e-5f,
+                       float momentum = 0.1f);
+
+  autograd::Variable Forward(const autograd::Variable& x) override;
+  std::vector<autograd::Variable> Parameters() override;
+  std::vector<Tensor*> StateTensors() override;
+  void SetNormalizationFrozen(bool frozen) override { frozen_stats_ = frozen; }
+
+  bool frozen_stats() const { return frozen_stats_; }
+  int64_t num_features() const { return num_features_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  int64_t num_features_;
+  float eps_;
+  float momentum_;
+  bool frozen_stats_ = false;
+  autograd::Variable gamma_;
+  autograd::Variable beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+};
+
+}  // namespace nn
+}  // namespace pilote
+
+#endif  // PILOTE_NN_BATCHNORM_H_

@@ -1,0 +1,35 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+
+namespace pilote {
+namespace nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng)
+    : in_features_(in_features), out_features_(out_features) {
+  PILOTE_CHECK_GT(in_features, 0);
+  PILOTE_CHECK_GT(out_features, 0);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in_features));
+  weight_ = autograd::Variable::Parameter(Tensor::RandNormal(
+      Shape::Matrix(out_features, in_features), rng, 0.0f, stddev));
+  bias_ = autograd::Variable::Parameter(Tensor::Zeros(Shape::Vector(out_features)));
+}
+
+autograd::Variable Linear::Forward(const autograd::Variable& x) {
+  PILOTE_CHECK_EQ(x.value().rank(), 2);
+  PILOTE_CHECK_EQ(x.value().cols(), in_features_);
+  return autograd::AddRowVector(autograd::LinearTransform(x, weight_), bias_);
+}
+
+std::vector<autograd::Variable> Linear::Parameters() {
+  return {weight_, bias_};
+}
+
+std::vector<Tensor*> Linear::StateTensors() {
+  return {&weight_.mutable_value(), &bias_.mutable_value()};
+}
+
+}  // namespace nn
+}  // namespace pilote

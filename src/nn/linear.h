@@ -1,0 +1,36 @@
+#ifndef PILOTE_NN_LINEAR_H_
+#define PILOTE_NN_LINEAR_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace pilote {
+namespace nn {
+
+// Fully connected layer: y = x * W^T + b with W [out, in], b [out].
+// Weights use Kaiming-He normal initialization (std = sqrt(2 / fan_in)),
+// matching the ReLU backbone of the paper; biases start at zero.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng);
+
+  autograd::Variable Forward(const autograd::Variable& x) override;
+  std::vector<autograd::Variable> Parameters() override;
+  std::vector<Tensor*> StateTensors() override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  const autograd::Variable& weight() const { return weight_; }
+  const autograd::Variable& bias() const { return bias_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  autograd::Variable weight_;
+  autograd::Variable bias_;
+};
+
+}  // namespace nn
+}  // namespace pilote
+
+#endif  // PILOTE_NN_LINEAR_H_

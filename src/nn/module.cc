@@ -1,0 +1,27 @@
+#include "nn/module.h"
+
+#include "common/macros.h"
+
+namespace pilote {
+namespace nn {
+
+void Module::CopyStateFrom(Module& other) {
+  std::vector<Tensor*> dst = StateTensors();
+  std::vector<Tensor*> src = other.StateTensors();
+  PILOTE_CHECK_EQ(dst.size(), src.size()) << "module structure mismatch";
+  for (size_t i = 0; i < dst.size(); ++i) {
+    PILOTE_CHECK(dst[i]->shape() == src[i]->shape())
+        << "state tensor " << i << " shape mismatch: "
+        << dst[i]->shape().ToString() << " vs " << src[i]->shape().ToString();
+    *dst[i] = *src[i];
+  }
+}
+
+void Module::SetRequiresGrad(bool requires_grad) {
+  for (auto& param : Parameters()) {
+    param.node()->requires_grad = requires_grad;
+  }
+}
+
+}  // namespace nn
+}  // namespace pilote

@@ -1,0 +1,65 @@
+#ifndef PILOTE_NN_MODULE_H_
+#define PILOTE_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace pilote {
+namespace nn {
+
+// Base class for neural-network layers. A Module owns its parameters as
+// autograd Variables (handles; copies alias the same storage) and may own
+// non-trainable state buffers (e.g. batch-norm running statistics).
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  // Maps a batch [n, in] to [n, out], recording the autograd graph.
+  virtual autograd::Variable Forward(const autograd::Variable& x) = 0;
+
+  // Trainable parameters, in a deterministic order. The returned handles
+  // alias the module's storage (mutating them mutates the module).
+  virtual std::vector<autograd::Variable> Parameters() = 0;
+
+  // All state in deterministic order: parameters followed by buffers.
+  // Used by serialization and state copying. Pointers remain valid for the
+  // lifetime of the module.
+  virtual std::vector<Tensor*> StateTensors() = 0;
+
+  // Training vs inference behaviour (batch norm switches statistics).
+  virtual void SetTraining(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  // Freezes normalization statistics: batch-norm layers keep normalizing
+  // with their running statistics even in training mode and stop updating
+  // them. Used for on-edge incremental updates, where tiny new-class-heavy
+  // batches would otherwise corrupt the statistics the old-class
+  // prototypes (and the distillation teacher) depend on. Default no-op;
+  // containers propagate to children.
+  virtual void SetNormalizationFrozen(bool /*frozen*/) {}
+
+  // Sum of parameter element counts.
+  int64_t NumParameters() {
+    int64_t total = 0;
+    for (auto& p : Parameters()) total += p.value().numel();
+    return total;
+  }
+
+  // Copies all state (parameters and buffers) from a module with an
+  // identical structure.
+  void CopyStateFrom(Module& other);
+
+  // Sets/clears requires_grad on every parameter (freezing for teachers).
+  void SetRequiresGrad(bool requires_grad);
+
+ private:
+  bool training_ = true;
+};
+
+}  // namespace nn
+}  // namespace pilote
+
+#endif  // PILOTE_NN_MODULE_H_

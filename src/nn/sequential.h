@@ -1,0 +1,74 @@
+#ifndef PILOTE_NN_SEQUENTIAL_H_
+#define PILOTE_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace pilote {
+namespace nn {
+
+// Module chaining: Forward applies the children in order.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  void Append(std::unique_ptr<Module> module) {
+    PILOTE_CHECK(module != nullptr);
+    children_.push_back(std::move(module));
+  }
+
+  template <typename M, typename... Args>
+  M* Emplace(Args&&... args) {
+    auto module = std::make_unique<M>(std::forward<Args>(args)...);
+    M* raw = module.get();
+    children_.push_back(std::move(module));
+    return raw;
+  }
+
+  autograd::Variable Forward(const autograd::Variable& x) override {
+    autograd::Variable out = x;
+    for (auto& child : children_) out = child->Forward(out);
+    return out;
+  }
+
+  std::vector<autograd::Variable> Parameters() override {
+    std::vector<autograd::Variable> params;
+    for (auto& child : children_) {
+      auto child_params = child->Parameters();
+      params.insert(params.end(), child_params.begin(), child_params.end());
+    }
+    return params;
+  }
+
+  std::vector<Tensor*> StateTensors() override {
+    std::vector<Tensor*> state;
+    for (auto& child : children_) {
+      auto child_state = child->StateTensors();
+      state.insert(state.end(), child_state.begin(), child_state.end());
+    }
+    return state;
+  }
+
+  void SetTraining(bool training) override {
+    Module::SetTraining(training);
+    for (auto& child : children_) child->SetTraining(training);
+  }
+
+  void SetNormalizationFrozen(bool frozen) override {
+    for (auto& child : children_) child->SetNormalizationFrozen(frozen);
+  }
+
+  size_t size() const { return children_.size(); }
+  Module& child(size_t i) { return *children_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Module>> children_;
+};
+
+}  // namespace nn
+}  // namespace pilote
+
+#endif  // PILOTE_NN_SEQUENTIAL_H_

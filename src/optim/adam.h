@@ -1,0 +1,36 @@
+#ifndef PILOTE_OPTIM_ADAM_H_
+#define PILOTE_OPTIM_ADAM_H_
+
+#include "optim/optimizer.h"
+
+namespace pilote {
+namespace optim {
+
+struct AdamOptions {
+  float lr = 0.01f;  // The paper starts Adam at 0.01 and halves per epoch.
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+// Adam (Kingma & Ba) with bias correction — the paper's optimizer.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<autograd::Variable> params, const AdamOptions& options);
+
+  void Step() override;
+
+  int64_t step_count() const { return step_count_; }
+
+ private:
+  AdamOptions options_;
+  std::vector<Tensor> m_;  // first-moment estimate
+  std::vector<Tensor> v_;  // second-moment estimate
+  int64_t step_count_ = 0;
+};
+
+}  // namespace optim
+}  // namespace pilote
+
+#endif  // PILOTE_OPTIM_ADAM_H_

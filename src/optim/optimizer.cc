@@ -1,0 +1,31 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace optim {
+
+float ClipGradNorm(std::vector<autograd::Variable>& params, float max_norm) {
+  double total = 0.0;
+  for (auto& param : params) {
+    const Tensor& g = param.grad();
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      total += static_cast<double>(g[i]) * static_cast<double>(g[i]);
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto& param : params) {
+      Tensor& g = param.node()->grad;
+      if (g.numel() == 0) continue;
+      for (int64_t i = 0; i < g.numel(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace optim
+}  // namespace pilote

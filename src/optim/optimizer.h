@@ -1,0 +1,48 @@
+#ifndef PILOTE_OPTIM_OPTIMIZER_H_
+#define PILOTE_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace pilote {
+namespace optim {
+
+// Base class for first-order optimizers over a fixed parameter list.
+// Parameters are Variable handles aliasing module storage, so Step()
+// updates the modules in place.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<autograd::Variable> params, float lr)
+      : params_(std::move(params)), lr_(lr) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  // Applies one update from the gradients currently stored on the params.
+  // Parameters with empty gradients (untouched by backward) are skipped.
+  virtual void Step() = 0;
+
+  // Clears accumulated gradients; call between steps.
+  void ZeroGrad() {
+    for (auto& param : params_) param.ZeroGrad();
+  }
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+  const std::vector<autograd::Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<autograd::Variable> params_;
+  float lr_;
+};
+
+// Scales all gradients so their global L2 norm is at most max_norm.
+// Returns the pre-clipping norm.
+float ClipGradNorm(std::vector<autograd::Variable>& params, float max_norm);
+
+}  // namespace optim
+}  // namespace pilote
+
+#endif  // PILOTE_OPTIM_OPTIMIZER_H_

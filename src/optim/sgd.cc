@@ -1,0 +1,35 @@
+#include "optim/sgd.h"
+
+namespace pilote {
+namespace optim {
+
+Sgd::Sgd(std::vector<autograd::Variable> params, const SgdOptions& options)
+    : Optimizer(std::move(params), options.lr), options_(options) {
+  velocity_.reserve(params_.size());
+  for (auto& param : params_) {
+    velocity_.emplace_back(Tensor::Zeros(param.value().shape()));
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    autograd::Variable& param = params_[i];
+    const Tensor& grad = param.grad();
+    if (grad.numel() == 0) continue;
+    Tensor& value = param.mutable_value();
+    Tensor& velocity = velocity_[i];
+    const int64_t n = value.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      float g = grad[j];
+      if (options_.weight_decay != 0.0f) g += options_.weight_decay * value[j];
+      if (options_.momentum != 0.0f) {
+        velocity[j] = options_.momentum * velocity[j] + g;
+        g = velocity[j];
+      }
+      value[j] -= lr_ * g;
+    }
+  }
+}
+
+}  // namespace optim
+}  // namespace pilote

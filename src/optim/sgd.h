@@ -1,0 +1,31 @@
+#ifndef PILOTE_OPTIM_SGD_H_
+#define PILOTE_OPTIM_SGD_H_
+
+#include "optim/optimizer.h"
+
+namespace pilote {
+namespace optim {
+
+struct SgdOptions {
+  float lr = 0.01f;
+  float momentum = 0.0f;
+  float weight_decay = 0.0f;
+};
+
+// Stochastic gradient descent with optional classical momentum and
+// decoupled L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<autograd::Variable> params, const SgdOptions& options);
+
+  void Step() override;
+
+ private:
+  SgdOptions options_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace optim
+}  // namespace pilote
+
+#endif  // PILOTE_OPTIM_SGD_H_

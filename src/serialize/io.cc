@@ -1,0 +1,173 @@
+#include "serialize/io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+namespace pilote {
+namespace serialize {
+namespace {
+
+constexpr uint32_t kTensorFileMagic = 0x504C5454;  // "PLTT"
+constexpr uint32_t kModuleFileMagic = 0x504C544D;  // "PLTM"
+constexpr uint32_t kFormatVersion = 1;
+
+void WriteU32(std::ostream& os, uint32_t value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void WriteU64(std::ostream& os, uint64_t value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+Result<uint32_t> ReadU32(std::istream& is) {
+  uint32_t value = 0;
+  is.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!is) return Status::DataLoss("truncated stream reading u32");
+  return value;
+}
+
+Result<uint64_t> ReadU64(std::istream& is) {
+  uint64_t value = 0;
+  is.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!is) return Status::DataLoss("truncated stream reading u64");
+  return value;
+}
+
+Status WriteHeader(std::ostream& os, uint32_t magic, uint64_t count) {
+  WriteU32(os, magic);
+  WriteU32(os, kFormatVersion);
+  WriteU64(os, count);
+  if (!os) return Status::IoError("failed writing header");
+  return Status::Ok();
+}
+
+Result<uint64_t> ReadHeader(std::istream& is, uint32_t expected_magic) {
+  PILOTE_ASSIGN_OR_RETURN(uint32_t magic, ReadU32(is));
+  if (magic != expected_magic) {
+    return Status::DataLoss("bad magic number");
+  }
+  PILOTE_ASSIGN_OR_RETURN(uint32_t version, ReadU32(is));
+  if (version != kFormatVersion) {
+    return Status::DataLoss("unsupported format version " +
+                            std::to_string(version));
+  }
+  return ReadU64(is);
+}
+
+}  // namespace
+
+Status WriteTensor(std::ostream& os, const Tensor& tensor) {
+  WriteU32(os, static_cast<uint32_t>(tensor.rank()));
+  for (int i = 0; i < tensor.rank(); ++i) {
+    WriteU64(os, static_cast<uint64_t>(tensor.dim(i)));
+  }
+  os.write(reinterpret_cast<const char*>(tensor.data()),
+           static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  if (!os) return Status::IoError("failed writing tensor");
+  return Status::Ok();
+}
+
+Result<Tensor> ReadTensor(std::istream& is) {
+  PILOTE_ASSIGN_OR_RETURN(uint32_t rank, ReadU32(is));
+  if (rank > 8) return Status::DataLoss("implausible tensor rank");
+  std::vector<int64_t> dims;
+  dims.reserve(rank);
+  int64_t numel = 1;
+  for (uint32_t i = 0; i < rank; ++i) {
+    PILOTE_ASSIGN_OR_RETURN(uint64_t dim, ReadU64(is));
+    if (dim > (1ULL << 32)) return Status::DataLoss("implausible dimension");
+    dims.push_back(static_cast<int64_t>(dim));
+    numel *= static_cast<int64_t>(dim);
+  }
+  Tensor tensor((Shape(dims)));
+  is.read(reinterpret_cast<char*>(tensor.data()),
+          static_cast<std::streamsize>(numel * sizeof(float)));
+  if (!is) return Status::DataLoss("truncated tensor payload");
+  return tensor;
+}
+
+Status SaveTensors(const std::string& path,
+                   const std::vector<Tensor>& tensors) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IoError("cannot open for write: " + path);
+  PILOTE_RETURN_IF_ERROR(WriteHeader(os, kTensorFileMagic, tensors.size()));
+  for (const Tensor& tensor : tensors) {
+    PILOTE_RETURN_IF_ERROR(WriteTensor(os, tensor));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<Tensor>> LoadTensors(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open for read: " + path);
+  PILOTE_ASSIGN_OR_RETURN(uint64_t count, ReadHeader(is, kTensorFileMagic));
+  std::vector<Tensor> tensors;
+  tensors.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PILOTE_ASSIGN_OR_RETURN(Tensor tensor, ReadTensor(is));
+    tensors.push_back(std::move(tensor));
+  }
+  return tensors;
+}
+
+namespace {
+
+Status WriteModuleState(std::ostream& os, nn::Module& module) {
+  std::vector<Tensor*> state = module.StateTensors();
+  PILOTE_RETURN_IF_ERROR(WriteHeader(os, kModuleFileMagic, state.size()));
+  for (const Tensor* tensor : state) {
+    PILOTE_RETURN_IF_ERROR(WriteTensor(os, *tensor));
+  }
+  return Status::Ok();
+}
+
+Status ReadModuleState(std::istream& is, nn::Module& module) {
+  std::vector<Tensor*> state = module.StateTensors();
+  PILOTE_ASSIGN_OR_RETURN(uint64_t count, ReadHeader(is, kModuleFileMagic));
+  if (count != state.size()) {
+    return Status::DataLoss("module state count mismatch: stored " +
+                            std::to_string(count) + ", module has " +
+                            std::to_string(state.size()));
+  }
+  for (Tensor* slot : state) {
+    PILOTE_ASSIGN_OR_RETURN(Tensor tensor, ReadTensor(is));
+    if (tensor.shape() != slot->shape()) {
+      return Status::DataLoss("module state shape mismatch: stored " +
+                              tensor.shape().ToString() + ", module has " +
+                              slot->shape().ToString());
+    }
+    *slot = std::move(tensor);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveModule(const std::string& path, nn::Module& module) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IoError("cannot open for write: " + path);
+  return WriteModuleState(os, module);
+}
+
+Status LoadModule(const std::string& path, nn::Module& module) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open for read: " + path);
+  return ReadModuleState(is, module);
+}
+
+std::string SerializeModuleToString(nn::Module& module) {
+  std::ostringstream os(std::ios::binary);
+  Status status = WriteModuleState(os, module);
+  PILOTE_CHECK(status.ok()) << status.ToString();
+  return os.str();
+}
+
+Status DeserializeModuleFromString(const std::string& payload,
+                                   nn::Module& module) {
+  std::istringstream is(payload, std::ios::binary);
+  return ReadModuleState(is, module);
+}
+
+}  // namespace serialize
+}  // namespace pilote

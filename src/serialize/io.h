@@ -1,0 +1,45 @@
+#ifndef PILOTE_SERIALIZE_IO_H_
+#define PILOTE_SERIALIZE_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace pilote {
+namespace serialize {
+
+// Versioned little-endian binary format for tensors and module state.
+// This is the artifact that "moves" from the cloud to the edge in the
+// MAGNETO deployment: the pre-trained model, the feature scaler and the
+// exemplar support set all round-trip through these functions.
+
+// ---- Stream primitives ----
+Status WriteTensor(std::ostream& os, const Tensor& tensor);
+Result<Tensor> ReadTensor(std::istream& is);
+
+// ---- Tensor collections ----
+// File layout: magic "PLTT", format version, tensor count, tensors.
+Status SaveTensors(const std::string& path, const std::vector<Tensor>& tensors);
+Result<std::vector<Tensor>> LoadTensors(const std::string& path);
+
+// ---- Module state ----
+// Serializes Module::StateTensors() in order (magic "PLTM"). Loading
+// verifies that the stored shapes match the module's structure.
+Status SaveModule(const std::string& path, nn::Module& module);
+Status LoadModule(const std::string& path, nn::Module& module);
+
+// In-memory round trip (used to model the cloud->edge transfer and to
+// measure the transfer payload in bytes).
+std::string SerializeModuleToString(nn::Module& module);
+Status DeserializeModuleFromString(const std::string& payload,
+                                   nn::Module& module);
+
+}  // namespace serialize
+}  // namespace pilote
+
+#endif  // PILOTE_SERIALIZE_IO_H_

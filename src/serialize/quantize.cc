@@ -1,0 +1,161 @@
+#include "serialize/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace pilote {
+namespace serialize {
+
+uint16_t FloatToHalf(float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const uint32_t sign = (bits >> 16) & 0x8000u;
+  int32_t exponent = static_cast<int32_t>((bits >> 23) & 0xFFu) - 127 + 15;
+  uint32_t mantissa = bits & 0x7FFFFFu;
+
+  if (((bits >> 23) & 0xFFu) == 0xFFu) {
+    // Inf / NaN.
+    return static_cast<uint16_t>(sign | 0x7C00u | (mantissa ? 0x200u : 0u));
+  }
+  if (exponent >= 0x1F) {
+    // Overflow -> inf.
+    return static_cast<uint16_t>(sign | 0x7C00u);
+  }
+  if (exponent <= 0) {
+    if (exponent < -10) return static_cast<uint16_t>(sign);  // underflow -> 0
+    // Subnormal half: shift in the implicit leading 1.
+    mantissa |= 0x800000u;
+    const int shift = 14 - exponent;
+    uint32_t half_mantissa = mantissa >> shift;
+    // Round to nearest even.
+    const uint32_t rem = mantissa & ((1u << shift) - 1);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mantissa & 1u))) {
+      ++half_mantissa;
+    }
+    return static_cast<uint16_t>(sign | half_mantissa);
+  }
+  uint32_t half_mantissa = mantissa >> 13;
+  const uint32_t rem = mantissa & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half_mantissa & 1u))) {
+    ++half_mantissa;
+    if (half_mantissa == 0x400u) {  // mantissa carry into exponent
+      half_mantissa = 0;
+      ++exponent;
+      if (exponent >= 0x1F) return static_cast<uint16_t>(sign | 0x7C00u);
+    }
+  }
+  return static_cast<uint16_t>(sign | (static_cast<uint32_t>(exponent) << 10) |
+                               half_mantissa);
+}
+
+float HalfToFloat(uint16_t half) {
+  const uint32_t sign = (static_cast<uint32_t>(half) & 0x8000u) << 16;
+  const uint32_t exponent = (half >> 10) & 0x1Fu;
+  const uint32_t mantissa = half & 0x3FFu;
+  uint32_t bits;
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      bits = sign;  // zero
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      uint32_t m = mantissa;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      bits = sign | (static_cast<uint32_t>(127 - 15 - e) << 23) |
+             ((m & 0x3FFu) << 13);
+    }
+  } else if (exponent == 0x1F) {
+    bits = sign | 0x7F800000u | (mantissa << 13);  // inf / NaN
+  } else {
+    bits = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+  }
+  float value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+QuantizedTensor QuantizedTensor::Quantize(const Tensor& tensor,
+                                          QuantMode mode) {
+  QuantizedTensor q;
+  q.mode_ = mode;
+  q.shape_ = tensor.shape();
+  const int64_t n = tensor.numel();
+  switch (mode) {
+    case QuantMode::kFloat32: {
+      q.bytes_.resize(static_cast<size_t>(n) * sizeof(float));
+      std::memcpy(q.bytes_.data(), tensor.data(), q.bytes_.size());
+      break;
+    }
+    case QuantMode::kFloat16: {
+      q.bytes_.resize(static_cast<size_t>(n) * sizeof(uint16_t));
+      auto* out = reinterpret_cast<uint16_t*>(q.bytes_.data());
+      for (int64_t i = 0; i < n; ++i) out[i] = FloatToHalf(tensor[i]);
+      break;
+    }
+    case QuantMode::kInt8: {
+      float lo = 0.0f;
+      float hi = 0.0f;
+      if (n > 0) {
+        lo = *std::min_element(tensor.data(), tensor.data() + n);
+        hi = *std::max_element(tensor.data(), tensor.data() + n);
+      }
+      const float range = std::max(hi - lo, 1e-12f);
+      q.scale_ = range / 255.0f;
+      q.offset_ = lo + 128.0f * q.scale_;
+      q.bytes_.resize(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        const float normalized = (tensor[i] - q.offset_) / q.scale_;
+        const int quantized =
+            static_cast<int>(std::lround(normalized)) + 128;
+        q.bytes_[static_cast<size_t>(i)] =
+            static_cast<uint8_t>(std::clamp(quantized, 0, 255));
+      }
+      break;
+    }
+  }
+  return q;
+}
+
+Tensor QuantizedTensor::Dequantize() const {
+  Tensor out(shape_);
+  const int64_t n = out.numel();
+  switch (mode_) {
+    case QuantMode::kFloat32: {
+      PILOTE_CHECK_EQ(bytes_.size(), static_cast<size_t>(n) * sizeof(float));
+      std::memcpy(out.data(), bytes_.data(), bytes_.size());
+      break;
+    }
+    case QuantMode::kFloat16: {
+      PILOTE_CHECK_EQ(bytes_.size(), static_cast<size_t>(n) * sizeof(uint16_t));
+      const auto* in = reinterpret_cast<const uint16_t*>(bytes_.data());
+      for (int64_t i = 0; i < n; ++i) out[i] = HalfToFloat(in[i]);
+      break;
+    }
+    case QuantMode::kInt8: {
+      PILOTE_CHECK_EQ(bytes_.size(), static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        out[i] = scale_ * (static_cast<float>(bytes_[static_cast<size_t>(i)]) -
+                           128.0f) +
+                 offset_;
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+int64_t QuantizedTensor::SizeBytes() const {
+  // Payload plus affine metadata and shape bookkeeping.
+  return static_cast<int64_t>(bytes_.size()) + 2 * sizeof(float) +
+         static_cast<int64_t>(shape_.rank()) * sizeof(int64_t);
+}
+
+}  // namespace serialize
+}  // namespace pilote

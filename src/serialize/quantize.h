@@ -1,0 +1,52 @@
+#ifndef PILOTE_SERIALIZE_QUANTIZE_H_
+#define PILOTE_SERIALIZE_QUANTIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pilote {
+namespace serialize {
+
+// Compressed on-device representations for the exemplar support set
+// (the paper stores exemplars "in compressed format" to fit the edge
+// storage budget; Sec 6.3 quotes 2500 exemplars in 3.2 MB and
+// <200/class in <256 KB).
+enum class QuantMode : uint8_t {
+  kFloat32 = 0,  // no compression
+  kFloat16 = 1,  // IEEE half precision, 2 bytes/element
+  kInt8 = 2,     // per-tensor affine quantization, 1 byte/element
+};
+
+// A tensor stored in a compact byte representation.
+class QuantizedTensor {
+ public:
+  // Compresses `tensor` with the given mode.
+  static QuantizedTensor Quantize(const Tensor& tensor, QuantMode mode);
+
+  // Reconstructs a float32 tensor (lossy for kFloat16/kInt8).
+  Tensor Dequantize() const;
+
+  QuantMode mode() const { return mode_; }
+  const Shape& shape() const { return shape_; }
+  // Payload size: quantized data plus the scale/offset metadata.
+  int64_t SizeBytes() const;
+
+ private:
+  QuantMode mode_ = QuantMode::kFloat32;
+  Shape shape_;
+  std::vector<uint8_t> bytes_;
+  // Affine parameters for kInt8: value = scale * (q - 128) + offset.
+  float scale_ = 1.0f;
+  float offset_ = 0.0f;
+};
+
+// IEEE 754 binary16 conversion primitives (round-to-nearest-even on encode).
+uint16_t FloatToHalf(float value);
+float HalfToFloat(uint16_t half);
+
+}  // namespace serialize
+}  // namespace pilote
+
+#endif  // PILOTE_SERIALIZE_QUANTIZE_H_

@@ -1,0 +1,95 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/thread_pool.h"
+
+namespace pilote {
+namespace {
+
+// Rough per-kernel FLOP threshold below which threading overhead dominates.
+constexpr int64_t kParallelFlopThreshold = 1 << 22;
+
+// Computes rows [row_begin, row_end) of C = A * B with an i-k-j loop order:
+// the inner j loop is a contiguous SAXPY the compiler vectorizes.
+void GemmRows(const float* a, const float* b, float* c, int64_t row_begin,
+              int64_t row_end, int64_t k, int64_t n) {
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    float* c_row = c + i * n;
+    std::memset(c_row, 0, static_cast<size_t>(n) * sizeof(float));
+    const float* a_row = a + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_ip = a_row[p];
+      if (a_ip == 0.0f) continue;
+      const float* b_row = b + p * n;
+      for (int64_t j = 0; j < n; ++j) {
+        c_row[j] += a_ip * b_row[j];
+      }
+    }
+  }
+}
+
+// Rows of C = A * B^T: each output element is a contiguous dot product.
+void GemmTransBRows(const float* a, const float* b, float* c,
+                    int64_t row_begin, int64_t row_end, int64_t k, int64_t n) {
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      c_row[j] = acc;
+    }
+  }
+}
+
+void Dispatch(int64_t m, int64_t k, int64_t n,
+              const std::function<void(int64_t, int64_t)>& rows_fn) {
+  const int64_t flops = 2 * m * k * n;
+  ThreadPool& pool = ThreadPool::Global();
+  if (flops < kParallelFlopThreshold || pool.num_threads() <= 1) {
+    rows_fn(0, m);
+  } else {
+    pool.ParallelForRanges(m, rows_fn);
+  }
+}
+
+}  // namespace
+
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n) {
+  Dispatch(m, k, n, [=](int64_t begin, int64_t end) {
+    GemmRows(a, b, c, begin, end, k, n);
+  });
+}
+
+void GemmTransB(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n) {
+  Dispatch(m, k, n, [=](int64_t begin, int64_t end) {
+    GemmTransBRows(a, b, c, begin, end, k, n);
+  });
+}
+
+void GemmTransA(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n) {
+  // C[m,n] = sum_p A[p,m]^T * B[p,n]. Outer-product accumulation keeps both
+  // input walks contiguous; parallelizing would race on C, so compute the
+  // full product serially (these shapes are small: gradient accumulations).
+  std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+  for (int64_t p = 0; p < k; ++p) {
+    const float* a_row = a + p * m;
+    const float* b_row = b + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float a_pi = a_row[i];
+      if (a_pi == 0.0f) continue;
+      float* c_row = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        c_row[j] += a_pi * b_row[j];
+      }
+    }
+  }
+}
+
+}  // namespace pilote

@@ -1,0 +1,24 @@
+#ifndef PILOTE_TENSOR_GEMM_H_
+#define PILOTE_TENSOR_GEMM_H_
+
+#include <cstdint>
+
+namespace pilote {
+
+// Dense single-precision matrix multiply kernels over raw row-major buffers.
+// All kernels compute C = A_op * B_op (C is fully overwritten) and
+// parallelize over rows of C via ThreadPool::Global() when profitable.
+//
+// Gemm:        C[m,n] = A[m,k] * B[k,n]
+// GemmTransB:  C[m,n] = A[m,k] * B[n,k]^T
+// GemmTransA:  C[m,n] = A[k,m]^T * B[k,n]
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n);
+void GemmTransB(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n);
+void GemmTransA(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n);
+
+}  // namespace pilote
+
+#endif  // PILOTE_TENSOR_GEMM_H_

@@ -1,0 +1,75 @@
+#ifndef PILOTE_TENSOR_SHAPE_H_
+#define PILOTE_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace pilote {
+
+// Dimensions of a dense row-major tensor. Rank 1 and 2 cover everything the
+// library needs (feature vectors and batches); higher ranks are permitted by
+// the container but unused by the ops.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) { Validate(); }
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+    Validate();
+  }
+
+  static Shape Vector(int64_t n) { return Shape({n}); }
+  static Shape Matrix(int64_t rows, int64_t cols) { return Shape({rows, cols}); }
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  int64_t dim(int i) const {
+    PILOTE_DCHECK(i >= 0 && i < rank());
+    return dims_[static_cast<size_t>(i)];
+  }
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  int64_t numel() const {
+    return std::accumulate(dims_.begin(), dims_.end(), int64_t{1},
+                           std::multiplies<int64_t>());
+  }
+
+  // Rows/cols of a rank-2 shape.
+  int64_t rows() const {
+    PILOTE_DCHECK(rank() == 2);
+    return dims_[0];
+  }
+  int64_t cols() const {
+    PILOTE_DCHECK(rank() == 2);
+    return dims_[1];
+  }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string ToString() const {
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < dims_.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << dims_[i];
+    }
+    os << "]";
+    return os.str();
+  }
+
+ private:
+  void Validate() const {
+    for (int64_t d : dims_) PILOTE_CHECK_GE(d, 0);
+  }
+
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace pilote
+
+#endif  // PILOTE_TENSOR_SHAPE_H_

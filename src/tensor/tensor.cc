@@ -1,0 +1,36 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+namespace pilote {
+
+Tensor Tensor::RandNormal(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& value : t.vec()) {
+    value = static_cast<float>(rng.Gaussian(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::RandUniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& value : t.vec()) {
+    value = static_cast<float>(rng.UniformDouble(lo, hi));
+  }
+  return t;
+}
+
+std::string Tensor::DebugString(int64_t max_elements) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_.ToString() << " {";
+  const int64_t n = std::min<int64_t>(numel(), max_elements);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) os << ", ";
+    os << data_[static_cast<size_t>(i)];
+  }
+  if (numel() > n) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace pilote

@@ -1,0 +1,120 @@
+#ifndef PILOTE_TENSOR_TENSOR_H_
+#define PILOTE_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "tensor/shape.h"
+
+namespace pilote {
+
+// Dense row-major float32 tensor with value semantics (copies are deep).
+// All shape violations are CHECK-fatal: a mismatched shape is a programming
+// error, not a runtime condition.
+class Tensor {
+ public:
+  // Empty rank-0 tensor with no elements.
+  Tensor() = default;
+
+  // Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<size_t>(shape_.numel()), 0.0f) {}
+
+  Tensor(Shape shape, float fill)
+      : shape_(std::move(shape)),
+        data_(static_cast<size_t>(shape_.numel()), fill) {}
+
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    PILOTE_CHECK_EQ(shape_.numel(), static_cast<int64_t>(data_.size()));
+  }
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor Ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor Full(Shape shape, float value) {
+    return Tensor(std::move(shape), value);
+  }
+  // Scalar (rank-1, single element) tensor.
+  static Tensor Scalar(float value) { return Tensor(Shape({1}), {value}); }
+
+  // i.i.d. N(mean, stddev^2) entries.
+  static Tensor RandNormal(Shape shape, Rng& rng, float mean = 0.0f,
+                           float stddev = 1.0f);
+  // i.i.d. U[lo, hi) entries.
+  static Tensor RandUniform(Shape shape, Rng& rng, float lo = 0.0f,
+                            float hi = 1.0f);
+
+  const Shape& shape() const { return shape_; }
+  int rank() const { return shape_.rank(); }
+  int64_t dim(int i) const { return shape_.dim(i); }
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  int64_t rows() const { return shape_.rows(); }
+  int64_t cols() const { return shape_.cols(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  // Flat element access.
+  float operator[](int64_t i) const {
+    PILOTE_DCHECK(i >= 0 && i < numel());
+    return data_[static_cast<size_t>(i)];
+  }
+  float& operator[](int64_t i) {
+    PILOTE_DCHECK(i >= 0 && i < numel());
+    return data_[static_cast<size_t>(i)];
+  }
+
+  // Rank-2 element access.
+  float operator()(int64_t r, int64_t c) const {
+    PILOTE_DCHECK(rank() == 2);
+    PILOTE_DCHECK(r >= 0 && r < rows() && c >= 0 && c < cols());
+    return data_[static_cast<size_t>(r * cols() + c)];
+  }
+  float& operator()(int64_t r, int64_t c) {
+    PILOTE_DCHECK(rank() == 2);
+    PILOTE_DCHECK(r >= 0 && r < rows() && c >= 0 && c < cols());
+    return data_[static_cast<size_t>(r * cols() + c)];
+  }
+
+  // Pointer to the start of row r of a rank-2 tensor.
+  const float* row(int64_t r) const {
+    PILOTE_DCHECK(rank() == 2);
+    PILOTE_DCHECK(r >= 0 && r < rows());
+    return data_.data() + r * cols();
+  }
+  float* row(int64_t r) {
+    PILOTE_DCHECK(rank() == 2);
+    PILOTE_DCHECK(r >= 0 && r < rows());
+    return data_.data() + r * cols();
+  }
+
+  // Reinterprets the data with a new shape of equal element count.
+  Tensor Reshape(Shape new_shape) const {
+    PILOTE_CHECK_EQ(new_shape.numel(), numel())
+        << " reshape " << shape_.ToString() << " -> " << new_shape.ToString();
+    return Tensor(std::move(new_shape), data_);
+  }
+
+  void Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+  std::string DebugString(int64_t max_elements = 16) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace pilote
+
+#endif  // PILOTE_TENSOR_TENSOR_H_

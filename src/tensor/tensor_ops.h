@@ -1,0 +1,93 @@
+#ifndef PILOTE_TENSOR_TENSOR_OPS_H_
+#define PILOTE_TENSOR_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pilote {
+
+// Non-differentiable math over Tensor. The autograd layer builds its
+// differentiable ops on top of these kernels. All functions return fresh
+// tensors; shape mismatches are CHECK-fatal.
+
+// ---- Elementwise binary (shapes must match exactly) ----
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+// In-place a += alpha * b (the optimizer / grad-accumulation primitive).
+void Axpy(float alpha, const Tensor& b, Tensor& a);
+
+// ---- Elementwise with scalar ----
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+
+// ---- Elementwise unary ----
+Tensor Relu(const Tensor& a);
+// 1 where a > 0 else 0 (the ReLU derivative mask).
+Tensor ReluMask(const Tensor& a);
+Tensor Square(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Neg(const Tensor& a);
+Tensor Clamp(const Tensor& a, float lo, float hi);
+
+// ---- Matrix products ----
+// [m,k] x [k,n] -> [m,n]
+Tensor MatMul(const Tensor& a, const Tensor& b);
+// [m,k] x [n,k]^T -> [m,n]
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+// [k,m]^T x [k,n] -> [m,n]
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+Tensor Transpose(const Tensor& a);
+
+// ---- Broadcasting over rows (matrix [n,d] op row-vector [d]) ----
+Tensor AddRowVector(const Tensor& m, const Tensor& v);
+Tensor MulRowVector(const Tensor& m, const Tensor& v);
+Tensor SubRowVector(const Tensor& m, const Tensor& v);
+Tensor DivRowVector(const Tensor& m, const Tensor& v);
+
+// ---- Reductions ----
+float Sum(const Tensor& a);
+float Mean(const Tensor& a);
+float MaxValue(const Tensor& a);
+// Sum over rows of [n,d] -> [d].
+Tensor ColumnSum(const Tensor& m);
+// Mean over rows of [n,d] -> [d].
+Tensor ColumnMean(const Tensor& m);
+// Per-column variance of [n,d] -> [d] (biased, divides by n).
+Tensor ColumnVariance(const Tensor& m, const Tensor& column_mean);
+// Sum over columns of [n,d] -> [n].
+Tensor RowSum(const Tensor& m);
+// Index of the max entry of each row of [n,d] -> n indices.
+std::vector<int64_t> ArgMaxPerRow(const Tensor& m);
+// Index of the min entry of each row of [n,d] -> n indices.
+std::vector<int64_t> ArgMinPerRow(const Tensor& m);
+
+// ---- Row manipulation ----
+// Rows [begin, end) of m as a new [end-begin, d] tensor.
+Tensor SliceRows(const Tensor& m, int64_t begin, int64_t end);
+// Rows at the given indices, in order.
+Tensor GatherRows(const Tensor& m, const std::vector<int64_t>& indices);
+// Vertical concatenation; all inputs share the column count.
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+// Row r as a rank-1 tensor of length d.
+Tensor RowAt(const Tensor& m, int64_t r);
+
+// ---- Distances ----
+// Squared L2 distance between every row of a [n,d] and every row of
+// b [m,d] -> [n,m].
+Tensor PairwiseSquaredDistance(const Tensor& a, const Tensor& b);
+// Squared L2 norm of each row of m -> [n].
+Tensor RowSquaredNorm(const Tensor& m);
+float SquaredDistance(const Tensor& a, const Tensor& b);
+
+// ---- Comparisons (testing support) ----
+bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f,
+              float rtol = 1e-4f);
+
+}  // namespace pilote
+
+#endif  // PILOTE_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,275 @@
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "common/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace {
+
+namespace ag = autograd;
+
+// Central-difference gradient check: `build` maps the current values of
+// `leaves` to a scalar Variable. Verifies every analytic gradient entry.
+void CheckGradients(std::vector<ag::Variable>& leaves,
+                    const std::function<ag::Variable()>& build,
+                    float epsilon = 1e-3f, float tolerance = 2e-2f) {
+  ag::Variable loss = build();
+  ASSERT_EQ(loss.value().numel(), 1);
+  for (auto& leaf : leaves) leaf.ZeroGrad();
+  loss.Backward();
+
+  for (auto& leaf : leaves) {
+    ASSERT_TRUE(leaf.requires_grad());
+    const Tensor analytic = leaf.grad();
+    ASSERT_EQ(analytic.numel(), leaf.value().numel());
+    Tensor& value = leaf.mutable_value();
+    for (int64_t i = 0; i < value.numel(); ++i) {
+      const float original = value[i];
+      value[i] = original + epsilon;
+      const float plus = build().value()[0];
+      value[i] = original - epsilon;
+      const float minus = build().value()[0];
+      value[i] = original;
+      const float numeric = (plus - minus) / (2.0f * epsilon);
+      EXPECT_NEAR(analytic[i], numeric,
+                  tolerance * std::max(1.0f, std::fabs(numeric)))
+          << "entry " << i;
+    }
+  }
+}
+
+TEST(VariableTest, LeafProperties) {
+  ag::Variable v = ag::Variable::Parameter(Tensor::Scalar(3.0f));
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_EQ(v.value()[0], 3.0f);
+  EXPECT_EQ(v.grad().numel(), 0);  // untouched before backward
+
+  ag::Variable c = ag::Variable::Constant(Tensor::Scalar(1.0f));
+  EXPECT_FALSE(c.requires_grad());
+}
+
+TEST(VariableTest, CopiesAliasTheSameNode) {
+  ag::Variable v = ag::Variable::Parameter(Tensor::Scalar(1.0f));
+  ag::Variable alias = v;
+  alias.mutable_value()[0] = 9.0f;
+  EXPECT_EQ(v.value()[0], 9.0f);
+}
+
+TEST(VariableTest, BackwardOnNonScalarIsFatal) {
+  ag::Variable v = ag::Variable::Parameter(Tensor(Shape::Vector(3), 1.0f));
+  EXPECT_DEATH(v.Backward(), "scalar");
+}
+
+TEST(VariableTest, BackwardThroughSharedNodeAccumulates) {
+  // loss = sum(x + x) -> dloss/dx = 2.
+  ag::Variable x = ag::Variable::Parameter(Tensor(Shape::Vector(3), 1.0f));
+  ag::Variable loss = ag::Sum(ag::Add(x, x));
+  loss.Backward();
+  EXPECT_TRUE(AllClose(x.grad(), Tensor(Shape::Vector(3), 2.0f)));
+}
+
+TEST(VariableTest, GradAccumulatesAcrossBackwardCalls) {
+  ag::Variable x = ag::Variable::Parameter(Tensor(Shape::Vector(2), 1.0f));
+  ag::Sum(x).Backward();
+  ag::Sum(x).Backward();
+  EXPECT_TRUE(AllClose(x.grad(), Tensor(Shape::Vector(2), 2.0f)));
+  x.ZeroGrad();
+  EXPECT_EQ(x.grad().numel(), 0);
+}
+
+TEST(VariableTest, ConstantsReceiveNoGradient) {
+  ag::Variable x = ag::Variable::Parameter(Tensor(Shape::Vector(2), 1.0f));
+  ag::Variable c = ag::Variable::Constant(Tensor(Shape::Vector(2), 5.0f));
+  ag::Sum(ag::Mul(x, c)).Backward();
+  EXPECT_EQ(c.grad().numel(), 0);
+  EXPECT_TRUE(AllClose(x.grad(), Tensor(Shape::Vector(2), 5.0f)));
+}
+
+// ---- Gradient checks per op ----
+
+TEST(GradCheckTest, AddSubMul) {
+  Rng rng(1);
+  std::vector<ag::Variable> leaves = {
+      ag::Variable::Parameter(Tensor::RandNormal(Shape::Matrix(3, 4), rng)),
+      ag::Variable::Parameter(Tensor::RandNormal(Shape::Matrix(3, 4), rng))};
+  CheckGradients(leaves, [&] {
+    return ag::Sum(ag::Mul(ag::Add(leaves[0], leaves[1]),
+                           ag::Sub(leaves[0], leaves[1])));
+  });
+}
+
+TEST(GradCheckTest, ScalarOpsAndSquare) {
+  Rng rng(2);
+  std::vector<ag::Variable> leaves = {
+      ag::Variable::Parameter(Tensor::RandNormal(Shape::Vector(6), rng))};
+  CheckGradients(leaves, [&] {
+    return ag::Mean(ag::Square(ag::AddScalar(ag::MulScalar(leaves[0], 3.0f),
+                                             -1.0f)));
+  });
+}
+
+TEST(GradCheckTest, ReluAwayFromKink) {
+  Rng rng(3);
+  // Keep values away from 0 so finite differences are valid.
+  Tensor t = Tensor::RandNormal(Shape::Vector(8), rng);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    if (std::fabs(t[i]) < 0.2f) t[i] = 0.5f;
+  }
+  std::vector<ag::Variable> leaves = {ag::Variable::Parameter(t)};
+  CheckGradients(leaves, [&] { return ag::Sum(ag::Relu(leaves[0])); });
+}
+
+TEST(GradCheckTest, SqrtAwayFromZero) {
+  Rng rng(31);
+  std::vector<ag::Variable> leaves = {ag::Variable::Parameter(
+      Tensor::RandUniform(Shape::Vector(6), rng, 0.5f, 4.0f))};
+  CheckGradients(leaves, [&] { return ag::Sum(ag::Sqrt(leaves[0])); });
+}
+
+TEST(SqrtOpTest, EpsilonKeepsGradientFiniteAtZero) {
+  ag::Variable x = ag::Variable::Parameter(Tensor(Shape::Vector(1), 0.0f));
+  ag::Sum(ag::Sqrt(x, 1e-12f)).Backward();
+  EXPECT_TRUE(std::isfinite(x.grad()[0]));
+  EXPECT_GT(x.grad()[0], 0.0f);
+}
+
+TEST(GradCheckTest, MatMulBothSides) {
+  Rng rng(4);
+  std::vector<ag::Variable> leaves = {
+      ag::Variable::Parameter(Tensor::RandNormal(Shape::Matrix(3, 5), rng)),
+      ag::Variable::Parameter(Tensor::RandNormal(Shape::Matrix(5, 2), rng))};
+  CheckGradients(leaves, [&] {
+    return ag::Sum(ag::Square(ag::MatMul(leaves[0], leaves[1])));
+  });
+}
+
+TEST(GradCheckTest, LinearTransform) {
+  Rng rng(5);
+  std::vector<ag::Variable> leaves = {
+      ag::Variable::Parameter(Tensor::RandNormal(Shape::Matrix(4, 6), rng)),
+      ag::Variable::Parameter(Tensor::RandNormal(Shape::Matrix(3, 6), rng))};
+  CheckGradients(leaves, [&] {
+    return ag::Sum(ag::Square(ag::LinearTransform(leaves[0], leaves[1])));
+  });
+}
+
+TEST(GradCheckTest, AddRowVector) {
+  Rng rng(6);
+  std::vector<ag::Variable> leaves = {
+      ag::Variable::Parameter(Tensor::RandNormal(Shape::Matrix(4, 3), rng)),
+      ag::Variable::Parameter(Tensor::RandNormal(Shape::Vector(3), rng))};
+  CheckGradients(leaves, [&] {
+    return ag::Sum(ag::Square(ag::AddRowVector(leaves[0], leaves[1])));
+  });
+}
+
+TEST(GradCheckTest, MulRowVector) {
+  Rng rng(7);
+  std::vector<ag::Variable> leaves = {
+      ag::Variable::Parameter(Tensor::RandNormal(Shape::Matrix(4, 3), rng)),
+      ag::Variable::Parameter(Tensor::RandNormal(Shape::Vector(3), rng))};
+  CheckGradients(leaves, [&] {
+    return ag::Sum(ag::Square(ag::MulRowVector(leaves[0], leaves[1])));
+  });
+}
+
+TEST(GradCheckTest, RowSumAndMean) {
+  Rng rng(8);
+  std::vector<ag::Variable> leaves = {
+      ag::Variable::Parameter(Tensor::RandNormal(Shape::Matrix(5, 4), rng))};
+  CheckGradients(leaves, [&] {
+    return ag::Mean(ag::Square(ag::RowSum(leaves[0])));
+  });
+}
+
+TEST(GradCheckTest, ConcatAndSliceRows) {
+  Rng rng(9);
+  std::vector<ag::Variable> leaves = {
+      ag::Variable::Parameter(Tensor::RandNormal(Shape::Matrix(3, 4), rng)),
+      ag::Variable::Parameter(Tensor::RandNormal(Shape::Matrix(2, 4), rng))};
+  CheckGradients(leaves, [&] {
+    ag::Variable combined = ag::ConcatRows({leaves[0], leaves[1]});
+    ag::Variable top = ag::SliceRows(combined, 0, 2);
+    ag::Variable bottom = ag::SliceRows(combined, 2, 5);
+    return ag::Add(ag::Sum(ag::Square(top)), ag::Sum(ag::Square(bottom)));
+  });
+}
+
+TEST(GradCheckTest, BatchNormTraining) {
+  Rng rng(10);
+  std::vector<ag::Variable> leaves = {
+      ag::Variable::Parameter(Tensor::RandNormal(Shape::Matrix(8, 3), rng)),
+      ag::Variable::Parameter(Tensor::RandUniform(Shape::Vector(3), rng, 0.5f,
+                                                  1.5f)),
+      ag::Variable::Parameter(Tensor::RandNormal(Shape::Vector(3), rng))};
+  CheckGradients(
+      leaves,
+      [&] {
+        auto out =
+            ag::BatchNormTraining(leaves[0], leaves[1], leaves[2], 1e-5f);
+        return ag::Sum(ag::Square(out.y));
+      },
+      /*epsilon=*/1e-2f, /*tolerance=*/5e-2f);
+}
+
+TEST(GradCheckTest, BatchNormInference) {
+  Rng rng(11);
+  Tensor mean = Tensor::RandNormal(Shape::Vector(3), rng);
+  Tensor var = Tensor::RandUniform(Shape::Vector(3), rng, 0.5f, 2.0f);
+  std::vector<ag::Variable> leaves = {
+      ag::Variable::Parameter(Tensor::RandNormal(Shape::Matrix(4, 3), rng)),
+      ag::Variable::Parameter(Tensor::RandUniform(Shape::Vector(3), rng, 0.5f,
+                                                  1.5f)),
+      ag::Variable::Parameter(Tensor::RandNormal(Shape::Vector(3), rng))};
+  CheckGradients(leaves, [&] {
+    return ag::Sum(ag::Square(ag::BatchNormInference(
+        leaves[0], leaves[1], leaves[2], mean, var, 1e-5f)));
+  });
+}
+
+TEST(BatchNormOpTest, TrainingOutputIsNormalized) {
+  Rng rng(12);
+  ag::Variable x = ag::Variable::Constant(
+      Tensor::RandNormal(Shape::Matrix(64, 4), rng, 5.0f, 3.0f));
+  ag::Variable gamma = ag::Variable::Constant(Tensor::Ones(Shape::Vector(4)));
+  ag::Variable beta = ag::Variable::Constant(Tensor::Zeros(Shape::Vector(4)));
+  auto out = ag::BatchNormTraining(x, gamma, beta, 1e-5f);
+  Tensor mean = ColumnMean(out.y.value());
+  Tensor var = ColumnVariance(out.y.value(), mean);
+  for (int64_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(mean[c], 0.0f, 1e-4f);
+    EXPECT_NEAR(var[c], 1.0f, 1e-2f);
+  }
+  // Batch statistics reported for the running-average update.
+  EXPECT_TRUE(AllClose(out.batch_mean, ColumnMean(x.value()), 1e-4f));
+}
+
+TEST(GradCheckTest, DeepCompositionChain) {
+  // A miniature MLP assembled from raw ops: checks interactions between
+  // ops rather than ops in isolation.
+  Rng rng(13);
+  std::vector<ag::Variable> leaves = {
+      ag::Variable::Parameter(Tensor::RandNormal(Shape::Matrix(4, 5), rng)),
+      ag::Variable::Parameter(
+          Tensor::RandNormal(Shape::Matrix(3, 5), rng, 0.0f, 0.5f)),
+      ag::Variable::Parameter(Tensor::RandNormal(Shape::Vector(3), rng)),
+      ag::Variable::Parameter(
+          Tensor::RandNormal(Shape::Matrix(2, 3), rng, 0.0f, 0.5f))};
+  CheckGradients(
+      leaves,
+      [&] {
+        ag::Variable h = ag::Relu(ag::AddRowVector(
+            ag::LinearTransform(leaves[0], leaves[1]), leaves[2]));
+        ag::Variable out = ag::LinearTransform(h, leaves[3]);
+        return ag::Mean(ag::Square(out));
+      },
+      /*epsilon=*/1e-2f, /*tolerance=*/5e-2f);
+}
+
+}  // namespace
+}  // namespace pilote

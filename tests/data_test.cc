@@ -1,0 +1,185 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/scaler.h"
+#include "data/splits.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace {
+
+data::Dataset MakeDataset(const std::vector<int>& labels) {
+  Tensor features(Shape::Matrix(static_cast<int64_t>(labels.size()), 2));
+  for (size_t i = 0; i < labels.size(); ++i) {
+    features(static_cast<int64_t>(i), 0) = static_cast<float>(labels[i]);
+    features(static_cast<int64_t>(i), 1) = static_cast<float>(i);
+  }
+  return data::Dataset(features, labels);
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  data::Dataset ds = MakeDataset({0, 1, 1, 2});
+  EXPECT_EQ(ds.size(), 4);
+  EXPECT_EQ(ds.num_features(), 2);
+  EXPECT_FALSE(ds.empty());
+  EXPECT_EQ(ds.label(2), 1);
+  EXPECT_EQ(ds.Classes(), (std::vector<int>{0, 1, 2}));
+  auto counts = ds.ClassCounts();
+  EXPECT_EQ(counts[1], 2);
+}
+
+TEST(DatasetTest, SizeLabelMismatchIsFatal) {
+  Tensor features(Shape::Matrix(3, 2));
+  EXPECT_DEATH(data::Dataset(features, std::vector<int>{0, 1}),
+               "CHECK failed");
+}
+
+TEST(DatasetTest, FilterByClassKeepsOnlyThatClass) {
+  data::Dataset ds = MakeDataset({0, 1, 1, 2, 1});
+  data::Dataset ones = ds.FilterByClass(1);
+  EXPECT_EQ(ones.size(), 3);
+  for (int64_t i = 0; i < ones.size(); ++i) EXPECT_EQ(ones.label(i), 1);
+  // Second feature column preserves original row identity.
+  EXPECT_EQ(ones.features()(0, 1), 1.0f);
+  EXPECT_EQ(ones.features()(2, 1), 4.0f);
+}
+
+TEST(DatasetTest, FilterByClassesUnion) {
+  data::Dataset ds = MakeDataset({0, 1, 2, 3, 2});
+  data::Dataset subset = ds.FilterByClasses({0, 2});
+  EXPECT_EQ(subset.size(), 3);
+  EXPECT_EQ(subset.Classes(), (std::vector<int>{0, 2}));
+}
+
+TEST(DatasetTest, SubsetGathersRowsInOrder) {
+  data::Dataset ds = MakeDataset({0, 1, 2});
+  data::Dataset subset = ds.Subset({2, 0});
+  EXPECT_EQ(subset.labels(), (std::vector<int>{2, 0}));
+  EXPECT_EQ(subset.features()(0, 0), 2.0f);
+}
+
+TEST(DatasetTest, ConcatStacksRows) {
+  data::Dataset a = MakeDataset({0, 0});
+  data::Dataset b = MakeDataset({1, 1, 1});
+  data::Dataset c = data::Dataset::Concat({a, b});
+  EXPECT_EQ(c.size(), 5);
+  EXPECT_EQ(c.Classes(), (std::vector<int>{0, 1}));
+}
+
+TEST(SplitsTest, StratifiedSplitPreservesClassBalance) {
+  std::vector<int> labels;
+  for (int c = 0; c < 3; ++c) {
+    labels.insert(labels.end(), 100, c);
+  }
+  Rng rng(1);
+  data::TrainTestSplit split =
+      data::StratifiedSplit(MakeDataset(labels), 0.3, rng);
+  EXPECT_EQ(split.train.size(), 210);
+  EXPECT_EQ(split.test.size(), 90);
+  for (const auto& [label, count] : split.test.ClassCounts()) {
+    EXPECT_EQ(count, 30) << "class " << label;
+  }
+}
+
+TEST(SplitsTest, SplitIsDisjointAndComplete) {
+  std::vector<int> labels(50, 0);
+  for (int i = 0; i < 50; ++i) labels.push_back(1);
+  data::Dataset ds = MakeDataset(labels);
+  Rng rng(2);
+  data::TrainTestSplit split = data::StratifiedSplit(ds, 0.2, rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), ds.size());
+  // Row identity lives in feature column 1; check disjointness.
+  std::set<float> train_ids;
+  for (int64_t i = 0; i < split.train.size(); ++i) {
+    train_ids.insert(split.train.features()(i, 1));
+  }
+  for (int64_t i = 0; i < split.test.size(); ++i) {
+    EXPECT_EQ(train_ids.count(split.test.features()(i, 1)), 0u);
+  }
+}
+
+TEST(SplitsTest, ZeroFractionKeepsEverythingInTrain) {
+  Rng rng(3);
+  data::Dataset ds = MakeDataset({0, 0, 1, 1});
+  data::TrainTestSplit split = data::StratifiedSplit(ds, 0.0, rng);
+  EXPECT_EQ(split.train.size(), 4);
+  EXPECT_EQ(split.test.size(), 0);
+}
+
+TEST(SplitsTest, TinyClassesStillGetATestRow) {
+  Rng rng(4);
+  data::Dataset ds = MakeDataset({0, 0, 0, 1, 1, 1});
+  data::TrainTestSplit split = data::StratifiedSplit(ds, 0.1, rng);
+  // 10% of 3 rounds to 0, but each class with >= 2 samples contributes 1.
+  EXPECT_EQ(split.test.size(), 2);
+}
+
+TEST(SplitsTest, SampleRowsClampsToSize) {
+  Rng rng(5);
+  data::Dataset ds = MakeDataset({0, 1, 2});
+  EXPECT_EQ(data::SampleRows(ds, 10, rng).size(), 3);
+  data::Dataset two = data::SampleRows(ds, 2, rng);
+  EXPECT_EQ(two.size(), 2);
+}
+
+TEST(SplitsTest, SamplePerClassBalances) {
+  std::vector<int> labels(20, 0);
+  labels.insert(labels.end(), 5, 1);
+  Rng rng(6);
+  data::Dataset sampled = data::SamplePerClass(MakeDataset(labels), 8, rng);
+  auto counts = sampled.ClassCounts();
+  EXPECT_EQ(counts[0], 8);
+  EXPECT_EQ(counts[1], 5);  // clamped to available
+}
+
+TEST(ScalerTest, TransformStandardizesColumns) {
+  Rng rng(7);
+  Tensor features = Tensor::RandNormal(Shape::Matrix(500, 3), rng, 5.0f, 2.0f);
+  data::StandardScaler scaler;
+  scaler.Fit(features);
+  Tensor scaled = scaler.Transform(features);
+  Tensor mean = ColumnMean(scaled);
+  Tensor var = ColumnVariance(scaled, mean);
+  for (int64_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(mean[c], 0.0f, 1e-4f);
+    EXPECT_NEAR(var[c], 1.0f, 1e-3f);
+  }
+}
+
+TEST(ScalerTest, ConstantColumnPassesThroughCentered) {
+  Tensor features(Shape::Matrix(4, 1), {3.0f, 3.0f, 3.0f, 3.0f});
+  data::StandardScaler scaler;
+  scaler.Fit(features);
+  Tensor scaled = scaler.Transform(features);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(scaled[i], 0.0f);
+}
+
+TEST(ScalerTest, TransformBeforeFitIsFatal) {
+  data::StandardScaler scaler;
+  EXPECT_DEATH(scaler.Transform(Tensor(Shape::Matrix(2, 2))), "before Fit");
+}
+
+TEST(ScalerTest, SetStateRoundTrip) {
+  data::StandardScaler scaler;
+  scaler.SetState(Tensor(Shape::Vector(2), {1.0f, 2.0f}),
+                  Tensor(Shape::Vector(2), {2.0f, 4.0f}));
+  Tensor x(Shape::Matrix(1, 2), {3.0f, 10.0f});
+  Tensor scaled = scaler.Transform(x);
+  EXPECT_FLOAT_EQ(scaled[0], 1.0f);
+  EXPECT_FLOAT_EQ(scaled[1], 2.0f);
+}
+
+TEST(ScalerTest, DatasetOverloadKeepsLabels) {
+  data::Dataset ds = MakeDataset({0, 1, 1});
+  data::StandardScaler scaler;
+  scaler.Fit(ds.features());
+  data::Dataset scaled = scaler.Transform(ds);
+  EXPECT_EQ(scaled.labels(), ds.labels());
+}
+
+}  // namespace
+}  // namespace pilote

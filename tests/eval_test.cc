@@ -1,0 +1,182 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "eval/pca.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace eval {
+namespace {
+
+// ---------------------------------------------------------------- Accuracy
+
+TEST(MetricsTest, AccuracyBasics) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3}, {1, 0, 0}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0}, {1}), 0.0);
+}
+
+TEST(MetricsTest, PerClassAccuracy) {
+  std::vector<int> labels = {0, 0, 1, 1, 1};
+  std::vector<int> preds = {0, 1, 1, 1, 0};
+  auto per_class = PerClassAccuracy(preds, labels);
+  EXPECT_DOUBLE_EQ(per_class[0], 0.5);
+  EXPECT_DOUBLE_EQ(per_class[1], 2.0 / 3.0);
+}
+
+TEST(MetricsTest, SummarizeMeanStd) {
+  MeanStd s = Summarize({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_NEAR(s.stddev, 1.0, 1e-12);
+  MeanStd single = Summarize({5.0});
+  EXPECT_DOUBLE_EQ(single.mean, 5.0);
+  EXPECT_DOUBLE_EQ(single.stddev, 0.0);
+}
+
+// ---------------------------------------------------------------- Confusion
+
+TEST(ConfusionMatrixTest, CountsAndRates) {
+  ConfusionMatrix cm({0, 1});
+  cm.AddAll({0, 0, 0, 1, 1}, {0, 0, 1, 1, 0});
+  EXPECT_EQ(cm.count(0, 0), 2);
+  EXPECT_EQ(cm.count(0, 1), 1);
+  EXPECT_EQ(cm.count(1, 0), 1);
+  EXPECT_EQ(cm.count(1, 1), 1);
+  EXPECT_NEAR(cm.rate(0, 0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.rate(1, 1), 0.5, 1e-12);
+  EXPECT_EQ(cm.total(), 5);
+  EXPECT_NEAR(cm.OverallAccuracy(), 3.0 / 5.0, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, EmptyRowHasZeroRate) {
+  ConfusionMatrix cm({0, 1});
+  cm.Add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.rate(1, 0), 0.0);
+}
+
+TEST(ConfusionMatrixTest, UnknownClassIsFatal) {
+  ConfusionMatrix cm({0, 1});
+  EXPECT_DEATH(cm.Add(0, 5), "unknown class");
+}
+
+TEST(ConfusionMatrixTest, ToStringContainsNames) {
+  ConfusionMatrix cm({0, 1});
+  cm.Add(0, 0);
+  cm.Add(1, 1);
+  std::string table = cm.ToString({"Walk", "Run"});
+  EXPECT_NE(table.find("Walk"), std::string::npos);
+  EXPECT_NE(table.find("Run"), std::string::npos);
+  EXPECT_NE(table.find("1.000"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- Forgetting
+
+TEST(ForgettingTest, DetectsOldClassDegradation) {
+  // Labels: two old-class (0) samples, one new-class (1) sample.
+  std::vector<int> labels = {0, 0, 1};
+  std::vector<int> before = {0, 0, 0};  // old model: old perfect, new wrong
+  std::vector<int> after = {0, 1, 1};   // updated: forgot one old sample
+  ForgettingReport report =
+      ComputeForgetting(labels, before, after, {0}, {1});
+  EXPECT_DOUBLE_EQ(report.old_acc_before, 1.0);
+  EXPECT_DOUBLE_EQ(report.old_acc_after, 0.5);
+  EXPECT_DOUBLE_EQ(report.new_acc_after, 1.0);
+  EXPECT_DOUBLE_EQ(report.forgetting, 0.5);
+}
+
+TEST(ForgettingTest, NoForgettingWhenStable) {
+  std::vector<int> labels = {0, 1};
+  ForgettingReport report =
+      ComputeForgetting(labels, {0, 0}, {0, 1}, {0}, {1});
+  EXPECT_DOUBLE_EQ(report.forgetting, 0.0);
+  EXPECT_DOUBLE_EQ(report.new_acc_after, 1.0);
+}
+
+// ---------------------------------------------------------------- PCA
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Data varies along (1, 1)/sqrt(2) with tiny orthogonal noise.
+  Rng rng(1);
+  Tensor data(Shape::Matrix(200, 2));
+  for (int64_t i = 0; i < 200; ++i) {
+    const float t = static_cast<float>(rng.Gaussian(0.0, 3.0));
+    const float noise = static_cast<float>(rng.Gaussian(0.0, 0.05));
+    data(i, 0) = t + noise;
+    data(i, 1) = t - noise;
+  }
+  Pca pca(data, 1);
+  const Tensor& comp = pca.components();
+  const float ratio = std::fabs(comp(0, 0) / comp(0, 1));
+  EXPECT_NEAR(ratio, 1.0f, 0.05f);
+  EXPECT_GT(pca.explained_variance_ratio()[0], 0.99);
+}
+
+TEST(PcaTest, ComponentsAreOrthonormal) {
+  Rng rng(2);
+  Tensor data = Tensor::RandNormal(Shape::Matrix(100, 6), rng);
+  Pca pca(data, 3);
+  const Tensor& c = pca.components();
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      double dot = 0.0;
+      for (int64_t d = 0; d < 6; ++d) dot += c(i, d) * c(j, d);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 0.05) << i << "," << j;
+    }
+  }
+}
+
+TEST(PcaTest, TransformShape) {
+  Rng rng(3);
+  Tensor data = Tensor::RandNormal(Shape::Matrix(50, 8), rng);
+  Pca pca(data, 2);
+  Tensor projected = pca.Transform(data);
+  EXPECT_EQ(projected.rows(), 50);
+  EXPECT_EQ(projected.cols(), 2);
+}
+
+TEST(PcaTest, ProjectionPreservesTotalVarianceBound) {
+  Rng rng(4);
+  Tensor data = Tensor::RandNormal(Shape::Matrix(80, 5), rng);
+  Pca pca(data, 5);
+  double total_ratio = 0.0;
+  for (double r : pca.explained_variance_ratio()) total_ratio += r;
+  EXPECT_LE(total_ratio, 1.05);
+  EXPECT_GT(total_ratio, 0.9);
+}
+
+// ---------------------------------------------------------------- Separation
+
+TEST(ClusterSeparationTest, TightClustersScoreHigher) {
+  Rng rng(5);
+  auto make = [&](float spread) {
+    Tensor embeddings(Shape::Matrix(40, 2));
+    std::vector<int> labels;
+    for (int64_t i = 0; i < 40; ++i) {
+      const int label = i < 20 ? 0 : 1;
+      embeddings(i, 0) = static_cast<float>(label * 10 + rng.Gaussian(0, spread));
+      embeddings(i, 1) = static_cast<float>(rng.Gaussian(0, spread));
+      labels.push_back(label);
+    }
+    return ComputeClusterSeparation(embeddings, labels);
+  };
+  ClusterSeparation tight = make(0.2f);
+  ClusterSeparation loose = make(3.0f);
+  EXPECT_GT(tight.fisher_ratio, loose.fisher_ratio);
+  EXPECT_GT(tight.min_centroid_distance, 0.0);
+}
+
+TEST(ClusterSeparationTest, SingleClassHasNoBetweenScatter) {
+  Rng rng(6);
+  Tensor embeddings = Tensor::RandNormal(Shape::Matrix(10, 3), rng);
+  std::vector<int> labels(10, 0);
+  ClusterSeparation sep = ComputeClusterSeparation(embeddings, labels);
+  EXPECT_DOUBLE_EQ(sep.between_class_scatter, 0.0);
+  EXPECT_GT(sep.within_class_scatter, 0.0);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace pilote

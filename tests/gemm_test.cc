@@ -1,0 +1,109 @@
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace {
+
+// Naive triple-loop reference used to validate the optimized kernels.
+Tensor ReferenceMatMul(const Tensor& a, const Tensor& b) {
+  Tensor c(Shape::Matrix(a.rows(), b.cols()));
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < a.cols(); ++p) acc += a(i, p) * b(p, j);
+      c(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+TEST(GemmTest, SmallKnownProduct) {
+  Tensor a(Shape::Matrix(2, 3), {1, 2, 3, 4, 5, 6});
+  Tensor b(Shape::Matrix(3, 2), {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_TRUE(AllClose(c, Tensor(Shape::Matrix(2, 2), {58, 64, 139, 154})));
+}
+
+TEST(GemmTest, IdentityIsNeutral) {
+  Rng rng(1);
+  Tensor a = Tensor::RandNormal(Shape::Matrix(6, 6), rng);
+  Tensor eye(Shape::Matrix(6, 6));
+  for (int64_t i = 0; i < 6; ++i) eye(i, i) = 1.0f;
+  EXPECT_TRUE(AllClose(MatMul(a, eye), a));
+  EXPECT_TRUE(AllClose(MatMul(eye, a), a));
+}
+
+TEST(GemmTest, TransBMatchesExplicitTranspose) {
+  Rng rng(2);
+  Tensor a = Tensor::RandNormal(Shape::Matrix(5, 8), rng);
+  Tensor b = Tensor::RandNormal(Shape::Matrix(7, 8), rng);
+  EXPECT_TRUE(AllClose(MatMulTransB(a, b), MatMul(a, Transpose(b)), 1e-4f));
+}
+
+TEST(GemmTest, TransAMatchesExplicitTranspose) {
+  Rng rng(3);
+  Tensor a = Tensor::RandNormal(Shape::Matrix(8, 5), rng);
+  Tensor b = Tensor::RandNormal(Shape::Matrix(8, 7), rng);
+  EXPECT_TRUE(AllClose(MatMulTransA(a, b), MatMul(Transpose(a), b), 1e-4f));
+}
+
+TEST(GemmTest, MismatchedInnerDimIsFatal) {
+  Tensor a(Shape::Matrix(2, 3));
+  Tensor b(Shape::Matrix(4, 2));
+  EXPECT_DEATH(MatMul(a, b), "MatMul");
+}
+
+TEST(GemmTest, TransposeInvolution) {
+  Rng rng(4);
+  Tensor a = Tensor::RandNormal(Shape::Matrix(3, 9), rng);
+  EXPECT_TRUE(AllClose(Transpose(Transpose(a)), a, 0.0f, 0.0f));
+}
+
+// Parameterized sweep over shapes, including sizes large enough to cross
+// the kernel's parallel-dispatch threshold and degenerate 1-row/1-col
+// cases.
+class GemmShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapeTest, MatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 10007 + k * 101 + n));
+  Tensor a = Tensor::RandNormal(Shape::Matrix(m, k), rng);
+  Tensor b = Tensor::RandNormal(Shape::Matrix(k, n), rng);
+  EXPECT_TRUE(AllClose(MatMul(a, b), ReferenceMatMul(a, b), 1e-3f, 1e-3f))
+      << "m=" << m << " k=" << k << " n=" << n;
+}
+
+TEST_P(GemmShapeTest, TransBMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 7 + k * 13 + n * 17));
+  Tensor a = Tensor::RandNormal(Shape::Matrix(m, k), rng);
+  Tensor bt = Tensor::RandNormal(Shape::Matrix(n, k), rng);
+  EXPECT_TRUE(AllClose(MatMulTransB(a, bt),
+                       ReferenceMatMul(a, Transpose(bt)), 1e-3f, 1e-3f));
+}
+
+TEST_P(GemmShapeTest, TransAMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 19 + k * 23 + n * 29));
+  Tensor at = Tensor::RandNormal(Shape::Matrix(k, m), rng);
+  Tensor b = Tensor::RandNormal(Shape::Matrix(k, n), rng);
+  EXPECT_TRUE(AllClose(MatMulTransA(at, b),
+                       ReferenceMatMul(Transpose(at), b), 1e-3f, 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 8, 5),
+                      std::make_tuple(7, 1, 3), std::make_tuple(4, 6, 1),
+                      std::make_tuple(16, 16, 16), std::make_tuple(33, 17, 29),
+                      std::make_tuple(64, 128, 32),
+                      std::make_tuple(128, 80, 128)));
+
+}  // namespace
+}  // namespace pilote

@@ -1,0 +1,392 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "losses/contrastive.h"
+#include "losses/distillation.h"
+#include "losses/joint.h"
+#include "losses/pair_sampler.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace {
+
+namespace ag = autograd;
+
+// ---------------------------------------------------------------- Contrastive
+
+TEST(ContrastiveLossTest, PositivePairPenalizesDistance) {
+  // One positive pair at squared distance 4 -> loss 4.
+  Tensor left(Shape::Matrix(1, 2), {0.0f, 0.0f});
+  Tensor right(Shape::Matrix(1, 2), {2.0f, 0.0f});
+  Tensor y(Shape::Vector(1), {1.0f});
+  EXPECT_NEAR(losses::ContrastiveLossValue(left, right, y, 5.0f), 4.0f, 1e-5f);
+}
+
+TEST(ContrastiveLossTest, NegativePairBeyondMarginIsFree) {
+  Tensor left(Shape::Matrix(1, 2), {0.0f, 0.0f});
+  Tensor right(Shape::Matrix(1, 2), {10.0f, 0.0f});
+  Tensor y(Shape::Vector(1), {0.0f});
+  EXPECT_NEAR(losses::ContrastiveLossValue(left, right, y, 5.0f), 0.0f, 1e-5f);
+}
+
+TEST(ContrastiveLossTest, NegativePairInsideMarginPenalized) {
+  // d^2 = 9, m^2 = 25 -> hinge 16.
+  Tensor left(Shape::Matrix(1, 2), {0.0f, 0.0f});
+  Tensor right(Shape::Matrix(1, 2), {3.0f, 0.0f});
+  Tensor y(Shape::Vector(1), {0.0f});
+  EXPECT_NEAR(losses::ContrastiveLossValue(left, right, y, 5.0f), 16.0f,
+              1e-4f);
+}
+
+TEST(ContrastiveLossTest, BatchIsAveraged) {
+  Tensor left(Shape::Matrix(2, 1), {0.0f, 0.0f});
+  Tensor right(Shape::Matrix(2, 1), {2.0f, 3.0f});
+  Tensor y(Shape::Vector(2), {1.0f, 0.0f});
+  // pair 0: pos d2=4 -> 4 ; pair 1: neg d2=9, m2=25 -> 16 ; mean = 10.
+  EXPECT_NEAR(losses::ContrastiveLossValue(left, right, y, 5.0f), 10.0f,
+              1e-4f);
+}
+
+TEST(ContrastiveLossTest, AutogradValueMatchesPlainValue) {
+  Rng rng(1);
+  Tensor left = Tensor::RandNormal(Shape::Matrix(8, 4), rng);
+  Tensor right = Tensor::RandNormal(Shape::Matrix(8, 4), rng);
+  Tensor y(Shape::Vector(8));
+  for (int i = 0; i < 8; ++i) y[i] = (i % 2 == 0) ? 1.0f : 0.0f;
+  ag::Variable loss = losses::ContrastiveLoss(
+      ag::Variable::Parameter(left), ag::Variable::Parameter(right), y, 2.0f);
+  EXPECT_NEAR(loss.value()[0],
+              losses::ContrastiveLossValue(left, right, y, 2.0f), 1e-4f);
+}
+
+TEST(ContrastiveLossTest, GradientPullsPositivesTogether) {
+  // Gradient of a positive pair should move `left` toward `right`.
+  ag::Variable left =
+      ag::Variable::Parameter(Tensor(Shape::Matrix(1, 2), {0.0f, 0.0f}));
+  ag::Variable right =
+      ag::Variable::Constant(Tensor(Shape::Matrix(1, 2), {2.0f, 0.0f}));
+  Tensor y(Shape::Vector(1), {1.0f});
+  losses::ContrastiveLoss(left, right, y, 5.0f).Backward();
+  // d loss / d left_x = 2 * (left_x - right_x) = -4: descending increases x.
+  EXPECT_NEAR(left.grad()(0, 0), -4.0f, 1e-4f);
+}
+
+TEST(ContrastiveLossTest, GradientPushesCloseNegativesApart) {
+  ag::Variable left =
+      ag::Variable::Parameter(Tensor(Shape::Matrix(1, 2), {1.0f, 0.0f}));
+  ag::Variable right =
+      ag::Variable::Constant(Tensor(Shape::Matrix(1, 2), {0.0f, 0.0f}));
+  Tensor y(Shape::Vector(1), {0.0f});
+  losses::ContrastiveLoss(left, right, y, 5.0f).Backward();
+  // Inside the margin: gradient on left_x is -2*(left-right) = -2;
+  // descending moves left_x to larger values, away from right.
+  EXPECT_LT(left.grad()(0, 0), 0.0f);
+}
+
+TEST(ContrastiveLossTest, NonBinarySimilarityIsFatal) {
+  Tensor left(Shape::Matrix(1, 2));
+  Tensor right(Shape::Matrix(1, 2));
+  Tensor y(Shape::Vector(1), {0.5f});
+  EXPECT_DEATH(losses::ContrastiveLoss(ag::Variable::Constant(left),
+                                       ag::Variable::Constant(right), y, 1.0f),
+               "similar must be 0/1");
+}
+
+TEST(ContrastiveLossTest, HadsellFormKnownValues) {
+  // d = 3, m = 5 -> hinge (5 - 3)^2 = 4 for a negative pair.
+  Tensor left(Shape::Matrix(1, 2), {0.0f, 0.0f});
+  Tensor right(Shape::Matrix(1, 2), {3.0f, 0.0f});
+  Tensor y(Shape::Vector(1), {0.0f});
+  EXPECT_NEAR(losses::ContrastiveLossValue(left, right, y, 5.0f,
+                                           losses::ContrastiveForm::kHadsell),
+              4.0f, 1e-4f);
+  // Positive pairs are identical under both forms.
+  Tensor y_pos(Shape::Vector(1), {1.0f});
+  EXPECT_NEAR(losses::ContrastiveLossValue(left, right, y_pos, 5.0f,
+                                           losses::ContrastiveForm::kHadsell),
+              9.0f, 1e-4f);
+}
+
+TEST(ContrastiveLossTest, SquaredHingeGradientVanishesAtCollapse) {
+  // A negative pair with identical embeddings: Eq. 2's gradient is zero
+  // (the deadlock motivating the Hadsell option), while the Hadsell form
+  // still repels.
+  Tensor same(Shape::Matrix(1, 2), {1.0f, 1.0f});
+  Tensor y(Shape::Vector(1), {0.0f});
+
+  ag::Variable left_sq = ag::Variable::Parameter(same);
+  losses::ContrastiveLoss(left_sq, ag::Variable::Constant(same), y, 5.0f,
+                          losses::ContrastiveForm::kSquaredHinge)
+      .Backward();
+  EXPECT_NEAR(left_sq.grad()(0, 0), 0.0f, 1e-6f);
+  EXPECT_NEAR(left_sq.grad()(0, 1), 0.0f, 1e-6f);
+
+  ag::Variable left_h = ag::Variable::Parameter(same);
+  losses::ContrastiveLoss(left_h, ag::Variable::Constant(same), y, 5.0f,
+                          losses::ContrastiveForm::kHadsell)
+      .Backward();
+  // Finite (possibly huge) repulsion magnitude; direction is arbitrary
+  // at the exact collapse point, but the gradient must be non-zero for a
+  // nearly-collapsed pair:
+  Tensor nudged(Shape::Matrix(1, 2), {1.001f, 1.0f});
+  ag::Variable left_near = ag::Variable::Parameter(nudged);
+  losses::ContrastiveLoss(left_near, ag::Variable::Constant(same), y, 5.0f,
+                          losses::ContrastiveForm::kHadsell)
+      .Backward();
+  EXPECT_GT(std::fabs(left_near.grad()(0, 0)), 1.0f);
+}
+
+TEST(ContrastiveLossTest, HadsellGradCheckAwayFromCollapse) {
+  Rng rng(21);
+  Tensor left_t = Tensor::RandNormal(Shape::Matrix(6, 3), rng);
+  Tensor right_t = Tensor::RandNormal(Shape::Matrix(6, 3), rng);
+  Tensor y(Shape::Vector(6));
+  for (int i = 0; i < 6; ++i) y[i] = (i % 2 == 0) ? 1.0f : 0.0f;
+
+  ag::Variable left = ag::Variable::Parameter(left_t);
+  ag::Variable loss = losses::ContrastiveLoss(
+      left, ag::Variable::Constant(right_t), y, 2.0f,
+      losses::ContrastiveForm::kHadsell);
+  loss.Backward();
+  const Tensor analytic = left.grad();
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < left_t.numel(); ++i) {
+    Tensor& v = left.mutable_value();
+    const float original = v[i];
+    v[i] = original + eps;
+    const float plus = losses::ContrastiveLossValue(
+        v, right_t, y, 2.0f, losses::ContrastiveForm::kHadsell);
+    v[i] = original - eps;
+    const float minus = losses::ContrastiveLossValue(
+        v, right_t, y, 2.0f, losses::ContrastiveForm::kHadsell);
+    v[i] = original;
+    const float numeric = (plus - minus) / (2.0f * eps);
+    EXPECT_NEAR(analytic[i], numeric,
+                2e-2f * std::max(1.0f, std::fabs(numeric)));
+  }
+}
+
+// Margin monotonicity: a larger margin can only increase the loss of
+// negative pairs.
+class ContrastiveMarginTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(ContrastiveMarginTest, NegativeLossNondecreasingInMargin) {
+  Rng rng(2);
+  Tensor left = Tensor::RandNormal(Shape::Matrix(16, 3), rng);
+  Tensor right = Tensor::RandNormal(Shape::Matrix(16, 3), rng);
+  Tensor y(Shape::Vector(16), 0.0f);  // all negatives
+  const float margin = GetParam();
+  const float small = losses::ContrastiveLossValue(left, right, y, margin);
+  const float large =
+      losses::ContrastiveLossValue(left, right, y, margin + 1.0f);
+  EXPECT_GE(large, small);
+}
+
+INSTANTIATE_TEST_SUITE_P(Margins, ContrastiveMarginTest,
+                         ::testing::Values(0.5f, 1.0f, 2.0f, 5.0f, 10.0f));
+
+// ---------------------------------------------------------------- Distillation
+
+TEST(DistillationLossTest, ZeroWhenStudentMatchesTeacher) {
+  Rng rng(3);
+  Tensor teacher = Tensor::RandNormal(Shape::Matrix(6, 4), rng);
+  EXPECT_NEAR(losses::DistillationLossValue(teacher, teacher), 0.0f, 1e-6f);
+}
+
+TEST(DistillationLossTest, ValueIsMeanRowSquaredDrift) {
+  Tensor teacher(Shape::Matrix(2, 2), {0, 0, 0, 0});
+  Tensor student(Shape::Matrix(2, 2), {1, 1, 2, 0});
+  // rows: 2 and 4 -> mean 3.
+  EXPECT_NEAR(losses::DistillationLossValue(student, teacher), 3.0f, 1e-5f);
+}
+
+TEST(DistillationLossTest, GradientPointsTowardTeacher) {
+  Tensor teacher(Shape::Matrix(1, 2), {3.0f, -1.0f});
+  ag::Variable student =
+      ag::Variable::Parameter(Tensor(Shape::Matrix(1, 2), {0.0f, 0.0f}));
+  losses::DistillationLoss(student, teacher).Backward();
+  EXPECT_LT(student.grad()(0, 0), 0.0f);  // move up toward 3
+  EXPECT_GT(student.grad()(0, 1), 0.0f);  // move down toward -1
+}
+
+TEST(DistillationLossTest, ShapeMismatchIsFatal) {
+  Tensor teacher(Shape::Matrix(2, 3));
+  ag::Variable student = ag::Variable::Parameter(Tensor(Shape::Matrix(2, 4)));
+  EXPECT_DEATH(losses::DistillationLoss(student, teacher), "mismatch");
+}
+
+// ---------------------------------------------------------------- Joint
+
+TEST(JointLossTest, AlphaEndpoints) {
+  ag::Variable distill = ag::Variable::Constant(Tensor::Scalar(2.0f));
+  ag::Variable contra = ag::Variable::Constant(Tensor::Scalar(10.0f));
+  EXPECT_NEAR(losses::JointLoss(distill, contra, 0.0f).value()[0], 10.0f,
+              1e-6f);
+  EXPECT_NEAR(losses::JointLoss(distill, contra, 1.0f).value()[0], 2.0f,
+              1e-6f);
+  EXPECT_NEAR(losses::JointLoss(distill, contra, 0.5f).value()[0], 6.0f,
+              1e-6f);
+}
+
+TEST(JointLossTest, OutOfRangeAlphaIsFatal) {
+  ag::Variable a = ag::Variable::Constant(Tensor::Scalar(1.0f));
+  EXPECT_DEATH(losses::JointLoss(a, a, 1.5f), "alpha");
+}
+
+// ---------------------------------------------------------------- PairSampler
+
+// Builds a labeled set: `per_class` rows per class, feature = label value.
+std::pair<Tensor, std::vector<int>> MakeLabeledSet(
+    const std::vector<int>& classes, int per_class) {
+  const int n = static_cast<int>(classes.size()) * per_class;
+  Tensor features(Shape::Matrix(n, 2));
+  std::vector<int> labels;
+  int row = 0;
+  for (int label : classes) {
+    for (int i = 0; i < per_class; ++i) {
+      features(row, 0) = static_cast<float>(label);
+      features(row, 1) = static_cast<float>(label);
+      labels.push_back(label);
+      ++row;
+    }
+  }
+  return {features, labels};
+}
+
+TEST(PairSamplerTest, BalancedRandomLabelsAreConsistent) {
+  auto [features, labels] = MakeLabeledSet({0, 1, 2}, 10);
+  losses::PairSampler sampler(features, labels,
+                              losses::PairStrategy::kBalancedRandom, 7);
+  losses::PairBatch batch = sampler.Next(200);
+  int positives = 0;
+  for (int64_t i = 0; i < 200; ++i) {
+    // The feature value encodes the class, so similarity is checkable.
+    const bool same = batch.left(i, 0) == batch.right(i, 0);
+    EXPECT_EQ(batch.similar[i], same ? 1.0f : 0.0f);
+    if (same) ++positives;
+  }
+  // Balanced to roughly 50/50.
+  EXPECT_GT(positives, 60);
+  EXPECT_LT(positives, 140);
+}
+
+TEST(PairSamplerTest, CrossAndNewNeverPairsOldWithOldPositively) {
+  auto [old_features, old_labels] = MakeLabeledSet({0, 1}, 8);
+  auto [new_features, new_labels] = MakeLabeledSet({5}, 6);
+  losses::PairSampler sampler(old_features, old_labels, new_features,
+                              new_labels, losses::PairStrategy::kCrossAndNew,
+                              11);
+  losses::PairBatch batch = sampler.Next(300);
+  for (int64_t i = 0; i < 300; ++i) {
+    if (batch.similar[i] == 1.0f) {
+      // Positives must be (new, new): feature value 5 on both sides.
+      EXPECT_EQ(batch.left(i, 0), 5.0f);
+      EXPECT_EQ(batch.right(i, 0), 5.0f);
+    } else {
+      // Negatives are old x new cross pairs.
+      EXPECT_NE(batch.left(i, 0), 5.0f);
+      EXPECT_EQ(batch.right(i, 0), 5.0f);
+    }
+  }
+}
+
+TEST(PairSamplerTest, CrossAndNewWithSingleNewSampleIsAllNegative) {
+  auto [old_features, old_labels] = MakeLabeledSet({0, 1}, 4);
+  auto [new_features, new_labels] = MakeLabeledSet({5}, 1);
+  losses::PairSampler sampler(old_features, old_labels, new_features,
+                              new_labels, losses::PairStrategy::kCrossAndNew,
+                              13);
+  losses::PairBatch batch = sampler.Next(50);
+  for (int64_t i = 0; i < 50; ++i) EXPECT_EQ(batch.similar[i], 0.0f);
+}
+
+TEST(PairSamplerTest, AllPairsLabelsMatchFeatures) {
+  auto [old_features, old_labels] = MakeLabeledSet({0, 1}, 5);
+  auto [new_features, new_labels] = MakeLabeledSet({2}, 5);
+  losses::PairSampler sampler(old_features, old_labels, new_features,
+                              new_labels, losses::PairStrategy::kAllPairs, 17);
+  losses::PairBatch batch = sampler.Next(200);
+  for (int64_t i = 0; i < 200; ++i) {
+    const bool same = batch.left(i, 0) == batch.right(i, 0);
+    EXPECT_EQ(batch.similar[i], same ? 1.0f : 0.0f);
+  }
+}
+
+TEST(PairSamplerTest, CandidatePairCounts) {
+  auto [old_features, old_labels] = MakeLabeledSet({0, 1}, 10);   // 20 rows
+  auto [new_features, new_labels] = MakeLabeledSet({5}, 6);       // 6 rows
+  losses::PairSampler cross(old_features, old_labels, new_features, new_labels,
+                            losses::PairStrategy::kCrossAndNew, 1);
+  // C(6,2) + 20*6 = 15 + 120.
+  EXPECT_EQ(cross.CandidatePairCount(), 135);
+
+  losses::PairSampler all(old_features, old_labels, new_features, new_labels,
+                          losses::PairStrategy::kAllPairs, 1);
+  // C(26,2) = 325.
+  EXPECT_EQ(all.CandidatePairCount(), 325);
+
+  losses::PairSampler balanced(old_features, old_labels,
+                               losses::PairStrategy::kBalancedRandom, 1);
+  // C(20,2) = 190.
+  EXPECT_EQ(balanced.CandidatePairCount(), 190);
+}
+
+TEST(PairSamplerTest, PaperPairReductionShrinksCandidateSet) {
+  // Sec 5.2: the reduced pair pool is far smaller than all-pairs when the
+  // old support set is large.
+  auto [old_features, old_labels] = MakeLabeledSet({0, 1, 2, 3}, 200);
+  auto [new_features, new_labels] = MakeLabeledSet({4}, 30);
+  losses::PairSampler cross(old_features, old_labels, new_features, new_labels,
+                            losses::PairStrategy::kCrossAndNew, 1);
+  losses::PairSampler all(old_features, old_labels, new_features, new_labels,
+                          losses::PairStrategy::kAllPairs, 1);
+  EXPECT_LT(cross.CandidatePairCount() * 10, all.CandidatePairCount());
+}
+
+TEST(PairSamplerTest, CrossAndNewMarksOldLeftRows) {
+  auto [old_features, old_labels] = MakeLabeledSet({0, 1}, 8);
+  auto [new_features, new_labels] = MakeLabeledSet({5}, 6);
+  losses::PairSampler sampler(old_features, old_labels, new_features,
+                              new_labels, losses::PairStrategy::kCrossAndNew,
+                              23);
+  losses::PairBatch batch = sampler.Next(100);
+  ASSERT_EQ(batch.left_is_old.size(), 100u);
+  for (int64_t i = 0; i < 100; ++i) {
+    // Cross pairs (negatives) are exactly the rows flagged old-left.
+    EXPECT_EQ(batch.left_is_old[static_cast<size_t>(i)],
+              batch.similar[i] == 0.0f);
+  }
+}
+
+TEST(PairSamplerTest, OtherStrategiesLeaveFlagsEmpty) {
+  auto [features, labels] = MakeLabeledSet({0, 1}, 6);
+  losses::PairSampler sampler(features, labels,
+                              losses::PairStrategy::kBalancedRandom, 29);
+  EXPECT_TRUE(sampler.Next(8).left_is_old.empty());
+}
+
+TEST(PairSamplerTest, DeterministicForSeed) {
+  auto [features, labels] = MakeLabeledSet({0, 1, 2}, 6);
+  losses::PairSampler a(features, labels,
+                        losses::PairStrategy::kBalancedRandom, 99);
+  losses::PairSampler b(features, labels,
+                        losses::PairStrategy::kBalancedRandom, 99);
+  losses::PairBatch ba = a.Next(32);
+  losses::PairBatch bb = b.Next(32);
+  EXPECT_TRUE(AllClose(ba.left, bb.left, 0.0f, 0.0f));
+  EXPECT_TRUE(AllClose(ba.right, bb.right, 0.0f, 0.0f));
+  EXPECT_TRUE(AllClose(ba.similar, bb.similar, 0.0f, 0.0f));
+}
+
+TEST(PairSamplerTest, SingleSetConstructorRejectsCrossStrategy) {
+  auto [features, labels] = MakeLabeledSet({0, 1}, 4);
+  EXPECT_DEATH(losses::PairSampler(features, labels,
+                                   losses::PairStrategy::kCrossAndNew, 1),
+               "two-set");
+}
+
+}  // namespace
+}  // namespace pilote

@@ -1,0 +1,263 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "nn/activation.h"
+#include "nn/backbone.h"
+#include "nn/batchnorm.h"
+#include "nn/linear.h"
+#include "nn/sequential.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace {
+
+namespace ag = autograd;
+
+TEST(LinearTest, OutputShapeAndParams) {
+  Rng rng(1);
+  nn::Linear layer(8, 3, rng);
+  ag::Variable x = ag::Variable::Constant(
+      Tensor::RandNormal(Shape::Matrix(5, 8), rng));
+  ag::Variable y = layer.Forward(x);
+  EXPECT_EQ(y.value().rows(), 5);
+  EXPECT_EQ(y.value().cols(), 3);
+  EXPECT_EQ(layer.Parameters().size(), 2u);
+  EXPECT_EQ(layer.NumParameters(), 8 * 3 + 3);
+}
+
+TEST(LinearTest, MatchesManualAffineMap) {
+  Rng rng(2);
+  nn::Linear layer(4, 2, rng);
+  Tensor x = Tensor::RandNormal(Shape::Matrix(3, 4), rng);
+  Tensor expected = AddRowVector(MatMulTransB(x, layer.weight().value()),
+                                 layer.bias().value());
+  ag::Variable y = layer.Forward(ag::Variable::Constant(x));
+  EXPECT_TRUE(AllClose(y.value(), expected));
+}
+
+TEST(LinearTest, HeInitializationScale) {
+  Rng rng(3);
+  nn::Linear layer(1000, 50, rng);
+  const Tensor& w = layer.weight().value();
+  const float expected_std = std::sqrt(2.0f / 1000.0f);
+  double sum_sq = 0.0;
+  for (int64_t i = 0; i < w.numel(); ++i) sum_sq += w[i] * w[i];
+  const double observed_std = std::sqrt(sum_sq / w.numel());
+  EXPECT_NEAR(observed_std, expected_std, 0.2 * expected_std);
+  // Bias starts at zero.
+  for (int64_t i = 0; i < layer.bias().value().numel(); ++i) {
+    EXPECT_EQ(layer.bias().value()[i], 0.0f);
+  }
+}
+
+TEST(LinearTest, WrongInputWidthIsFatal) {
+  Rng rng(4);
+  nn::Linear layer(4, 2, rng);
+  ag::Variable x = ag::Variable::Constant(Tensor(Shape::Matrix(3, 5)));
+  EXPECT_DEATH(layer.Forward(x), "CHECK failed");
+}
+
+TEST(BatchNormTest, TrainingNormalizesAndUpdatesRunningStats) {
+  Rng rng(5);
+  nn::BatchNorm1d bn(3, 1e-5f, 0.5f);
+  bn.SetTraining(true);
+  Tensor x = Tensor::RandNormal(Shape::Matrix(128, 3), rng, 10.0f, 2.0f);
+  ag::Variable y = bn.Forward(ag::Variable::Constant(x));
+  Tensor mean = ColumnMean(y.value());
+  for (int64_t c = 0; c < 3; ++c) EXPECT_NEAR(mean[c], 0.0f, 1e-3f);
+  // running_mean moved from 0 toward the batch mean (momentum 0.5).
+  const Tensor batch_mean = ColumnMean(x);
+  for (int64_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(bn.running_mean()[c], 0.5f * batch_mean[c], 1e-3f);
+  }
+}
+
+TEST(BatchNormTest, EvalModeUsesRunningStats) {
+  Rng rng(6);
+  nn::BatchNorm1d bn(2);
+  bn.SetTraining(true);
+  // Several training passes to move the running stats.
+  for (int i = 0; i < 20; ++i) {
+    bn.Forward(ag::Variable::Constant(
+        Tensor::RandNormal(Shape::Matrix(64, 2), rng, 4.0f, 2.0f)));
+  }
+  bn.SetTraining(false);
+  // A single eval-mode row must not be normalized by its own statistics
+  // (which would be degenerate); it uses the running ones.
+  Tensor x(Shape::Matrix(1, 2), {4.0f, 4.0f});
+  ag::Variable y = bn.Forward(ag::Variable::Constant(x));
+  for (int64_t c = 0; c < 2; ++c) {
+    EXPECT_NEAR(y.value()[c], 0.0f, 0.5f);  // approx standardized toward 0
+  }
+}
+
+TEST(BatchNormTest, EvalIsDeterministicAcrossBatchComposition) {
+  Rng rng(7);
+  nn::BatchNorm1d bn(3);
+  bn.SetTraining(true);
+  bn.Forward(ag::Variable::Constant(
+      Tensor::RandNormal(Shape::Matrix(32, 3), rng)));
+  bn.SetTraining(false);
+  Tensor a = Tensor::RandNormal(Shape::Matrix(4, 3), rng);
+  Tensor b = Tensor::RandNormal(Shape::Matrix(4, 3), rng);
+  // Row 0 of `a` embeds identically whether batched with `a` or alone.
+  Tensor full = bn.Forward(ag::Variable::Constant(a)).value();
+  Tensor solo =
+      bn.Forward(ag::Variable::Constant(SliceRows(a, 0, 1))).value();
+  EXPECT_TRUE(AllClose(SliceRows(full, 0, 1), solo));
+  (void)b;
+}
+
+TEST(BatchNormTest, FrozenStatsNormalizeWithRunningStatistics) {
+  Rng rng(20);
+  nn::BatchNorm1d bn(2);
+  bn.SetTraining(true);
+  // Move the running stats with some training batches.
+  for (int i = 0; i < 10; ++i) {
+    bn.Forward(ag::Variable::Constant(
+        Tensor::RandNormal(Shape::Matrix(64, 2), rng, 3.0f, 1.0f)));
+  }
+  const Tensor mean_before = bn.running_mean();
+
+  bn.SetNormalizationFrozen(true);
+  EXPECT_TRUE(bn.frozen_stats());
+  // A wildly off-distribution batch in TRAINING mode: with frozen stats
+  // the output must use the running statistics (not the batch's own) and
+  // the running statistics must not move.
+  Tensor shifted = Tensor::RandNormal(Shape::Matrix(32, 2), rng, 50.0f, 1.0f);
+  ag::Variable out = bn.Forward(ag::Variable::Constant(shifted));
+  EXPECT_TRUE(AllClose(bn.running_mean(), mean_before, 0.0f, 0.0f));
+  // Output is far from zero-mean because the batch is far from the
+  // running mean.
+  EXPECT_GT(Mean(out.value()), 10.0f);
+
+  bn.SetNormalizationFrozen(false);
+  bn.Forward(ag::Variable::Constant(shifted));
+  EXPECT_FALSE(AllClose(bn.running_mean(), mean_before, 0.0f, 0.0f));
+}
+
+TEST(BatchNormTest, FrozenStatsStillTrainGammaBeta) {
+  Rng rng(21);
+  nn::BatchNorm1d bn(2);
+  bn.SetTraining(true);
+  bn.SetNormalizationFrozen(true);
+  ag::Variable x = ag::Variable::Constant(
+      Tensor::RandNormal(Shape::Matrix(16, 2), rng));
+  ag::Sum(ag::Square(bn.Forward(x))).Backward();
+  auto params = bn.Parameters();
+  EXPECT_GT(params[0].grad().numel(), 0);  // gamma still learns
+  EXPECT_GT(params[1].grad().numel(), 0);  // beta still learns
+}
+
+TEST(SequentialTest, ChainsChildrenAndAggregatesState) {
+  Rng rng(8);
+  nn::Sequential seq;
+  seq.Emplace<nn::Linear>(4, 6, rng);
+  seq.Emplace<nn::BatchNorm1d>(6);
+  seq.Emplace<nn::ReLU>();
+  seq.Emplace<nn::Linear>(6, 2, rng);
+  EXPECT_EQ(seq.size(), 4u);
+  EXPECT_EQ(seq.Parameters().size(), 2u + 2u + 0u + 2u);
+  // Linear(2) + BN(gamma,beta,run_mean,run_var) + Linear(2).
+  EXPECT_EQ(seq.StateTensors().size(), 2u + 4u + 2u);
+
+  ag::Variable y = seq.Forward(
+      ag::Variable::Constant(Tensor::RandNormal(Shape::Matrix(9, 4), rng)));
+  EXPECT_EQ(y.value().rows(), 9);
+  EXPECT_EQ(y.value().cols(), 2);
+}
+
+TEST(SequentialTest, SetTrainingPropagates) {
+  Rng rng(9);
+  nn::Sequential seq;
+  auto* bn = seq.Emplace<nn::BatchNorm1d>(3);
+  seq.SetTraining(false);
+  EXPECT_FALSE(bn->training());
+  seq.SetTraining(true);
+  EXPECT_TRUE(bn->training());
+}
+
+TEST(BackboneTest, PaperConfigDimensions) {
+  Rng rng(10);
+  nn::BackboneConfig config = nn::BackboneConfig::Paper();
+  EXPECT_EQ(config.input_dim, 80);
+  EXPECT_EQ(config.embedding_dim, 128);
+  nn::MlpBackbone model(config, rng);
+  ag::Variable y = model.Forward(
+      ag::Variable::Constant(Tensor::RandNormal(Shape::Matrix(2, 80), rng)));
+  EXPECT_EQ(y.value().cols(), 128);
+  // [80->1024->512->128->64->128] weights + biases, BN gamma/beta on the
+  // four hidden layers.
+  const int64_t expected =
+      (80 * 1024 + 1024) + (1024 * 512 + 512) + (512 * 128 + 128) +
+      (128 * 64 + 64) + (64 * 128 + 128) +
+      2 * (1024 + 512 + 128 + 64);
+  EXPECT_EQ(model.NumParameters(), expected);
+}
+
+TEST(BackboneTest, CloneReproducesOutputs) {
+  Rng rng(11);
+  nn::MlpBackbone model(nn::BackboneConfig::Small(), rng);
+  // Shift the running stats off their init values.
+  model.SetTraining(true);
+  model.Forward(
+      ag::Variable::Constant(Tensor::RandNormal(Shape::Matrix(32, 80), rng)));
+  model.SetTraining(false);
+
+  auto clone = model.Clone();
+  Tensor x = Tensor::RandNormal(Shape::Matrix(5, 80), rng);
+  Tensor a = model.Forward(ag::Variable::Constant(x)).value();
+  Tensor b = clone->Forward(ag::Variable::Constant(x)).value();
+  EXPECT_TRUE(AllClose(a, b, 0.0f, 0.0f));
+}
+
+TEST(BackboneTest, CloneIsIndependentOfOriginal) {
+  Rng rng(12);
+  nn::MlpBackbone model(nn::BackboneConfig::Small(), rng);
+  auto clone = model.Clone();
+  // Mutate the original's first parameter; clone must not follow.
+  model.StateTensors()[0]->Fill(0.0f);
+  bool clone_nonzero = false;
+  const Tensor* clone_w = clone->StateTensors()[0];
+  for (int64_t i = 0; i < clone_w->numel(); ++i) {
+    if ((*clone_w)[i] != 0.0f) clone_nonzero = true;
+  }
+  EXPECT_TRUE(clone_nonzero);
+}
+
+TEST(ModuleTest, CopyStateFromRejectsMismatchedStructure) {
+  Rng rng(13);
+  nn::Linear a(4, 2, rng);
+  nn::Linear b(4, 3, rng);
+  EXPECT_DEATH(a.CopyStateFrom(b), "shape mismatch");
+}
+
+TEST(ModuleTest, SetRequiresGradFreezesParameters) {
+  Rng rng(14);
+  nn::Linear layer(3, 2, rng);
+  layer.SetRequiresGrad(false);
+  ag::Variable x =
+      ag::Variable::Parameter(Tensor::RandNormal(Shape::Matrix(2, 3), rng));
+  ag::Variable loss = ag::Sum(ag::Square(layer.Forward(x)));
+  loss.Backward();
+  EXPECT_EQ(layer.weight().grad().numel(), 0);
+  EXPECT_GT(x.grad().numel(), 0);
+  layer.SetRequiresGrad(true);
+  EXPECT_TRUE(layer.weight().requires_grad());
+}
+
+TEST(BackboneTest, NoBatchNormVariant) {
+  Rng rng(15);
+  nn::BackboneConfig config = nn::BackboneConfig::Small();
+  config.use_batchnorm = false;
+  nn::MlpBackbone model(config, rng);
+  // Only Linear weights/biases in the state.
+  EXPECT_EQ(model.StateTensors().size(),
+            2 * (config.hidden_dims.size() + 1));
+}
+
+}  // namespace
+}  // namespace pilote

@@ -1,0 +1,223 @@
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/backbone.h"
+#include "serialize/io.h"
+#include "serialize/quantize.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace serialize {
+namespace {
+
+namespace ag = autograd;
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ---------------------------------------------------------------- Tensor IO
+
+TEST(TensorIoTest, RoundTripPreservesShapeAndData) {
+  Rng rng(1);
+  std::vector<Tensor> tensors = {
+      Tensor::RandNormal(Shape::Matrix(7, 5), rng),
+      Tensor::RandNormal(Shape::Vector(13), rng),
+      Tensor(Shape::Matrix(1, 1), {42.0f}),
+  };
+  const std::string path = TempPath("pilote_tensors_test.bin");
+  ASSERT_TRUE(SaveTensors(path, tensors).ok());
+  Result<std::vector<Tensor>> loaded = LoadTensors(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(AllClose((*loaded)[i], tensors[i], 0.0f, 0.0f));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TensorIoTest, MissingFileIsIoError) {
+  Result<std::vector<Tensor>> result =
+      LoadTensors("/nonexistent/dir/file.bin");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(TensorIoTest, CorruptedMagicIsDataLoss) {
+  const std::string path = TempPath("pilote_corrupt_test.bin");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "this is not a tensor file at all";
+  }
+  Result<std::vector<Tensor>> result = LoadTensors(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(TensorIoTest, TruncatedPayloadIsDataLoss) {
+  Rng rng(2);
+  const std::string path = TempPath("pilote_trunc_test.bin");
+  ASSERT_TRUE(
+      SaveTensors(path, {Tensor::RandNormal(Shape::Matrix(20, 20), rng)})
+          .ok());
+  // Chop the file in half.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  Result<std::vector<Tensor>> result = LoadTensors(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- Module IO
+
+TEST(ModuleIoTest, FileRoundTripReproducesOutputs) {
+  Rng rng(3);
+  nn::MlpBackbone original(nn::BackboneConfig::Small(), rng);
+  nn::MlpBackbone restored(nn::BackboneConfig::Small(), rng);
+
+  const std::string path = TempPath("pilote_module_test.bin");
+  ASSERT_TRUE(SaveModule(path, original).ok());
+  ASSERT_TRUE(LoadModule(path, restored).ok());
+
+  Tensor x = Tensor::RandNormal(Shape::Matrix(4, 80), rng);
+  original.SetTraining(false);
+  restored.SetTraining(false);
+  Tensor a = original.Forward(ag::Variable::Constant(x)).value();
+  Tensor b = restored.Forward(ag::Variable::Constant(x)).value();
+  EXPECT_TRUE(AllClose(a, b, 0.0f, 0.0f));
+  std::remove(path.c_str());
+}
+
+TEST(ModuleIoTest, InMemoryRoundTrip) {
+  Rng rng(4);
+  nn::MlpBackbone original(nn::BackboneConfig::Small(), rng);
+  nn::MlpBackbone restored(nn::BackboneConfig::Small(), rng);
+  std::string payload = SerializeModuleToString(original);
+  EXPECT_GT(payload.size(), 1000u);
+  ASSERT_TRUE(DeserializeModuleFromString(payload, restored).ok());
+  Tensor x = Tensor::RandNormal(Shape::Matrix(2, 80), rng);
+  EXPECT_TRUE(AllClose(
+      original.Forward(ag::Variable::Constant(x)).value(),
+      restored.Forward(ag::Variable::Constant(x)).value(), 0.0f, 0.0f));
+}
+
+TEST(ModuleIoTest, StructureMismatchIsDataLoss) {
+  Rng rng(5);
+  nn::MlpBackbone small(nn::BackboneConfig::Small(), rng);
+  nn::BackboneConfig other_config = nn::BackboneConfig::Small();
+  other_config.embedding_dim = 16;
+  nn::MlpBackbone other(other_config, rng);
+  std::string payload = SerializeModuleToString(small);
+  Status status = DeserializeModuleFromString(payload, other);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+}
+
+// ---------------------------------------------------------------- Half floats
+
+TEST(HalfFloatTest, ExactlyRepresentableValuesRoundTrip) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -3.25f, 1024.0f, 0.125f}) {
+    EXPECT_EQ(HalfToFloat(FloatToHalf(v)), v) << v;
+  }
+}
+
+TEST(HalfFloatTest, RelativeErrorWithinHalfPrecision) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = static_cast<float>(rng.UniformDouble(-100.0, 100.0));
+    const float r = HalfToFloat(FloatToHalf(v));
+    EXPECT_NEAR(r, v, std::fabs(v) * 1e-3f + 1e-4f);
+  }
+}
+
+TEST(HalfFloatTest, OverflowSaturatesToInfinity) {
+  EXPECT_TRUE(std::isinf(HalfToFloat(FloatToHalf(1e20f))));
+  EXPECT_TRUE(std::isinf(HalfToFloat(FloatToHalf(-1e20f))));
+  EXPECT_LT(HalfToFloat(FloatToHalf(-1e20f)), 0.0f);
+}
+
+TEST(HalfFloatTest, NanPropagates) {
+  EXPECT_TRUE(std::isnan(HalfToFloat(FloatToHalf(NAN))));
+}
+
+TEST(HalfFloatTest, SubnormalsSurvive) {
+  // 1e-5 is subnormal in binary16 but still representable approximately.
+  const float v = 1e-5f;
+  const float r = HalfToFloat(FloatToHalf(v));
+  EXPECT_NEAR(r, v, 1e-6f);
+}
+
+// ---------------------------------------------------------------- Quantization
+
+class QuantizeModeTest : public ::testing::TestWithParam<QuantMode> {};
+
+TEST_P(QuantizeModeTest, RoundTripWithinModeTolerance) {
+  Rng rng(7);
+  Tensor t = Tensor::RandNormal(Shape::Matrix(40, 80), rng, 0.0f, 3.0f);
+  QuantizedTensor q = QuantizedTensor::Quantize(t, GetParam());
+  Tensor back = q.Dequantize();
+  ASSERT_EQ(back.shape(), t.shape());
+  float tolerance = 0.0f;
+  switch (GetParam()) {
+    case QuantMode::kFloat32:
+      tolerance = 0.0f;
+      break;
+    case QuantMode::kFloat16:
+      tolerance = 0.01f;
+      break;
+    case QuantMode::kInt8:
+      // Error bounded by half a quantization step over the value range.
+      tolerance = (MaxValue(t) - (-MaxValue(Neg(t)))) / 255.0f;
+      break;
+  }
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_NEAR(back[i], t[i], tolerance + 1e-6f) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, QuantizeModeTest,
+                         ::testing::Values(QuantMode::kFloat32,
+                                           QuantMode::kFloat16,
+                                           QuantMode::kInt8));
+
+TEST(QuantizeTest, SizesShrinkWithMode) {
+  Rng rng(8);
+  Tensor t = Tensor::RandNormal(Shape::Matrix(100, 80), rng);
+  const int64_t fp32 =
+      QuantizedTensor::Quantize(t, QuantMode::kFloat32).SizeBytes();
+  const int64_t fp16 =
+      QuantizedTensor::Quantize(t, QuantMode::kFloat16).SizeBytes();
+  const int64_t int8 =
+      QuantizedTensor::Quantize(t, QuantMode::kInt8).SizeBytes();
+  EXPECT_GT(fp32, fp16);
+  EXPECT_GT(fp16, int8);
+  // Roughly 4 / 2 / 1 bytes per element.
+  EXPECT_NEAR(static_cast<double>(fp32) / int8, 4.0, 0.2);
+}
+
+TEST(QuantizeTest, ConstantTensorIsExactUnderInt8) {
+  Tensor t(Shape::Matrix(5, 5), 3.25f);
+  Tensor back = QuantizedTensor::Quantize(t, QuantMode::kInt8).Dequantize();
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_NEAR(back[i], 3.25f, 1e-5f);
+}
+
+TEST(QuantizeTest, PaperStorageClaimOrderOfMagnitude) {
+  // Sec 6.3: 200 exemplars/class (5 classes) of 80 features should fit in
+  // a few hundred KB uncompressed — verify our accounting is in that range.
+  Rng rng(9);
+  Tensor exemplars = Tensor::RandNormal(Shape::Matrix(1000, 80), rng);
+  const int64_t bytes =
+      QuantizedTensor::Quantize(exemplars, QuantMode::kFloat32).SizeBytes();
+  EXPECT_NEAR(static_cast<double>(bytes), 320000.0, 1000.0);
+}
+
+}  // namespace
+}  // namespace serialize
+}  // namespace pilote

@@ -1,0 +1,217 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace {
+
+// ---------------------------------------------------------------- Shape
+
+TEST(ShapeTest, BasicProperties) {
+  Shape s({2, 3});
+  EXPECT_EQ(s.rank(), 2);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(1), 3);
+  EXPECT_EQ(s.numel(), 6);
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_EQ(s.cols(), 3);
+  EXPECT_EQ(s.ToString(), "[2, 3]");
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape({4}), Shape::Vector(4));
+  EXPECT_EQ(Shape({2, 5}), Shape::Matrix(2, 5));
+  EXPECT_NE(Shape({2, 5}), Shape({5, 2}));
+}
+
+TEST(ShapeTest, EmptyShapeHasOneElement) {
+  // Rank-0 shape: scalar container semantics.
+  Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+// ---------------------------------------------------------------- Tensor
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t(Shape::Matrix(3, 4));
+  EXPECT_EQ(t.numel(), 12);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FillAndAccess) {
+  Tensor t(Shape::Matrix(2, 2), 3.5f);
+  EXPECT_EQ(t(0, 0), 3.5f);
+  t(1, 0) = -1.0f;
+  EXPECT_EQ(t[2], -1.0f);  // row-major layout
+}
+
+TEST(TensorTest, FromDataValidatesSize) {
+  Tensor t(Shape::Vector(3), {1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t[1], 2.0f);
+  EXPECT_DEATH(Tensor(Shape::Vector(4), std::vector<float>{1.0f}),
+               "CHECK failed");
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t(Shape::Matrix(2, 3), {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshape(Shape::Matrix(3, 2));
+  EXPECT_EQ(r(0, 1), 2.0f);
+  EXPECT_EQ(r(2, 1), 6.0f);
+  EXPECT_DEATH(t.Reshape(Shape::Matrix(2, 2)), "reshape");
+}
+
+TEST(TensorTest, RandNormalIsSeedDeterministic) {
+  Rng a(5);
+  Rng b(5);
+  Tensor x = Tensor::RandNormal(Shape::Vector(64), a);
+  Tensor y = Tensor::RandNormal(Shape::Vector(64), b);
+  EXPECT_TRUE(AllClose(x, y, 0.0f, 0.0f));
+}
+
+TEST(TensorTest, ScalarFactory) {
+  Tensor s = Tensor::Scalar(2.5f);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_EQ(s[0], 2.5f);
+}
+
+// ---------------------------------------------------------------- Elementwise
+
+TEST(TensorOpsTest, AddSubMulDiv) {
+  Tensor a(Shape::Vector(3), {1, 2, 3});
+  Tensor b(Shape::Vector(3), {4, 10, 3});
+  EXPECT_TRUE(AllClose(Add(a, b), Tensor(Shape::Vector(3), {5, 12, 6})));
+  EXPECT_TRUE(AllClose(Sub(b, a), Tensor(Shape::Vector(3), {3, 8, 0})));
+  EXPECT_TRUE(AllClose(Mul(a, b), Tensor(Shape::Vector(3), {4, 20, 9})));
+  EXPECT_TRUE(AllClose(Div(b, a), Tensor(Shape::Vector(3), {4, 5, 1})));
+}
+
+TEST(TensorOpsTest, ShapeMismatchIsFatal) {
+  Tensor a(Shape::Vector(3));
+  Tensor b(Shape::Vector(4));
+  EXPECT_DEATH(Add(a, b), "shape mismatch");
+}
+
+TEST(TensorOpsTest, ScalarOpsAndUnary) {
+  Tensor a(Shape::Vector(3), {-1, 0, 2});
+  EXPECT_TRUE(AllClose(AddScalar(a, 1.0f), Tensor(Shape::Vector(3), {0, 1, 3})));
+  EXPECT_TRUE(AllClose(MulScalar(a, -2.0f), Tensor(Shape::Vector(3), {2, 0, -4})));
+  EXPECT_TRUE(AllClose(Relu(a), Tensor(Shape::Vector(3), {0, 0, 2})));
+  EXPECT_TRUE(AllClose(ReluMask(a), Tensor(Shape::Vector(3), {0, 0, 1})));
+  EXPECT_TRUE(AllClose(Square(a), Tensor(Shape::Vector(3), {1, 0, 4})));
+  EXPECT_TRUE(AllClose(Neg(a), Tensor(Shape::Vector(3), {1, 0, -2})));
+  EXPECT_TRUE(AllClose(Clamp(a, -0.5f, 1.0f),
+                       Tensor(Shape::Vector(3), {-0.5f, 0, 1})));
+}
+
+TEST(TensorOpsTest, AxpyAccumulates) {
+  Tensor a(Shape::Vector(2), {1, 1});
+  Tensor b(Shape::Vector(2), {2, 3});
+  Axpy(2.0f, b, a);
+  EXPECT_TRUE(AllClose(a, Tensor(Shape::Vector(2), {5, 7})));
+}
+
+// ---------------------------------------------------------------- Broadcast
+
+TEST(TensorOpsTest, RowVectorBroadcasts) {
+  Tensor m(Shape::Matrix(2, 3), {1, 2, 3, 4, 5, 6});
+  Tensor v(Shape::Vector(3), {10, 20, 30});
+  EXPECT_TRUE(AllClose(AddRowVector(m, v),
+                       Tensor(Shape::Matrix(2, 3), {11, 22, 33, 14, 25, 36})));
+  EXPECT_TRUE(AllClose(SubRowVector(m, v),
+                       Tensor(Shape::Matrix(2, 3), {-9, -18, -27, -6, -15, -24})));
+  EXPECT_TRUE(AllClose(MulRowVector(m, v),
+                       Tensor(Shape::Matrix(2, 3), {10, 40, 90, 40, 100, 180})));
+  EXPECT_TRUE(AllClose(DivRowVector(m, v),
+                       Tensor(Shape::Matrix(2, 3),
+                              {0.1f, 0.1f, 0.1f, 0.4f, 0.25f, 0.2f})));
+}
+
+// ---------------------------------------------------------------- Reductions
+
+TEST(TensorOpsTest, Reductions) {
+  Tensor m(Shape::Matrix(2, 3), {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(Sum(m), 21.0f);
+  EXPECT_FLOAT_EQ(Mean(m), 3.5f);
+  EXPECT_FLOAT_EQ(MaxValue(m), 6.0f);
+  EXPECT_TRUE(AllClose(ColumnSum(m), Tensor(Shape::Vector(3), {5, 7, 9})));
+  EXPECT_TRUE(AllClose(ColumnMean(m), Tensor(Shape::Vector(3), {2.5f, 3.5f, 4.5f})));
+  EXPECT_TRUE(AllClose(RowSum(m), Tensor(Shape::Vector(2), {6, 15})));
+}
+
+TEST(TensorOpsTest, ColumnVariance) {
+  Tensor m(Shape::Matrix(2, 2), {1, 10, 3, 20});
+  Tensor mean = ColumnMean(m);
+  Tensor var = ColumnVariance(m, mean);
+  EXPECT_TRUE(AllClose(var, Tensor(Shape::Vector(2), {1.0f, 25.0f})));
+}
+
+TEST(TensorOpsTest, ArgMaxArgMinPerRow) {
+  Tensor m(Shape::Matrix(2, 3), {1, 9, 3, 8, 2, 5});
+  EXPECT_EQ(ArgMaxPerRow(m), (std::vector<int64_t>{1, 0}));
+  EXPECT_EQ(ArgMinPerRow(m), (std::vector<int64_t>{0, 1}));
+}
+
+// ---------------------------------------------------------------- Rows
+
+TEST(TensorOpsTest, SliceGatherConcatRow) {
+  Tensor m(Shape::Matrix(3, 2), {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(AllClose(SliceRows(m, 1, 3),
+                       Tensor(Shape::Matrix(2, 2), {3, 4, 5, 6})));
+  EXPECT_TRUE(AllClose(GatherRows(m, {2, 0}),
+                       Tensor(Shape::Matrix(2, 2), {5, 6, 1, 2})));
+  EXPECT_TRUE(AllClose(RowAt(m, 1), Tensor(Shape::Vector(2), {3, 4})));
+  Tensor c = ConcatRows({SliceRows(m, 0, 1), SliceRows(m, 2, 3)});
+  EXPECT_TRUE(AllClose(c, Tensor(Shape::Matrix(2, 2), {1, 2, 5, 6})));
+}
+
+TEST(TensorOpsTest, SliceRowsBoundsAreFatal) {
+  Tensor m(Shape::Matrix(3, 2));
+  EXPECT_DEATH(SliceRows(m, 2, 4), "SliceRows");
+  EXPECT_DEATH(GatherRows(m, {3}), "GatherRows");
+}
+
+// ---------------------------------------------------------------- Distances
+
+TEST(TensorOpsTest, PairwiseSquaredDistanceMatchesDirect) {
+  Rng rng(3);
+  Tensor a = Tensor::RandNormal(Shape::Matrix(5, 7), rng);
+  Tensor b = Tensor::RandNormal(Shape::Matrix(4, 7), rng);
+  Tensor d = PairwiseSquaredDistance(a, b);
+  ASSERT_EQ(d.rows(), 5);
+  ASSERT_EQ(d.cols(), 4);
+  for (int64_t i = 0; i < 5; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(d(i, j), SquaredDistance(RowAt(a, i), RowAt(b, j)), 1e-3f);
+    }
+  }
+}
+
+TEST(TensorOpsTest, PairwiseDistanceIsNonNegative) {
+  Rng rng(4);
+  Tensor a = Tensor::RandNormal(Shape::Matrix(10, 3), rng, 0.0f, 100.0f);
+  Tensor d = PairwiseSquaredDistance(a, a);
+  for (int64_t i = 0; i < d.numel(); ++i) EXPECT_GE(d[i], 0.0f);
+  for (int64_t i = 0; i < a.rows(); ++i) EXPECT_NEAR(d(i, i), 0.0f, 1e-2f);
+}
+
+TEST(TensorOpsTest, RowSquaredNorm) {
+  Tensor m(Shape::Matrix(2, 2), {3, 4, 0, 2});
+  EXPECT_TRUE(AllClose(RowSquaredNorm(m), Tensor(Shape::Vector(2), {25, 4})));
+}
+
+TEST(TensorOpsTest, AllCloseDetectsDifference) {
+  Tensor a(Shape::Vector(2), {1.0f, 2.0f});
+  Tensor b(Shape::Vector(2), {1.0f, 2.1f});
+  EXPECT_FALSE(AllClose(a, b, 1e-3f, 1e-3f));
+  EXPECT_TRUE(AllClose(a, b, 0.2f, 0.0f));
+  EXPECT_FALSE(AllClose(a, Tensor(Shape::Vector(3))));
+}
+
+}  // namespace
+}  // namespace pilote

@@ -1,0 +1,40 @@
+#ifndef PILOTE_TESTS_TEST_UTIL_H_
+#define PILOTE_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace pilote {
+namespace testing {
+
+// Gaussian-blob dataset: `per_class` rows per class, class c centered at
+// (c * separation) on every coordinate, isotropic unit-ish noise. Cheap,
+// separable, and label-checkable — the workhorse for trainer/core tests.
+inline data::Dataset MakeBlobs(const std::vector<int>& classes, int per_class,
+                               int64_t dim, float separation, Rng& rng,
+                               float noise = 1.0f) {
+  const int64_t n = static_cast<int64_t>(classes.size()) * per_class;
+  Tensor features(Shape::Matrix(n, dim));
+  std::vector<int> labels;
+  labels.reserve(static_cast<size_t>(n));
+  int64_t row = 0;
+  for (int label : classes) {
+    for (int i = 0; i < per_class; ++i) {
+      for (int64_t d = 0; d < dim; ++d) {
+        features(row, d) = static_cast<float>(
+            label * separation + rng.Gaussian(0.0, noise));
+      }
+      labels.push_back(label);
+      ++row;
+    }
+  }
+  return data::Dataset(std::move(features), std::move(labels));
+}
+
+}  // namespace testing
+}  // namespace pilote
+
+#endif  // PILOTE_TESTS_TEST_UTIL_H_

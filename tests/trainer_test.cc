@@ -1,0 +1,185 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/embedding.h"
+#include "core/trainer.h"
+#include "losses/contrastive.h"
+#include "losses/distillation.h"
+#include "nn/backbone.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace pilote {
+namespace core {
+namespace {
+
+nn::BackboneConfig TinyBackbone(int64_t input_dim) {
+  nn::BackboneConfig config;
+  config.input_dim = input_dim;
+  config.hidden_dims = {32};
+  config.embedding_dim = 8;
+  return config;
+}
+
+TrainerOptions FastOptions() {
+  TrainerOptions options;
+  options.max_epochs = 8;
+  options.batch_size = 32;
+  options.batches_per_epoch = 10;
+  options.margin = 3.0f;
+  options.num_val_pairs = 64;
+  options.seed = 5;
+  return options;
+}
+
+TEST(SiameseTrainerTest, SeparatesBlobClasses) {
+  Rng rng(1);
+  data::Dataset blobs =
+      pilote::testing::MakeBlobs({0, 1, 2}, 40, 10, 4.0f, rng);
+  nn::MlpBackbone model(TinyBackbone(10), rng);
+
+  losses::PairSampler train_sampler(blobs.features(), blobs.labels(),
+                                    losses::PairStrategy::kBalancedRandom, 3);
+  losses::PairSampler val_sampler(blobs.features(), blobs.labels(),
+                                  losses::PairStrategy::kBalancedRandom, 4);
+  SiameseTrainer trainer(model, FastOptions());
+  TrainReport report =
+      trainer.Train(train_sampler, val_sampler, /*distill=*/nullptr);
+  EXPECT_GT(report.epochs_completed, 0);
+
+  // After training, same-class embedding distances should be clearly
+  // smaller than cross-class ones.
+  Tensor embeddings = EmbedBatched(model, blobs.features());
+  double same = 0.0;
+  double cross = 0.0;
+  int same_count = 0;
+  int cross_count = 0;
+  for (int64_t i = 0; i < blobs.size(); i += 7) {
+    for (int64_t j = i + 1; j < blobs.size(); j += 7) {
+      const float d =
+          SquaredDistance(RowAt(embeddings, i), RowAt(embeddings, j));
+      if (blobs.label(i) == blobs.label(j)) {
+        same += d;
+        ++same_count;
+      } else {
+        cross += d;
+        ++cross_count;
+      }
+    }
+  }
+  ASSERT_GT(same_count, 0);
+  ASSERT_GT(cross_count, 0);
+  EXPECT_LT(same / same_count, 0.5 * cross / cross_count);
+}
+
+TEST(SiameseTrainerTest, TrainingReducesValidationLoss) {
+  Rng rng(2);
+  data::Dataset blobs = pilote::testing::MakeBlobs({0, 1}, 50, 8, 3.0f, rng);
+  nn::MlpBackbone model(TinyBackbone(8), rng);
+  losses::PairSampler train_sampler(blobs.features(), blobs.labels(),
+                                    losses::PairStrategy::kBalancedRandom, 5);
+  losses::PairSampler val_sampler(blobs.features(), blobs.labels(),
+                                  losses::PairStrategy::kBalancedRandom, 6);
+  SiameseTrainer trainer(model, FastOptions());
+  TrainReport report = trainer.Train(train_sampler, val_sampler, nullptr);
+  ASSERT_GE(report.val_loss_history.size(), 2u);
+  EXPECT_LT(report.val_loss_history.back(),
+            report.val_loss_history.front());
+}
+
+TEST(SiameseTrainerTest, EarlyStoppingTriggersOnPlateau) {
+  Rng rng(3);
+  // A single tight blob: the contrastive loss with only positive pairs
+  // collapses quickly and plateaus.
+  data::Dataset blobs =
+      pilote::testing::MakeBlobs({0, 1}, 30, 6, 0.0f, rng, 0.01f);
+  nn::MlpBackbone model(TinyBackbone(6), rng);
+  TrainerOptions options = FastOptions();
+  options.max_epochs = 60;
+  options.early_stop_delta = 0.05f;  // generous plateau threshold
+  options.early_stop_patience = 3;
+  losses::PairSampler train_sampler(blobs.features(), blobs.labels(),
+                                    losses::PairStrategy::kBalancedRandom, 7);
+  losses::PairSampler val_sampler(blobs.features(), blobs.labels(),
+                                  losses::PairStrategy::kBalancedRandom, 8);
+  SiameseTrainer trainer(model, options);
+  TrainReport report = trainer.Train(train_sampler, val_sampler, nullptr);
+  EXPECT_TRUE(report.early_stopped);
+  EXPECT_LT(report.epochs_completed, options.max_epochs);
+}
+
+TEST(SiameseTrainerTest, ReportTimingsArePopulated) {
+  Rng rng(4);
+  data::Dataset blobs = pilote::testing::MakeBlobs({0, 1}, 20, 6, 3.0f, rng);
+  nn::MlpBackbone model(TinyBackbone(6), rng);
+  TrainerOptions options = FastOptions();
+  options.max_epochs = 2;
+  losses::PairSampler train_sampler(blobs.features(), blobs.labels(),
+                                    losses::PairStrategy::kBalancedRandom, 9);
+  losses::PairSampler val_sampler(blobs.features(), blobs.labels(),
+                                  losses::PairStrategy::kBalancedRandom, 10);
+  SiameseTrainer trainer(model, options);
+  TrainReport report = trainer.Train(train_sampler, val_sampler, nullptr);
+  EXPECT_EQ(report.epochs_completed, 2);
+  EXPECT_GT(report.total_seconds, 0.0);
+  EXPECT_GT(report.mean_epoch_seconds, 0.0);
+  EXPECT_EQ(report.val_loss_history.size(), 2u);
+}
+
+TEST(SiameseTrainerTest, DistillationAnchorsOldEmbeddings) {
+  Rng rng(5);
+  // Old classes 0/1; new class 5 far away.
+  data::Dataset old_data =
+      pilote::testing::MakeBlobs({0, 1}, 30, 8, 4.0f, rng);
+  data::Dataset new_data = pilote::testing::MakeBlobs({5}, 20, 8, 4.0f, rng);
+
+  // Two identical models trained identically except for distillation.
+  auto run = [&](bool with_distill) {
+    Rng model_rng(42);
+    nn::MlpBackbone model(TinyBackbone(8), model_rng);
+    Tensor teacher = EmbedBatched(model, old_data.features());
+
+    losses::PairSampler train_sampler(
+        old_data.features(), old_data.labels(), new_data.features(),
+        new_data.labels(), losses::PairStrategy::kCrossAndNew, 11);
+    losses::PairSampler val_sampler(
+        old_data.features(), old_data.labels(), new_data.features(),
+        new_data.labels(), losses::PairStrategy::kCrossAndNew, 12);
+
+    DistillationTask distill;
+    distill.features = old_data.features();
+    distill.teacher_embeddings = teacher;
+    distill.alpha = 0.5f;
+    distill.batch_size = 32;
+
+    SiameseTrainer trainer(model, FastOptions());
+    trainer.Train(train_sampler, val_sampler,
+                  with_distill ? &distill : nullptr);
+    // Drift of the old-class embeddings from the teacher.
+    Tensor student = EmbedBatched(model, old_data.features());
+    return losses::DistillationLossValue(student, teacher);
+  };
+
+  const float drift_with = run(true);
+  const float drift_without = run(false);
+  EXPECT_LT(drift_with, drift_without);
+}
+
+TEST(SiameseTrainerTest, MismatchedDistillationSizesAreFatal) {
+  Rng rng(6);
+  nn::MlpBackbone model(TinyBackbone(4), rng);
+  data::Dataset blobs = pilote::testing::MakeBlobs({0, 1}, 10, 4, 2.0f, rng);
+  losses::PairSampler sampler(blobs.features(), blobs.labels(),
+                              losses::PairStrategy::kBalancedRandom, 1);
+  DistillationTask distill;
+  distill.features = Tensor(Shape::Matrix(4, 4));
+  distill.teacher_embeddings = Tensor(Shape::Matrix(3, 8));
+  SiameseTrainer trainer(model, FastOptions());
+  EXPECT_DEATH(trainer.Train(sampler, sampler, &distill), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace pilote
