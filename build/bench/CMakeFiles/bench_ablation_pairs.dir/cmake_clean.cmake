@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pairs.dir/bench_ablation_pairs.cc.o"
+  "CMakeFiles/bench_ablation_pairs.dir/bench_ablation_pairs.cc.o.d"
+  "bench_ablation_pairs"
+  "bench_ablation_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

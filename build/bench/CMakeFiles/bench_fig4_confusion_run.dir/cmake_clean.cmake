@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_confusion_run.dir/bench_fig4_confusion_run.cc.o"
+  "CMakeFiles/bench_fig4_confusion_run.dir/bench_fig4_confusion_run.cc.o.d"
+  "bench_fig4_confusion_run"
+  "bench_fig4_confusion_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_confusion_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

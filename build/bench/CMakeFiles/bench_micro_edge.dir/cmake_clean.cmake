@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_edge.dir/bench_micro_edge.cc.o"
+  "CMakeFiles/bench_micro_edge.dir/bench_micro_edge.cc.o.d"
+  "bench_micro_edge"
+  "bench_micro_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_catastrophic_forgetting.dir/bench_table2_catastrophic_forgetting.cc.o"
+  "CMakeFiles/bench_table2_catastrophic_forgetting.dir/bench_table2_catastrophic_forgetting.cc.o.d"
+  "bench_table2_catastrophic_forgetting"
+  "bench_table2_catastrophic_forgetting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_catastrophic_forgetting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

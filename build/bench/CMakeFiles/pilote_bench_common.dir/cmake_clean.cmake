@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilote_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/pilote_bench_common.dir/bench_common.cc.o.d"
+  "libpilote_bench_common.a"
+  "libpilote_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilote_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continual_stream.dir/continual_stream.cpp.o"
+  "CMakeFiles/continual_stream.dir/continual_stream.cpp.o.d"
+  "continual_stream"
+  "continual_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continual_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

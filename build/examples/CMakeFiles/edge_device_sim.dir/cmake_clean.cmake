@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_device_sim.dir/edge_device_sim.cpp.o"
+  "CMakeFiles/edge_device_sim.dir/edge_device_sim.cpp.o.d"
+  "edge_device_sim"
+  "edge_device_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_device_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/feature_inspection.cpp" "examples/CMakeFiles/feature_inspection.dir/feature_inspection.cpp.o" "gcc" "examples/CMakeFiles/feature_inspection.dir/feature_inspection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pilote_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/har/CMakeFiles/pilote_har.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/pilote_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/losses/CMakeFiles/pilote_losses.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pilote_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/pilote_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pilote_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/pilote_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/pilote_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pilote_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pilote_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

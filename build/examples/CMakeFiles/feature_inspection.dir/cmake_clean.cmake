@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_inspection.dir/feature_inspection.cpp.o"
+  "CMakeFiles/feature_inspection.dir/feature_inspection.cpp.o.d"
+  "feature_inspection"
+  "feature_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

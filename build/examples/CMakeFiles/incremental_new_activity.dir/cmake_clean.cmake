@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_new_activity.dir/incremental_new_activity.cpp.o"
+  "CMakeFiles/incremental_new_activity.dir/incremental_new_activity.cpp.o.d"
+  "incremental_new_activity"
+  "incremental_new_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_new_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

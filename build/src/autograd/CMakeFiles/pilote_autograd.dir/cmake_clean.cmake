@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilote_autograd.dir/ops.cc.o"
+  "CMakeFiles/pilote_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/pilote_autograd.dir/variable.cc.o"
+  "CMakeFiles/pilote_autograd.dir/variable.cc.o.d"
+  "libpilote_autograd.a"
+  "libpilote_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilote_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

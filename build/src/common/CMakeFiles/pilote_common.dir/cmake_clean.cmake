@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilote_common.dir/logging.cc.o"
+  "CMakeFiles/pilote_common.dir/logging.cc.o.d"
+  "CMakeFiles/pilote_common.dir/rng.cc.o"
+  "CMakeFiles/pilote_common.dir/rng.cc.o.d"
+  "CMakeFiles/pilote_common.dir/status.cc.o"
+  "CMakeFiles/pilote_common.dir/status.cc.o.d"
+  "CMakeFiles/pilote_common.dir/thread_pool.cc.o"
+  "CMakeFiles/pilote_common.dir/thread_pool.cc.o.d"
+  "libpilote_common.a"
+  "libpilote_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilote_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

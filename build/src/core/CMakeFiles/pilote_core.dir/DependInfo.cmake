@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/artifact_io.cc" "src/core/CMakeFiles/pilote_core.dir/artifact_io.cc.o" "gcc" "src/core/CMakeFiles/pilote_core.dir/artifact_io.cc.o.d"
+  "/root/repo/src/core/cloud.cc" "src/core/CMakeFiles/pilote_core.dir/cloud.cc.o" "gcc" "src/core/CMakeFiles/pilote_core.dir/cloud.cc.o.d"
+  "/root/repo/src/core/edge_learner.cc" "src/core/CMakeFiles/pilote_core.dir/edge_learner.cc.o" "gcc" "src/core/CMakeFiles/pilote_core.dir/edge_learner.cc.o.d"
+  "/root/repo/src/core/edge_profile.cc" "src/core/CMakeFiles/pilote_core.dir/edge_profile.cc.o" "gcc" "src/core/CMakeFiles/pilote_core.dir/edge_profile.cc.o.d"
+  "/root/repo/src/core/embedding.cc" "src/core/CMakeFiles/pilote_core.dir/embedding.cc.o" "gcc" "src/core/CMakeFiles/pilote_core.dir/embedding.cc.o.d"
+  "/root/repo/src/core/exemplar_selector.cc" "src/core/CMakeFiles/pilote_core.dir/exemplar_selector.cc.o" "gcc" "src/core/CMakeFiles/pilote_core.dir/exemplar_selector.cc.o.d"
+  "/root/repo/src/core/ncm_classifier.cc" "src/core/CMakeFiles/pilote_core.dir/ncm_classifier.cc.o" "gcc" "src/core/CMakeFiles/pilote_core.dir/ncm_classifier.cc.o.d"
+  "/root/repo/src/core/streaming_classifier.cc" "src/core/CMakeFiles/pilote_core.dir/streaming_classifier.cc.o" "gcc" "src/core/CMakeFiles/pilote_core.dir/streaming_classifier.cc.o.d"
+  "/root/repo/src/core/support_set.cc" "src/core/CMakeFiles/pilote_core.dir/support_set.cc.o" "gcc" "src/core/CMakeFiles/pilote_core.dir/support_set.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/pilote_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/pilote_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/pilote_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/pilote_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/losses/CMakeFiles/pilote_losses.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pilote_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/pilote_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/pilote_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/har/CMakeFiles/pilote_har.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/pilote_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pilote_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pilote_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

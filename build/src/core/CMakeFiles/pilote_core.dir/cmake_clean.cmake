@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilote_core.dir/artifact_io.cc.o"
+  "CMakeFiles/pilote_core.dir/artifact_io.cc.o.d"
+  "CMakeFiles/pilote_core.dir/cloud.cc.o"
+  "CMakeFiles/pilote_core.dir/cloud.cc.o.d"
+  "CMakeFiles/pilote_core.dir/edge_learner.cc.o"
+  "CMakeFiles/pilote_core.dir/edge_learner.cc.o.d"
+  "CMakeFiles/pilote_core.dir/edge_profile.cc.o"
+  "CMakeFiles/pilote_core.dir/edge_profile.cc.o.d"
+  "CMakeFiles/pilote_core.dir/embedding.cc.o"
+  "CMakeFiles/pilote_core.dir/embedding.cc.o.d"
+  "CMakeFiles/pilote_core.dir/exemplar_selector.cc.o"
+  "CMakeFiles/pilote_core.dir/exemplar_selector.cc.o.d"
+  "CMakeFiles/pilote_core.dir/ncm_classifier.cc.o"
+  "CMakeFiles/pilote_core.dir/ncm_classifier.cc.o.d"
+  "CMakeFiles/pilote_core.dir/streaming_classifier.cc.o"
+  "CMakeFiles/pilote_core.dir/streaming_classifier.cc.o.d"
+  "CMakeFiles/pilote_core.dir/support_set.cc.o"
+  "CMakeFiles/pilote_core.dir/support_set.cc.o.d"
+  "CMakeFiles/pilote_core.dir/trainer.cc.o"
+  "CMakeFiles/pilote_core.dir/trainer.cc.o.d"
+  "libpilote_core.a"
+  "libpilote_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilote_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilote_data.dir/dataset.cc.o"
+  "CMakeFiles/pilote_data.dir/dataset.cc.o.d"
+  "CMakeFiles/pilote_data.dir/scaler.cc.o"
+  "CMakeFiles/pilote_data.dir/scaler.cc.o.d"
+  "CMakeFiles/pilote_data.dir/splits.cc.o"
+  "CMakeFiles/pilote_data.dir/splits.cc.o.d"
+  "libpilote_data.a"
+  "libpilote_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilote_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

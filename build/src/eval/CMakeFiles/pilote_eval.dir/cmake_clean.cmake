@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilote_eval.dir/metrics.cc.o"
+  "CMakeFiles/pilote_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/pilote_eval.dir/pca.cc.o"
+  "CMakeFiles/pilote_eval.dir/pca.cc.o.d"
+  "libpilote_eval.a"
+  "libpilote_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilote_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/har/feature_extractor.cc" "src/har/CMakeFiles/pilote_har.dir/feature_extractor.cc.o" "gcc" "src/har/CMakeFiles/pilote_har.dir/feature_extractor.cc.o.d"
+  "/root/repo/src/har/har_dataset.cc" "src/har/CMakeFiles/pilote_har.dir/har_dataset.cc.o" "gcc" "src/har/CMakeFiles/pilote_har.dir/har_dataset.cc.o.d"
+  "/root/repo/src/har/preprocessing.cc" "src/har/CMakeFiles/pilote_har.dir/preprocessing.cc.o" "gcc" "src/har/CMakeFiles/pilote_har.dir/preprocessing.cc.o.d"
+  "/root/repo/src/har/sensor_simulator.cc" "src/har/CMakeFiles/pilote_har.dir/sensor_simulator.cc.o" "gcc" "src/har/CMakeFiles/pilote_har.dir/sensor_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/pilote_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pilote_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pilote_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilote_har.dir/feature_extractor.cc.o"
+  "CMakeFiles/pilote_har.dir/feature_extractor.cc.o.d"
+  "CMakeFiles/pilote_har.dir/har_dataset.cc.o"
+  "CMakeFiles/pilote_har.dir/har_dataset.cc.o.d"
+  "CMakeFiles/pilote_har.dir/preprocessing.cc.o"
+  "CMakeFiles/pilote_har.dir/preprocessing.cc.o.d"
+  "CMakeFiles/pilote_har.dir/sensor_simulator.cc.o"
+  "CMakeFiles/pilote_har.dir/sensor_simulator.cc.o.d"
+  "libpilote_har.a"
+  "libpilote_har.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilote_har.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilote_losses.dir/contrastive.cc.o"
+  "CMakeFiles/pilote_losses.dir/contrastive.cc.o.d"
+  "CMakeFiles/pilote_losses.dir/distillation.cc.o"
+  "CMakeFiles/pilote_losses.dir/distillation.cc.o.d"
+  "CMakeFiles/pilote_losses.dir/pair_sampler.cc.o"
+  "CMakeFiles/pilote_losses.dir/pair_sampler.cc.o.d"
+  "libpilote_losses.a"
+  "libpilote_losses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilote_losses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/backbone.cc" "src/nn/CMakeFiles/pilote_nn.dir/backbone.cc.o" "gcc" "src/nn/CMakeFiles/pilote_nn.dir/backbone.cc.o.d"
+  "/root/repo/src/nn/batchnorm.cc" "src/nn/CMakeFiles/pilote_nn.dir/batchnorm.cc.o" "gcc" "src/nn/CMakeFiles/pilote_nn.dir/batchnorm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/pilote_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/pilote_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/pilote_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/pilote_nn.dir/module.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/pilote_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pilote_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pilote_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilote_nn.dir/backbone.cc.o"
+  "CMakeFiles/pilote_nn.dir/backbone.cc.o.d"
+  "CMakeFiles/pilote_nn.dir/batchnorm.cc.o"
+  "CMakeFiles/pilote_nn.dir/batchnorm.cc.o.d"
+  "CMakeFiles/pilote_nn.dir/linear.cc.o"
+  "CMakeFiles/pilote_nn.dir/linear.cc.o.d"
+  "CMakeFiles/pilote_nn.dir/module.cc.o"
+  "CMakeFiles/pilote_nn.dir/module.cc.o.d"
+  "libpilote_nn.a"
+  "libpilote_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilote_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

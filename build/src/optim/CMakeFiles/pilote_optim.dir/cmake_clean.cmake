@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilote_optim.dir/adam.cc.o"
+  "CMakeFiles/pilote_optim.dir/adam.cc.o.d"
+  "CMakeFiles/pilote_optim.dir/optimizer.cc.o"
+  "CMakeFiles/pilote_optim.dir/optimizer.cc.o.d"
+  "CMakeFiles/pilote_optim.dir/sgd.cc.o"
+  "CMakeFiles/pilote_optim.dir/sgd.cc.o.d"
+  "libpilote_optim.a"
+  "libpilote_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilote_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

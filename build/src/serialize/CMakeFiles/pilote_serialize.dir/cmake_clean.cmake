@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilote_serialize.dir/io.cc.o"
+  "CMakeFiles/pilote_serialize.dir/io.cc.o.d"
+  "CMakeFiles/pilote_serialize.dir/quantize.cc.o"
+  "CMakeFiles/pilote_serialize.dir/quantize.cc.o.d"
+  "libpilote_serialize.a"
+  "libpilote_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilote_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilote_tensor.dir/gemm.cc.o"
+  "CMakeFiles/pilote_tensor.dir/gemm.cc.o.d"
+  "CMakeFiles/pilote_tensor.dir/tensor.cc.o"
+  "CMakeFiles/pilote_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/pilote_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/pilote_tensor.dir/tensor_ops.cc.o.d"
+  "libpilote_tensor.a"
+  "libpilote_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilote_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/har_test.dir/har_test.cc.o"
+  "CMakeFiles/har_test.dir/har_test.cc.o.d"
+  "har_test"
+  "har_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/har_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
