@@ -1,0 +1,71 @@
+# Sanitizer build matrix.
+#
+#   cmake -B build-asan -DPILOTE_SANITIZE=address,undefined
+#   cmake -B build-tsan -DPILOTE_SANITIZE=thread
+#
+# Flags are applied at directory scope from the top-level list file, so every
+# target in src/, tests/, bench/, and examples/ is instrumented. Tests built
+# under a sanitizer are additionally labeled (asan/ubsan/tsan) so CI can
+# select them with `ctest -L <label>`.
+#
+# Exports:
+#   PILOTE_SANITIZER_LABELS - list of ctest labels for the active sanitizers
+#   PILOTE_SANITIZER_ENV    - default runtime options for instrumented tests
+
+set(PILOTE_SANITIZE "" CACHE STRING
+    "Comma-separated sanitizers to instrument with: address, undefined, thread")
+
+set(PILOTE_SANITIZER_LABELS "")
+set(PILOTE_SANITIZER_ENV "")
+
+if(PILOTE_SANITIZE)
+  string(REPLACE "," ";" _pilote_sanitizers "${PILOTE_SANITIZE}")
+  set(_pilote_sanitizer_flags "")
+  foreach(_san IN LISTS _pilote_sanitizers)
+    string(STRIP "${_san}" _san)
+    string(TOLOWER "${_san}" _san)
+    if(_san STREQUAL "address")
+      list(APPEND _pilote_sanitizer_flags -fsanitize=address)
+      list(APPEND PILOTE_SANITIZER_LABELS asan)
+    elseif(_san STREQUAL "undefined")
+      # Recoverable UB would only print a warning; make every report fatal so
+      # ctest fails on the first genuine finding.
+      list(APPEND _pilote_sanitizer_flags
+           -fsanitize=undefined -fno-sanitize-recover=all)
+      list(APPEND PILOTE_SANITIZER_LABELS ubsan)
+    elseif(_san STREQUAL "thread")
+      list(APPEND _pilote_sanitizer_flags -fsanitize=thread)
+      list(APPEND PILOTE_SANITIZER_LABELS tsan)
+    else()
+      message(FATAL_ERROR
+          "PILOTE_SANITIZE: unknown sanitizer '${_san}' "
+          "(expected address, undefined, or thread)")
+    endif()
+  endforeach()
+
+  if("tsan" IN_LIST PILOTE_SANITIZER_LABELS AND
+     "asan" IN_LIST PILOTE_SANITIZER_LABELS)
+    message(FATAL_ERROR
+        "PILOTE_SANITIZE: thread and address sanitizers cannot be combined")
+  endif()
+
+  # Frame pointers and debug info keep sanitizer reports symbolized even in
+  # the default Release configuration.
+  list(APPEND _pilote_sanitizer_flags -fno-omit-frame-pointer -g)
+
+  add_compile_options(${_pilote_sanitizer_flags})
+  add_link_options(${_pilote_sanitizer_flags})
+
+  if("asan" IN_LIST PILOTE_SANITIZER_LABELS)
+    list(APPEND PILOTE_SANITIZER_ENV
+         "ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1:check_initialization_order=1")
+  endif()
+  if("ubsan" IN_LIST PILOTE_SANITIZER_LABELS)
+    list(APPEND PILOTE_SANITIZER_ENV "UBSAN_OPTIONS=print_stacktrace=1")
+  endif()
+  if("tsan" IN_LIST PILOTE_SANITIZER_LABELS)
+    list(APPEND PILOTE_SANITIZER_ENV "TSAN_OPTIONS=halt_on_error=1")
+  endif()
+
+  message(STATUS "PILOTE sanitizers: ${PILOTE_SANITIZER_LABELS}")
+endif()

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/macros.h"
+#include "common/numerics_guard.h"
 #include "tensor/tensor_ops.h"
 
 namespace pilote {
@@ -91,6 +92,7 @@ Variable Sqrt(const Variable& a, float eps) {
     for (int64_t i = 0; i < g.numel(); ++i) {
       g[i] = node.grad[i] * 0.5f / (*saved)[i];
     }
+    PILOTE_CHECK_NUMERICS("Sqrt backward", g);
     node.parents[0]->AccumulateGrad(g);
   });
 }
@@ -229,6 +231,7 @@ BatchNormOutput BatchNormTraining(const Variable& x, const Variable& gamma,
   for (int64_t c = 0; c < d; ++c) {
     inv_std[c] = 1.0f / std::sqrt(var[c] + eps);
   }
+  PILOTE_CHECK_NUMERICS("BatchNormTraining inv_std", inv_std);
   // x_hat = (x - mean) * inv_std
   Tensor x_hat = MulRowVector(SubRowVector(xv, mean), inv_std);
   Tensor y = pilote::AddRowVector(
@@ -242,28 +245,29 @@ BatchNormOutput BatchNormTraining(const Variable& x, const Variable& gamma,
       std::move(y), {x, gamma, beta},
       [saved_x_hat, saved_inv_std, n, d](Node& node) {
         const Tensor& dy = node.grad;
-        const Tensor& x_hat = *saved_x_hat;
-        const Tensor& inv_std = *saved_inv_std;
+        const Tensor& xh = *saved_x_hat;
+        const Tensor& istd = *saved_inv_std;
         const Tensor& gamma_v = node.parents[1]->value;
 
         // dbeta[c] = sum_r dy ; dgamma[c] = sum_r dy * x_hat
         Tensor dbeta = pilote::ColumnSum(dy);
-        Tensor dgamma = pilote::ColumnSum(pilote::Mul(dy, x_hat));
+        Tensor dgamma = pilote::ColumnSum(pilote::Mul(dy, xh));
 
         if (node.parents[0]->requires_grad) {
           // dx = (gamma * inv_std / n) * (n*dy - dbeta - x_hat * dgamma)
-          Tensor dx(x_hat.shape());
+          Tensor dx(xh.shape());
           const float inv_n = 1.0f / static_cast<float>(n);
           for (int64_t r = 0; r < n; ++r) {
             const float* pdy = dy.row(r);
-            const float* pxh = x_hat.row(r);
+            const float* pxh = xh.row(r);
             float* pdx = dx.row(r);
             for (int64_t c = 0; c < d; ++c) {
-              pdx[c] = gamma_v[c] * inv_std[c] * inv_n *
+              pdx[c] = gamma_v[c] * istd[c] * inv_n *
                        (static_cast<float>(n) * pdy[c] - dbeta[c] -
                         pxh[c] * dgamma[c]);
             }
           }
+          PILOTE_CHECK_NUMERICS("BatchNormTraining dx", dx);
           node.parents[0]->AccumulateGrad(dx);
         }
         if (node.parents[1]->requires_grad) {
@@ -294,6 +298,7 @@ Variable BatchNormInference(const Variable& x, const Variable& gamma,
   for (int64_t c = 0; c < d; ++c) {
     inv_std[c] = 1.0f / std::sqrt(var[c] + eps);
   }
+  PILOTE_CHECK_NUMERICS("BatchNormInference inv_std", inv_std);
   Tensor x_hat = MulRowVector(SubRowVector(xv, mean), inv_std);
   Tensor y = pilote::AddRowVector(
       pilote::MulRowVector(x_hat, gamma.value()), beta.value());
@@ -307,16 +312,16 @@ Variable BatchNormInference(const Variable& x, const Variable& gamma,
       std::move(y), {x, gamma, beta},
       [saved_x_hat, saved_inv_std](Node& node) {
         const Tensor& dy = node.grad;
-        const Tensor& x_hat = *saved_x_hat;
-        const Tensor& inv_std = *saved_inv_std;
+        const Tensor& xh = *saved_x_hat;
+        const Tensor& istd = *saved_inv_std;
         const Tensor& gamma_v = node.parents[1]->value;
         if (node.parents[0]->requires_grad) {
-          Tensor scale = pilote::Mul(gamma_v, inv_std);
+          Tensor scale = pilote::Mul(gamma_v, istd);
           node.parents[0]->AccumulateGrad(pilote::MulRowVector(dy, scale));
         }
         if (node.parents[1]->requires_grad) {
           node.parents[1]->AccumulateGrad(
-              pilote::ColumnSum(pilote::Mul(dy, x_hat)));
+              pilote::ColumnSum(pilote::Mul(dy, xh)));
         }
         if (node.parents[2]->requires_grad) {
           node.parents[2]->AccumulateGrad(pilote::ColumnSum(dy));

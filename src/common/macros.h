@@ -72,9 +72,16 @@ struct Voidify {
 #define PILOTE_CHECK_GT(lhs, rhs) PILOTE_CHECK_OP(lhs, rhs, >)
 #define PILOTE_CHECK_GE(lhs, rhs) PILOTE_CHECK_OP(lhs, rhs, >=)
 
-// Debug-only check; compiles (but never evaluates) in release builds.
+// Debug-only check. In release (NDEBUG) builds the condition sits in an
+// unevaluated sizeof operand: it is still parsed and type-checked, and the
+// names it mentions count as used (so release builds see the same
+// -Wunused surface as debug builds), but no code is generated and side
+// effects provably never run. The previous `true || (cond)` form
+// odr-used the condition and produced asymmetric diagnostics between
+// build modes.
 #ifdef NDEBUG
-#define PILOTE_DCHECK(condition) PILOTE_CHECK(true || (condition))
+#define PILOTE_DCHECK(condition) \
+  ((void)sizeof(static_cast<bool>(condition)))
 #else
 #define PILOTE_DCHECK(condition) PILOTE_CHECK(condition)
 #endif

@@ -5,6 +5,7 @@
 
 #include "autograd/ops.h"
 #include "common/macros.h"
+#include "common/numerics_guard.h"
 #include "tensor/tensor_ops.h"
 
 namespace pilote {
@@ -25,6 +26,9 @@ autograd::Variable ContrastiveLoss(const autograd::Variable& left,
   PILOTE_CHECK_EQ(right.value().rows(), n);
   PILOTE_CHECK_EQ(similar.numel(), n);
   PILOTE_CHECK_GT(margin, 0.0f);
+
+  PILOTE_CHECK_NUMERICS("ContrastiveLoss left embedding", left.value());
+  PILOTE_CHECK_NUMERICS("ContrastiveLoss right embedding", right.value());
 
   ag::Variable y = ag::Variable::Constant(similar);
   Tensor one_minus_y_t(similar.shape());
@@ -52,7 +56,9 @@ autograd::Variable ContrastiveLoss(const autograd::Variable& left,
     }
   }
   ag::Variable neg = ag::Mul(one_minus_y, hinge);
-  return ag::Mean(ag::Add(pos, neg));
+  ag::Variable loss = ag::Mean(ag::Add(pos, neg));
+  PILOTE_CHECK_NUMERICS("ContrastiveLoss output", loss.value());
+  return loss;
 }
 
 float ContrastiveLossValue(const Tensor& left, const Tensor& right,
@@ -84,7 +90,9 @@ float ContrastiveLossValue(const Tensor& left, const Tensor& right,
     }
     total += similar[i] * d2 + (1.0f - similar[i]) * hinge;
   }
-  return static_cast<float>(total / static_cast<double>(n));
+  const float loss = static_cast<float>(total / static_cast<double>(n));
+  PILOTE_CHECK_NUMERICS_SCALAR("ContrastiveLossValue", loss);
+  return loss;
 }
 
 }  // namespace losses

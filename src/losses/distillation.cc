@@ -2,6 +2,7 @@
 
 #include "autograd/ops.h"
 #include "common/macros.h"
+#include "common/numerics_guard.h"
 #include "tensor/tensor_ops.h"
 
 namespace pilote {
@@ -12,16 +13,22 @@ autograd::Variable DistillationLoss(const autograd::Variable& student,
   namespace ag = autograd;
   PILOTE_CHECK(student.value().shape() == teacher.shape())
       << "distillation embedding shape mismatch";
+  PILOTE_CHECK_NUMERICS("DistillationLoss student embedding", student.value());
+  PILOTE_CHECK_NUMERICS("DistillationLoss teacher embedding", teacher);
   ag::Variable target = ag::Variable::Constant(teacher);
   // Mean over rows of the per-sample squared embedding drift.
-  return ag::Mean(ag::RowSum(ag::Square(ag::Sub(student, target))));
+  ag::Variable loss = ag::Mean(ag::RowSum(ag::Square(ag::Sub(student, target))));
+  PILOTE_CHECK_NUMERICS("DistillationLoss output", loss.value());
+  return loss;
 }
 
 float DistillationLossValue(const Tensor& student, const Tensor& teacher) {
   PILOTE_CHECK(student.shape() == teacher.shape());
   PILOTE_CHECK_GT(student.rows(), 0);
-  return SquaredDistance(student, teacher) /
-         static_cast<float>(student.rows());
+  const float loss =
+      SquaredDistance(student, teacher) / static_cast<float>(student.rows());
+  PILOTE_CHECK_NUMERICS_SCALAR("DistillationLossValue", loss);
+  return loss;
 }
 
 }  // namespace losses

@@ -4,6 +4,7 @@
 #include "autograd/ops.h"
 #include "autograd/variable.h"
 #include "common/macros.h"
+#include "common/numerics_guard.h"
 
 namespace pilote {
 namespace losses {
@@ -16,8 +17,11 @@ inline autograd::Variable JointLoss(const autograd::Variable& distillation,
                                     const autograd::Variable& contrastive,
                                     float alpha) {
   PILOTE_CHECK(alpha >= 0.0f && alpha <= 1.0f) << "alpha=" << alpha;
-  return autograd::Add(autograd::MulScalar(distillation, alpha),
-                       autograd::MulScalar(contrastive, 1.0f - alpha));
+  autograd::Variable loss =
+      autograd::Add(autograd::MulScalar(distillation, alpha),
+                    autograd::MulScalar(contrastive, 1.0f - alpha));
+  PILOTE_CHECK_NUMERICS("JointLoss output", loss.value());
+  return loss;
 }
 
 }  // namespace losses

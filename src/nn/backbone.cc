@@ -7,6 +7,15 @@
 namespace pilote {
 namespace nn {
 
+BackboneConfig BackboneConfig::Paper() { return BackboneConfig{}; }
+
+BackboneConfig BackboneConfig::Small() {
+  BackboneConfig config;
+  config.hidden_dims = {128, 64};
+  config.embedding_dim = 32;
+  return config;
+}
+
 MlpBackbone::MlpBackbone(const BackboneConfig& config, Rng& rng)
     : config_(config) {
   PILOTE_CHECK_GT(config.input_dim, 0);

@@ -22,17 +22,15 @@ struct BackboneConfig {
   float bn_eps = 1e-5f;
   float bn_momentum = 0.1f;
 
-  // The configuration used in the paper's experiments.
-  static BackboneConfig Paper() { return BackboneConfig{}; }
+  // The configuration used in the paper's experiments. Defined out of line:
+  // GCC's -O3 inliner raises spurious -Wmaybe-uninitialized reports when the
+  // default-initialized aggregate is constructed and copied at the call
+  // site, which would break -Werror builds.
+  static BackboneConfig Paper();
 
   // A smaller configuration with the same layer pattern, sized for
   // single-core test/bench runs.
-  static BackboneConfig Small() {
-    BackboneConfig config;
-    config.hidden_dims = {128, 64};
-    config.embedding_dim = 32;
-    return config;
-  }
+  static BackboneConfig Small();
 };
 
 // The siamese embedding network phi_theta: X -> R^d. Both branches of the

@@ -1,5 +1,7 @@
 #include "optim/sgd.h"
 
+#include "common/numerics_guard.h"
+
 namespace pilote {
 namespace optim {
 
@@ -16,6 +18,7 @@ void Sgd::Step() {
     autograd::Variable& param = params_[i];
     const Tensor& grad = param.grad();
     if (grad.numel() == 0) continue;
+    PILOTE_CHECK_NUMERICS("Sgd step grad", grad);
     Tensor& value = param.mutable_value();
     Tensor& velocity = velocity_[i];
     const int64_t n = value.numel();
@@ -28,6 +31,7 @@ void Sgd::Step() {
       }
       value[j] -= lr_ * g;
     }
+    PILOTE_CHECK_NUMERICS("Sgd step param", value);
   }
 }
 

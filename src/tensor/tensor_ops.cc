@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/numerics_guard.h"
 #include "tensor/gemm.h"
 
 namespace pilote {
@@ -25,16 +26,18 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, const char* op,
   float* po = out.data();
   const int64_t n = a.numel();
   for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+  PILOTE_CHECK_NUMERICS(op, out);
   return out;
 }
 
 template <typename Fn>
-Tensor ElementwiseUnary(const Tensor& a, Fn fn) {
+Tensor ElementwiseUnary(const Tensor& a, const char* op, Fn fn) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   const int64_t n = a.numel();
   for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  PILOTE_CHECK_NUMERICS(op, out);
   return out;
 }
 
@@ -52,6 +55,7 @@ Tensor RowBroadcast(const Tensor& m, const Tensor& v, const char* op, Fn fn) {
     float* po = out.row(r);
     for (int64_t c = 0; c < cols; ++c) po[c] = fn(pm[c], pv[c]);
   }
+  PILOTE_CHECK_NUMERICS(op, out);
   return out;
 }
 
@@ -79,42 +83,45 @@ void Axpy(float alpha, const Tensor& b, Tensor& a) {
   const float* pb = b.data();
   const int64_t n = a.numel();
   for (int64_t i = 0; i < n; ++i) pa[i] += alpha * pb[i];
+  PILOTE_CHECK_NUMERICS("Axpy", a);
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return ElementwiseUnary(a, [s](float x) { return x + s; });
+  return ElementwiseUnary(a, "AddScalar", [s](float x) { return x + s; });
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
-  return ElementwiseUnary(a, [s](float x) { return x * s; });
+  return ElementwiseUnary(a, "MulScalar", [s](float x) { return x * s; });
 }
 
 Tensor Relu(const Tensor& a) {
-  return ElementwiseUnary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+  return ElementwiseUnary(a, "Relu", [](float x) { return x > 0.0f ? x : 0.0f; });
 }
 
 Tensor ReluMask(const Tensor& a) {
-  return ElementwiseUnary(a, [](float x) { return x > 0.0f ? 1.0f : 0.0f; });
+  return ElementwiseUnary(a, "ReluMask",
+                          [](float x) { return x > 0.0f ? 1.0f : 0.0f; });
 }
 
 Tensor Square(const Tensor& a) {
-  return ElementwiseUnary(a, [](float x) { return x * x; });
+  return ElementwiseUnary(a, "Square", [](float x) { return x * x; });
 }
 
 Tensor Sqrt(const Tensor& a) {
-  return ElementwiseUnary(a, [](float x) { return std::sqrt(x); });
+  return ElementwiseUnary(a, "Sqrt", [](float x) { return std::sqrt(x); });
 }
 
 Tensor Exp(const Tensor& a) {
-  return ElementwiseUnary(a, [](float x) { return std::exp(x); });
+  return ElementwiseUnary(a, "Exp", [](float x) { return std::exp(x); });
 }
 
 Tensor Neg(const Tensor& a) {
-  return ElementwiseUnary(a, [](float x) { return -x; });
+  return ElementwiseUnary(a, "Neg", [](float x) { return -x; });
 }
 
 Tensor Clamp(const Tensor& a, float lo, float hi) {
-  return ElementwiseUnary(a, [lo, hi](float x) { return std::clamp(x, lo, hi); });
+  return ElementwiseUnary(a, "Clamp",
+                          [lo, hi](float x) { return std::clamp(x, lo, hi); });
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -124,6 +131,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       << "MatMul " << a.shape().ToString() << " x " << b.shape().ToString();
   Tensor out(Shape::Matrix(a.rows(), b.cols()));
   Gemm(a.data(), b.data(), out.data(), a.rows(), a.cols(), b.cols());
+  PILOTE_CHECK_NUMERICS("MatMul", out);
   return out;
 }
 
@@ -135,6 +143,7 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
       << b.shape().ToString();
   Tensor out(Shape::Matrix(a.rows(), b.rows()));
   GemmTransB(a.data(), b.data(), out.data(), a.rows(), a.cols(), b.rows());
+  PILOTE_CHECK_NUMERICS("MatMulTransB", out);
   return out;
 }
 
@@ -146,6 +155,7 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
       << b.shape().ToString();
   Tensor out(Shape::Matrix(a.cols(), b.cols()));
   GemmTransA(a.data(), b.data(), out.data(), a.cols(), a.rows(), b.cols());
+  PILOTE_CHECK_NUMERICS("MatMulTransA", out);
   return out;
 }
 
@@ -185,7 +195,9 @@ float Sum(const Tensor& a) {
   double acc = 0.0;
   const float* p = a.data();
   for (int64_t i = 0; i < a.numel(); ++i) acc += p[i];
-  return static_cast<float>(acc);
+  const float result = static_cast<float>(acc);
+  PILOTE_CHECK_NUMERICS_SCALAR("Sum", result);
+  return result;
 }
 
 float Mean(const Tensor& a) {

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+
+namespace pilote {
+namespace {
+
+int g_predicate_calls = 0;
+
+bool CountingPredicate() {
+  ++g_predicate_calls;
+  return true;
+}
+
+// ------------------------------------------------------------ PILOTE_CHECK
+
+TEST(MacrosCheckTest, ConditionEvaluatedExactlyOnce) {
+  g_predicate_calls = 0;
+  PILOTE_CHECK(CountingPredicate());
+  EXPECT_EQ(g_predicate_calls, 1);
+}
+
+TEST(MacrosCheckTest, CheckOpEvaluatesOperandsOnce) {
+  int lhs_evals = 0;
+  int rhs_evals = 0;
+  auto lhs = [&] {
+    ++lhs_evals;
+    return 2;
+  };
+  auto rhs = [&] {
+    ++rhs_evals;
+    return 5;
+  };
+  PILOTE_CHECK_LT(lhs(), rhs());
+  EXPECT_EQ(lhs_evals, 1);
+  EXPECT_EQ(rhs_evals, 1);
+}
+
+TEST(MacrosCheckDeathTest, FailureReportsFileAndCondition) {
+  EXPECT_DEATH(PILOTE_CHECK(false) << "extra context 42",
+               "CHECK failed: false .*extra context 42");
+}
+
+TEST(MacrosCheckDeathTest, CheckOpFailureShowsValues) {
+  const int small = 1;
+  const int big = 9;
+  EXPECT_DEATH(PILOTE_CHECK_GT(small, big), "\\(1 vs 9\\)");
+}
+
+// ----------------------------------------------------------- PILOTE_DCHECK
+//
+// The release (NDEBUG) expansion parks the condition inside an unevaluated
+// sizeof operand: side effects must provably never run, while the
+// expression is still parsed, type-checked, and its names count as used.
+// These tests compile into both build modes and assert the mode-appropriate
+// behavior, so a regression in either expansion fails ctest rather than
+// silently diverging between Release and Debug.
+
+TEST(MacrosDcheckTest, SideEffectPolicyMatchesBuildMode) {
+  g_predicate_calls = 0;
+  PILOTE_DCHECK(CountingPredicate());
+#ifdef NDEBUG
+  EXPECT_EQ(g_predicate_calls, 0)
+      << "release-mode DCHECK must never evaluate its condition";
+#else
+  EXPECT_EQ(g_predicate_calls, 1)
+      << "debug-mode DCHECK must evaluate its condition";
+#endif
+}
+
+TEST(MacrosDcheckTest, MutationInConditionNeverLeaksInRelease) {
+  int counter = 0;
+  PILOTE_DCHECK(++counter > 0);
+#ifdef NDEBUG
+  EXPECT_EQ(counter, 0);
+#else
+  EXPECT_EQ(counter, 1);
+#endif
+}
+
+TEST(MacrosDcheckTest, ConditionNamesStayUsedInAllModes) {
+  // `limit` is referenced only by the DCHECK. Under -Wunused-but-set /
+  // -Wunused-variable (and -Werror in CI) this test only compiles if the
+  // release expansion still marks the name as used.
+  const int limit = 3;
+  PILOTE_DCHECK(limit > 0);
+  SUCCEED();
+}
+
+TEST(MacrosDcheckTest, UsableInExpressionStatementPositions) {
+  // Must parse as a single statement in unbraced if/else.
+  if (true)
+    PILOTE_DCHECK(true);
+  else
+    PILOTE_DCHECK(false);
+  SUCCEED();
+}
+
+#ifndef NDEBUG
+TEST(MacrosDcheckDeathTest, FailsInDebugBuilds) {
+  EXPECT_DEATH(PILOTE_DCHECK(1 == 2), "CHECK failed");
+}
+#else
+TEST(MacrosDcheckTest, FalseConditionIsIgnoredInRelease) {
+  PILOTE_DCHECK(1 == 2);
+  SUCCEED();
+}
+#endif
+
+}  // namespace
+}  // namespace pilote

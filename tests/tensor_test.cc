@@ -58,6 +58,45 @@ TEST(TensorTest, FromDataValidatesSize) {
                "CHECK failed");
 }
 
+// Accessor bounds are PILOTE_DCHECK-guarded: fatal in debug builds, compiled
+// out of the release hot path. The death tests therefore only run when
+// NDEBUG is not defined; the release expectation is covered by the DCHECK
+// expansion tests in macros_test.cc.
+#ifndef NDEBUG
+TEST(TensorAccessorDeathTest, FlatIndexOutOfRangeIsFatal) {
+  Tensor t(Shape::Vector(4), 1.0f);
+  EXPECT_DEATH((void)t[4], "CHECK failed");
+  EXPECT_DEATH((void)t[-1], "CHECK failed");
+}
+
+TEST(TensorAccessorDeathTest, MatrixIndexOutOfRangeIsFatal) {
+  Tensor t(Shape::Matrix(2, 3), 1.0f);
+  EXPECT_DEATH((void)t(2, 0), "CHECK failed");
+  EXPECT_DEATH((void)t(0, 3), "CHECK failed");
+  EXPECT_DEATH((void)t(-1, 0), "CHECK failed");
+}
+
+TEST(TensorAccessorDeathTest, MatrixAccessOnVectorIsFatal) {
+  Tensor t(Shape::Vector(6), 1.0f);
+  EXPECT_DEATH((void)t(0, 0), "CHECK failed");
+}
+
+TEST(TensorAccessorDeathTest, RowPointerOutOfRangeIsFatal) {
+  Tensor t(Shape::Matrix(2, 3), 1.0f);
+  EXPECT_DEATH((void)t.row(2), "CHECK failed");
+}
+#endif  // !NDEBUG
+
+TEST(TensorTest, MutableAccessorsWriteInBounds) {
+  Tensor t(Shape::Matrix(2, 2));
+  t[0] = 1.0f;
+  t(1, 1) = 2.0f;
+  *t.row(1) = 3.0f;
+  EXPECT_EQ(t[0], 1.0f);
+  EXPECT_EQ(t[3], 2.0f);
+  EXPECT_EQ(t(1, 0), 3.0f);
+}
+
 TEST(TensorTest, ReshapePreservesData) {
   Tensor t(Shape::Matrix(2, 3), {1, 2, 3, 4, 5, 6});
   Tensor r = t.Reshape(Shape::Matrix(3, 2));

@@ -1,0 +1,111 @@
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace pilote {
+namespace {
+
+// Stress coverage for the pool's dispatch and shutdown paths. These tests
+// are the TSan preset's main workload for common/thread_pool: run them in a
+// -DPILOTE_SANITIZE=thread build to race-check the queue, the completion
+// latch, and destruction.
+
+TEST(ThreadPoolStressTest, ConcurrentParallelForFromManyClients) {
+  ThreadPool pool(4);
+  constexpr int kClients = 4;
+  constexpr int kItersPerClient = 25;
+  constexpr int64_t kCount = 64;
+  std::atomic<int64_t> total{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&] {
+      for (int it = 0; it < kItersPerClient; ++it) {
+        pool.ParallelFor(kCount, [&](int64_t) {
+          total.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(total.load(), kClients * kItersPerClient * kCount);
+}
+
+TEST(ThreadPoolStressTest, ConcurrentRangeDispatchCoversEverything) {
+  ThreadPool pool(3);
+  constexpr int kClients = 3;
+  std::atomic<int64_t> covered{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&] {
+      for (int it = 0; it < 20; ++it) {
+        pool.ParallelForRanges(257, [&](int64_t begin, int64_t end) {
+          covered.fetch_add(end - begin, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(covered.load(), kClients * 20 * 257);
+}
+
+TEST(ThreadPoolStressTest, RapidConstructRunDestroyCycles) {
+  // Exercises worker startup and the shutdown handshake back to back; under
+  // TSan this is the main producer of construction/destruction races.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(3);
+    std::atomic<int> hits{0};
+    pool.ParallelFor(17, [&](int64_t) {
+      hits.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(hits.load(), 17);
+  }
+}
+
+TEST(ThreadPoolStressTest, DestroyWithoutSubmittingWork) {
+  for (int round = 0; round < 50; ++round) {
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.num_threads(), 2);
+  }
+}
+
+TEST(ThreadPoolStressTest, ShutdownRacesWithFinalCompletion) {
+  // The destructor runs immediately after ParallelFor returns, while worker
+  // threads may still be between the completion notification and the next
+  // queue wait.
+  for (int round = 0; round < 30; ++round) {
+    ThreadPool pool(4);
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(4, [&](int64_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 6);
+  }
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsStable) {
+  ThreadPool* first = &ThreadPool::Global();
+  ThreadPool* second = &ThreadPool::Global();
+  EXPECT_EQ(first, second);
+  EXPECT_GE(first->num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, OversubscribedCountStillCoversAllIndices) {
+  // More chunks requested than workers: the queue must drain fully even
+  // when every worker has a backlog.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace pilote

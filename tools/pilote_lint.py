@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter for pilote.
+
+Enforces project conventions that the compiler cannot:
+
+  * include guards named PILOTE_<PATH>_H_ (path relative to src/, or the
+    literal directory for tests/, bench/, examples/)
+  * no `using namespace` at namespace/global scope in headers
+  * no raw assert()/abort() in src/ -- invariants use PILOTE_CHECK so
+    failures are reported with file/line and a streamed message
+  * no <iostream> in headers (it drags in static init and bloats every TU;
+    logging.h is the sanctioned output path)
+  * headers are self-contained (each compiles as its own translation unit)
+
+Run directly, via the `lint` CMake target, or as the `repo_lint` ctest test:
+
+  python3 tools/pilote_lint.py --root . [--compiler g++] [--no-self-contained]
+
+Exit status is 0 when clean, 1 when any invariant is violated.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+HEADER_DIRS = ("src", "tests", "bench", "examples")
+SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
+HEADER_EXTENSIONS = (".h", ".hpp")
+SOURCE_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+
+# Files allowed to call abort()/assert directly (the CHECK machinery itself).
+ABORT_ALLOWLIST = {
+    "src/common/macros.h",
+    "src/common/numerics_guard.cc",
+}
+
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;")
+ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
+ABORT_RE = re.compile(r"(?<![\w.:])(?:std::)?abort\s*\(\s*\)")
+IOSTREAM_RE = re.compile(r'^\s*#\s*include\s*<iostream>')
+INCLUDE_GUARD_IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\w+)\s*$")
+
+
+def find_files(root, dirs, extensions):
+    out = []
+    for d in dirs:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith(extensions):
+                    out.append(os.path.relpath(os.path.join(dirpath, name), root))
+    return sorted(out)
+
+
+def expected_guard(rel_path):
+    """src/common/macros.h -> PILOTE_COMMON_MACROS_H_ ; tests/test_util.h ->
+    PILOTE_TESTS_TEST_UTIL_H_ (the src/ prefix is dropped, others kept)."""
+    parts = rel_path.split(os.sep)
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"\.(h|hpp)$", "", stem)
+    stem = re.sub(r"[^A-Za-z0-9]", "_", stem)
+    return "PILOTE_" + stem.upper() + "_H_"
+
+
+def strip_comments_and_strings(line, state):
+    """Removes // and /* */ comments and string/char literals from a line so
+    pattern checks don't fire inside them. `state` carries the in-block-comment
+    flag across lines; returns (stripped_line, state)."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        if state["in_block_comment"]:
+            end = line.find("*/", i)
+            if end == -1:
+                return "".join(out), state
+            state["in_block_comment"] = False
+            i = end + 2
+            continue
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            state["in_block_comment"] = True
+            i += 2
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    break
+                i += 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), state
+
+
+def check_header_guard(root, rel_path, errors):
+    want = expected_guard(rel_path)
+    with open(os.path.join(root, rel_path), encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    guard = None
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("//"):
+            continue
+        m = INCLUDE_GUARD_IFNDEF_RE.match(line)
+        if m:
+            guard = m.group(1)
+        break
+    if guard is None:
+        errors.append(f"{rel_path}:1: missing include guard (expected {want})")
+    elif guard != want:
+        errors.append(
+            f"{rel_path}:1: include guard {guard} does not match convention "
+            f"{want}")
+
+
+def check_file_contents(root, rel_path, errors):
+    is_header = rel_path.endswith(HEADER_EXTENSIONS)
+    in_src = rel_path.split(os.sep)[0] == "src"
+    state = {"in_block_comment": False}
+    with open(os.path.join(root, rel_path), encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            line, state = strip_comments_and_strings(raw.rstrip("\n"), state)
+            if is_header and USING_NAMESPACE_RE.match(line):
+                errors.append(
+                    f"{rel_path}:{lineno}: `using namespace` in a header "
+                    "leaks into every includer; use explicit qualification "
+                    "or a namespace alias in a function body")
+            if is_header and IOSTREAM_RE.match(line):
+                errors.append(
+                    f"{rel_path}:{lineno}: <iostream> in a header; include "
+                    "it in the .cc or use logging.h")
+            if in_src and rel_path not in ABORT_ALLOWLIST:
+                if ASSERT_RE.search(line):
+                    errors.append(
+                        f"{rel_path}:{lineno}: raw assert(); use "
+                        "PILOTE_CHECK / PILOTE_DCHECK so the failure is "
+                        "attributed and active in release builds")
+                if ABORT_RE.search(line):
+                    errors.append(
+                        f"{rel_path}:{lineno}: raw abort(); use "
+                        "PILOTE_CHECK(false) << ... so the failure carries "
+                        "file/line and a message")
+
+
+def check_self_contained(root, headers, compiler, errors):
+    """Each header must compile on its own: generate `#include "x.h"` TUs and
+    run the compiler in syntax-only mode."""
+    with tempfile.TemporaryDirectory() as tmp:
+        for rel_path in headers:
+            stub = os.path.join(tmp, re.sub(r"[^A-Za-z0-9]", "_", rel_path) + ".cc")
+            with open(stub, "w", encoding="utf-8") as f:
+                f.write(f'#include "{os.path.abspath(os.path.join(root, rel_path))}"\n')
+            cmd = [
+                compiler, "-std=c++20", "-fsyntax-only",
+                "-I", os.path.join(root, "src"),
+                "-I", root,
+                stub,
+            ]
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            if proc.returncode != 0:
+                first_error = next(
+                    (l for l in proc.stderr.splitlines() if "error" in l),
+                    proc.stderr.strip().splitlines()[0] if proc.stderr.strip() else "")
+                errors.append(
+                    f"{rel_path}:1: header is not self-contained: {first_error}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("--compiler", default="c++",
+                        help="compiler used for the self-containedness check")
+    parser.add_argument("--no-self-contained", action="store_true",
+                        help="skip the (slower) header self-containedness check")
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.root)
+    headers = find_files(root, HEADER_DIRS, HEADER_EXTENSIONS)
+    sources = find_files(root, SOURCE_DIRS, SOURCE_EXTENSIONS)
+
+    errors = []
+    for h in headers:
+        check_header_guard(root, h, errors)
+    for f in sources:
+        check_file_contents(root, f, errors)
+    if not args.no_self_contained:
+        check_self_contained(root, headers, args.compiler, errors)
+
+    if errors:
+        for e in errors:
+            print(e)
+        print(f"pilote_lint: {len(errors)} violation(s)")
+        return 1
+    print(f"pilote_lint: OK ({len(headers)} headers, {len(sources)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
