@@ -7,11 +7,16 @@
 #include "common/macros.h"
 #include "eval/metrics.h"
 #include "har/har_dataset.h"
+#include "obs/export.h"
 
 namespace pilote {
 namespace bench {
 
 BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
+  // Strip --metrics-json=PATH / --trace-out=PATH first: they enable the
+  // obs registry and arrange at-exit snapshots, and must not reach the
+  // unknown-flag warning below.
+  argc = obs::ConsumeMetricsFlags(argc, argv);
   BenchConfig config;
   config.pilote = core::PiloteConfig::Small();
   config.pilote.exemplars_per_class = 200;

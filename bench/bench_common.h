@@ -17,6 +17,10 @@ namespace bench {
 // tables and figures. Defaults are sized for a single-core box; pass
 // --paper for the paper-scale backbone ([1024,512,128,64]->128) and
 // larger corpora (slow!), --rounds=N to change the number of repetitions.
+// Observability: --metrics-json=PATH writes a metrics snapshot (counters,
+// histogram percentiles, span profile) at exit; --trace-out=PATH writes a
+// Chrome trace_event JSON loadable in chrome://tracing. Both flags enable
+// the obs registry for the whole run.
 struct BenchConfig {
   core::PiloteConfig pilote;
   // The cloud corpus must dwarf the edge support set (in the paper the

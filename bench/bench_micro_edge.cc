@@ -14,6 +14,7 @@
 #include "har/har_dataset.h"
 #include "losses/pair_sampler.h"
 #include "nn/backbone.h"
+#include "obs/export.h"
 #include "serialize/io.h"
 
 namespace pilote {
@@ -120,4 +121,14 @@ BENCHMARK(BM_IncrementalTrainingEpoch)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace pilote
 
-BENCHMARK_MAIN();
+// Custom main: google-benchmark rejects flags it does not know, so the
+// observability flags (--metrics-json=PATH, --trace-out=PATH) must be
+// stripped from argv before Initialize sees them.
+int main(int argc, char** argv) {
+  argc = pilote::obs::ConsumeMetricsFlags(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "obs/export.h"
 #include "core/exemplar_selector.h"
 #include "core/ncm_classifier.h"
 #include "har/feature_extractor.h"
@@ -100,4 +101,14 @@ BENCHMARK(BM_PairwiseSquaredDistance)->Arg(64)->Arg(512);
 }  // namespace
 }  // namespace pilote
 
-BENCHMARK_MAIN();
+// Custom main: google-benchmark rejects flags it does not know, so the
+// observability flags (--metrics-json=PATH, --trace-out=PATH) must be
+// stripped from argv before Initialize sees them.
+int main(int argc, char** argv) {
+  argc = pilote::obs::ConsumeMetricsFlags(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

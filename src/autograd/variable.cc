@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 
 namespace pilote {
@@ -81,6 +83,7 @@ std::shared_ptr<Node> Variable::MakeNode(
 }
 
 void Variable::Backward() const {
+  PILOTE_TRACE_SPAN("autograd/backward");
   PILOTE_CHECK(defined());
   PILOTE_CHECK_EQ(node_->value.numel(), 1)
       << "Backward() requires a scalar loss";
@@ -107,6 +110,10 @@ void Variable::Backward() const {
       stack.pop_back();
     }
   }
+
+  PILOTE_METRIC_COUNT("autograd/backward_calls", 1);
+  PILOTE_METRIC_COUNT("autograd/backward_nodes",
+                      static_cast<int64_t>(order.size()));
 
   node_->AccumulateGrad(Tensor::Ones(node_->value.shape()));
   // `order` is post-order (leaves first); walk it backwards so each node's

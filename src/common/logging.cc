@@ -1,13 +1,59 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace pilote {
 namespace {
 
+// Seconds since the first log statement in the process; monotonic so the
+// prefix is unaffected by wall-clock adjustments on the device.
+double MonotonicSeconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Dense per-thread id (0, 1, 2, ...) — stable within a run and far more
+// readable in interleaved output than the native thread handle.
+int CurrentThreadId() {
+  static std::atomic<int> next_id{0};
+  thread_local const int id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+bool EqualsIgnoreCase(const char* a, const char* b) {
+  for (; *a != '\0' && *b != '\0'; ++a, ++b) {
+    if (std::tolower(static_cast<unsigned char>(*a)) !=
+        std::tolower(static_cast<unsigned char>(*b))) {
+      return false;
+    }
+  }
+  return *a == '\0' && *b == '\0';
+}
+
 LogLevel InitialLevel() {
+  if (const char* spec = std::getenv("PILOTE_LOG_LEVEL")) {
+    if (EqualsIgnoreCase(spec, "debug") || std::strcmp(spec, "0") == 0) {
+      return LogLevel::kDebug;
+    }
+    if (EqualsIgnoreCase(spec, "info") || std::strcmp(spec, "1") == 0) {
+      return LogLevel::kInfo;
+    }
+    if (EqualsIgnoreCase(spec, "warning") || EqualsIgnoreCase(spec, "warn") ||
+        std::strcmp(spec, "2") == 0) {
+      return LogLevel::kWarning;
+    }
+    if (EqualsIgnoreCase(spec, "error") || std::strcmp(spec, "3") == 0) {
+      return LogLevel::kError;
+    }
+    std::fprintf(stderr, "[W logging] unknown PILOTE_LOG_LEVEL '%s', using info\n",
+                 spec);
+  }
   if (std::getenv("PILOTE_QUIET") != nullptr) return LogLevel::kWarning;
   return LogLevel::kInfo;
 }
@@ -15,6 +61,24 @@ LogLevel InitialLevel() {
 std::atomic<int>& LevelStorage() {
   static std::atomic<int> level{static_cast<int>(InitialLevel())};
   return level;
+}
+
+// Optional secondary sink; opened once on first use and intentionally never
+// closed (log statements may run during static destruction).
+std::FILE* FileSink() {
+  static std::FILE* sink = [] {
+    const char* path = std::getenv("PILOTE_LOG_FILE");
+    if (path == nullptr || *path == '\0') {
+      return static_cast<std::FILE*>(nullptr);
+    }
+    std::FILE* f = std::fopen(path, "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[W logging] cannot open PILOTE_LOG_FILE '%s'\n",
+                   path);
+    }
+    return f;
+  }();
+  return sink;
 }
 
 const char* LevelName(LogLevel level) {
@@ -51,13 +115,22 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     for (const char* p = file; *p != '\0'; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+    char prefix[96];
+    std::snprintf(prefix, sizeof(prefix), "[%s %.3f T%d %s:%d] ",
+                  LevelName(level), MonotonicSeconds(), CurrentThreadId(),
+                  base, line);
+    stream_ << prefix;
   }
 }
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    const std::string line = stream_.str();
+    std::fprintf(stderr, "%s\n", line.c_str());
+    if (std::FILE* sink = FileSink()) {
+      std::fprintf(sink, "%s\n", line.c_str());
+      std::fflush(sink);
+    }
   }
 }
 

@@ -3,9 +3,12 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/timer.h"
 #include "core/embedding.h"
 #include "data/splits.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serialize/io.h"
 #include "tensor/tensor_ops.h"
 
@@ -67,7 +70,22 @@ Tensor EdgeLearner::EmbedRaw(const Tensor& raw_features) {
 }
 
 std::vector<int> EdgeLearner::Predict(const Tensor& raw_features) {
-  return classifier_.Predict(EmbedRaw(raw_features));
+  PILOTE_TRACE_SPAN("core/predict");
+  if (!obs::Enabled()) {
+    return classifier_.Predict(EmbedRaw(raw_features));
+  }
+  // A batched Predict amortizes the embedding pass over all rows; record the
+  // amortized per-window latency so the histogram stays comparable with the
+  // row-at-a-time streaming path.
+  WallTimer timer;
+  std::vector<int> labels = classifier_.Predict(EmbedRaw(raw_features));
+  const int64_t rows = std::max<int64_t>(1, raw_features.rows());
+  const double per_window_ms = timer.ElapsedSeconds() * 1e3 /
+                               static_cast<double>(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    PILOTE_METRIC_HISTOGRAM("core/inference_window_ms", per_window_ms);
+  }
+  return labels;
 }
 
 double EdgeLearner::Evaluate(const data::Dataset& raw_test) {
@@ -85,6 +103,7 @@ void EdgeLearner::RebuildPrototypes() {
 }
 
 void EdgeLearner::EnrichSupportSet(const data::Dataset& scaled_new) {
+  PILOTE_TRACE_SPAN("core/enrich_support_set");
   for (int label : scaled_new.Classes()) {
     PILOTE_CHECK(!support_.HasClass(label))
         << "class " << label << " already known";
@@ -93,11 +112,14 @@ void EdgeLearner::EnrichSupportSet(const data::Dataset& scaled_new) {
         data::SampleRows(class_rows, config_.exemplars_per_class, rng_);
     support_.SetClassExemplars(label, sampled.features());
     known_classes_.push_back(label);
+    PILOTE_METRIC_COUNT("core/classes_ingested", 1);
+    PILOTE_METRIC_COUNT("core/exemplars_cached", sampled.size());
   }
   std::sort(known_classes_.begin(), known_classes_.end());
 }
 
 TrainReport PretrainedLearner::LearnNewClasses(const data::Dataset& d_new) {
+  PILOTE_TRACE_SPAN("core/learn_new_classes");
   PILOTE_CHECK(!d_new.empty());
   data::Dataset scaled_new = Scale(d_new);
   EnrichSupportSet(scaled_new);
@@ -107,6 +129,7 @@ TrainReport PretrainedLearner::LearnNewClasses(const data::Dataset& d_new) {
 }
 
 TrainReport RetrainedLearner::LearnNewClasses(const data::Dataset& d_new) {
+  PILOTE_TRACE_SPAN("core/learn_new_classes");
   PILOTE_CHECK(!d_new.empty());
   data::Dataset scaled_new = Scale(d_new);
 
@@ -141,6 +164,7 @@ TrainReport RetrainedLearner::LearnNewClasses(const data::Dataset& d_new) {
 }
 
 TrainReport PiloteLearner::LearnNewClasses(const data::Dataset& d_new) {
+  PILOTE_TRACE_SPAN("core/learn_new_classes");
   PILOTE_CHECK(!d_new.empty());
   data::Dataset scaled_new = Scale(d_new);
 
@@ -180,6 +204,7 @@ TrainReport PiloteLearner::LearnNewClasses(const data::Dataset& d_new) {
 }
 
 TrainReport GdumbLearner::LearnNewClasses(const data::Dataset& d_new) {
+  PILOTE_TRACE_SPAN("core/learn_new_classes");
   PILOTE_CHECK(!d_new.empty());
   data::Dataset scaled_new = Scale(d_new);
   EnrichSupportSet(scaled_new);

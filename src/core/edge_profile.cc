@@ -1,9 +1,11 @@
 #include "core/edge_profile.h"
 
+#include <cmath>
 #include <sstream>
 
-#include "common/timer.h"
+#include "obs/metrics.h"
 #include "serialize/quantize.h"
+#include "tensor/tensor_ops.h"
 
 namespace pilote {
 namespace core {
@@ -16,8 +18,15 @@ std::string EdgeProfileReport::ToString() const {
      << support_bytes_fp32 << " B fp32, " << support_bytes_fp16
      << " B fp16, " << support_bytes_int8 << " B int8)\n"
      << "prototypes: " << prototype_bytes << " B\n"
-     << "inference: " << inference_ms_per_window << " ms/window\n"
-     << "training: " << train_epoch_seconds << " s/epoch";
+     << "inference: " << inference_ms_per_window << " ms/window (p50 "
+     << inference_p50_ms << ", p95 " << inference_p95_ms << ", p99 "
+     << inference_p99_ms << ")\n"
+     << "training: ";
+  if (std::isnan(train_epoch_seconds)) {
+    os << "n/a";
+  } else {
+    os << train_epoch_seconds << " s/epoch";
+  }
   return os.str();
 }
 
@@ -44,12 +53,25 @@ EdgeProfileReport ProfileEdge(EdgeLearner& learner,
       support.StorageBytes(serialize::QuantMode::kInt8);
   report.prototype_bytes = learner.classifier().StorageBytes();
 
-  // Amortized end-to-end inference latency (scaling + embedding + NCM).
+  // End-to-end inference latency (scaling + embedding + NCM). Predict()
+  // feeds the shared "core/inference_window_ms" histogram; probing row by
+  // row makes each recorded sample a true single-window latency, and the
+  // before/after snapshot delta isolates this probe from any earlier
+  // recordings in the process.
   PILOTE_CHECK_GT(probe_features.rows(), 0);
-  WallTimer timer;
-  std::vector<int> predictions = learner.Predict(probe_features);
-  report.inference_ms_per_window =
-      timer.ElapsedMillis() / static_cast<double>(probe_features.rows());
+  obs::ScopedEnable enable_metrics;
+  obs::Histogram& latency = obs::MetricsRegistry::Global().GetHistogram(
+      "core/inference_window_ms");
+  const obs::HistogramSnapshot before = latency.Snapshot();
+  for (int64_t r = 0; r < probe_features.rows(); ++r) {
+    learner.Predict(GatherRows(probe_features, {r}));
+  }
+  const obs::HistogramSnapshot probe =
+      obs::Delta(before, latency.Snapshot());
+  report.inference_ms_per_window = probe.Mean();
+  report.inference_p50_ms = probe.Percentile(0.50);
+  report.inference_p95_ms = probe.Percentile(0.95);
+  report.inference_p99_ms = probe.Percentile(0.99);
 
   if (last_report != nullptr) {
     report.train_epoch_seconds = last_report->mean_epoch_seconds;

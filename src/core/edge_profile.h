@@ -1,6 +1,7 @@
 #ifndef PILOTE_CORE_EDGE_PROFILE_H_
 #define PILOTE_CORE_EDGE_PROFILE_H_
 
+#include <limits>
 #include <string>
 
 #include "core/edge_learner.h"
@@ -18,16 +19,21 @@ struct EdgeProfileReport {
   int64_t support_bytes_fp16 = 0;
   int64_t support_bytes_int8 = 0;
   int64_t prototype_bytes = 0;
-  double inference_ms_per_window = 0.0;  // scale + embed + NCM, amortized
-  double train_epoch_seconds = 0.0;      // from the last training report
+  double inference_ms_per_window = 0.0;  // scale + embed + NCM, mean
+  double inference_p50_ms = 0.0;         // per-window latency percentiles
+  double inference_p95_ms = 0.0;
+  double inference_p99_ms = 0.0;
+  // NaN until the learner has trained (ToString prints "n/a").
+  double train_epoch_seconds = std::numeric_limits<double>::quiet_NaN();
 
   std::string ToString() const;
 };
 
-// Measures the learner's storage footprint and its amortized per-window
-// inference latency over `probe_features` (raw rows; more rows = tighter
-// estimate). `last_report` supplies the per-epoch training time (pass
-// nullptr if the learner never trained).
+// Measures the learner's storage footprint and its per-window inference
+// latency over `probe_features` (raw rows; more rows = tighter estimate).
+// Each probe row is classified individually so the latency histogram holds
+// true per-window samples. `last_report` supplies the per-epoch training
+// time (pass nullptr if the learner never trained; the field stays NaN).
 EdgeProfileReport ProfileEdge(EdgeLearner& learner,
                               const Tensor& probe_features,
                               const TrainReport* last_report);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 #include "tensor/tensor_ops.h"
 
 namespace pilote {
@@ -99,6 +100,7 @@ Tensor NcmClassifier::DistanceMatrix(const Tensor& embeddings) const {
 }
 
 std::vector<int> NcmClassifier::Predict(const Tensor& embeddings) const {
+  PILOTE_METRIC_COUNT("core/ncm_predictions", embeddings.rows());
   Tensor distances = DistanceMatrix(embeddings);
   std::vector<int64_t> nearest = ArgMinPerRow(distances);
   std::vector<int> result(nearest.size());

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "common/timer.h"
 #include "har/feature_extractor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 
 namespace pilote {
@@ -39,12 +42,17 @@ std::vector<int> StreamingClassifier::PushBlock(const Tensor& samples) {
 }
 
 int StreamingClassifier::ClassifyWindow() {
+  PILOTE_TRACE_SPAN("core/classify_window");
+  WallTimer timer;
   Tensor window = ConcatRows(buffer_);
   buffer_.clear();
   window = har::DenoiseMovingAverage(window, options_.denoise_half_width);
   Tensor features = har::ExtractFeatures(window)
                         .Reshape(Shape::Matrix(1, har::kNumFeatures));
   const int raw = learner_->Predict(features).front();
+  PILOTE_METRIC_COUNT("core/windows_classified", 1);
+  PILOTE_METRIC_HISTOGRAM("core/stream_window_ms",
+                          timer.ElapsedSeconds() * 1e3);
 
   window_history_.push_back(raw);
   recent_.push_back(raw);

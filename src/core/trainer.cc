@@ -9,6 +9,8 @@
 #include "losses/contrastive.h"
 #include "losses/distillation.h"
 #include "losses/joint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optim/adam.h"
 #include "optim/lr_scheduler.h"
 #include "tensor/tensor_ops.h"
@@ -124,6 +126,7 @@ float SiameseTrainer::ValidationLoss(const losses::PairBatch& val_pairs,
 TrainReport SiameseTrainer::Train(losses::PairSampler& train_sampler,
                                   losses::PairSampler& val_sampler,
                                   const DistillationTask* distill) {
+  PILOTE_TRACE_SPAN("trainer/train");
   if (distill != nullptr) {
     PILOTE_CHECK_EQ(distill->features.rows(),
                     distill->teacher_embeddings.rows());
@@ -147,6 +150,8 @@ TrainReport SiameseTrainer::Train(losses::PairSampler& train_sampler,
   bool have_previous = false;
 
   for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    PILOTE_TRACE_SPAN("trainer/epoch");
+    WallTimer epoch_timer;
     scheduler.OnEpochBegin(epoch);
     model_.SetTraining(true);
 
@@ -200,6 +205,8 @@ TrainReport SiameseTrainer::Train(losses::PairSampler& train_sampler,
     const float val_loss = ValidationLoss(val_pairs, distill);
     report.val_loss_history.push_back(val_loss);
     report.epochs_completed = epoch + 1;
+    PILOTE_METRIC_HISTOGRAM("trainer/epoch_seconds",
+                            epoch_timer.ElapsedSeconds());
 
     if (have_previous &&
         std::fabs(val_loss - previous_val_loss) < options_.early_stop_delta) {

@@ -6,6 +6,7 @@
 #include "autograd/ops.h"
 #include "common/macros.h"
 #include "common/numerics_guard.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 
 namespace pilote {
@@ -21,6 +22,7 @@ autograd::Variable ContrastiveLoss(const autograd::Variable& left,
                                    const autograd::Variable& right,
                                    const Tensor& similar, float margin,
                                    ContrastiveForm form) {
+  PILOTE_TRACE_SPAN("losses/contrastive_forward");
   namespace ag = autograd;
   const int64_t n = left.value().rows();
   PILOTE_CHECK_EQ(right.value().rows(), n);

@@ -3,6 +3,7 @@
 #include "autograd/ops.h"
 #include "common/macros.h"
 #include "common/numerics_guard.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 
 namespace pilote {
@@ -10,6 +11,7 @@ namespace losses {
 
 autograd::Variable DistillationLoss(const autograd::Variable& student,
                                     const Tensor& teacher) {
+  PILOTE_TRACE_SPAN("losses/distillation_forward");
   namespace ag = autograd;
   PILOTE_CHECK(student.value().shape() == teacher.shape())
       << "distillation embedding shape mismatch";

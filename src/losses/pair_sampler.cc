@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 #include "tensor/tensor_ops.h"
 
 namespace pilote {
@@ -99,6 +100,7 @@ void PairSampler::SampleNegativeWithin(const IndexedSet& set, int* left,
 
 PairBatch PairSampler::Next(int batch_size) {
   PILOTE_CHECK_GE(batch_size, 1);
+  PILOTE_METRIC_COUNT("losses/pairs_sampled", batch_size);
   const int64_t d = old_.features.cols();
   PairBatch batch;
   batch.left = Tensor(Shape::Matrix(batch_size, d));

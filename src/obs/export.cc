@@ -1,0 +1,217 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace pilote {
+namespace obs {
+namespace {
+
+// JSON-safe rendering of a double (JSON has no NaN/Inf).
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+void AppendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buffer;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& body) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot open metrics output " + path);
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  if (written != body.size() || !closed) {
+    return Status::IoError("cannot write metrics output " + path);
+  }
+  return Status::Ok();
+}
+
+// Path for the at-exit JSON snapshot; leaked (atexit runs during static
+// destruction, so this must not be a destructible static).
+std::string*& ExitJsonPath() {
+  static std::string* path = new std::string();
+  return path;
+}
+
+void WriteMetricsJsonAtExit() {
+  const std::string& path = *ExitJsonPath();
+  if (path.empty()) return;
+  Status status = WriteMetricsJson(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "--metrics-json: %s\n", status.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+MetricsSnapshot CaptureSnapshot() {
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  snapshot.spans = SpanProfile();
+  return snapshot;
+}
+
+std::string ToReport(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(6);
+  os << "== counters ==\n";
+  for (const CounterSample& c : snapshot.counters) {
+    os << "  " << c.name << " = " << c.value << "\n";
+  }
+  os << "== gauges ==\n";
+  for (const GaugeSample& g : snapshot.gauges) {
+    os << "  " << g.name << " = " << g.value << "\n";
+  }
+  os << "== histograms ==\n";
+  for (const HistogramSample& h : snapshot.histograms) {
+    os << "  " << h.name << ": n=" << h.count << " mean="
+       << (h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0)
+       << " min=" << h.min << " p50=" << h.p50 << " p95=" << h.p95
+       << " p99=" << h.p99 << " max=" << h.max << "\n";
+  }
+  os << "== spans (flat profile) ==\n";
+  for (const SpanSample& s : snapshot.spans) {
+    os << "  " << s.name << ": n=" << s.count << " total=" << s.total_seconds
+       << "s self=" << s.self_seconds << "s\n";
+  }
+  return os.str();
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\n\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    AppendJsonString(os, snapshot.counters[i].name);
+    os << ":" << snapshot.counters[i].value;
+  }
+  os << "},\n\"gauges\":{";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    AppendJsonString(os, snapshot.gauges[i].name);
+    os << ":" << JsonNumber(snapshot.gauges[i].value);
+  }
+  os << "},\n\"histograms\":{";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSample& h = snapshot.histograms[i];
+    os << (i == 0 ? "\n" : ",\n");
+    AppendJsonString(os, h.name);
+    os << ":{\"count\":" << h.count << ",\"sum\":" << JsonNumber(h.sum)
+       << ",\"min\":" << JsonNumber(h.min) << ",\"max\":" << JsonNumber(h.max)
+       << ",\"p50\":" << JsonNumber(h.p50) << ",\"p95\":" << JsonNumber(h.p95)
+       << ",\"p99\":" << JsonNumber(h.p99) << "}";
+  }
+  os << "},\n\"spans\":{";
+  for (size_t i = 0; i < snapshot.spans.size(); ++i) {
+    const SpanSample& s = snapshot.spans[i];
+    os << (i == 0 ? "\n" : ",\n");
+    AppendJsonString(os, s.name);
+    os << ":{\"count\":" << s.count
+       << ",\"total_seconds\":" << JsonNumber(s.total_seconds)
+       << ",\"self_seconds\":" << JsonNumber(s.self_seconds) << "}";
+  }
+  os << "}\n}\n";
+  return os.str();
+}
+
+std::string ToCsv(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "kind,name,count,value,sum,min,max,p50,p95,p99\n";
+  for (const CounterSample& c : snapshot.counters) {
+    os << "counter," << c.name << ",," << c.value << ",,,,,,\n";
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    os << "gauge," << g.name << ",," << g.value << ",,,,,,\n";
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    os << "histogram," << h.name << "," << h.count << ",," << h.sum << ","
+       << h.min << "," << h.max << "," << h.p50 << "," << h.p95 << ","
+       << h.p99 << "\n";
+  }
+  for (const SpanSample& s : snapshot.spans) {
+    os << "span," << s.name << "," << s.count << ",," << s.total_seconds
+       << ",,,,," << "\n";
+  }
+  return os.str();
+}
+
+Status WriteMetricsJson(const std::string& path) {
+  return WriteStringToFile(path, ToJson(CaptureSnapshot()));
+}
+
+Status WriteMetricsCsv(const std::string& path) {
+  return WriteStringToFile(path, ToCsv(CaptureSnapshot()));
+}
+
+void EnableMetricsJsonOutput(const std::string& path) {
+  SetEnabled(true);
+  const bool register_handler = ExitJsonPath()->empty();
+  *ExitJsonPath() = path;
+  if (register_handler && !path.empty()) {
+    std::atexit(WriteMetricsJsonAtExit);
+  }
+}
+
+int ConsumeMetricsFlags(int argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--metrics-json=", 15) == 0) {
+      EnableMetricsJsonOutput(arg + 15);
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      SetEnabled(true);
+      StartTraceCapture();
+      // Written at exit alongside the metrics snapshot.
+      static std::string* trace_path = new std::string();
+      const bool register_handler = trace_path->empty();
+      *trace_path = arg + 12;
+      if (register_handler && !trace_path->empty()) {
+        std::atexit(+[]() {
+          // Re-fetch: last --trace-out wins.
+          Status status = WriteChromeTrace(*trace_path);
+          if (!status.ok()) {
+            std::fprintf(stderr, "--trace-out: %s\n",
+                         status.ToString().c_str());
+          }
+        });
+      }
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace pilote

@@ -1,0 +1,56 @@
+#ifndef PILOTE_OBS_EXPORT_H_
+#define PILOTE_OBS_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace pilote {
+namespace obs {
+
+// Exporters over the metrics registry + span profile.
+//
+// Environment contract (read once at first use):
+//   PILOTE_METRICS=1       enable recording (any value but "0")
+//   PILOTE_TRACE_OUT=path  enable recording + buffer Chrome trace events,
+//                          written to `path` at process exit
+//
+// Programmatic contract: EnableMetricsJsonOutput(path) is what the bench
+// harness's --metrics-json flag calls — it enables recording and arranges
+// for a JSON snapshot at process exit, so every bench run can leave a
+// machine-readable perf record next to its stdout tables.
+
+// Registry metrics + span profile merged into one snapshot.
+MetricsSnapshot CaptureSnapshot();
+
+// Human-readable multi-section report (counters, gauges, histogram
+// percentiles, flat span profile).
+std::string ToReport(const MetricsSnapshot& snapshot);
+
+// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...},
+// "spans":{...}}. Stable key order (sorted by name).
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+// Flat CSV: kind,name,count,value,sum,min,max,p50,p95,p99 — one row per
+// metric, empty cells where a column does not apply.
+std::string ToCsv(const MetricsSnapshot& snapshot);
+
+// Captures a snapshot and writes it in the given format.
+Status WriteMetricsJson(const std::string& path);
+Status WriteMetricsCsv(const std::string& path);
+
+// Enables recording now and writes a JSON snapshot to `path` at process
+// exit (last call wins). Used by the bench --metrics-json flag.
+void EnableMetricsJsonOutput(const std::string& path);
+
+// Strips observability flags (--metrics-json=PATH, --trace-out=PATH) from
+// an argv the downstream parser does not understand (google-benchmark
+// rejects unknown flags), applying their effects, and returns the new
+// argc. argv[0] is preserved.
+int ConsumeMetricsFlags(int argc, char** argv);
+
+}  // namespace obs
+}  // namespace pilote
+
+#endif  // PILOTE_OBS_EXPORT_H_

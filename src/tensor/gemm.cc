@@ -4,9 +4,17 @@
 #include <cstring>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace pilote {
 namespace {
+
+// One counting site shared by all three kernels; the disabled cost is a
+// relaxed load + branch per GEMM call (amortized over the whole kernel).
+void CountGemm(int64_t m, int64_t k, int64_t n) {
+  PILOTE_METRIC_COUNT("tensor/gemm_calls", 1);
+  PILOTE_METRIC_COUNT("tensor/gemm_flops", 2 * m * k * n);
+}
 
 // Rough per-kernel FLOP threshold below which threading overhead dominates.
 constexpr int64_t kParallelFlopThreshold = 1 << 22;
@@ -60,6 +68,7 @@ void Dispatch(int64_t m, int64_t k, int64_t n,
 
 void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
           int64_t n) {
+  CountGemm(m, k, n);
   Dispatch(m, k, n, [=](int64_t begin, int64_t end) {
     GemmRows(a, b, c, begin, end, k, n);
   });
@@ -67,6 +76,7 @@ void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
 
 void GemmTransB(const float* a, const float* b, float* c, int64_t m, int64_t k,
                 int64_t n) {
+  CountGemm(m, k, n);
   Dispatch(m, k, n, [=](int64_t begin, int64_t end) {
     GemmTransBRows(a, b, c, begin, end, k, n);
   });
@@ -74,6 +84,7 @@ void GemmTransB(const float* a, const float* b, float* c, int64_t m, int64_t k,
 
 void GemmTransA(const float* a, const float* b, float* c, int64_t m, int64_t k,
                 int64_t n) {
+  CountGemm(m, k, n);
   // C[m,n] = sum_p A[p,m]^T * B[p,n]. Outer-product accumulation keeps both
   // input walks contiguous; parallelizing would race on C, so compute the
   // full product serially (these shapes are small: gradient accumulations).

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/numerics_guard.h"
+#include "obs/metrics.h"
 #include "tensor/gemm.h"
 
 namespace pilote {
@@ -14,6 +15,13 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
   PILOTE_CHECK(a.shape() == b.shape())
       << op << ": shape mismatch " << a.shape().ToString() << " vs "
       << b.shape().ToString();
+}
+
+// Per-call accounting for the elementwise/broadcast kernel families; one
+// relaxed load + branch when observability is off.
+void CountElementwise(int64_t elements) {
+  PILOTE_METRIC_COUNT("tensor/elementwise_calls", 1);
+  PILOTE_METRIC_COUNT("tensor/elementwise_elems", elements);
 }
 
 template <typename Fn>
@@ -26,6 +34,7 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, const char* op,
   float* po = out.data();
   const int64_t n = a.numel();
   for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+  CountElementwise(n);
   PILOTE_CHECK_NUMERICS(op, out);
   return out;
 }
@@ -37,6 +46,7 @@ Tensor ElementwiseUnary(const Tensor& a, const char* op, Fn fn) {
   float* po = out.data();
   const int64_t n = a.numel();
   for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  CountElementwise(n);
   PILOTE_CHECK_NUMERICS(op, out);
   return out;
 }
@@ -55,6 +65,7 @@ Tensor RowBroadcast(const Tensor& m, const Tensor& v, const char* op, Fn fn) {
     float* po = out.row(r);
     for (int64_t c = 0; c < cols; ++c) po[c] = fn(pm[c], pv[c]);
   }
+  CountElementwise(m.numel());
   PILOTE_CHECK_NUMERICS(op, out);
   return out;
 }

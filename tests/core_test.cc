@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "core/edge_profile.h"
 #include "core/embedding.h"
 #include "core/exemplar_selector.h"
 #include "core/ncm_classifier.h"
@@ -272,6 +273,34 @@ TEST(EmbedTest, OutputDimensionMatchesConfig) {
   nn::MlpBackbone model(config, rng);
   Tensor out = Embed(model, Tensor::RandNormal(Shape::Matrix(3, 80), rng));
   EXPECT_EQ(out.cols(), config.embedding_dim);
+}
+
+TEST(EdgeProfileReportTest, UntrainedEpochTimeIsNaNAndPrintsNa) {
+  EdgeProfileReport report;
+  EXPECT_TRUE(std::isnan(report.train_epoch_seconds));
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("training: n/a"), std::string::npos);
+  EXPECT_EQ(text.find("s/epoch"), std::string::npos);
+}
+
+TEST(EdgeProfileReportTest, TrainedEpochTimePrintsSeconds) {
+  EdgeProfileReport report;
+  report.train_epoch_seconds = 0.25;
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("s/epoch"), std::string::npos);
+  EXPECT_EQ(text.find("n/a"), std::string::npos);
+}
+
+TEST(EdgeProfileReportTest, ToStringCarriesLatencyPercentiles) {
+  EdgeProfileReport report;
+  report.inference_ms_per_window = 1.0;
+  report.inference_p50_ms = 0.9;
+  report.inference_p95_ms = 1.4;
+  report.inference_p99_ms = 1.9;
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("p50"), std::string::npos);
+  EXPECT_NE(text.find("p95"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
 }
 
 }  // namespace

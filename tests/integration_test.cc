@@ -1,6 +1,7 @@
 // End-to-end tests of the full PILOTE pipeline on simulated HAR data:
 // cloud pre-training on four activities, edge integration of the held-out
 // one, and the paper's qualitative claims (Q1-Q3) in miniature.
+#include <cmath>
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -177,8 +178,22 @@ TEST_F(PipelineTest, EdgeProfileReportsBudget) {
   EXPECT_EQ(profile.support_exemplars, learner.support().TotalExemplars());
   EXPECT_GT(profile.support_bytes_fp32, profile.support_bytes_int8);
   EXPECT_GT(profile.inference_ms_per_window, 0.0);
+  // Per-window latency percentiles come from the obs registry histogram
+  // and must be ordered and bracket the mean's neighborhood.
+  EXPECT_GT(profile.inference_p50_ms, 0.0);
+  EXPECT_LE(profile.inference_p50_ms, profile.inference_p95_ms);
+  EXPECT_LE(profile.inference_p95_ms, profile.inference_p99_ms);
   EXPECT_GT(profile.train_epoch_seconds, 0.0);
   EXPECT_FALSE(profile.ToString().empty());
+}
+
+TEST_F(PipelineTest, EdgeProfileWithoutTrainingReportsNa) {
+  PretrainedLearner learner(state_->artifact, state_->config);
+  EdgeProfileReport profile =
+      ProfileEdge(learner, state_->test_all.features(), /*last_report=*/nullptr);
+  EXPECT_TRUE(std::isnan(profile.train_epoch_seconds));
+  EXPECT_NE(profile.ToString().find("training: n/a"), std::string::npos);
+  EXPECT_GT(profile.inference_ms_per_window, 0.0);
 }
 
 TEST_F(PipelineTest, QuantizedSupportSetStillClassifies) {
