@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <sstream>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/macros.h"
@@ -73,7 +74,9 @@ ScenarioData MakeScenario(const BenchConfig& config,
 core::CloudPretrainResult Pretrain(const BenchConfig& config,
                                    const ScenarioData& scenario) {
   core::CloudPretrainer pretrainer(config.pilote);
-  return pretrainer.Run(scenario.d_old);
+  Result<core::CloudPretrainResult> result = pretrainer.Run(scenario.d_old);
+  PILOTE_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
 }
 
 LearnerRun RunLearner(const std::string& strategy,
@@ -85,7 +88,10 @@ LearnerRun RunLearner(const std::string& strategy,
   round_config.incremental.seed = round_seed ^ 0x1234;
 
   LearnerRun run;
-  run.learner = core::MakeEdgeLearner(strategy, artifact, round_config);
+  Result<std::unique_ptr<core::EdgeLearner>> learner =
+      core::MakeEdgeLearner(strategy, artifact, round_config);
+  PILOTE_CHECK(learner.ok()) << learner.status().ToString();
+  run.learner = std::move(learner).value();
   run.report = run.learner->LearnNewClasses(scenario.d_new);
   run.accuracy = run.learner->Evaluate(scenario.test);
   return run;

@@ -7,8 +7,10 @@
 //
 // Build & run:  ./build/examples/continual_stream
 #include <cstdio>
+#include <utility>
 #include <vector>
 
+#include "common/macros.h"
 #include "core/cloud.h"
 #include "core/edge_learner.h"
 #include "eval/metrics.h"
@@ -75,7 +77,10 @@ int main() {
   }
   pilote::data::Dataset d_old = pilote::data::Dataset::Concat(old_parts);
   CloudPretrainer pretrainer(config);
-  pilote::core::CloudPretrainResult cloud = pretrainer.Run(d_old);
+  pilote::Result<pilote::core::CloudPretrainResult> pretrain =
+      pretrainer.Run(d_old);
+  PILOTE_CHECK(pretrain.ok()) << pretrain.status().ToString();
+  pilote::core::CloudPretrainResult cloud = std::move(pretrain).value();
   PiloteLearner learner(cloud.artifact, config);
 
   std::vector<pilote::data::Dataset> test_parts;

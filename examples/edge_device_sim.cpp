@@ -6,7 +6,9 @@
 //
 // Build & run:  ./build/examples/edge_device_sim
 #include <cstdio>
+#include <utility>
 
+#include "common/macros.h"
 #include "core/cloud.h"
 #include "core/edge_learner.h"
 #include "core/edge_profile.h"
@@ -30,7 +32,10 @@ int main() {
   pilote::data::Dataset test = generator.GenerateBalanced(60);
 
   CloudPretrainer pretrainer(config);
-  pilote::core::CloudPretrainResult cloud = pretrainer.Run(d_old);
+  pilote::Result<pilote::core::CloudPretrainResult> pretrain =
+      pretrainer.Run(d_old);
+  PILOTE_CHECK(pretrain.ok()) << pretrain.status().ToString();
+  pilote::core::CloudPretrainResult cloud = std::move(pretrain).value();
   std::printf("cloud -> edge transfer: %lld bytes (model %zu B + support)\n\n",
               static_cast<long long>(cloud.artifact.TransferBytes()),
               cloud.artifact.model_payload.size());
@@ -41,8 +46,7 @@ int main() {
               static_cast<long long>(learner.support().TotalExemplars()),
               static_cast<long long>(
                   learner.support().StorageBytes(QuantMode::kFloat32)));
-  learner.mutable_support().EnforceCacheSize(240);  // m = 240 / 4 = 60
-  learner.RebuildPrototypes();
+  learner.EnforceSupportBudget(240);  // m = 240 / 4 = 60
   std::printf("after EnforceCacheSize(240): %lld exemplars (%lld/class)\n",
               static_cast<long long>(learner.support().TotalExemplars()),
               static_cast<long long>(learner.support().CountForClass(0)));
@@ -53,9 +57,8 @@ int main() {
   std::printf("cache storage: %lld B fp32 -> %lld B int8 (%.1fx smaller)\n",
               static_cast<long long>(fp32), static_cast<long long>(int8),
               static_cast<double>(fp32) / static_cast<double>(int8));
-  learner.mutable_support() =
-      learner.support().QuantizeRoundTrip(QuantMode::kInt8);
-  learner.RebuildPrototypes();
+  learner.ApplySupportSetUpdate(
+      learner.support().QuantizeRoundTrip(QuantMode::kInt8));
   std::printf("accuracy with compressed cache (4 classes): %.4f\n\n",
               learner.Evaluate(test.FilterByClasses({0, 1, 3, 4})));
 

@@ -6,7 +6,9 @@
 // Build & run:  ./build/examples/incremental_new_activity
 #include <cstdio>
 #include <memory>
+#include <utility>
 
+#include "common/macros.h"
 #include "core/cloud.h"
 #include "core/edge_learner.h"
 #include "eval/metrics.h"
@@ -53,11 +55,16 @@ int main() {
   std::printf("cloud pre-training on 4 activities (%lld rows)...\n",
               static_cast<long long>(d_old.size()));
   CloudPretrainer pretrainer(config);
-  pilote::core::CloudPretrainResult cloud = pretrainer.Run(d_old);
+  pilote::Result<pilote::core::CloudPretrainResult> pretrain =
+      pretrainer.Run(d_old);
+  PILOTE_CHECK(pretrain.ok()) << pretrain.status().ToString();
+  pilote::core::CloudPretrainResult cloud = std::move(pretrain).value();
 
   for (const char* strategy : {"pretrained", "retrained", "pilote"}) {
-    std::unique_ptr<EdgeLearner> learner =
+    pilote::Result<std::unique_ptr<EdgeLearner>> made =
         MakeEdgeLearner(strategy, cloud.artifact, config);
+    PILOTE_CHECK(made.ok()) << made.status().ToString();
+    std::unique_ptr<EdgeLearner> learner = std::move(made).value();
     learner->LearnNewClasses(d_new);
     Report(strategy, *learner, test);
   }

@@ -9,7 +9,9 @@
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
+#include <utility>
 
+#include "common/macros.h"
 #include "core/cloud.h"
 #include "core/edge_learner.h"
 #include "har/har_dataset.h"
@@ -33,7 +35,10 @@ int main() {
       200, {Activity::kDrive, Activity::kEscooter, Activity::kStill,
             Activity::kWalk});
   CloudPretrainer pretrainer(config);
-  pilote::core::CloudPretrainResult cloud = pretrainer.Run(d_old);
+  pilote::Result<pilote::core::CloudPretrainResult> pretrain =
+      pretrainer.Run(d_old);
+  PILOTE_CHECK(pretrain.ok()) << pretrain.status().ToString();
+  pilote::core::CloudPretrainResult cloud = std::move(pretrain).value();
   std::printf("pre-trained in %d epochs (val loss %.4f), transfer %lld B\n",
               cloud.report.epochs_completed, cloud.report.final_val_loss,
               static_cast<long long>(cloud.artifact.TransferBytes()));

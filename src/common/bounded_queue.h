@@ -1,0 +1,135 @@
+#ifndef PILOTE_COMMON_BOUNDED_QUEUE_H_
+#define PILOTE_COMMON_BOUNDED_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace pilote {
+
+// Bounded multi-producer single-consumer queue. Producers never block:
+// TryPush fails when the queue is at capacity, which is how the serving
+// layer turns overload into an explicit kResourceExhausted instead of
+// stalling ingest threads. The consumer pops in batches with a max-delay
+// coalescing window (the batcher's flush policy).
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    PILOTE_CHECK_GT(capacity, 0u);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Enqueues `item` unless the queue is full or closed. Never blocks.
+  bool TryPush(T item) {
+    bool was_empty;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || queue_.size() >= capacity_) return false;
+      was_empty = queue_.empty();
+      queue_.push_back(std::move(item));
+    }
+    // The consumer only ever waits while the queue is empty (checked under
+    // the same mutex), so pushes onto a non-empty queue skip the notify —
+    // one futex wake per batch instead of one per window.
+    if (was_empty) not_empty_.notify_one();
+    return true;
+  }
+
+  // Pops up to `max_batch` items into `out` (cleared first). Blocks until
+  // at least one item is available or the queue is closed; after the first
+  // item it keeps draining/waiting until `max_delay` has elapsed (counted
+  // from the first pop) or the batch is full, so light load still flushes
+  // promptly and heavy load fills whole batches. Returns false only once
+  // the queue is closed AND fully drained.
+  bool PopBatch(std::vector<T>& out, size_t max_batch,
+                std::chrono::microseconds max_delay) {
+    PILOTE_CHECK_GT(max_batch, 0u);
+    out.clear();
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] {
+      return !queue_.empty() || closed_ || interrupted_;
+    });
+    if (interrupted_) {
+      // Consume the interrupt and hand control back to the consumer loop
+      // (possibly with an empty batch) so it can re-check its own gates.
+      interrupted_ = false;
+      return !(closed_ && queue_.empty());
+    }
+    if (queue_.empty()) return false;
+
+    const auto deadline = std::chrono::steady_clock::now() + max_delay;
+    while (out.size() < max_batch) {
+      if (interrupted_) {
+        interrupted_ = false;
+        break;
+      }
+      if (!queue_.empty()) {
+        out.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+        continue;
+      }
+      if (closed_ || max_delay.count() <= 0) break;
+      if (!not_empty_.wait_until(lock, deadline, [this] {
+            return !queue_.empty() || closed_ || interrupted_;
+          })) {
+        break;  // coalescing window elapsed
+      }
+    }
+    return true;
+  }
+
+  // Wakes a blocked PopBatch, making it return early (possibly with an
+  // empty batch) so the consumer can re-check its own control gates — the
+  // serving engine's pause hook relies on this. One interrupt wakes one
+  // PopBatch; the flag is consumed by the return.
+  void Interrupt() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      interrupted_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  // After Close, TryPush fails and PopBatch drains the remainder before
+  // returning false. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+  bool interrupted_ = false;
+};
+
+}  // namespace pilote
+
+#endif  // PILOTE_COMMON_BOUNDED_QUEUE_H_

@@ -1,5 +1,7 @@
 #include "core/cloud.h"
 
+#include <string>
+
 #include "common/logging.h"
 #include "common/rng.h"
 #include "data/splits.h"
@@ -15,9 +17,21 @@ int64_t CloudArtifact::TransferBytes() const {
          scaler.mean().numel() * 2 * static_cast<int64_t>(sizeof(float));
 }
 
-CloudPretrainResult CloudPretrainer::Run(const data::Dataset& d_old) {
-  PILOTE_CHECK(!d_old.empty());
-  PILOTE_CHECK_EQ(d_old.num_features(), config_.backbone.input_dim);
+Result<CloudPretrainResult> CloudPretrainer::Run(const data::Dataset& d_old) {
+  if (d_old.empty()) {
+    return Status::InvalidArgument("pre-training corpus is empty");
+  }
+  if (d_old.Classes().size() < 2) {
+    return Status::InvalidArgument(
+        "pre-training corpus holds a single class; contrastive "
+        "pre-training needs negative pairs");
+  }
+  if (d_old.num_features() != config_.backbone.input_dim) {
+    return Status::InvalidArgument(
+        "corpus feature width " + std::to_string(d_old.num_features()) +
+        " does not match backbone input_dim " +
+        std::to_string(config_.backbone.input_dim));
+  }
   Rng rng(config_.seed);
 
   // Validation split before fitting anything (paper: 0.2).

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/result.h"
 #include "core/config.h"
 #include "core/support_set.h"
 #include "data/dataset.h"
@@ -41,7 +42,10 @@ class CloudPretrainer {
   explicit CloudPretrainer(const PiloteConfig& config) : config_(config) {}
 
   // `d_old` holds raw (unscaled) feature rows of the initial classes.
-  CloudPretrainResult Run(const data::Dataset& d_old);
+  // Returns kInvalidArgument for an empty corpus, a single-class corpus
+  // (contrastive pre-training needs negative pairs) or a feature width that
+  // disagrees with the configured backbone.
+  Result<CloudPretrainResult> Run(const data::Dataset& d_old);
 
  private:
   PiloteConfig config_;

@@ -2,14 +2,50 @@
 #define PILOTE_CORE_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
+#include "common/status.h"
 #include "core/exemplar_selector.h"
 #include "core/trainer.h"
+#include "har/sensor_layout.h"
 #include "losses/pair_sampler.h"
 #include "nn/backbone.h"
 
 namespace pilote {
 namespace core {
+
+// On-device streaming parameters (denoise -> 1 s segmentation -> majority
+// vote). The single source of truth for every consumer: StreamingClassifier
+// aliases this as its Options, and the serving layer builds per-device
+// sessions from PiloteConfig::streaming — so a deployment cannot configure
+// the two paths inconsistently.
+struct StreamingOptions {
+  int window_length = har::kWindowLength;
+  int denoise_half_width = 1;
+  int vote_window = 3;  // majority vote span; 1 disables smoothing
+};
+
+// Range validation for externally supplied streaming parameters. Library
+// constructors CHECK these invariants; callers holding untrusted input
+// (the serving layer's session creation) validate first.
+inline Status ValidateStreamingOptions(const StreamingOptions& options) {
+  if (options.window_length <= 0) {
+    return Status::InvalidArgument(
+        "window_length must be > 0, got " +
+        std::to_string(options.window_length));
+  }
+  if (options.denoise_half_width < 0) {
+    return Status::InvalidArgument(
+        "denoise_half_width must be >= 0, got " +
+        std::to_string(options.denoise_half_width));
+  }
+  if (options.vote_window < 1) {
+    return Status::InvalidArgument(
+        "vote_window must be >= 1, got " +
+        std::to_string(options.vote_window));
+  }
+  return Status::Ok();
+}
 
 // Full configuration of a PILOTE deployment: one cloud pre-training phase
 // followed by edge incremental updates.
@@ -56,6 +92,9 @@ struct PiloteConfig {
 
   // Fraction of the pre-training data held out for validation (paper: 0.2).
   double validation_fraction = 0.2;
+
+  // On-device streaming (window assembly + vote smoothing) parameters.
+  StreamingOptions streaming;
 
   uint64_t seed = 42;
 

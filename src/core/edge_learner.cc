@@ -42,21 +42,33 @@ NewDataSplit SplitNewData(const data::Dataset& scaled_new,
 
 EdgeLearner::EdgeLearner(const CloudArtifact& artifact,
                          const PiloteConfig& config)
+    : EdgeLearner(
+          [&artifact, &config] {
+            PILOTE_CHECK(artifact.backbone_config.input_dim ==
+                         config.backbone.input_dim)
+                << "artifact/config backbone mismatch";
+            Rng init_rng(config.seed);
+            auto model = std::make_unique<nn::MlpBackbone>(
+                artifact.backbone_config, init_rng);
+            // The edge receives the model as bytes: a real deserialization
+            // models the MAGNETO transfer step.
+            Status status = serialize::DeserializeModuleFromString(
+                artifact.model_payload, *model);
+            PILOTE_CHECK(status.ok()) << status.ToString();
+            return model;
+          }(),
+          artifact, config) {}
+
+EdgeLearner::EdgeLearner(std::unique_ptr<nn::MlpBackbone> model,
+                         const CloudArtifact& artifact,
+                         const PiloteConfig& config)
     : config_(config),
       scaler_(artifact.scaler),
+      model_(std::move(model)),
       support_(artifact.support),
       known_classes_(artifact.old_classes),
       rng_(config.seed ^ 0x9E3779B97F4A7C15ULL) {
-  PILOTE_CHECK(artifact.backbone_config.input_dim == config.backbone.input_dim)
-      << "artifact/config backbone mismatch";
-  Rng init_rng(config.seed);
-  model_ = std::make_unique<nn::MlpBackbone>(artifact.backbone_config,
-                                             init_rng);
-  // The edge receives the model as bytes: a real deserialization models
-  // the MAGNETO transfer step.
-  Status status =
-      serialize::DeserializeModuleFromString(artifact.model_payload, *model_);
-  PILOTE_CHECK(status.ok()) << status.ToString();
+  PILOTE_CHECK(model_ != nullptr);
   model_->SetTraining(false);
   RebuildPrototypes();
 }
@@ -65,11 +77,11 @@ data::Dataset EdgeLearner::Scale(const data::Dataset& raw) const {
   return scaler_.Transform(raw);
 }
 
-Tensor EdgeLearner::EmbedRaw(const Tensor& raw_features) {
+Tensor EdgeLearner::EmbedRaw(const Tensor& raw_features) const {
   return EmbedBatched(*model_, scaler_.Transform(raw_features));
 }
 
-std::vector<int> EdgeLearner::Predict(const Tensor& raw_features) {
+std::vector<int> EdgeLearner::Predict(const Tensor& raw_features) const {
   PILOTE_TRACE_SPAN("core/predict");
   if (!obs::Enabled()) {
     return classifier_.Predict(EmbedRaw(raw_features));
@@ -88,9 +100,36 @@ std::vector<int> EdgeLearner::Predict(const Tensor& raw_features) {
   return labels;
 }
 
-double EdgeLearner::Evaluate(const data::Dataset& raw_test) {
+std::vector<int> EdgeLearner::PredictBatch(const Tensor& raw_features) const {
+  PILOTE_TRACE_SPAN("core/predict_batch");
+  return classifier_.Predict(EmbedRaw(raw_features));
+}
+
+double EdgeLearner::Evaluate(const data::Dataset& raw_test) const {
   PILOTE_CHECK(!raw_test.empty());
   return eval::Accuracy(Predict(raw_test.features()), raw_test.labels());
+}
+
+int64_t EdgeLearner::ModelParameters() const {
+  return model_->NumParameters();
+}
+
+int64_t EdgeLearner::ModelStateBytes() const {
+  int64_t state_elements = 0;
+  for (const Tensor* tensor : model_->StateTensors()) {
+    state_elements += tensor->numel();
+  }
+  return state_elements * static_cast<int64_t>(sizeof(float));
+}
+
+void EdgeLearner::ApplySupportSetUpdate(SupportSet support) {
+  support_ = std::move(support);
+  RebuildPrototypes();
+}
+
+void EdgeLearner::EnforceSupportBudget(int64_t cache_size) {
+  support_.EnforceCacheSize(cache_size);
+  RebuildPrototypes();
 }
 
 void EdgeLearner::RebuildPrototypes() {
@@ -100,6 +139,7 @@ void EdgeLearner::RebuildPrototypes() {
         EmbedBatched(*model_, support_.ClassExemplars(label));
     classifier_.SetPrototypeFromEmbeddings(label, embeddings);
   }
+  model_version_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void EdgeLearner::EnrichSupportSet(const data::Dataset& scaled_new) {
@@ -239,23 +279,65 @@ TrainReport GdumbLearner::LearnNewClasses(const data::Dataset& d_new) {
   return report;
 }
 
-std::unique_ptr<EdgeLearner> MakeEdgeLearner(const std::string& strategy,
-                                             const CloudArtifact& artifact,
-                                             const PiloteConfig& config) {
+Status ValidateArtifact(const CloudArtifact& artifact,
+                        const PiloteConfig& config) {
+  if (artifact.backbone_config.input_dim != config.backbone.input_dim) {
+    return Status::InvalidArgument(
+        "artifact/config backbone mismatch: artifact input_dim " +
+        std::to_string(artifact.backbone_config.input_dim) + " vs config " +
+        std::to_string(config.backbone.input_dim));
+  }
+  if (artifact.support.NumClasses() == 0) {
+    return Status::InvalidArgument("artifact support set is empty");
+  }
+  for (int label : artifact.support.Classes()) {
+    const Tensor& exemplars = artifact.support.ClassExemplars(label);
+    if (exemplars.rows() == 0) {
+      return Status::InvalidArgument("support class " +
+                                     std::to_string(label) +
+                                     " has no exemplars");
+    }
+    if (exemplars.cols() != artifact.backbone_config.input_dim) {
+      return Status::InvalidArgument(
+          "support class " + std::to_string(label) + " feature width " +
+          std::to_string(exemplars.cols()) + " does not match backbone " +
+          std::to_string(artifact.backbone_config.input_dim));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<EdgeLearner>> MakeEdgeLearner(
+    const std::string& strategy, const CloudArtifact& artifact,
+    const PiloteConfig& config) {
+  PILOTE_RETURN_IF_ERROR(ValidateArtifact(artifact, config));
+
+  // Deserialize the payload up front so a corrupt cloud transfer surfaces
+  // as a Status instead of aborting mid-construction.
+  Rng init_rng(config.seed);
+  auto model =
+      std::make_unique<nn::MlpBackbone>(artifact.backbone_config, init_rng);
+  PILOTE_RETURN_IF_ERROR(
+      serialize::DeserializeModuleFromString(artifact.model_payload, *model));
+
+  std::unique_ptr<EdgeLearner> learner;
   if (strategy == "pretrained") {
-    return std::make_unique<PretrainedLearner>(artifact, config);
+    learner = std::make_unique<PretrainedLearner>(std::move(model), artifact,
+                                                  config);
+  } else if (strategy == "retrained") {
+    learner = std::make_unique<RetrainedLearner>(std::move(model), artifact,
+                                                 config);
+  } else if (strategy == "pilote") {
+    learner =
+        std::make_unique<PiloteLearner>(std::move(model), artifact, config);
+  } else if (strategy == "gdumb") {
+    learner =
+        std::make_unique<GdumbLearner>(std::move(model), artifact, config);
+  } else {
+    return Status::InvalidArgument("unknown edge learner strategy: " +
+                                   strategy);
   }
-  if (strategy == "retrained") {
-    return std::make_unique<RetrainedLearner>(artifact, config);
-  }
-  if (strategy == "pilote") {
-    return std::make_unique<PiloteLearner>(artifact, config);
-  }
-  if (strategy == "gdumb") {
-    return std::make_unique<GdumbLearner>(artifact, config);
-  }
-  PILOTE_CHECK(false) << "unknown edge learner strategy: " << strategy;
-  return nullptr;
+  return learner;
 }
 
 }  // namespace core

@@ -1,9 +1,13 @@
 #ifndef PILOTE_CORE_EDGE_LEARNER_H_
 #define PILOTE_CORE_EDGE_LEARNER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "core/cloud.h"
 #include "core/config.h"
 #include "core/ncm_classifier.h"
@@ -18,9 +22,20 @@ namespace core {
 // rebuilds the class prototypes and is immediately ready for inference.
 // LearnNewClasses integrates a batch of new-class samples; each subclass
 // implements the paper's corresponding update strategy.
+//
+// Thread-safety contract (what the serving layer's shard locks enforce
+// through the type system): every const member is a pure read and safe to
+// call concurrently with other const members; every mutation goes through
+// a named non-const operation (LearnNewClasses, ApplySupportSetUpdate,
+// EnforceSupportBudget, RebuildPrototypes) that requires exclusive access.
 class EdgeLearner {
  public:
   EdgeLearner(const CloudArtifact& artifact, const PiloteConfig& config);
+  // Adopts an already-deserialized backbone (the Result-returning factory
+  // path, where payload corruption must surface as a Status, not a CHECK).
+  // `model` must match `artifact.backbone_config`.
+  EdgeLearner(std::unique_ptr<nn::MlpBackbone> model,
+              const CloudArtifact& artifact, const PiloteConfig& config);
   virtual ~EdgeLearner() = default;
 
   EdgeLearner(const EdgeLearner&) = delete;
@@ -34,19 +49,43 @@ class EdgeLearner {
   virtual TrainReport LearnNewClasses(const data::Dataset& d_new) = 0;
 
   // NCM inference on raw feature rows.
-  std::vector<int> Predict(const Tensor& raw_features);
+  std::vector<int> Predict(const Tensor& raw_features) const;
+  // Batched inference entry point for the serving layer: identical labels
+  // to Predict (the embedding and NCM stages are row-independent), but
+  // skips the per-row latency bookkeeping so one call costs one scaler
+  // pass, one backbone forward (a single GEMM chain for all K rows) and
+  // one NCM pass.
+  std::vector<int> PredictBatch(const Tensor& raw_features) const;
   // Accuracy on a raw-feature test set.
-  double Evaluate(const data::Dataset& raw_test);
+  double Evaluate(const data::Dataset& raw_test) const;
 
   // Embeds raw feature rows (scaling + model forward).
-  Tensor EmbedRaw(const Tensor& raw_features);
+  Tensor EmbedRaw(const Tensor& raw_features) const;
 
   const NcmClassifier& classifier() const { return classifier_; }
   const SupportSet& support() const { return support_; }
-  SupportSet& mutable_support() { return support_; }
-  nn::MlpBackbone& model() { return *model_; }
+  const nn::MlpBackbone& model() const { return *model_; }
   const std::vector<int>& known_classes() const { return known_classes_; }
   const PiloteConfig& config() const { return config_; }
+
+  // Model footprint, exposed so profiling never needs mutable model access.
+  int64_t ModelParameters() const;
+  // Parameters + buffers, float32.
+  int64_t ModelStateBytes() const;
+
+  // Incremented on every completed mutation (prototype rebuild). Lets the
+  // serving layer detect that a learner changed between two batches.
+  int64_t model_version() const {
+    return model_version_.load(std::memory_order_relaxed);
+  }
+
+  // Replaces the support set (e.g. with a quantize round-tripped cache
+  // modeling compressed storage) and refreshes the prototypes.
+  void ApplySupportSetUpdate(SupportSet support);
+
+  // Enforces a total cache budget of `cache_size` exemplars (Algo 1 line 1:
+  // m = K / num_classes per class) and refreshes the prototypes.
+  void EnforceSupportBudget(int64_t cache_size);
 
   // Re-embeds every support-set class and refreshes all prototypes
   // (required after any model update).
@@ -69,6 +108,9 @@ class EdgeLearner {
   NcmClassifier classifier_;
   std::vector<int> known_classes_;
   Rng rng_;
+
+ private:
+  std::atomic<int64_t> model_version_{0};
 };
 
 // Baseline 1 (Sec 6.1.3): the pre-trained model is used as-is; new classes
@@ -110,11 +152,21 @@ class GdumbLearner : public EdgeLearner {
   TrainReport LearnNewClasses(const data::Dataset& d_new) override;
 };
 
+// Validates that `artifact` can seed an edge learner under `config`:
+// non-empty support set, exemplar width / backbone input agreement, and
+// artifact/config backbone-dimension agreement. Returns kInvalidArgument
+// describing the first violation.
+Status ValidateArtifact(const CloudArtifact& artifact,
+                        const PiloteConfig& config);
+
 // Factory covering the strategies by name ("pretrained", "retrained",
-// "pilote", "gdumb"); CHECK-fails on unknown names.
-std::unique_ptr<EdgeLearner> MakeEdgeLearner(const std::string& strategy,
-                                             const CloudArtifact& artifact,
-                                             const PiloteConfig& config);
+// "pilote", "gdumb"). Returns kInvalidArgument for unknown names or an
+// artifact that fails ValidateArtifact, and propagates the deserialization
+// Status for corrupt model payloads — the device-facing entry point never
+// aborts on a bad cloud transfer.
+Result<std::unique_ptr<EdgeLearner>> MakeEdgeLearner(
+    const std::string& strategy, const CloudArtifact& artifact,
+    const PiloteConfig& config);
 
 }  // namespace core
 }  // namespace pilote

@@ -30,18 +30,13 @@ std::string EdgeProfileReport::ToString() const {
   return os.str();
 }
 
-EdgeProfileReport ProfileEdge(EdgeLearner& learner,
+EdgeProfileReport ProfileEdge(const EdgeLearner& learner,
                               const Tensor& probe_features,
                               const TrainReport* last_report) {
   EdgeProfileReport report;
 
-  nn::MlpBackbone& model = learner.model();
-  report.model_parameters = model.NumParameters();
-  int64_t state_elements = 0;
-  for (const Tensor* tensor : model.StateTensors()) {
-    state_elements += tensor->numel();
-  }
-  report.model_bytes = state_elements * static_cast<int64_t>(sizeof(float));
+  report.model_parameters = learner.ModelParameters();
+  report.model_bytes = learner.ModelStateBytes();
 
   const SupportSet& support = learner.support();
   report.support_exemplars = support.TotalExemplars();

@@ -34,7 +34,7 @@ struct EdgeProfileReport {
 // Each probe row is classified individually so the latency histogram holds
 // true per-window samples. `last_report` supplies the per-epoch training
 // time (pass nullptr if the learner never trained; the field stays NaN).
-EdgeProfileReport ProfileEdge(EdgeLearner& learner,
+EdgeProfileReport ProfileEdge(const EdgeLearner& learner,
                               const Tensor& probe_features,
                               const TrainReport* last_report);
 

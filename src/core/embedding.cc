@@ -12,11 +12,14 @@ namespace core {
 
 Tensor Embed(nn::Module& model, const Tensor& features) {
   PILOTE_CHECK_EQ(features.rank(), 2);
+  // Only touch the mode flag when the model is actually in training mode:
+  // an eval-mode forward is then a pure read, so concurrent inference
+  // (the serving layer's shared-lock predict path) stays race-free.
   const bool was_training = model.training();
-  model.SetTraining(false);
+  if (was_training) model.SetTraining(false);
   autograd::Variable out =
       model.Forward(autograd::Variable::Constant(features));
-  model.SetTraining(was_training);
+  if (was_training) model.SetTraining(true);
   return out.value();
 }
 

@@ -11,12 +11,12 @@
 namespace pilote {
 namespace core {
 
-StreamingClassifier::StreamingClassifier(EdgeLearner* learner,
+StreamingClassifier::StreamingClassifier(const EdgeLearner* learner,
                                          const Options& options)
     : learner_(learner), options_(options) {
   PILOTE_CHECK(learner != nullptr);
-  PILOTE_CHECK_GT(options.window_length, 1);
-  PILOTE_CHECK_GE(options.vote_window, 1);
+  Status valid = ValidateStreamingOptions(options);
+  PILOTE_CHECK(valid.ok()) << valid.ToString();
   buffer_.reserve(static_cast<size_t>(options.window_length));
 }
 
@@ -63,20 +63,24 @@ int StreamingClassifier::ClassifyWindow() {
   return *current_;
 }
 
-int StreamingClassifier::MajorityVote() const {
+int MajorityVoteLabel(const std::deque<int>& recent) {
+  PILOTE_CHECK(!recent.empty());
   std::map<int, int> counts;
-  for (int label : recent_) ++counts[label];
+  for (int label : recent) ++counts[label];
   // Ties break toward the most recent label.
-  int best = recent_.back();
+  int best = recent.back();
   int best_count = 0;
   for (const auto& [label, count] : counts) {
-    if (count > best_count ||
-        (count == best_count && label == recent_.back())) {
+    if (count > best_count || (count == best_count && label == recent.back())) {
       best = label;
       best_count = count;
     }
   }
   return best;
+}
+
+int StreamingClassifier::MajorityVote() const {
+  return MajorityVoteLabel(recent_);
 }
 
 Result<int> StreamingClassifier::CurrentActivity() const {

@@ -13,6 +13,12 @@
 namespace pilote {
 namespace core {
 
+// Majority label over the trailing window of raw labels; ties break toward
+// the most recent label. Shared by StreamingClassifier and the serving
+// layer's sessions so the smoothing semantics cannot diverge. CHECKs
+// against an empty history.
+int MajorityVoteLabel(const std::deque<int>& recent);
+
 // On-device streaming inference: consumes the raw sensor stream sample by
 // sample, runs the paper's preprocessing (denoise + 1 s segmentation +
 // feature extraction), classifies every completed window and smooths the
@@ -22,15 +28,14 @@ namespace core {
 // alludes to).
 class StreamingClassifier {
  public:
-  struct Options {
-    int window_length = har::kWindowLength;
-    int denoise_half_width = 1;
-    int vote_window = 3;  // majority vote span; 1 disables smoothing
-  };
+  // One config source for all streaming consumers: the same struct lives in
+  // PiloteConfig::streaming, so serving sessions and standalone classifiers
+  // cannot drift apart. Validate with core::ValidateStreamingOptions.
+  using Options = StreamingOptions;
 
   // `learner` must outlive the classifier; its current model/prototypes
   // are used for every window (so incremental updates apply immediately).
-  StreamingClassifier(EdgeLearner* learner, const Options& options);
+  StreamingClassifier(const EdgeLearner* learner, const Options& options);
 
   // Feeds one sensor sample [har::kNumChannels]. Returns a prediction
   // when this sample completes a window, std::nullopt otherwise.
@@ -53,7 +58,7 @@ class StreamingClassifier {
   int ClassifyWindow();
   int MajorityVote() const;
 
-  EdgeLearner* learner_;
+  const EdgeLearner* learner_;
   Options options_;
   std::vector<Tensor> buffer_;           // samples of the current window
   std::deque<int> recent_;               // last vote_window raw labels

@@ -1,0 +1,133 @@
+#include "serve/batching_engine.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/learner_handle.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace serve {
+
+BatchingEngine::BatchingEngine(const ServeOptions& options)
+    : options_(options),
+      queue_(static_cast<size_t>(options.queue_capacity)) {
+  Status valid = ValidateServeOptions(options_);
+  PILOTE_CHECK(valid.ok()) << valid.ToString();
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+BatchingEngine::~BatchingEngine() { Stop(); }
+
+bool BatchingEngine::Submit(PredictRequest request) {
+  const bool accepted = queue_.TryPush(std::move(request));
+  PILOTE_METRIC_GAUGE_SET("serve/queue_depth",
+                          static_cast<double>(queue_.size()));
+  return accepted;
+}
+
+void BatchingEngine::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(pause_mutex_);
+    stopping_ = true;
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+  queue_.Close();
+  if (worker_.joinable()) worker_.join();
+}
+
+int64_t BatchingEngine::batches_flushed() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return batches_flushed_;
+}
+
+void BatchingEngine::PauseForTesting() {
+  std::unique_lock<std::mutex> lock(pause_mutex_);
+  paused_ = true;
+  // Kick the worker out of a blocking pop so it reaches the pause gate,
+  // then wait for it to park: on return, nothing drains the queue until
+  // ResumeForTesting.
+  queue_.Interrupt();
+  pause_cv_.wait(lock, [this] { return parked_ || stopping_; });
+}
+
+void BatchingEngine::ResumeForTesting() {
+  {
+    std::lock_guard<std::mutex> lock(pause_mutex_);
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+}
+
+void BatchingEngine::WorkerLoop() {
+  std::vector<PredictRequest> batch;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(pause_mutex_);
+      if (paused_ && !stopping_) {
+        parked_ = true;
+        pause_cv_.notify_all();
+        pause_cv_.wait(lock, [this] { return !paused_ || stopping_; });
+        parked_ = false;
+      }
+    }
+    if (!queue_.PopBatch(batch, static_cast<size_t>(options_.max_batch),
+                         std::chrono::microseconds(options_.max_delay_us))) {
+      break;  // closed and drained
+    }
+    if (batch.empty()) continue;  // interrupted pop: re-check the gate
+    ProcessBatch(batch);
+  }
+}
+
+void BatchingEngine::ProcessBatch(std::vector<PredictRequest>& batch) {
+  PILOTE_TRACE_SPAN("serve/process_batch");
+  PILOTE_METRIC_COUNT("serve/batches", 1);
+  PILOTE_METRIC_HISTOGRAM("serve/batch_size",
+                          static_cast<double>(batch.size()));
+  PILOTE_METRIC_GAUGE_SET("serve/queue_depth",
+                          static_cast<double>(queue_.size()));
+
+  // Group requests by learner, preserving arrival order within each group,
+  // so each distinct learner gets exactly one batched forward.
+  std::vector<std::vector<size_t>> groups;
+  std::vector<const LearnerHandle*> group_keys;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const LearnerHandle* key = batch[i].session->learner().get();
+    size_t g = 0;
+    for (; g < group_keys.size(); ++g) {
+      if (group_keys[g] == key) break;
+    }
+    if (g == group_keys.size()) {
+      group_keys.push_back(key);
+      groups.emplace_back();
+    }
+    groups[g].push_back(i);
+  }
+
+  for (size_t g = 0; g < groups.size(); ++g) {
+    std::vector<Tensor> rows;
+    rows.reserve(groups[g].size());
+    for (size_t i : groups[g]) rows.push_back(batch[i].features);
+    const std::vector<int> labels =
+        group_keys[g]->PredictBatch(ConcatRows(rows));
+    PILOTE_CHECK_EQ(labels.size(), groups[g].size());
+    for (size_t k = 0; k < groups[g].size(); ++k) {
+      PredictRequest& request = batch[groups[g][k]];
+      const int smoothed = request.session->CompleteWindow(labels[k]);
+      request.done.set_value(smoothed);
+      using MilliDouble = std::chrono::duration<double, std::milli>;
+      const double request_ms =
+          MilliDouble(std::chrono::steady_clock::now() - request.enqueue_time)
+              .count();
+      PILOTE_METRIC_HISTOGRAM("serve/request_ms", request_ms);
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace pilote

@@ -1,0 +1,80 @@
+#ifndef PILOTE_SERVE_BATCHING_ENGINE_H_
+#define PILOTE_SERVE_BATCHING_ENGINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/bounded_queue.h"
+#include "serve/session.h"
+#include "serve/types.h"
+#include "tensor/tensor.h"
+
+namespace pilote {
+namespace serve {
+
+// One completed feature window awaiting classification.
+struct PredictRequest {
+  std::shared_ptr<Session> session;
+  Tensor features;  // [1, input_dim] raw feature row
+  std::chrono::steady_clock::time_point enqueue_time;
+  std::promise<int> done;  // fulfilled with the smoothed label
+};
+
+// Pulls completed windows from every session through one bounded MPSC
+// queue and coalesces them into batched backbone forwards: each drained
+// batch is grouped by learner, concatenated, and classified with a single
+// PredictBatch per learner (one GEMM chain for K windows instead of K).
+// Flushes on max_batch or max_delay_us, whichever comes first. A full
+// queue makes Submit fail — the manager turns that into
+// kResourceExhausted backpressure.
+class BatchingEngine {
+ public:
+  explicit BatchingEngine(const ServeOptions& options);
+  ~BatchingEngine();
+
+  BatchingEngine(const BatchingEngine&) = delete;
+  BatchingEngine& operator=(const BatchingEngine&) = delete;
+
+  // Non-blocking; false when the queue is full (backpressure) or the
+  // engine is stopped. On false the request's promise is untouched.
+  bool Submit(PredictRequest request);
+
+  // Closes the queue, drains remaining requests (their promises are
+  // fulfilled) and joins the worker. Idempotent.
+  void Stop();
+
+  int64_t queue_depth() const { return static_cast<int64_t>(queue_.size()); }
+  int64_t batches_flushed() const;
+
+  // Test hooks: while paused the worker stops draining the queue, which
+  // makes backpressure and deadline misses deterministic to provoke.
+  void PauseForTesting();
+  void ResumeForTesting();
+
+ private:
+  void WorkerLoop();
+  void ProcessBatch(std::vector<PredictRequest>& batch);
+
+  const ServeOptions options_;
+  BoundedQueue<PredictRequest> queue_;
+
+  std::mutex pause_mutex_;
+  std::condition_variable pause_cv_;
+  bool paused_ = false;
+  bool parked_ = false;  // worker is waiting at the pause gate
+  bool stopping_ = false;
+
+  mutable std::mutex stats_mutex_;
+  int64_t batches_flushed_ = 0;
+
+  std::thread worker_;
+};
+
+}  // namespace serve
+}  // namespace pilote
+
+#endif  // PILOTE_SERVE_BATCHING_ENGINE_H_

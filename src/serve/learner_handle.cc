@@ -1,0 +1,42 @@
+#include "serve/learner_handle.h"
+
+#include <mutex>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace pilote {
+namespace serve {
+
+LearnerHandle::LearnerHandle(std::unique_ptr<core::EdgeLearner> learner)
+    : learner_(std::move(learner)) {
+  PILOTE_CHECK(learner_ != nullptr);
+  input_dim_ = learner_->config().backbone.input_dim;
+}
+
+Result<std::shared_ptr<LearnerHandle>> LearnerHandle::Create(
+    const std::string& strategy, const core::CloudArtifact& artifact,
+    const core::PiloteConfig& config) {
+  PILOTE_ASSIGN_OR_RETURN(std::unique_ptr<core::EdgeLearner> learner,
+                          core::MakeEdgeLearner(strategy, artifact, config));
+  return std::make_shared<LearnerHandle>(std::move(learner));
+}
+
+std::vector<int> LearnerHandle::PredictBatch(const Tensor& raw_features) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return learner_->PredictBatch(raw_features);
+}
+
+core::TrainReport LearnerHandle::LearnNewClasses(const data::Dataset& d_new) {
+  PILOTE_TRACE_SPAN("serve/learn_new_classes");
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  return learner_->LearnNewClasses(d_new);
+}
+
+int64_t LearnerHandle::NumKnownClasses() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return static_cast<int64_t>(learner_->known_classes().size());
+}
+
+}  // namespace serve
+}  // namespace pilote

@@ -1,0 +1,56 @@
+#ifndef PILOTE_SERVE_LEARNER_HANDLE_H_
+#define PILOTE_SERVE_LEARNER_HANDLE_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/edge_learner.h"
+
+namespace pilote {
+namespace serve {
+
+// Concurrency wrapper around one EdgeLearner shared by many sessions (the
+// paper's fan-out shape: one cloud artifact seeds a fleet of device
+// streams). Reads take the shared side of a reader-writer lock and only
+// reach EdgeLearner's const surface; LearnNewClasses takes the exclusive
+// side, which quiesces every stream predicting through this learner until
+// the incremental update (and its prototype rebuild) completes.
+class LearnerHandle {
+ public:
+  explicit LearnerHandle(std::unique_ptr<core::EdgeLearner> learner);
+
+  // Builds the learner through the validating core factory; propagates its
+  // Status for bad strategies/artifacts instead of aborting.
+  static Result<std::shared_ptr<LearnerHandle>> Create(
+      const std::string& strategy, const core::CloudArtifact& artifact,
+      const core::PiloteConfig& config);
+
+  // Batched NCM inference under the shared lock: one scaler pass + one
+  // backbone forward + one NCM pass for all rows.
+  std::vector<int> PredictBatch(const Tensor& raw_features) const;
+
+  // Incremental update under the exclusive lock.
+  core::TrainReport LearnNewClasses(const data::Dataset& d_new);
+
+  // Immutable after construction; lock-free.
+  int64_t input_dim() const { return input_dim_; }
+
+  // Snapshot of the learner's mutation counter (lock-free).
+  int64_t model_version() const { return learner_->model_version(); }
+
+  // Number of classes currently known, under the shared lock.
+  int64_t NumKnownClasses() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::unique_ptr<core::EdgeLearner> learner_;
+  int64_t input_dim_ = 0;
+};
+
+}  // namespace serve
+}  // namespace pilote
+
+#endif  // PILOTE_SERVE_LEARNER_HANDLE_H_

@@ -1,0 +1,64 @@
+#include "serve/session.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "core/streaming_classifier.h"
+#include "har/feature_extractor.h"
+#include "har/preprocessing.h"
+#include "har/sensor_layout.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace serve {
+
+Session::Session(SessionId id, std::shared_ptr<LearnerHandle> learner,
+                 const core::StreamingOptions& options)
+    : id_(id), learner_(std::move(learner)), options_(options) {
+  PILOTE_CHECK(learner_ != nullptr);
+  Status valid = core::ValidateStreamingOptions(options_);
+  PILOTE_CHECK(valid.ok()) << valid.ToString();
+  buffer_.reserve(static_cast<size_t>(options_.window_length));
+}
+
+std::optional<Tensor> Session::AppendSample(const Tensor& sample) {
+  PILOTE_CHECK_EQ(sample.rank(), 1);
+  PILOTE_CHECK_EQ(sample.dim(0), har::kNumChannels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffer_.push_back(sample.Reshape(Shape::Matrix(1, har::kNumChannels)));
+  if (static_cast<int>(buffer_.size()) < options_.window_length) {
+    return std::nullopt;
+  }
+  Tensor window = ConcatRows(buffer_);
+  buffer_.clear();
+  window = har::DenoiseMovingAverage(window, options_.denoise_half_width);
+  return har::ExtractFeatures(window).Reshape(
+      Shape::Matrix(1, har::kNumFeatures));
+}
+
+int Session::CompleteWindow(int raw_label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  recent_.push_back(raw_label);
+  while (static_cast<int>(recent_.size()) > options_.vote_window) {
+    recent_.pop_front();
+  }
+  last_smoothed_ = core::MajorityVoteLabel(recent_);
+  ++windows_classified_;
+  return last_smoothed_;
+}
+
+Prediction Session::LastPrediction() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Prediction p;
+  p.label = last_smoothed_;
+  p.degraded = true;
+  return p;
+}
+
+int64_t Session::windows_classified() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return windows_classified_;
+}
+
+}  // namespace serve
+}  // namespace pilote

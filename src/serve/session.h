@@ -1,0 +1,68 @@
+#ifndef PILOTE_SERVE_SESSION_H_
+#define PILOTE_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "serve/learner_handle.h"
+#include "serve/types.h"
+#include "tensor/tensor.h"
+
+namespace pilote {
+namespace serve {
+
+// Per-device stream state: the sample buffer of the in-flight window plus
+// the majority-vote history, mirroring core::StreamingClassifier but split
+// at the window boundary so the classification itself can be batched
+// across sessions. The ingest thread assembles windows (AppendSample);
+// the batching engine delivers labels (CompleteWindow). All state is
+// guarded by one per-session mutex; ordering between the two sides is the
+// engine's FIFO queue.
+class Session {
+ public:
+  Session(SessionId id, std::shared_ptr<LearnerHandle> learner,
+          const core::StreamingOptions& options);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  SessionId id() const { return id_; }
+  const std::shared_ptr<LearnerHandle>& learner() const { return learner_; }
+  const core::StreamingOptions& options() const { return options_; }
+
+  // Feeds one sensor sample [har::kNumChannels]. When the sample completes
+  // a window, runs the paper's preprocessing (denoise + feature
+  // extraction) and returns the [1, kNumFeatures] raw feature row ready
+  // for batched classification.
+  std::optional<Tensor> AppendSample(const Tensor& sample);
+
+  // Records the raw label of a completed window and returns the smoothed
+  // majority-vote label (the stream's user-facing prediction).
+  int CompleteWindow(int raw_label);
+
+  // Last smoothed label, degraded-flagged — what a deadline miss returns.
+  Prediction LastPrediction() const;
+
+  int64_t windows_classified() const;
+
+ private:
+  const SessionId id_;
+  const std::shared_ptr<LearnerHandle> learner_;
+  const core::StreamingOptions options_;
+
+  mutable std::mutex mutex_;
+  std::vector<Tensor> buffer_;  // samples of the current window
+  std::deque<int> recent_;      // last vote_window raw labels
+  int last_smoothed_ = kNoPrediction;
+  int64_t windows_classified_ = 0;
+};
+
+}  // namespace serve
+}  // namespace pilote
+
+#endif  // PILOTE_SERVE_SESSION_H_

@@ -1,0 +1,154 @@
+#include "serve/session_manager.h"
+
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+#include "har/sensor_layout.h"
+#include "obs/metrics.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace serve {
+
+SessionManager::SessionManager(const ServeOptions& options)
+    : options_(options) {
+  Status valid = ValidateServeOptions(options_);
+  PILOTE_CHECK(valid.ok()) << valid.ToString();
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  engine_ = std::make_unique<BatchingEngine>(options_);
+}
+
+SessionManager::~SessionManager() { engine_->Stop(); }
+
+SessionManager::Shard& SessionManager::ShardFor(SessionId id) {
+  return *shards_[id % shards_.size()];
+}
+
+Result<std::shared_ptr<Session>> SessionManager::FindSession(SessionId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.sessions.find(id);
+  if (it == shard.sessions.end()) {
+    return Status::NotFound("no session with id " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Result<SessionId> SessionManager::CreateSession(
+    std::shared_ptr<LearnerHandle> learner,
+    const core::StreamingOptions& options) {
+  if (learner == nullptr) {
+    return Status::InvalidArgument("CreateSession: learner handle is null");
+  }
+  PILOTE_RETURN_IF_ERROR(core::ValidateStreamingOptions(options));
+  const SessionId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  auto session = std::make_shared<Session>(id, std::move(learner), options);
+  Shard& shard = ShardFor(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.sessions.emplace(id, std::move(session));
+  }
+  PILOTE_METRIC_GAUGE_SET("serve/sessions_active",
+                          static_cast<double>(NumSessions()));
+  return id;
+}
+
+Status SessionManager::CloseSession(SessionId id) {
+  Shard& shard = ShardFor(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.sessions.erase(id) == 0) {
+      return Status::NotFound("no session with id " + std::to_string(id));
+    }
+  }
+  PILOTE_METRIC_GAUGE_SET("serve/sessions_active",
+                          static_cast<double>(NumSessions()));
+  return Status::Ok();
+}
+
+Result<std::future<int>> SessionManager::SubmitWindow(SessionId id,
+                                                      const Tensor& features) {
+  PILOTE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, FindSession(id));
+  const int64_t input_dim = session->learner()->input_dim();
+  if (features.rank() != 2 || features.rows() != 1 ||
+      features.cols() != input_dim) {
+    return Status::InvalidArgument(
+        "SubmitWindow: expected a [1, " + std::to_string(input_dim) +
+        "] feature row, got " + features.shape().ToString());
+  }
+  PredictRequest request;
+  request.session = std::move(session);
+  request.features = features;
+  request.enqueue_time = std::chrono::steady_clock::now();
+  std::future<int> done = request.done.get_future();
+  if (!engine_->Submit(std::move(request))) {
+    PILOTE_METRIC_COUNT("serve/backpressure_rejects", 1);
+    return Status::ResourceExhausted(
+        "serving queue full (capacity " +
+        std::to_string(options_.queue_capacity) + ")");
+  }
+  return done;
+}
+
+Result<Prediction> SessionManager::PushWindow(
+    SessionId id, const Tensor& features, std::chrono::microseconds deadline) {
+  PILOTE_ASSIGN_OR_RETURN(std::future<int> done, SubmitWindow(id, features));
+  if (deadline.count() > 0 &&
+      done.wait_for(deadline) != std::future_status::ready) {
+    // Deadline miss: degrade to the session's last smoothed label. The
+    // in-flight window still completes later and updates the vote.
+    PILOTE_METRIC_COUNT("serve/deadline_degraded", 1);
+    PILOTE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, FindSession(id));
+    return session->LastPrediction();
+  }
+  Prediction p;
+  p.label = done.get();
+  p.degraded = false;
+  return p;
+}
+
+Result<PushOutcome> SessionManager::PushBlock(
+    SessionId id, const Tensor& samples, std::chrono::microseconds deadline) {
+  if (samples.rank() != 2 || samples.cols() != har::kNumChannels) {
+    return Status::InvalidArgument(
+        "PushBlock: expected [t, " + std::to_string(har::kNumChannels) +
+        "] raw samples, got " + samples.shape().ToString());
+  }
+  PILOTE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, FindSession(id));
+  PushOutcome outcome;
+  for (int64_t t = 0; t < samples.rows(); ++t) {
+    std::optional<Tensor> window = session->AppendSample(RowAt(samples, t));
+    if (!window.has_value()) continue;
+    Result<Prediction> prediction = PushWindow(id, *window, deadline);
+    if (prediction.ok()) {
+      outcome.predictions.push_back(prediction.value());
+    } else if (prediction.status().code() == StatusCode::kResourceExhausted) {
+      ++outcome.rejected_windows;
+    } else {
+      return prediction.status();
+    }
+  }
+  return outcome;
+}
+
+Result<core::TrainReport> SessionManager::LearnNewClasses(
+    SessionId id, const data::Dataset& d_new) {
+  PILOTE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, FindSession(id));
+  return session->learner()->LearnNewClasses(d_new);
+}
+
+int64_t SessionManager::NumSessions() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += static_cast<int64_t>(shard->sessions.size());
+  }
+  return total;
+}
+
+}  // namespace serve
+}  // namespace pilote

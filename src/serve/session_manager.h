@@ -1,0 +1,97 @@
+#ifndef PILOTE_SERVE_SESSION_MANAGER_H_
+#define PILOTE_SERVE_SESSION_MANAGER_H_
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/config.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "serve/batching_engine.h"
+#include "serve/learner_handle.h"
+#include "serve/session.h"
+#include "serve/types.h"
+
+namespace pilote {
+namespace serve {
+
+// Multi-session front door of the edge serving layer. Owns per-device
+// sessions behind N-way sharded mutexes (shard = id % num_shards) and one
+// BatchingEngine that coalesces completed windows from every session into
+// batched backbone forwards. Thread-safe: any number of ingest threads may
+// push to distinct or identical sessions concurrently.
+class SessionManager {
+ public:
+  explicit SessionManager(const ServeOptions& options);
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  // Registers a device stream predicting through `learner` (many sessions
+  // may share one handle). kInvalidArgument on a null handle or bad
+  // streaming options.
+  Result<SessionId> CreateSession(std::shared_ptr<LearnerHandle> learner,
+                                  const core::StreamingOptions& options);
+
+  // kNotFound when the id was never created or already closed. Windows of
+  // the session still in flight are classified and discarded.
+  Status CloseSession(SessionId id);
+
+  // Async path: enqueues one completed [1, input_dim] feature window for
+  // batched classification and returns a future of the smoothed label.
+  // kResourceExhausted when the batching queue is full (backpressure);
+  // kInvalidArgument on a shape mismatch; kNotFound for unknown ids.
+  Result<std::future<int>> SubmitWindow(SessionId id, const Tensor& features);
+
+  // Sync path with a deadline: blocks until the batched prediction lands
+  // or `deadline` elapses, then degrades to the session's last
+  // majority-vote label (kNoPrediction before the first window) with
+  // degraded=true. deadline <= 0 waits without bound.
+  Result<Prediction> PushWindow(SessionId id, const Tensor& features,
+                                std::chrono::microseconds deadline);
+
+  // Raw-sample convenience: feeds a [t, har::kNumChannels] block through
+  // the session's window assembly, pushing each completed window with
+  // `deadline`. Backpressure-rejected windows are counted, not retried.
+  Result<PushOutcome> PushBlock(SessionId id, const Tensor& samples,
+                                std::chrono::microseconds deadline);
+
+  // Incremental update through the session's learner. Takes the learner's
+  // exclusive lock, quiescing every stream that predicts through it for
+  // the duration of the update.
+  Result<core::TrainReport> LearnNewClasses(SessionId id,
+                                            const data::Dataset& d_new);
+
+  int64_t NumSessions() const;
+
+  // The engine, for tests (pause/resume) and benchmarks (flush stats).
+  BatchingEngine& engine() { return *engine_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<SessionId, std::shared_ptr<Session>> sessions;
+  };
+
+  Shard& ShardFor(SessionId id);
+  Result<std::shared_ptr<Session>> FindSession(SessionId id);
+
+  const ServeOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<SessionId> next_id_{1};
+  // Declared last: the engine stops (draining its queue, which holds
+  // shared_ptr<Session> references) before the shards are torn down.
+  std::unique_ptr<BatchingEngine> engine_;
+};
+
+}  // namespace serve
+}  // namespace pilote
+
+#endif  // PILOTE_SERVE_SESSION_MANAGER_H_

@@ -19,11 +19,45 @@ void CountGemm(int64_t m, int64_t k, int64_t n) {
 // Rough per-kernel FLOP threshold below which threading overhead dominates.
 constexpr int64_t kParallelFlopThreshold = 1 << 22;
 
+// Row-tile width: B is streamed once per TILE rows of A instead of once
+// per row, which is what makes batched inference cheaper per row than
+// row-at-a-time (the weight matrix is the dominant memory traffic at our
+// skinny shapes). Per-element accumulation order over p is unchanged, so
+// tiled and untiled results are bit-identical — the serving layer relies
+// on batched == unbatched predictions.
+constexpr int64_t kRowTile = 4;
+
 // Computes rows [row_begin, row_end) of C = A * B with an i-k-j loop order:
 // the inner j loop is a contiguous SAXPY the compiler vectorizes.
 void GemmRows(const float* a, const float* b, float* c, int64_t row_begin,
               int64_t row_end, int64_t k, int64_t n) {
-  for (int64_t i = row_begin; i < row_end; ++i) {
+  int64_t i = row_begin;
+  for (; i + kRowTile <= row_end; i += kRowTile) {
+    const float* a0 = a + i * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    float* c0 = c + i * n;
+    float* c1 = c0 + n;
+    float* c2 = c1 + n;
+    float* c3 = c2 + n;
+    std::memset(c0, 0, static_cast<size_t>(kRowTile * n) * sizeof(float));
+    for (int64_t p = 0; p < k; ++p) {
+      const float a0p = a0[p];
+      const float a1p = a1[p];
+      const float a2p = a2[p];
+      const float a3p = a3[p];
+      const float* b_row = b + p * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float b_pj = b_row[j];
+        c0[j] += a0p * b_pj;
+        c1[j] += a1p * b_pj;
+        c2[j] += a2p * b_pj;
+        c3[j] += a3p * b_pj;
+      }
+    }
+  }
+  for (; i < row_end; ++i) {
     float* c_row = c + i * n;
     std::memset(c_row, 0, static_cast<size_t>(n) * sizeof(float));
     const float* a_row = a + i * k;
@@ -39,9 +73,41 @@ void GemmRows(const float* a, const float* b, float* c, int64_t row_begin,
 }
 
 // Rows of C = A * B^T: each output element is a contiguous dot product.
+// Row-tiled like GemmRows: four independent accumulators share one
+// streamed b_row, so the weight matrix is read once per tile (this is the
+// Linear-layer forward kernel — the serving hot path).
 void GemmTransBRows(const float* a, const float* b, float* c,
                     int64_t row_begin, int64_t row_end, int64_t k, int64_t n) {
-  for (int64_t i = row_begin; i < row_end; ++i) {
+  int64_t i = row_begin;
+  for (; i + kRowTile <= row_end; i += kRowTile) {
+    const float* a0 = a + i * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    float* c0 = c + i * n;
+    float* c1 = c0 + n;
+    float* c2 = c1 + n;
+    float* c3 = c2 + n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * k;
+      float acc0 = 0.0f;
+      float acc1 = 0.0f;
+      float acc2 = 0.0f;
+      float acc3 = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        const float b_jp = b_row[p];
+        acc0 += a0[p] * b_jp;
+        acc1 += a1[p] * b_jp;
+        acc2 += a2[p] * b_jp;
+        acc3 += a3[p] * b_jp;
+      }
+      c0[j] = acc0;
+      c1[j] = acc1;
+      c2[j] = acc2;
+      c3[j] = acc3;
+    }
+  }
+  for (; i < row_end; ++i) {
     const float* a_row = a + i * k;
     float* c_row = c + i * n;
     for (int64_t j = 0; j < n; ++j) {

@@ -41,7 +41,9 @@ class DeploymentTest : public ::testing::Test {
         30, {Activity::kDrive, Activity::kEscooter, Activity::kStill,
              Activity::kWalk});
     CloudPretrainer pretrainer(state_->config);
-    state_->artifact = pretrainer.Run(state_->d_old).artifact;
+    Result<CloudPretrainResult> result = pretrainer.Run(state_->d_old);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    state_->artifact = std::move(result.value().artifact);
   }
   static void TearDownTestSuite() {
     delete state_;

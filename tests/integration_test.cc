@@ -40,9 +40,10 @@ class PipelineTest : public ::testing::Test {
     state_->test_all = generator.GenerateBalanced(40);
 
     CloudPretrainer pretrainer(state_->config);
-    CloudPretrainResult result = pretrainer.Run(state_->d_old);
-    state_->artifact = std::move(result.artifact);
-    state_->pretrain_report = result.report;
+    Result<CloudPretrainResult> result = pretrainer.Run(state_->d_old);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    state_->artifact = std::move(result.value().artifact);
+    state_->pretrain_report = result.value().report;
   }
 
   static void TearDownTestSuite() {
@@ -107,8 +108,10 @@ TEST_F(PipelineTest, GdumbRetrainsFromScratchAndBalancesCache) {
 TEST_F(PipelineTest, AllLearnersGainTheNewClass) {
   for (const char* strategy : {"pretrained", "retrained", "gdumb", "pilote"}) {
     SCOPED_TRACE(strategy);
-    std::unique_ptr<EdgeLearner> learner =
+    Result<std::unique_ptr<EdgeLearner>> made =
         MakeEdgeLearner(strategy, state_->artifact, state_->config);
+    ASSERT_TRUE(made.ok()) << made.status().ToString();
+    std::unique_ptr<EdgeLearner> learner = std::move(made).value();
     learner->LearnNewClasses(state_->d_new);
     EXPECT_EQ(learner->known_classes().size(), 5u);
     EXPECT_TRUE(
@@ -203,9 +206,8 @@ TEST_F(PipelineTest, QuantizedSupportSetStillClassifies) {
   learner.LearnNewClasses(state_->d_new);
   const double before = learner.Evaluate(state_->test_all);
 
-  learner.mutable_support() = learner.support().QuantizeRoundTrip(
-      serialize::QuantMode::kInt8);
-  learner.RebuildPrototypes();
+  learner.ApplySupportSetUpdate(
+      learner.support().QuantizeRoundTrip(serialize::QuantMode::kInt8));
   const double after = learner.Evaluate(state_->test_all);
   EXPECT_GT(after, before - 0.1);
 }
@@ -254,7 +256,9 @@ TEST_F(PipelineTest, PaperContrastiveFormStillWorksEndToEnd) {
 TEST_F(PipelineTest, CloudPretrainerRejectsWrongFeatureWidth) {
   CloudPretrainer pretrainer(state_->config);
   data::Dataset bad(Tensor(Shape::Matrix(10, 7)), std::vector<int>(10, 0));
-  EXPECT_DEATH(pretrainer.Run(bad), "CHECK failed");
+  Result<CloudPretrainResult> result = pretrainer.Run(bad);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(PipelineTest, EvaluateOnEmptyTestSetIsFatal) {
@@ -267,8 +271,7 @@ TEST_F(PipelineTest, CacheBudgetSurvivesNewClass) {
   PiloteLearner learner(state_->artifact, state_->config);
   learner.LearnNewClasses(state_->d_new);
   // Device enforces a total budget across the now-5 classes.
-  learner.mutable_support().EnforceCacheSize(100);  // m = 20/class
-  learner.RebuildPrototypes();
+  learner.EnforceSupportBudget(100);  // m = 20/class
   for (int label : learner.support().Classes()) {
     EXPECT_LE(learner.support().CountForClass(label), 20);
   }
@@ -276,9 +279,12 @@ TEST_F(PipelineTest, CacheBudgetSurvivesNewClass) {
 }
 
 TEST_F(PipelineTest, FactoryRejectsUnknownStrategy) {
-  EXPECT_DEATH(
-      MakeEdgeLearner("magic", state_->artifact, state_->config),
-      "unknown edge learner strategy");
+  Result<std::unique_ptr<EdgeLearner>> made =
+      MakeEdgeLearner("magic", state_->artifact, state_->config);
+  ASSERT_FALSE(made.ok());
+  EXPECT_EQ(made.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(made.status().message().find("unknown edge learner strategy"),
+            std::string::npos);
 }
 
 }  // namespace

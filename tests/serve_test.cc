@@ -1,0 +1,433 @@
+// Tests of the multi-session serving layer: concurrent ingest across
+// sessions (exercised under TSan in CI), cross-stream batching
+// equivalence, backpressure, deadline degradation, and the Status-based
+// error paths of the core entry points (corrupt artifacts, bad pretrain
+// corpora) that previously aborted.
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bounded_queue.h"
+#include "common/rng.h"
+#include "core/cloud.h"
+#include "core/edge_learner.h"
+#include "har/sensor_layout.h"
+#include "nn/backbone.h"
+#include "serialize/io.h"
+#include "serve/session_manager.h"
+#include "tensor/tensor_ops.h"
+
+namespace pilote {
+namespace serve {
+namespace {
+
+using std::chrono::microseconds;
+
+// Handcrafts a valid CloudArtifact without running cloud pre-training:
+// a randomly initialized backbone (serialized, as shipped), a scaler fit
+// on random data, and per-class exemplar clusters offset by label so the
+// NCM geometry is non-degenerate. Keeps the serving tests fast enough to
+// run under TSan.
+core::CloudArtifact MakeTestArtifact(const core::PiloteConfig& config,
+                                     int num_classes = 4) {
+  Rng rng(4242);
+  nn::MlpBackbone model(config.backbone, rng);
+  core::CloudArtifact artifact;
+  artifact.backbone_config = config.backbone;
+  artifact.model_payload = serialize::SerializeModuleToString(model);
+  const int64_t input_dim = config.backbone.input_dim;
+  artifact.scaler.Fit(Tensor::RandNormal(Shape::Matrix(64, input_dim), rng));
+  for (int label = 0; label < num_classes; ++label) {
+    Tensor exemplars =
+        Tensor::RandNormal(Shape::Matrix(8, input_dim), rng,
+                           /*mean=*/static_cast<float>(2 * label), 0.25f);
+    artifact.support.SetClassExemplars(label,
+                                       artifact.scaler.Transform(exemplars));
+    artifact.old_classes.push_back(label);
+  }
+  return artifact;
+}
+
+core::PiloteConfig TestConfig() { return core::PiloteConfig::Small(); }
+
+std::shared_ptr<LearnerHandle> MakeHandle(const core::PiloteConfig& config) {
+  Result<std::shared_ptr<LearnerHandle>> handle =
+      LearnerHandle::Create("pretrained", MakeTestArtifact(config), config);
+  EXPECT_TRUE(handle.ok()) << handle.status().ToString();
+  return handle.value();
+}
+
+Tensor RandomWindow(const core::PiloteConfig& config, Rng& rng) {
+  return Tensor::RandNormal(
+      Shape::Matrix(1, config.backbone.input_dim), rng);
+}
+
+// ------------------------------------------------------------ BoundedQueue
+
+TEST(BoundedQueueTest, TryPushFailsAtCapacityAndAfterClose) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // full
+  queue.Close();
+  std::vector<int> out;
+  EXPECT_TRUE(queue.PopBatch(out, 8, microseconds(0)));
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_FALSE(queue.TryPush(4));  // closed
+  EXPECT_FALSE(queue.PopBatch(out, 8, microseconds(0)));  // drained
+}
+
+TEST(BoundedQueueTest, PopBatchCoalescesUpToMaxBatch) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(queue.TryPush(i));
+  std::vector<int> out;
+  ASSERT_TRUE(queue.PopBatch(out, 3, microseconds(0)));
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  ASSERT_TRUE(queue.PopBatch(out, 3, microseconds(0)));
+  EXPECT_EQ(out, (std::vector<int>{3, 4}));
+}
+
+// ----------------------------------------------------- Options validation
+
+TEST(ServeOptionsTest, ValidateRejectsOutOfRangeValues) {
+  ServeOptions options;
+  EXPECT_TRUE(ValidateServeOptions(options).ok());
+  options.num_shards = 0;
+  EXPECT_EQ(ValidateServeOptions(options).code(),
+            StatusCode::kInvalidArgument);
+  options = ServeOptions();
+  options.max_batch = 0;
+  EXPECT_EQ(ValidateServeOptions(options).code(),
+            StatusCode::kInvalidArgument);
+  options = ServeOptions();
+  options.max_delay_us = -1;
+  EXPECT_EQ(ValidateServeOptions(options).code(),
+            StatusCode::kInvalidArgument);
+  options = ServeOptions();
+  options.queue_capacity = 0;
+  EXPECT_EQ(ValidateServeOptions(options).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StreamingOptionsTest, ValidateRejectsOutOfRangeValues) {
+  core::StreamingOptions options;
+  EXPECT_TRUE(core::ValidateStreamingOptions(options).ok());
+  options.window_length = 0;
+  EXPECT_EQ(core::ValidateStreamingOptions(options).code(),
+            StatusCode::kInvalidArgument);
+  options = core::StreamingOptions();
+  options.vote_window = 0;
+  EXPECT_EQ(core::ValidateStreamingOptions(options).code(),
+            StatusCode::kInvalidArgument);
+  options = core::StreamingOptions();
+  options.denoise_half_width = -1;
+  EXPECT_EQ(core::ValidateStreamingOptions(options).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------- Core error paths
+
+TEST(CoreErrorPathTest, FactoryRejectsCorruptArtifactPayload) {
+  core::PiloteConfig config = TestConfig();
+  core::CloudArtifact artifact = MakeTestArtifact(config);
+  artifact.model_payload = "definitely not a serialized module";
+  Result<std::unique_ptr<core::EdgeLearner>> made =
+      core::MakeEdgeLearner("pilote", artifact, config);
+  EXPECT_FALSE(made.ok());
+}
+
+TEST(CoreErrorPathTest, FactoryRejectsTruncatedArtifactPayload) {
+  core::PiloteConfig config = TestConfig();
+  core::CloudArtifact artifact = MakeTestArtifact(config);
+  artifact.model_payload.resize(artifact.model_payload.size() / 2);
+  Result<std::unique_ptr<core::EdgeLearner>> made =
+      core::MakeEdgeLearner("pretrained", artifact, config);
+  EXPECT_FALSE(made.ok());
+}
+
+TEST(CoreErrorPathTest, FactoryRejectsEmptySupportSet) {
+  core::PiloteConfig config = TestConfig();
+  core::CloudArtifact artifact = MakeTestArtifact(config);
+  artifact.support = core::SupportSet();
+  Result<std::unique_ptr<core::EdgeLearner>> made =
+      core::MakeEdgeLearner("pilote", artifact, config);
+  ASSERT_FALSE(made.ok());
+  EXPECT_EQ(made.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CoreErrorPathTest, PretrainerRejectsEmptyCorpus) {
+  core::CloudPretrainer pretrainer(TestConfig());
+  Result<core::CloudPretrainResult> result = pretrainer.Run(data::Dataset());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CoreErrorPathTest, PretrainerRejectsSingleClassCorpus) {
+  core::PiloteConfig config = TestConfig();
+  Rng rng(7);
+  data::Dataset single(
+      Tensor::RandNormal(Shape::Matrix(10, config.backbone.input_dim), rng),
+      std::vector<int>(10, 3));
+  core::CloudPretrainer pretrainer(config);
+  Result<core::CloudPretrainResult> result = pretrainer.Run(single);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------------------- SessionManager
+
+TEST(SessionManagerTest, CreateSubmitClose) {
+  core::PiloteConfig config = TestConfig();
+  SessionManager manager(ServeOptions{});
+  Result<SessionId> id =
+      manager.CreateSession(MakeHandle(config), config.streaming);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(manager.NumSessions(), 1);
+
+  Rng rng(1);
+  Result<std::future<int>> future =
+      manager.SubmitWindow(*id, RandomWindow(config, rng));
+  ASSERT_TRUE(future.ok()) << future.status().ToString();
+  const int label = future.value().get();
+  EXPECT_GE(label, 0);
+
+  EXPECT_TRUE(manager.CloseSession(*id).ok());
+  EXPECT_EQ(manager.NumSessions(), 0);
+  EXPECT_EQ(manager.CloseSession(*id).code(), StatusCode::kNotFound);
+  EXPECT_EQ(manager.SubmitWindow(*id, RandomWindow(config, rng))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SessionManagerTest, RejectsNullHandleAndBadOptions) {
+  core::PiloteConfig config = TestConfig();
+  SessionManager manager(ServeOptions{});
+  EXPECT_EQ(manager.CreateSession(nullptr, config.streaming).status().code(),
+            StatusCode::kInvalidArgument);
+  core::StreamingOptions bad = config.streaming;
+  bad.vote_window = 0;
+  EXPECT_EQ(manager.CreateSession(MakeHandle(config), bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SessionManagerTest, SubmitRejectsWrongShape) {
+  core::PiloteConfig config = TestConfig();
+  SessionManager manager(ServeOptions{});
+  Result<SessionId> id =
+      manager.CreateSession(MakeHandle(config), config.streaming);
+  ASSERT_TRUE(id.ok());
+  Rng rng(1);
+  Tensor bad = Tensor::RandNormal(
+      Shape::Matrix(1, config.backbone.input_dim + 1), rng);
+  EXPECT_EQ(manager.SubmitWindow(*id, bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SessionManagerTest, PushBlockAssemblesWindowsFromRawSamples) {
+  core::PiloteConfig config = TestConfig();
+  SessionManager manager(ServeOptions{});
+  Result<SessionId> id =
+      manager.CreateSession(MakeHandle(config), config.streaming);
+  ASSERT_TRUE(id.ok());
+  Rng rng(11);
+  const int64_t rows = 3 * config.streaming.window_length + 5;
+  Tensor samples =
+      Tensor::RandNormal(Shape::Matrix(rows, har::kNumChannels), rng);
+  Result<PushOutcome> outcome =
+      manager.PushBlock(*id, samples, microseconds(0));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->predictions.size(), 3u);
+  EXPECT_EQ(outcome->rejected_windows, 0);
+  for (const Prediction& p : outcome->predictions) {
+    EXPECT_GE(p.label, 0);
+    EXPECT_FALSE(p.degraded);
+  }
+}
+
+// --------------------------------------------- Batched == unbatched labels
+
+TEST(SessionManagerTest, BatchedMatchesUnbatchedPredictions) {
+  core::PiloteConfig config = TestConfig();
+  // vote_window = 1 so the smoothed label equals the raw label and the
+  // manager's output is directly comparable to PredictBatch.
+  core::StreamingOptions streaming = config.streaming;
+  streaming.vote_window = 1;
+  std::shared_ptr<LearnerHandle> handle = MakeHandle(config);
+
+  Rng rng(33);
+  constexpr int kWindows = 24;
+  std::vector<Tensor> windows;
+  for (int i = 0; i < kWindows; ++i) {
+    windows.push_back(RandomWindow(config, rng));
+  }
+  const std::vector<int> direct = handle->PredictBatch(ConcatRows(windows));
+  ASSERT_EQ(direct.size(), static_cast<size_t>(kWindows));
+
+  ServeOptions options;
+  options.max_batch = 8;
+  SessionManager manager(options);
+  Result<SessionId> id = manager.CreateSession(handle, streaming);
+  ASSERT_TRUE(id.ok());
+  std::vector<std::future<int>> futures;
+  for (const Tensor& window : windows) {
+    Result<std::future<int>> f = manager.SubmitWindow(*id, window);
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+    futures.push_back(std::move(f).value());
+  }
+  for (int i = 0; i < kWindows; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(),
+              direct[static_cast<size_t>(i)])
+        << "window " << i;
+  }
+}
+
+// ------------------------------------------------------------ Concurrency
+
+TEST(SessionManagerTest, ConcurrentMultiSessionIngest) {
+  core::PiloteConfig config = TestConfig();
+  std::shared_ptr<LearnerHandle> handle = MakeHandle(config);
+  ServeOptions options;
+  options.max_batch = 8;
+  options.queue_capacity = 1024;
+  SessionManager manager(options);
+
+  constexpr int kThreads = 4;
+  constexpr int kSessionsPerThread = 2;
+  constexpr int kWindowsPerSession = 12;
+  std::vector<SessionId> ids;
+  for (int i = 0; i < kThreads * kSessionsPerThread; ++i) {
+    Result<SessionId> id = manager.CreateSession(handle, config.streaming);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+
+  std::atomic<int> resolved{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(100 + static_cast<uint64_t>(t));
+      std::vector<std::future<int>> futures;
+      for (int w = 0; w < kWindowsPerSession; ++w) {
+        for (int s = 0; s < kSessionsPerThread; ++s) {
+          const SessionId id =
+              ids[static_cast<size_t>(t * kSessionsPerThread + s)];
+          Result<std::future<int>> f =
+              manager.SubmitWindow(id, RandomWindow(config, rng));
+          if (f.ok()) futures.push_back(std::move(f).value());
+        }
+      }
+      for (std::future<int>& f : futures) {
+        if (f.get() >= 0) resolved.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(resolved.load(),
+            kThreads * kSessionsPerThread * kWindowsPerSession);
+}
+
+TEST(SessionManagerTest, LearnNewClassesQuiescesConcurrentIngest) {
+  core::PiloteConfig config = TestConfig();
+  std::shared_ptr<LearnerHandle> handle = MakeHandle(config);
+  ServeOptions options;
+  options.queue_capacity = 1024;
+  SessionManager manager(options);
+  Result<SessionId> id = manager.CreateSession(handle, config.streaming);
+  ASSERT_TRUE(id.ok());
+
+  const int64_t known_before = handle->NumKnownClasses();
+  std::atomic<bool> stop{false};
+  std::thread ingest([&] {
+    Rng rng(55);
+    while (!stop.load()) {
+      Result<std::future<int>> f =
+          manager.SubmitWindow(*id, RandomWindow(config, rng));
+      if (f.ok()) f.value().wait();
+    }
+  });
+
+  // New class 4 arrives mid-stream; the exclusive lock must serialize the
+  // update against in-flight batches (TSan verifies the exclusion).
+  Rng rng(77);
+  data::Dataset d_new(
+      Tensor::RandNormal(Shape::Matrix(16, config.backbone.input_dim), rng,
+                         /*mean=*/8.0f, 0.25f),
+      std::vector<int>(16, 4));
+  Result<core::TrainReport> report = manager.LearnNewClasses(*id, d_new);
+  stop.store(true);
+  ingest.join();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(handle->NumKnownClasses(), known_before + 1);
+  EXPECT_GT(handle->model_version(), 0);
+}
+
+// ----------------------------------------------- Backpressure + deadlines
+
+TEST(SessionManagerTest, FullQueueRejectsWithResourceExhausted) {
+  core::PiloteConfig config = TestConfig();
+  ServeOptions options;
+  options.queue_capacity = 1;
+  SessionManager manager(options);
+  Result<SessionId> id =
+      manager.CreateSession(MakeHandle(config), config.streaming);
+  ASSERT_TRUE(id.ok());
+
+  manager.engine().PauseForTesting();  // returns once the worker is parked
+  Rng rng(9);
+  Result<std::future<int>> accepted =
+      manager.SubmitWindow(*id, RandomWindow(config, rng));
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+  Result<std::future<int>> rejected =
+      manager.SubmitWindow(*id, RandomWindow(config, rng));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  manager.engine().ResumeForTesting();
+  EXPECT_GE(accepted.value().get(), 0);
+}
+
+TEST(SessionManagerTest, DeadlineMissDegradesToLastVote) {
+  core::PiloteConfig config = TestConfig();
+  SessionManager manager(ServeOptions{});
+  Result<SessionId> id =
+      manager.CreateSession(MakeHandle(config), config.streaming);
+  ASSERT_TRUE(id.ok());
+  Rng rng(13);
+
+  // Before any window completes, a deadline miss yields kNoPrediction.
+  manager.engine().PauseForTesting();
+  Result<Prediction> first =
+      manager.PushWindow(*id, RandomWindow(config, rng), microseconds(2000));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(first->degraded);
+  EXPECT_EQ(first->label, kNoPrediction);
+
+  // Let the queued window (and a fresh one) classify normally.
+  manager.engine().ResumeForTesting();
+  Result<Prediction> normal =
+      manager.PushWindow(*id, RandomWindow(config, rng), microseconds(0));
+  ASSERT_TRUE(normal.ok());
+  EXPECT_FALSE(normal->degraded);
+  EXPECT_GE(normal->label, 0);
+
+  // Now a deadline miss degrades to the last majority-vote label.
+  manager.engine().PauseForTesting();
+  Result<Prediction> degraded =
+      manager.PushWindow(*id, RandomWindow(config, rng), microseconds(2000));
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_TRUE(degraded->degraded);
+  EXPECT_GE(degraded->label, 0);
+  manager.engine().ResumeForTesting();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace pilote
