@@ -31,7 +31,7 @@ Variable::Variable(Tensor value, bool requires_grad) {
   node_ = std::make_shared<Node>();
   node_->value = std::move(value);
   node_->requires_grad = requires_grad;
-  node_->sequence = g_sequence.fetch_add(1);
+  node_->sequence = g_sequence.fetch_add(1, std::memory_order_relaxed);
 }
 
 const Tensor& Variable::value() const {
@@ -70,7 +70,7 @@ std::shared_ptr<Node> Variable::MakeNode(
     std::function<void(Node&)> backward_fn) {
   auto node = std::make_shared<Node>();
   node->value = std::move(value);
-  node->sequence = g_sequence.fetch_add(1);
+  node->sequence = g_sequence.fetch_add(1, std::memory_order_relaxed);
   for (const auto& parent : parents) {
     PILOTE_CHECK(parent != nullptr);
     if (parent->requires_grad) node->requires_grad = true;

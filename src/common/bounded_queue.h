@@ -2,14 +2,13 @@
 #define PILOTE_COMMON_BOUNDED_QUEUE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/thread_annotations.h"
 
 namespace pilote {
 
@@ -29,10 +28,10 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   // Enqueues `item` unless the queue is full or closed. Never blocks.
-  bool TryPush(T item) {
+  bool TryPush(T item) PILOTE_EXCLUDES(mutex_) {
     bool was_empty;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_ || queue_.size() >= capacity_) return false;
       was_empty = queue_.empty();
       queue_.push_back(std::move(item));
@@ -40,7 +39,7 @@ class BoundedQueue {
     // The consumer only ever waits while the queue is empty (checked under
     // the same mutex), so pushes onto a non-empty queue skip the notify —
     // one futex wake per batch instead of one per window.
-    if (was_empty) not_empty_.notify_one();
+    if (was_empty) not_empty_.NotifyOne();
     return true;
   }
 
@@ -51,13 +50,13 @@ class BoundedQueue {
   // promptly and heavy load fills whole batches. Returns false only once
   // the queue is closed AND fully drained.
   bool PopBatch(std::vector<T>& out, size_t max_batch,
-                std::chrono::microseconds max_delay) {
+                std::chrono::microseconds max_delay) PILOTE_EXCLUDES(mutex_) {
     PILOTE_CHECK_GT(max_batch, 0u);
     out.clear();
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] {
-      return !queue_.empty() || closed_ || interrupted_;
-    });
+    MutexLock lock(mutex_);
+    while (queue_.empty() && !closed_ && !interrupted_) {
+      not_empty_.Wait(mutex_);
+    }
     if (interrupted_) {
       // Consume the interrupt and hand control back to the consumer loop
       // (possibly with an empty batch) so it can re-check its own gates.
@@ -78,9 +77,7 @@ class BoundedQueue {
         continue;
       }
       if (closed_ || max_delay.count() <= 0) break;
-      if (!not_empty_.wait_until(lock, deadline, [this] {
-            return !queue_.empty() || closed_ || interrupted_;
-          })) {
+      if (!not_empty_.WaitUntil(mutex_, deadline)) {
         break;  // coalescing window elapsed
       }
     }
@@ -91,43 +88,43 @@ class BoundedQueue {
   // empty batch) so the consumer can re-check its own control gates — the
   // serving engine's pause hook relies on this. One interrupt wakes one
   // PopBatch; the flag is consumed by the return.
-  void Interrupt() {
+  void Interrupt() PILOTE_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       interrupted_ = true;
     }
-    not_empty_.notify_all();
+    not_empty_.NotifyAll();
   }
 
   // After Close, TryPush fails and PopBatch drains the remainder before
   // returning false. Idempotent.
-  void Close() {
+  void Close() PILOTE_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
-    not_empty_.notify_all();
+    not_empty_.NotifyAll();
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t size() const PILOTE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return queue_.size();
   }
 
   size_t capacity() const { return capacity_; }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool closed() const PILOTE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::deque<T> queue_;
-  bool closed_ = false;
-  bool interrupted_ = false;
+  mutable Mutex mutex_;
+  CondVar not_empty_;  // unguarded: internally synchronized
+  std::deque<T> queue_ PILOTE_GUARDED_BY(mutex_);
+  bool closed_ PILOTE_GUARDED_BY(mutex_) = false;
+  bool interrupted_ PILOTE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pilote

@@ -98,11 +98,14 @@ const char* LevelName(LogLevel level) {
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
-  LevelStorage().store(static_cast<int>(level));
+  // Relaxed: the level is an independent filter knob; no other state is
+  // published through it.
+  LevelStorage().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(LevelStorage().load());
+  return static_cast<LogLevel>(
+      LevelStorage().load(std::memory_order_relaxed));
 }
 
 namespace internal {

@@ -1,0 +1,235 @@
+#ifndef PILOTE_COMMON_THREAD_ANNOTATIONS_H_
+#define PILOTE_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis for the concurrent surface of the serving
+// stack. Every mutex in src/ is one of the capability wrappers below, every
+// guarded member carries PILOTE_GUARDED_BY, and the Clang CI lane compiles
+// with -Wthread-safety -Wthread-safety-beta so a lock-discipline violation
+// (reading a guarded member without the lock, releasing a lock that is not
+// held, a forgotten unlock on an early return) is a compile error rather
+// than a TSan finding the test schedule may or may not trigger.
+//
+// On non-Clang compilers (the GCC lanes, local builds) the macros expand to
+// nothing and the wrappers are zero-cost shims over the std primitives.
+//
+// Usage:
+//
+//   class Buffer {
+//    public:
+//     void Push(int v) PILOTE_EXCLUDES(mutex_) {
+//       MutexLock lock(mutex_);
+//       items_.push_back(v);
+//     }
+//    private:
+//     Mutex mutex_;
+//     std::vector<int> items_ PILOTE_GUARDED_BY(mutex_);
+//   };
+//
+// Condition waits go through CondVar, whose Wait/WaitUntil are annotated
+// PILOTE_REQUIRES(mu) — write the predicate as an explicit while loop
+// around Wait (a predicate lambda is opaque to the analysis):
+//
+//   MutexLock lock(mutex_);
+//   while (queue_.empty() && !closed_) not_empty_.Wait(mutex_);
+//
+// tools/pilote_lint.py --stage concurrency enforces the repo side of the
+// contract: raw std::mutex outside this header is rejected, and members of
+// a mutex-owning class must carry PILOTE_GUARDED_BY (or be const, atomic,
+// or carry an explicit `// unguarded: <reason>` marker).
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__)
+#define PILOTE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PILOTE_THREAD_ANNOTATION(x)  // not supported by this compiler
+#endif
+
+// A type that models a capability (a lock). The string names the kind in
+// diagnostics ("mutex", "shared_mutex").
+#define PILOTE_CAPABILITY(x) PILOTE_THREAD_ANNOTATION(capability(x))
+
+// An RAII type that acquires a capability in its constructor and releases
+// it in its destructor (MutexLock, ReaderLock, WriterLock below).
+#define PILOTE_SCOPED_CAPABILITY PILOTE_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members: reads require the capability held (shared suffices), writes
+// require it exclusively. PT_ variant guards the pointee of a pointer.
+#define PILOTE_GUARDED_BY(x) PILOTE_THREAD_ANNOTATION(guarded_by(x))
+#define PILOTE_PT_GUARDED_BY(x) PILOTE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Static lock-order declaration; cycles are diagnosed under -beta.
+#define PILOTE_ACQUIRED_BEFORE(...) \
+  PILOTE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define PILOTE_ACQUIRED_AFTER(...) \
+  PILOTE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Function preconditions: the caller must hold the capability (and must NOT
+// hold it for EXCLUDES — documents "this function locks internally").
+#define PILOTE_REQUIRES(...) \
+  PILOTE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PILOTE_REQUIRES_SHARED(...) \
+  PILOTE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define PILOTE_EXCLUDES(...) \
+  PILOTE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Functions that acquire/release capabilities (the wrapper methods below).
+#define PILOTE_ACQUIRE(...) \
+  PILOTE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PILOTE_ACQUIRE_SHARED(...) \
+  PILOTE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define PILOTE_RELEASE(...) \
+  PILOTE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PILOTE_RELEASE_SHARED(...) \
+  PILOTE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+// Releases a capability whichever mode it was acquired in; the right
+// annotation for a scoped-lock destructor.
+#define PILOTE_RELEASE_GENERIC(...) \
+  PILOTE_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define PILOTE_TRY_ACQUIRE(...) \
+  PILOTE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define PILOTE_TRY_ACQUIRE_SHARED(...) \
+  PILOTE_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (for code reached both with
+// and without the lock).
+#define PILOTE_ASSERT_CAPABILITY(x) \
+  PILOTE_THREAD_ANNOTATION(assert_capability(x))
+#define PILOTE_ASSERT_SHARED_CAPABILITY(x) \
+  PILOTE_THREAD_ANNOTATION(assert_shared_capability(x))
+
+// The function returns a reference to the given capability.
+#define PILOTE_RETURN_CAPABILITY(x) PILOTE_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch for deliberately lock-free reads of otherwise-guarded state
+// (e.g. a version counter that is itself atomic). Always pair with a
+// comment explaining why the access is safe.
+#define PILOTE_NO_THREAD_SAFETY_ANALYSIS \
+  PILOTE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace pilote {
+
+class CondVar;
+
+// Exclusive mutex capability over std::mutex.
+class PILOTE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PILOTE_ACQUIRE() { mutex_.lock(); }
+  void Unlock() PILOTE_RELEASE() { mutex_.unlock(); }
+  bool TryLock() PILOTE_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+// Reader-writer capability over std::shared_mutex.
+class PILOTE_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() PILOTE_ACQUIRE() { mutex_.lock(); }
+  void Unlock() PILOTE_RELEASE() { mutex_.unlock(); }
+  void LockShared() PILOTE_ACQUIRE_SHARED() { mutex_.lock_shared(); }
+  void UnlockShared() PILOTE_RELEASE_SHARED() { mutex_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mutex_;
+};
+
+// Scoped exclusive lock on a Mutex.
+class PILOTE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PILOTE_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() PILOTE_RELEASE_GENERIC() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Scoped exclusive (writer) lock on a SharedMutex.
+class PILOTE_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) PILOTE_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterLock() PILOTE_RELEASE_GENERIC() { mu_.Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// Scoped shared (reader) lock on a SharedMutex.
+class PILOTE_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) PILOTE_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderLock() PILOTE_RELEASE_GENERIC() { mu_.UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// Condition variable paired with Mutex. Implemented over
+// std::condition_variable via the adopt/release dance so the fast futex
+// path is kept; the annotated Wait* entry points are what make predicate
+// loops analyzable (callers hold `mu` across the loop).
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, blocks until notified (or spuriously woken),
+  // and reacquires `mu` before returning.
+  void Wait(Mutex& mu) PILOTE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mutex_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  // Returns false when `deadline` elapsed before a notification (the mutex
+  // is reacquired either way). Spurious wakeups return true; re-check the
+  // predicate in the caller's loop.
+  template <typename Clock, typename Duration>
+  bool WaitUntil(Mutex& mu,
+                 const std::chrono::time_point<Clock, Duration>& deadline)
+      PILOTE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mutex_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace pilote
+
+#endif  // PILOTE_COMMON_THREAD_ANNOTATIONS_H_

@@ -6,13 +6,20 @@
 #include "common/macros.h"
 
 namespace pilote {
+namespace {
 
-ThreadPool::ThreadPool(int num_threads) {
+int ResolveNumThreads(int num_threads) {
   if (num_threads <= 0) {
     num_threads = static_cast<int>(std::thread::hardware_concurrency());
     if (num_threads <= 0) num_threads = 1;
   }
-  num_threads_ = num_threads;
+  return num_threads;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(ResolveNumThreads(num_threads)) {
   // With one logical thread everything runs inline; spawn no workers.
   if (num_threads_ == 1) return;
   workers_.reserve(static_cast<size_t>(num_threads_));
@@ -23,28 +30,29 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push(std::move(task));
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(lock,
-                           [this] { return shutting_down_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && tasks_.empty()) {
+        task_available_.Wait(mutex_);
+      }
       if (shutting_down_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -71,23 +79,27 @@ void ThreadPool::ParallelForRanges(
   }
   const int64_t chunk_size = (count + chunks - 1) / chunks;
 
+  // release on the final decrement / acquire on the waiter's observation:
+  // every chunk's writes happen-before ParallelForRanges returns.
   std::atomic<int64_t> remaining{chunks};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  Mutex done_mutex;
+  CondVar done_cv;
 
   for (int64_t c = 0; c < chunks; ++c) {
     const int64_t begin = c * chunk_size;
     const int64_t end = std::min(count, begin + chunk_size);
     Submit([&, begin, end] {
       fn(begin, end);
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        done_cv.notify_one();
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        MutexLock lock(done_mutex);
+        done_cv.NotifyOne();
       }
     });
   }
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  MutexLock lock(done_mutex);
+  while (remaining.load(std::memory_order_acquire) != 0) {
+    done_cv.Wait(done_mutex);
+  }
 }
 
 ThreadPool& ThreadPool::Global() {

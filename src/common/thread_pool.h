@@ -1,13 +1,13 @@
 #ifndef PILOTE_COMMON_THREAD_POOL_H_
 #define PILOTE_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace pilote {
 
@@ -28,26 +28,28 @@ class ThreadPool {
   // Runs fn(i) for i in [0, count), partitioned into contiguous chunks
   // across workers, and blocks until all iterations finish. fn must be
   // safe to call concurrently for distinct i.
-  void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn);
+  void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn)
+      PILOTE_EXCLUDES(mutex_);
 
   // Same, but hands each worker a [begin, end) range to reduce dispatch
   // overhead for fine-grained loops.
-  void ParallelForRanges(
-      int64_t count, const std::function<void(int64_t, int64_t)>& fn);
+  void ParallelForRanges(int64_t count,
+                         const std::function<void(int64_t, int64_t)>& fn)
+      PILOTE_EXCLUDES(mutex_);
 
   // Process-wide pool used by tensor ops when no pool is supplied.
   static ThreadPool& Global();
 
  private:
-  void Submit(std::function<void()> task);
-  void WorkerLoop();
+  void Submit(std::function<void()> task) PILOTE_EXCLUDES(mutex_);
+  void WorkerLoop() PILOTE_EXCLUDES(mutex_);
 
-  int num_threads_;
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  bool shutting_down_ = false;
+  const int num_threads_;
+  std::vector<std::thread> workers_;  // unguarded: set in ctor, joined in dtor
+  Mutex mutex_;
+  CondVar task_available_;  // unguarded: internally synchronized
+  std::queue<std::function<void()>> tasks_ PILOTE_GUARDED_BY(mutex_);
+  bool shutting_down_ PILOTE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pilote

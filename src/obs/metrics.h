@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace pilote {
 namespace obs {
@@ -183,23 +184,28 @@ class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
 
-  Counter& GetCounter(const std::string& name);
-  Gauge& GetGauge(const std::string& name);
-  Histogram& GetHistogram(const std::string& name);
+  Counter& GetCounter(const std::string& name) PILOTE_EXCLUDES(mutex_);
+  Gauge& GetGauge(const std::string& name) PILOTE_EXCLUDES(mutex_);
+  Histogram& GetHistogram(const std::string& name) PILOTE_EXCLUDES(mutex_);
 
   // Counters/gauges/histograms only; spans live in the trace registry.
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const PILOTE_EXCLUDES(mutex_);
 
   // Zeroes every registered metric IN PLACE; handles stay valid.
-  void ResetForTesting();
+  void ResetForTesting() PILOTE_EXCLUDES(mutex_);
 
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // The maps are guarded; the pointees they own are lock-free metric
+  // objects whose handles legitimately outlive the lock.
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      PILOTE_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      PILOTE_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      PILOTE_GUARDED_BY(mutex_);
 };
 
 }  // namespace obs

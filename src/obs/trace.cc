@@ -5,11 +5,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace pilote {
 namespace obs {
@@ -25,7 +25,8 @@ int64_t NowNanos() {
 // an opaque hash).
 uint64_t CurrentThreadId() {
   static std::atomic<uint64_t> next{1};
-  thread_local const uint64_t id = next.fetch_add(1);
+  thread_local const uint64_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
 
@@ -38,15 +39,15 @@ class SpanRegistry {
     return *registry;
   }
 
-  internal::SpanStats* Resolve(const char* name) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  internal::SpanStats* Resolve(const char* name) PILOTE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     auto& slot = stats_[name];
     if (slot == nullptr) slot = new internal::SpanStats();
     return slot;
   }
 
-  std::vector<SpanSample> Profile() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanSample> Profile() const PILOTE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     std::vector<SpanSample> rows;
     rows.reserve(stats_.size());
     for (const auto& [name, stats] : stats_) {
@@ -69,8 +70,8 @@ class SpanRegistry {
     return rows;
   }
 
-  void ResetForTesting() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void ResetForTesting() PILOTE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     for (auto& [name, stats] : stats_) {
       stats->count.store(0, std::memory_order_relaxed);
       stats->total_ns.store(0, std::memory_order_relaxed);
@@ -79,8 +80,8 @@ class SpanRegistry {
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, internal::SpanStats*> stats_;
+  mutable Mutex mutex_;
+  std::map<std::string, internal::SpanStats*> stats_ PILOTE_GUARDED_BY(mutex_);
 };
 
 // Chrome trace_event capture. Event appends take a mutex: capture is an
@@ -108,10 +109,12 @@ struct CaptureState {
   }
 
   std::atomic<bool> active{false};
-  int64_t base_ns;
+  const int64_t base_ns;
+  // unguarded: written once in the constructor, before any other thread
+  // can observe the (function-local static) instance.
   std::string exit_path;
-  std::mutex mutex;
-  std::vector<TraceEvent> events;
+  Mutex mutex;
+  std::vector<TraceEvent> events PILOTE_GUARDED_BY(mutex);
 };
 
 thread_local internal::ScopedSpan* tls_current_span = nullptr;
@@ -150,7 +153,7 @@ ScopedSpan::~ScopedSpan() {
     event.ts_us = (start_ns_ - capture.base_ns) / 1000;
     event.dur_us = duration_ns / 1000;
     event.tid = CurrentThreadId();
-    std::lock_guard<std::mutex> lock(capture.mutex);
+    MutexLock lock(capture.mutex);
     capture.events.push_back(event);
   }
 }
@@ -164,7 +167,7 @@ std::vector<SpanSample> SpanProfile() {
 void ResetSpansForTesting() {
   SpanRegistry::Global().ResetForTesting();
   CaptureState& capture = CaptureState::Global();
-  std::lock_guard<std::mutex> lock(capture.mutex);
+  MutexLock lock(capture.mutex);
   capture.events.clear();
 }
 
@@ -178,7 +181,7 @@ bool TraceCaptureActive() {
 
 std::vector<TraceEvent> CapturedTraceEvents() {
   CaptureState& capture = CaptureState::Global();
-  std::lock_guard<std::mutex> lock(capture.mutex);
+  MutexLock lock(capture.mutex);
   return capture.events;
 }
 

@@ -31,47 +31,51 @@ bool BatchingEngine::Submit(PredictRequest request) {
 
 void BatchingEngine::Stop() {
   {
-    std::lock_guard<std::mutex> lock(pause_mutex_);
+    MutexLock lock(pause_mutex_);
     stopping_ = true;
     paused_ = false;
   }
-  pause_cv_.notify_all();
+  pause_cv_.NotifyAll();
   queue_.Close();
   if (worker_.joinable()) worker_.join();
 }
 
 int64_t BatchingEngine::batches_flushed() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   return batches_flushed_;
 }
 
 void BatchingEngine::PauseForTesting() {
-  std::unique_lock<std::mutex> lock(pause_mutex_);
+  MutexLock lock(pause_mutex_);
   paused_ = true;
   // Kick the worker out of a blocking pop so it reaches the pause gate,
   // then wait for it to park: on return, nothing drains the queue until
   // ResumeForTesting.
   queue_.Interrupt();
-  pause_cv_.wait(lock, [this] { return parked_ || stopping_; });
+  while (!parked_ && !stopping_) {
+    pause_cv_.Wait(pause_mutex_);
+  }
 }
 
 void BatchingEngine::ResumeForTesting() {
   {
-    std::lock_guard<std::mutex> lock(pause_mutex_);
+    MutexLock lock(pause_mutex_);
     paused_ = false;
   }
-  pause_cv_.notify_all();
+  pause_cv_.NotifyAll();
 }
 
 void BatchingEngine::WorkerLoop() {
   std::vector<PredictRequest> batch;
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(pause_mutex_);
+      MutexLock lock(pause_mutex_);
       if (paused_ && !stopping_) {
         parked_ = true;
-        pause_cv_.notify_all();
-        pause_cv_.wait(lock, [this] { return !paused_ || stopping_; });
+        pause_cv_.NotifyAll();
+        while (paused_ && !stopping_) {
+          pause_cv_.Wait(pause_mutex_);
+        }
         parked_ = false;
       }
     }
@@ -86,6 +90,13 @@ void BatchingEngine::WorkerLoop() {
 
 void BatchingEngine::ProcessBatch(std::vector<PredictRequest>& batch) {
   PILOTE_TRACE_SPAN("serve/process_batch");
+  {
+    // Surfaced by the annotation pass: this counter was declared guarded by
+    // stats_mutex_ but no path ever advanced it, so batches_flushed()
+    // always reported 0.
+    MutexLock lock(stats_mutex_);
+    ++batches_flushed_;
+  }
   PILOTE_METRIC_COUNT("serve/batches", 1);
   PILOTE_METRIC_HISTOGRAM("serve/batch_size",
                           static_cast<double>(batch.size()));

@@ -2,13 +2,12 @@
 #define PILOTE_SERVE_BATCHING_ENGINE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "common/bounded_queue.h"
+#include "common/thread_annotations.h"
 #include "serve/session.h"
 #include "serve/types.h"
 #include "tensor/tensor.h"
@@ -45,33 +44,35 @@ class BatchingEngine {
 
   // Closes the queue, drains remaining requests (their promises are
   // fulfilled) and joins the worker. Idempotent.
-  void Stop();
+  void Stop() PILOTE_EXCLUDES(pause_mutex_);
 
   int64_t queue_depth() const { return static_cast<int64_t>(queue_.size()); }
-  int64_t batches_flushed() const;
+  int64_t batches_flushed() const PILOTE_EXCLUDES(stats_mutex_);
 
   // Test hooks: while paused the worker stops draining the queue, which
   // makes backpressure and deadline misses deterministic to provoke.
-  void PauseForTesting();
-  void ResumeForTesting();
+  void PauseForTesting() PILOTE_EXCLUDES(pause_mutex_);
+  void ResumeForTesting() PILOTE_EXCLUDES(pause_mutex_);
 
  private:
-  void WorkerLoop();
-  void ProcessBatch(std::vector<PredictRequest>& batch);
+  void WorkerLoop() PILOTE_EXCLUDES(pause_mutex_);
+  void ProcessBatch(std::vector<PredictRequest>& batch)
+      PILOTE_EXCLUDES(stats_mutex_);
 
   const ServeOptions options_;
-  BoundedQueue<PredictRequest> queue_;
+  BoundedQueue<PredictRequest> queue_;  // unguarded: internally synchronized
 
-  std::mutex pause_mutex_;
-  std::condition_variable pause_cv_;
-  bool paused_ = false;
-  bool parked_ = false;  // worker is waiting at the pause gate
-  bool stopping_ = false;
+  Mutex pause_mutex_ PILOTE_ACQUIRED_BEFORE(stats_mutex_);
+  CondVar pause_cv_;  // unguarded: internally synchronized
+  bool paused_ PILOTE_GUARDED_BY(pause_mutex_) = false;
+  // Worker is waiting at the pause gate.
+  bool parked_ PILOTE_GUARDED_BY(pause_mutex_) = false;
+  bool stopping_ PILOTE_GUARDED_BY(pause_mutex_) = false;
 
-  mutable std::mutex stats_mutex_;
-  int64_t batches_flushed_ = 0;
+  mutable Mutex stats_mutex_;
+  int64_t batches_flushed_ PILOTE_GUARDED_BY(stats_mutex_) = 0;
 
-  std::thread worker_;
+  std::thread worker_;  // unguarded: started in ctor, joined in Stop
 };
 
 }  // namespace serve

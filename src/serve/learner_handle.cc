@@ -1,18 +1,22 @@
 #include "serve/learner_handle.h"
 
-#include <mutex>
 #include <utility>
 
 #include "obs/trace.h"
 
 namespace pilote {
 namespace serve {
+namespace {
+
+int64_t CheckedInputDim(const core::EdgeLearner* learner) {
+  PILOTE_CHECK(learner != nullptr);
+  return learner->config().backbone.input_dim;
+}
+
+}  // namespace
 
 LearnerHandle::LearnerHandle(std::unique_ptr<core::EdgeLearner> learner)
-    : learner_(std::move(learner)) {
-  PILOTE_CHECK(learner_ != nullptr);
-  input_dim_ = learner_->config().backbone.input_dim;
-}
+    : learner_(std::move(learner)), input_dim_(CheckedInputDim(learner_.get())) {}
 
 Result<std::shared_ptr<LearnerHandle>> LearnerHandle::Create(
     const std::string& strategy, const core::CloudArtifact& artifact,
@@ -23,18 +27,18 @@ Result<std::shared_ptr<LearnerHandle>> LearnerHandle::Create(
 }
 
 std::vector<int> LearnerHandle::PredictBatch(const Tensor& raw_features) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   return learner_->PredictBatch(raw_features);
 }
 
 core::TrainReport LearnerHandle::LearnNewClasses(const data::Dataset& d_new) {
   PILOTE_TRACE_SPAN("serve/learn_new_classes");
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterLock lock(mutex_);
   return learner_->LearnNewClasses(d_new);
 }
 
 int64_t LearnerHandle::NumKnownClasses() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   return static_cast<int64_t>(learner_->known_classes().size());
 }
 

@@ -2,11 +2,11 @@
 #define PILOTE_SERVE_LEARNER_HANDLE_H_
 
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/edge_learner.h"
 
 namespace pilote {
@@ -30,24 +30,30 @@ class LearnerHandle {
 
   // Batched NCM inference under the shared lock: one scaler pass + one
   // backbone forward + one NCM pass for all rows.
-  std::vector<int> PredictBatch(const Tensor& raw_features) const;
+  std::vector<int> PredictBatch(const Tensor& raw_features) const
+      PILOTE_EXCLUDES(mutex_);
 
   // Incremental update under the exclusive lock.
-  core::TrainReport LearnNewClasses(const data::Dataset& d_new);
+  core::TrainReport LearnNewClasses(const data::Dataset& d_new)
+      PILOTE_EXCLUDES(mutex_);
 
   // Immutable after construction; lock-free.
   int64_t input_dim() const { return input_dim_; }
 
-  // Snapshot of the learner's mutation counter (lock-free).
-  int64_t model_version() const { return learner_->model_version(); }
+  // Snapshot of the learner's mutation counter. Deliberately lock-free:
+  // the counter is an atomic inside EdgeLearner, so this read is safe
+  // without the handle's lock even while LearnNewClasses is running.
+  int64_t model_version() const PILOTE_NO_THREAD_SAFETY_ANALYSIS {
+    return learner_->model_version();
+  }
 
   // Number of classes currently known, under the shared lock.
-  int64_t NumKnownClasses() const;
+  int64_t NumKnownClasses() const PILOTE_EXCLUDES(mutex_);
 
  private:
-  mutable std::shared_mutex mutex_;
-  std::unique_ptr<core::EdgeLearner> learner_;
-  int64_t input_dim_ = 0;
+  mutable SharedMutex mutex_;
+  std::unique_ptr<core::EdgeLearner> learner_ PILOTE_PT_GUARDED_BY(mutex_);
+  const int64_t input_dim_;
 };
 
 }  // namespace serve

@@ -24,7 +24,7 @@ Session::Session(SessionId id, std::shared_ptr<LearnerHandle> learner,
 std::optional<Tensor> Session::AppendSample(const Tensor& sample) {
   PILOTE_CHECK_EQ(sample.rank(), 1);
   PILOTE_CHECK_EQ(sample.dim(0), har::kNumChannels);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   buffer_.push_back(sample.Reshape(Shape::Matrix(1, har::kNumChannels)));
   if (static_cast<int>(buffer_.size()) < options_.window_length) {
     return std::nullopt;
@@ -37,7 +37,7 @@ std::optional<Tensor> Session::AppendSample(const Tensor& sample) {
 }
 
 int Session::CompleteWindow(int raw_label) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   recent_.push_back(raw_label);
   while (static_cast<int>(recent_.size()) > options_.vote_window) {
     recent_.pop_front();
@@ -48,7 +48,7 @@ int Session::CompleteWindow(int raw_label) {
 }
 
 Prediction Session::LastPrediction() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Prediction p;
   p.label = last_smoothed_;
   p.degraded = true;
@@ -56,7 +56,7 @@ Prediction Session::LastPrediction() const {
 }
 
 int64_t Session::windows_classified() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return windows_classified_;
 }
 

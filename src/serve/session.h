@@ -4,10 +4,10 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/config.h"
 #include "serve/learner_handle.h"
 #include "serve/types.h"
@@ -39,27 +39,30 @@ class Session {
   // a window, runs the paper's preprocessing (denoise + feature
   // extraction) and returns the [1, kNumFeatures] raw feature row ready
   // for batched classification.
-  std::optional<Tensor> AppendSample(const Tensor& sample);
+  std::optional<Tensor> AppendSample(const Tensor& sample)
+      PILOTE_EXCLUDES(mutex_);
 
   // Records the raw label of a completed window and returns the smoothed
   // majority-vote label (the stream's user-facing prediction).
-  int CompleteWindow(int raw_label);
+  int CompleteWindow(int raw_label) PILOTE_EXCLUDES(mutex_);
 
   // Last smoothed label, degraded-flagged — what a deadline miss returns.
-  Prediction LastPrediction() const;
+  Prediction LastPrediction() const PILOTE_EXCLUDES(mutex_);
 
-  int64_t windows_classified() const;
+  int64_t windows_classified() const PILOTE_EXCLUDES(mutex_);
 
  private:
   const SessionId id_;
   const std::shared_ptr<LearnerHandle> learner_;
   const core::StreamingOptions options_;
 
-  mutable std::mutex mutex_;
-  std::vector<Tensor> buffer_;  // samples of the current window
-  std::deque<int> recent_;      // last vote_window raw labels
-  int last_smoothed_ = kNoPrediction;
-  int64_t windows_classified_ = 0;
+  mutable Mutex mutex_;
+  // Samples of the current window.
+  std::vector<Tensor> buffer_ PILOTE_GUARDED_BY(mutex_);
+  // Last vote_window raw labels.
+  std::deque<int> recent_ PILOTE_GUARDED_BY(mutex_);
+  int last_smoothed_ PILOTE_GUARDED_BY(mutex_) = kNoPrediction;
+  int64_t windows_classified_ PILOTE_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace serve

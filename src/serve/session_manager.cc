@@ -30,7 +30,7 @@ SessionManager::Shard& SessionManager::ShardFor(SessionId id) {
 
 Result<std::shared_ptr<Session>> SessionManager::FindSession(SessionId id) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.sessions.find(id);
   if (it == shard.sessions.end()) {
     return Status::NotFound("no session with id " + std::to_string(id));
@@ -49,7 +49,7 @@ Result<SessionId> SessionManager::CreateSession(
   auto session = std::make_shared<Session>(id, std::move(learner), options);
   Shard& shard = ShardFor(id);
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     shard.sessions.emplace(id, std::move(session));
   }
   PILOTE_METRIC_GAUGE_SET("serve/sessions_active",
@@ -60,7 +60,7 @@ Result<SessionId> SessionManager::CreateSession(
 Status SessionManager::CloseSession(SessionId id) {
   Shard& shard = ShardFor(id);
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     if (shard.sessions.erase(id) == 0) {
       return Status::NotFound("no session with id " + std::to_string(id));
     }
@@ -144,7 +144,7 @@ Result<core::TrainReport> SessionManager::LearnNewClasses(
 int64_t SessionManager::NumSessions() const {
   int64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     total += static_cast<int64_t>(shard->sessions.size());
   }
   return total;

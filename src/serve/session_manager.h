@@ -5,11 +5,11 @@
 #include <chrono>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/config.h"
 #include "core/trainer.h"
 #include "data/dataset.h"
@@ -76,8 +76,9 @@ class SessionManager {
 
  private:
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<SessionId, std::shared_ptr<Session>> sessions;
+    mutable Mutex mutex;
+    std::unordered_map<SessionId, std::shared_ptr<Session>> sessions
+        PILOTE_GUARDED_BY(mutex);
   };
 
   Shard& ShardFor(SessionId id);

@@ -5,6 +5,7 @@
 // corpora) that previously aborted.
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <string>
@@ -92,6 +93,60 @@ TEST(BoundedQueueTest, PopBatchCoalescesUpToMaxBatch) {
   EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
   ASSERT_TRUE(queue.PopBatch(out, 3, microseconds(0)));
   EXPECT_EQ(out, (std::vector<int>{3, 4}));
+}
+
+// Interrupt() racing concurrent producers and the consumer: interrupts may
+// surface as empty batches but must never drop or duplicate an item, and
+// Close() must still terminate the consumer loop. Runs under TSan in CI,
+// where it also exercises the CondVar adopt/release handoff in
+// common/thread_annotations.h.
+TEST(BoundedQueueTest, InterruptRacesConcurrentPushPop) {
+  constexpr int kProducers = 4;
+  constexpr int kItemsPerProducer = 2000;
+  BoundedQueue<int> queue(64);
+
+  std::atomic<bool> done{false};
+  std::thread interrupter([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      queue.Interrupt();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kItemsPerProducer; ++i) {
+        // Producers never block; spin until the consumer makes room.
+        while (!queue.TryPush(p * kItemsPerProducer + i)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  std::int64_t sum = 0;
+  int consumed = 0;
+  std::thread consumer([&] {
+    std::vector<int> batch;
+    // Interrupted pops legitimately return true with an empty batch; the
+    // loop only ends once the queue is closed and drained.
+    while (queue.PopBatch(batch, 16, microseconds(200))) {
+      consumed += static_cast<int>(batch.size());
+      for (int v : batch) sum += v;
+    }
+  });
+
+  for (auto& t : producers) t.join();
+  queue.Close();
+  consumer.join();
+  done.store(true, std::memory_order_release);
+  interrupter.join();
+
+  constexpr int kTotal = kProducers * kItemsPerProducer;
+  EXPECT_EQ(consumed, kTotal);
+  EXPECT_EQ(sum, static_cast<std::int64_t>(kTotal) * (kTotal - 1) / 2);
+  EXPECT_EQ(queue.size(), 0u);
 }
 
 // ----------------------------------------------------- Options validation

@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
-"""Repo-invariant linter for pilote.
+"""Repo-invariant linter and analyzer for pilote.
 
-Enforces project conventions that the compiler cannot:
+Two stages, selected with --stage (default: all).
+
+`--stage style` enforces project conventions that the compiler cannot:
 
   * include guards named PILOTE_<PATH>_H_ (path relative to src/, or the
     literal directory for tests/, bench/, examples/)
@@ -12,9 +14,28 @@ Enforces project conventions that the compiler cannot:
     logging.h is the sanctioned output path)
   * headers are self-contained (each compiles as its own translation unit)
 
-Run directly, via the `lint` CMake target, or as the `repo_lint` ctest test:
+`--stage concurrency` enforces the repo side of the Clang thread-safety
+contract (src/common/thread_annotations.h) -- invariants that even
+-Wthread-safety cannot see:
 
-  python3 tools/pilote_lint.py --root . [--compiler g++] [--no-self-contained]
+  * raw std::mutex / std::shared_mutex / std::condition_variable outside
+    thread_annotations.h are rejected (everything goes through the
+    annotated Mutex/SharedMutex/CondVar capability wrappers)
+  * in a class owning a Mutex/SharedMutex, every data member must carry
+    PILOTE_GUARDED_BY / PILOTE_PT_GUARDED_BY or be const, std::atomic,
+    std::thread, a lock/condvar, or carry a `// unguarded: <reason>` marker
+  * a Result<T>-returning call used as a bare expression statement is a
+    discarded error (complements [[nodiscard]], which (void)-casts and
+    non-Werror builds can silence)
+  * std::atomic operations must state an explicit std::memory_order (the
+    relaxed-counter policy is a reviewable decision at every site, never an
+    accidental seq_cst default)
+
+Run directly, via the `lint` CMake target, or as the `repo_lint` /
+`repo_analyzer` ctest tests:
+
+  python3 tools/pilote_lint.py --root . [--stage STAGE] [--compiler g++]
+                               [--no-self-contained]
 
 Exit status is 0 when clean, 1 when any invariant is violated.
 """
@@ -183,9 +204,343 @@ def check_self_contained(root, headers, compiler, errors):
                     f"{rel_path}:1: header is not self-contained: {first_error}")
 
 
+# ---------------------------------------------------------------------------
+# Concurrency analyzer stage
+# ---------------------------------------------------------------------------
+
+# The capability wrapper layer is the only file allowed to touch the raw
+# standard-library synchronization types it wraps.
+RAW_SYNC_ALLOWLIST = {
+    os.path.join("src", "common", "thread_annotations.h"),
+}
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|condition_variable|condition_variable_any|"
+    r"lock_guard|scoped_lock|unique_lock|shared_lock)\b")
+
+GUARD_ANNOTATION_RE = re.compile(r"\bPILOTE_(?:PT_)?GUARDED_BY\s*\(")
+# A member whose declared type is one of the capability wrappers (a lock the
+# class owns, or a condvar which is internally synchronized by contract).
+LOCK_MEMBER_RE = re.compile(
+    r"\b(?:pilote::)?(?:Mutex|SharedMutex)\s+[A-Za-z_]\w*")
+LOCK_TYPE_RE = re.compile(r"\b(?:pilote::)?(?:Mutex|SharedMutex|CondVar)\b")
+UNGUARDED_MARKER_RE = re.compile(r"//\s*unguarded\s*:")
+SELF_SYNC_MEMBER_RE = re.compile(
+    r"\bstd::(?:atomic\b|atomic_flag\b|thread\b|jthread\b|once_flag\b)")
+CONST_MEMBER_RE = re.compile(r"^(?:mutable\s+)?(?:static\s+)?const\b")
+MEMBER_SKIP_RE = re.compile(
+    r"^(?:static\b|constexpr\b|using\b|typedef\b|friend\b|enum\b|"
+    r"template\b|struct\b|class\b|union\b|explicit\b|virtual\b|operator\b|"
+    r"~|PILOTE_|[A-Z_]+\()")
+CLASS_HEAD_RE = re.compile(r"\b(class|struct)\s+(?:alignas\s*\([^)]*\)\s*)?"
+                           r"([A-Za-z_]\w*)(?:\s*final)?(?:\s*:[^;{]*)?$")
+ENUM_HEAD_RE = re.compile(r"\benum\s+(class|struct)\b")
+
+# Only member names that are unique to std::atomic in practice; `clear`
+# and `wait` exist on containers/condvars and would drown in noise.
+ATOMIC_OP_RE = re.compile(
+    r"[.\->]\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
+    r"fetch_xor|compare_exchange_weak|compare_exchange_strong|"
+    r"test_and_set)\s*\(")
+ATOMIC_DECL_RE = re.compile(r"\bstd::atomic(?:_flag)?\s*<[^;=]*?>\s+([A-Za-z_]\w*)"
+                            r"|\bstd::atomic_flag\s+([A-Za-z_]\w*)")
+
+RESULT_FN_DECL_RE = re.compile(
+    r"\bResult<.+?>\s+(?:\*\s*)?(?:[A-Za-z_]\w*(?:<[^<>]*>)?::)*"
+    r"([A-Za-z_]\w*)\s*\(")
+# A declaration of the same name with a NON-Result return type makes the
+# name ambiguous for a token-level lint (e.g. EdgeLearner::LearnNewClasses
+# returns TrainReport while SessionManager::LearnNewClasses returns
+# Result<TrainReport>); ambiguous names are excluded rather than guessed.
+ANY_FN_DECL_RE = re.compile(
+    r"\b([A-Za-z_][\w:]*(?:<[^<>]*>)?[&*]?)\s+"
+    r"(?:[A-Za-z_]\w*(?:<[^<>]*>)?::)*([A-Za-z_]\w*)\s*\(")
+NOT_A_RETURN_TYPE = {
+    "return", "co_return", "co_yield", "co_await", "new", "delete", "throw",
+    "else", "case", "goto", "using", "typedef", "sizeof", "if", "while",
+    "for", "switch", "do", "not", "and", "or", "const", "constexpr",
+    "static", "inline", "virtual", "explicit", "friend", "template",
+}
+BARE_CALL_RE = re.compile(
+    r"^\s*(?:[A-Za-z_]\w*(?:<[^<>]*>)?\s*(?:::|\.|->)\s*)*([A-Za-z_]\w*)\s*\(")
+STMT_KEYWORD_RE = re.compile(
+    r"^\s*(?:return|co_return|co_await|co_yield|if|else|while|for|do|switch|"
+    r"case|goto|new|delete|throw|sizeof|static_assert|using|typedef)\b")
+
+
+def stripped_lines_of(path):
+    """The file's lines with comments and string/char literals removed, plus
+    the raw lines (for `// unguarded:` marker detection, which lives in
+    comments on purpose)."""
+    with open(path, encoding="utf-8") as f:
+        raw = f.read().splitlines()
+    state = {"in_block_comment": False}
+    stripped = []
+    for line in raw:
+        s, state = strip_comments_and_strings(line, state)
+        # Preprocessor directives never contribute declarations and their
+        # unterminated bodies (macro definitions) confuse the scanners.
+        if s.lstrip().startswith("#") or s.rstrip().endswith("\\"):
+            s = ""
+        stripped.append(s)
+    return stripped, raw
+
+
+def check_raw_sync_types(root, rel_path, stripped, errors):
+    if rel_path in RAW_SYNC_ALLOWLIST:
+        return
+    for lineno, line in enumerate(stripped, start=1):
+        m = RAW_SYNC_RE.search(line)
+        if m:
+            errors.append(
+                f"{rel_path}:{lineno}: raw std::{m.group(1)}; use the "
+                "annotated Mutex/SharedMutex/CondVar/MutexLock wrappers from "
+                "common/thread_annotations.h so Clang -Wthread-safety sees "
+                "the capability")
+
+
+def collect_classes(stripped):
+    """Char-level scan producing, for each class/struct definition, its name
+    and the member-declaration statements at class scope (function bodies and
+    nested scopes are skipped). Each member is (first_line, last_line, text).
+    """
+    classes = []
+    ctx = []          # open scopes: dicts with kind 'class'/'other'
+    buf = []          # current statement text, accumulated across lines
+    buf_line = None   # first line of the current statement
+    pending = None    # (buf, buf_line) saved across a just-closed `}` so a
+                      # brace-or-equals initialized member keeps its head
+    for lineno, line in enumerate(stripped, start=1):
+        for ch in line:
+            if pending is not None and not ch.isspace():
+                if ch in ";,":
+                    buf, buf_line = pending  # `T m_{x};` — restore the head
+                else:
+                    buf, buf_line = [], None  # it was a function body
+                pending = None
+            if ch == "{":
+                head = "".join(buf).strip()
+                m = CLASS_HEAD_RE.search(head)
+                if m and not ENUM_HEAD_RE.search(head):
+                    ctx.append({"kind": "class", "name": m.group(2),
+                                "members": []})
+                else:
+                    ctx.append({"kind": "other", "saved": buf,
+                                "saved_line": buf_line})
+                buf, buf_line = [], None
+            elif ch == "}":
+                top = ctx.pop() if ctx else None
+                if top and top["kind"] == "class":
+                    classes.append(top)
+                    pending = None
+                    buf, buf_line = [], None
+                elif top:
+                    pending = (top["saved"], top["saved_line"])
+            elif ch == ";":
+                if ctx and ctx[-1]["kind"] == "class":
+                    text = "".join(buf).strip()
+                    text = re.sub(
+                        r"^(?:(?:public|private|protected)\s*:\s*)+", "",
+                        text).strip()
+                    if text:
+                        ctx[-1]["members"].append(
+                            (buf_line or lineno, lineno, text))
+                buf, buf_line = [], None
+            else:
+                if buf or not ch.isspace():
+                    buf.append(ch)
+                    if buf_line is None:
+                        buf_line = lineno
+        if buf:
+            buf.append(" ")
+    return classes
+
+
+def statement_has_unguarded_marker(raw, first_line, last_line):
+    """True if any source line of the statement, or a comment-only line
+    immediately above it, carries `// unguarded: <reason>`."""
+    for ln in range(first_line, min(last_line, len(raw)) + 1):
+        if UNGUARDED_MARKER_RE.search(raw[ln - 1]):
+            return True
+    ln = first_line - 1
+    while ln >= 1 and raw[ln - 1].strip().startswith("//"):
+        if UNGUARDED_MARKER_RE.search(raw[ln - 1]):
+            return True
+        ln -= 1
+    return False
+
+
+def check_guarded_members(root, rel_path, stripped, raw, errors):
+    if rel_path in RAW_SYNC_ALLOWLIST:
+        return
+    for cls in collect_classes(stripped):
+        owns_lock = any(LOCK_MEMBER_RE.search(text)
+                        for _, _, text in cls["members"])
+        if not owns_lock:
+            continue
+        for first, last, text in cls["members"]:
+            if MEMBER_SKIP_RE.match(text):
+                continue
+            if GUARD_ANNOTATION_RE.search(text):
+                continue
+            if LOCK_TYPE_RE.search(text):
+                continue
+            if SELF_SYNC_MEMBER_RE.search(text):
+                continue
+            if CONST_MEMBER_RE.match(text):
+                continue
+            if "(" in text:   # method / ctor declaration, not a data member
+                continue
+            if "=" not in text and "{" not in text and " " not in text:
+                continue      # stray token, not a declaration
+            if statement_has_unguarded_marker(raw, first, last):
+                continue
+            name_m = re.search(
+                r"([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*(?:=[^=].*|\{.*\})?$",
+                text)
+            name = name_m.group(1) if name_m else text
+            errors.append(
+                f"{rel_path}:{first}: member '{name}' of lock-owning "
+                f"{cls['name']} has no PILOTE_GUARDED_BY; annotate it, make "
+                "it const/std::atomic, or mark it `// unguarded: <reason>`")
+
+
+def find_matching_paren(text, open_pos):
+    """Index of the `)` matching text[open_pos] == `(`, or -1."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def check_atomic_memory_order(root, rel_path, stripped, errors):
+    text = "\n".join(stripped)
+    line_of = []
+    ln = 1
+    for ch in text:
+        line_of.append(ln)
+        if ch == "\n":
+            ln += 1
+    # Names declared std::atomic in this file, for the operator check below.
+    atomic_names = set()
+    for m in ATOMIC_DECL_RE.finditer(text):
+        atomic_names.add(m.group(1) or m.group(2))
+    for m in ATOMIC_OP_RE.finditer(text):
+        open_pos = text.index("(", m.end(1))
+        close_pos = find_matching_paren(text, open_pos)
+        if close_pos == -1:
+            continue
+        if "memory_order" in text[open_pos:close_pos]:
+            continue
+        lineno = line_of[m.start(1)]
+        errors.append(
+            f"{rel_path}:{lineno}: atomic {m.group(1)}() without an explicit "
+            "std::memory_order; state the ordering (memory_order_relaxed for "
+            "independent counters) so it is a reviewed decision, not an "
+            "accidental seq_cst")
+    # `++x` / `x += d` / `x = v` on atomics are implicit seq_cst operations.
+    for name in atomic_names:
+        for m in re.finditer(
+                r"(?:\+\+|--)\s*" + re.escape(name) + r"\b|"
+                r"\b" + re.escape(name) +
+                r"\s*(?:\+\+|--|[+\-|&^]=|=(?![=]))", text):
+            span = text[m.start():m.end()]
+            if "=" in span and "std::atomic" in stripped[line_of[m.start()] - 1]:
+                continue  # the declaration's initializer
+            lineno = line_of[m.start()]
+            errors.append(
+                f"{rel_path}:{lineno}: operator on std::atomic '{name}' is "
+                "an implicit seq_cst op; use load/store/fetch_* with an "
+                "explicit std::memory_order")
+
+
+def collect_result_function_names(root, files):
+    names = set()
+    non_result = set()
+    for rel_path in files:
+        stripped, _ = stripped_lines_of(os.path.join(root, rel_path))
+        for line in stripped:
+            for m in RESULT_FN_DECL_RE.finditer(line):
+                names.add(m.group(1))
+            for m in ANY_FN_DECL_RE.finditer(line):
+                ret = m.group(1)
+                if ret.startswith("Result<") or ret.endswith("Result") \
+                        or ret in NOT_A_RETURN_TYPE:
+                    continue
+                non_result.add(m.group(2))
+    names.discard("operator")
+    return names - non_result
+
+
+def check_discarded_results(root, rel_path, stripped, result_fns, errors):
+    if not result_fns:
+        return
+    text = "\n".join(stripped)
+    offset = 0
+    offsets = []
+    for line in stripped:
+        offsets.append(offset)
+        offset += len(line) + 1
+    prev_sig = ""  # last non-empty stripped line seen before the current one
+    for idx, line in enumerate(stripped):
+        here = line.strip()
+        if not here:
+            continue
+        m = BARE_CALL_RE.match(line)
+        starts_statement = prev_sig == "" or prev_sig[-1] in ";{}:)"
+        prev_sig = here
+        if not m or not starts_statement:
+            continue
+        if m.group(1) not in result_fns or STMT_KEYWORD_RE.match(line):
+            continue
+        open_pos = text.index("(", offsets[idx] + m.end(1))
+        close_pos = find_matching_paren(text, open_pos)
+        if close_pos == -1:
+            continue
+        rest = text[close_pos + 1:close_pos + 64].lstrip()
+        if not rest.startswith(";"):
+            continue  # chained (.ok(), ->value()), assigned, or an operand
+        errors.append(
+            f"{rel_path}:{idx + 1}: result of Result-returning "
+            f"'{m.group(1)}(...)' is discarded; check .ok() / use "
+            "PILOTE_ASSIGN_OR_RETURN, or cast through a named status if the "
+            "failure is truly ignorable")
+
+
+def run_style_stage(root, args, headers, sources, errors):
+    for h in headers:
+        check_header_guard(root, h, errors)
+    for f in sources:
+        check_file_contents(root, f, errors)
+    if not args.no_self_contained:
+        check_self_contained(root, headers, args.compiler, errors)
+
+
+def run_concurrency_stage(root, errors):
+    src_files = find_files(root, ("src",), SOURCE_EXTENSIONS)
+    all_files = find_files(root, HEADER_DIRS, SOURCE_EXTENSIONS)
+    result_fns = collect_result_function_names(root, all_files)
+    for rel_path in src_files:
+        stripped, raw = stripped_lines_of(os.path.join(root, rel_path))
+        check_raw_sync_types(root, rel_path, stripped, errors)
+        check_guarded_members(root, rel_path, stripped, raw, errors)
+        check_atomic_memory_order(root, rel_path, stripped, errors)
+    for rel_path in all_files:
+        stripped, _ = stripped_lines_of(os.path.join(root, rel_path))
+        check_discarded_results(root, rel_path, stripped, result_fns, errors)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("--stage", choices=("style", "concurrency", "all"),
+                        default="all", help="which invariant stage to run")
     parser.add_argument("--compiler", default="c++",
                         help="compiler used for the self-containedness check")
     parser.add_argument("--no-self-contained", action="store_true",
@@ -197,19 +552,18 @@ def main():
     sources = find_files(root, SOURCE_DIRS, SOURCE_EXTENSIONS)
 
     errors = []
-    for h in headers:
-        check_header_guard(root, h, errors)
-    for f in sources:
-        check_file_contents(root, f, errors)
-    if not args.no_self_contained:
-        check_self_contained(root, headers, args.compiler, errors)
+    if args.stage in ("style", "all"):
+        run_style_stage(root, args, headers, sources, errors)
+    if args.stage in ("concurrency", "all"):
+        run_concurrency_stage(root, errors)
 
     if errors:
         for e in errors:
             print(e)
-        print(f"pilote_lint: {len(errors)} violation(s)")
+        print(f"pilote_lint[{args.stage}]: {len(errors)} violation(s)")
         return 1
-    print(f"pilote_lint: OK ({len(headers)} headers, {len(sources)} files)")
+    print(f"pilote_lint[{args.stage}]: OK "
+          f"({len(headers)} headers, {len(sources)} files)")
     return 0
 
 

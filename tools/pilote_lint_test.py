@@ -1,0 +1,315 @@
+#!/usr/bin/env python3
+"""Self-test for pilote_lint.py.
+
+Feeds known-bad C++ snippets through every analyzer check and asserts the
+check fires (and that the matching clean snippet passes). This is the
+lint's own regression gate: a refactor of the scanners that silently stops
+detecting a violation class fails here, not in review.
+
+Runs under plain unittest (no third-party test deps):
+
+  python3 tools/pilote_lint_test.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import textwrap
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import pilote_lint  # noqa: E402  (path bootstrap above)
+
+
+def analyze(source, check, rel_path=os.path.join("src", "serve", "x.h")):
+    """Writes `source` to a temp file, runs one check function over it, and
+    returns the collected error strings."""
+    errors = []
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "x.h")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(textwrap.dedent(source))
+        stripped, raw = pilote_lint.stripped_lines_of(path)
+        if check is pilote_lint.check_guarded_members:
+            check(tmp, rel_path, stripped, raw, errors)
+        else:
+            check(tmp, rel_path, stripped, errors)
+    return errors
+
+
+class RawSyncTypesTest(unittest.TestCase):
+    def test_raw_mutex_rejected(self):
+        errors = analyze("std::mutex m_;", pilote_lint.check_raw_sync_types)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("raw std::mutex", errors[0])
+
+    def test_raw_shared_mutex_and_lock_guard_rejected(self):
+        src = """
+            std::shared_mutex rw_;
+            std::lock_guard<std::mutex> lock(m_);
+        """
+        errors = analyze(src, pilote_lint.check_raw_sync_types)
+        self.assertEqual(len(errors), 2)
+
+    def test_wrapper_types_pass(self):
+        src = """
+            mutable Mutex mutex_;
+            CondVar cv_;
+            MutexLock lock(mutex_);
+        """
+        self.assertEqual(analyze(src, pilote_lint.check_raw_sync_types), [])
+
+    def test_mention_in_comment_passes(self):
+        src = "// std::mutex is banned here\nMutex mutex_;\n"
+        self.assertEqual(analyze(src, pilote_lint.check_raw_sync_types), [])
+
+    def test_thread_annotations_header_is_exempt(self):
+        errors = analyze(
+            "std::mutex m_;", pilote_lint.check_raw_sync_types,
+            rel_path=os.path.join("src", "common", "thread_annotations.h"))
+        self.assertEqual(errors, [])
+
+
+class GuardedMembersTest(unittest.TestCase):
+    def test_unguarded_member_in_lock_owning_class_fires(self):
+        src = """
+            class Engine {
+             public:
+              void Tick();
+             private:
+              Mutex mutex_;
+              int ticks_;
+            };
+        """
+        errors = analyze(src, pilote_lint.check_guarded_members)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("'ticks_'", errors[0])
+        self.assertIn("Engine", errors[0])
+
+    def test_annotated_and_exempt_members_pass(self):
+        src = """
+            class Engine {
+             private:
+              mutable Mutex mutex_;
+              CondVar cv_;
+              int ticks_ PILOTE_GUARDED_BY(mutex_) = 0;
+              std::vector<int> log_ PILOTE_GUARDED_BY(mutex_);
+              std::unique_ptr<int> p_ PILOTE_PT_GUARDED_BY(mutex_);
+              std::atomic<int> fast_{0};
+              std::thread worker_;
+              const int capacity_;
+              Queue q_;  // unguarded: internally synchronized
+            };
+        """
+        self.assertEqual(analyze(src, pilote_lint.check_guarded_members), [])
+
+    def test_marker_on_preceding_comment_line_passes(self):
+        src = """
+            struct S {
+              SharedMutex mu;
+              // unguarded: written once before the object is shared
+              int seed;
+            };
+        """
+        self.assertEqual(analyze(src, pilote_lint.check_guarded_members), [])
+
+    def test_class_without_lock_is_not_checked(self):
+        src = """
+            class Plain {
+              int a_;
+              std::string b_;
+            };
+        """
+        self.assertEqual(analyze(src, pilote_lint.check_guarded_members), [])
+
+    def test_methods_and_nested_scopes_are_skipped(self):
+        src = """
+            class Engine {
+             public:
+              Engine() : n_(0) { int local; local = 1; }
+              int n() const { return n_; }
+              enum class Mode { kA, kB };
+             private:
+              Mutex mutex_;
+              int n_ PILOTE_GUARDED_BY(mutex_);
+            };
+        """
+        self.assertEqual(analyze(src, pilote_lint.check_guarded_members), [])
+
+
+class AtomicMemoryOrderTest(unittest.TestCase):
+    def test_implicit_order_fires(self):
+        src = """
+            std::atomic<int> hits_{0};
+            void F() { hits_.fetch_add(1); }
+        """
+        errors = analyze(src, pilote_lint.check_atomic_memory_order)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("fetch_add", errors[0])
+
+    def test_explicit_order_passes(self):
+        src = """
+            std::atomic<int> hits_{0};
+            void F() { hits_.fetch_add(1, std::memory_order_relaxed); }
+            int G() { return hits_.load(std::memory_order_acquire); }
+        """
+        self.assertEqual(
+            analyze(src, pilote_lint.check_atomic_memory_order), [])
+
+    def test_multiline_call_with_order_passes(self):
+        src = """
+            std::atomic<double> sum_{0.0};
+            void F(double v) {
+              double s = sum_.load(std::memory_order_relaxed);
+              while (!sum_.compare_exchange_weak(s, s + v,
+                                                 std::memory_order_relaxed)) {
+              }
+            }
+        """
+        self.assertEqual(
+            analyze(src, pilote_lint.check_atomic_memory_order), [])
+
+    def test_operator_on_atomic_fires(self):
+        src = """
+            std::atomic<int> count_{0};
+            void F() { ++count_; }
+            void G() { count_ += 2; }
+        """
+        errors = analyze(src, pilote_lint.check_atomic_memory_order)
+        self.assertEqual(len(errors), 2)
+        self.assertIn("implicit seq_cst", errors[0])
+
+    def test_container_clear_and_condvar_wait_pass(self):
+        src = """
+            void F() {
+              buffer_.clear();
+              cv_.wait(lock);
+            }
+        """
+        self.assertEqual(
+            analyze(src, pilote_lint.check_atomic_memory_order), [])
+
+
+class DiscardedResultTest(unittest.TestCase):
+    DECLS = 'Result<int> Make(int x);\nResult<int> Helper::Get() const;\n'
+
+    def run_check(self, call_site):
+        errors = []
+        with tempfile.TemporaryDirectory() as tmp:
+            os.makedirs(os.path.join(tmp, "src"))
+            with open(os.path.join(tmp, "src", "api.h"), "w",
+                      encoding="utf-8") as f:
+                f.write(self.DECLS)
+            with open(os.path.join(tmp, "src", "use.cc"), "w",
+                      encoding="utf-8") as f:
+                f.write(textwrap.dedent(call_site))
+            files = [os.path.join("src", "api.h"),
+                     os.path.join("src", "use.cc")]
+            fns = pilote_lint.collect_result_function_names(tmp, files)
+            stripped, _ = pilote_lint.stripped_lines_of(
+                os.path.join(tmp, "src", "use.cc"))
+            pilote_lint.check_discarded_results(
+                tmp, os.path.join("src", "use.cc"), stripped, fns, errors)
+        return errors
+
+    def test_bare_call_fires(self):
+        errors = self.run_check("void F() {\n  Make(1);\n}\n")
+        self.assertEqual(len(errors), 1)
+        self.assertIn("'Make(...)'", errors[0])
+
+    def test_bare_member_call_fires(self):
+        errors = self.run_check("void F(Helper& h) {\n  h.Get();\n}\n")
+        self.assertEqual(len(errors), 1)
+        self.assertIn("'Get(...)'", errors[0])
+
+    def test_consumed_calls_pass(self):
+        src = """
+            void F(Helper& h) {
+              auto r = Make(1);
+              if (!Make(2).ok()) return;
+              return Make(3);
+            }
+        """
+        self.assertEqual(self.run_check(src), [])
+
+    def test_argument_position_passes(self):
+        src = """
+            void F() {
+              Consume(Make(1),
+                      Make(2));
+            }
+        """
+        self.assertEqual(self.run_check(src), [])
+
+    def test_ambiguous_overload_is_not_flagged(self):
+        errors = []
+        with tempfile.TemporaryDirectory() as tmp:
+            os.makedirs(os.path.join(tmp, "src"))
+            with open(os.path.join(tmp, "src", "api.h"), "w",
+                      encoding="utf-8") as f:
+                f.write("Result<int> Make(int x);\nvoid Make(double y);\n")
+            with open(os.path.join(tmp, "src", "use.cc"), "w",
+                      encoding="utf-8") as f:
+                f.write("void F() {\n  Make(1.0);\n}\n")
+            files = [os.path.join("src", "api.h"),
+                     os.path.join("src", "use.cc")]
+            fns = pilote_lint.collect_result_function_names(tmp, files)
+            stripped, _ = pilote_lint.stripped_lines_of(
+                os.path.join(tmp, "src", "use.cc"))
+            pilote_lint.check_discarded_results(
+                tmp, os.path.join("src", "use.cc"), stripped, fns, errors)
+        self.assertEqual(errors, [])
+
+
+class StageWiringTest(unittest.TestCase):
+    """End-to-end: the CLI catches a violation and passes a clean tree."""
+
+    def run_cli(self, files, stage):
+        with tempfile.TemporaryDirectory() as tmp:
+            for rel, content in files.items():
+                path = os.path.join(tmp, rel)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(path, "w", encoding="utf-8") as f:
+                    f.write(textwrap.dedent(content))
+            proc = subprocess.run(
+                [sys.executable,
+                 os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                              "pilote_lint.py"),
+                 "--root", tmp, "--stage", stage, "--no-self-contained"],
+                capture_output=True, text=True)
+        return proc
+
+    def test_concurrency_stage_fails_on_raw_mutex(self):
+        proc = self.run_cli(
+            {os.path.join("src", "bad.cc"): "std::mutex m_;\n"},
+            "concurrency")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("raw std::mutex", proc.stdout)
+
+    def test_concurrency_stage_passes_clean_tree(self):
+        clean = """
+            #ifndef PILOTE_OK_H_
+            #define PILOTE_OK_H_
+            class C {
+              mutable Mutex mutex_;
+              int n_ PILOTE_GUARDED_BY(mutex_) = 0;
+            };
+            #endif  // PILOTE_OK_H_
+        """
+        proc = self.run_cli({os.path.join("src", "ok.h"): clean},
+                            "concurrency")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_style_stage_still_catches_bad_guard(self):
+        proc = self.run_cli(
+            {os.path.join("src", "bad.h"):
+             "#ifndef WRONG_H\n#define WRONG_H\n#endif\n"},
+            "style")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("include guard", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
