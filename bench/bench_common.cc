@@ -92,7 +92,10 @@ LearnerRun RunLearner(const std::string& strategy,
       core::MakeEdgeLearner(strategy, artifact, round_config);
   PILOTE_CHECK(learner.ok()) << learner.status().ToString();
   run.learner = std::move(learner).value();
-  run.report = run.learner->LearnNewClasses(scenario.d_new);
+  Result<core::TrainReport> report =
+      run.learner->LearnNewClasses(scenario.d_new);
+  PILOTE_CHECK(report.ok()) << report.status().ToString();
+  run.report = std::move(report).value();
   run.accuracy = run.learner->Evaluate(scenario.test);
   return run;
 }

@@ -95,7 +95,10 @@ int main() {
   std::printf("\nstep 1: 90 s of 'E-scooter' recorded on the device\n");
   pilote::data::Dataset scooter =
       CaptureActivity(stream, Activity::kEscooter, 90);
-  pilote::core::TrainReport r1 = learner.LearnNewClasses(scooter);
+  pilote::Result<pilote::core::TrainReport> learned1 =
+      learner.LearnNewClasses(scooter);
+  PILOTE_CHECK(learned1.ok()) << learned1.status().ToString();
+  pilote::core::TrainReport r1 = std::move(learned1).value();
   std::printf("  learned in %d epochs (%.3f s/epoch)\n",
               r1.epochs_completed, r1.mean_epoch_seconds);
   ReportKnownClasses(learner, test);
@@ -103,7 +106,10 @@ int main() {
   // ---- The user takes up jogging (60 s recorded) ----
   std::printf("\nstep 2: 60 s of 'Run' recorded on the device\n");
   pilote::data::Dataset run = CaptureActivity(stream, Activity::kRun, 60);
-  pilote::core::TrainReport r2 = learner.LearnNewClasses(run);
+  pilote::Result<pilote::core::TrainReport> learned2 =
+      learner.LearnNewClasses(run);
+  PILOTE_CHECK(learned2.ok()) << learned2.status().ToString();
+  pilote::core::TrainReport r2 = std::move(learned2).value();
   std::printf("  learned in %d epochs (%.3f s/epoch)\n",
               r2.epochs_completed, r2.mean_epoch_seconds);
   ReportKnownClasses(learner, test);

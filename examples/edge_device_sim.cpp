@@ -57,14 +57,18 @@ int main() {
   std::printf("cache storage: %lld B fp32 -> %lld B int8 (%.1fx smaller)\n",
               static_cast<long long>(fp32), static_cast<long long>(int8),
               static_cast<double>(fp32) / static_cast<double>(int8));
-  learner.ApplySupportSetUpdate(
+  pilote::Status applied = learner.ApplySupportSetUpdate(
       learner.support().QuantizeRoundTrip(QuantMode::kInt8));
+  PILOTE_CHECK(applied.ok()) << applied.ToString();
   std::printf("accuracy with compressed cache (4 classes): %.4f\n\n",
               learner.Evaluate(test.FilterByClasses({0, 1, 3, 4})));
 
   // ---- A new activity arrives; profile the device afterwards ----
   pilote::data::Dataset d_new = generator.Generate(Activity::kRun, 50);
-  pilote::core::TrainReport report = learner.LearnNewClasses(d_new);
+  pilote::Result<pilote::core::TrainReport> learned =
+      learner.LearnNewClasses(d_new);
+  PILOTE_CHECK(learned.ok()) << learned.status().ToString();
+  pilote::core::TrainReport report = std::move(learned).value();
   std::printf("incremental update: %d epochs, %.3f s/epoch\n\n",
               report.epochs_completed, report.mean_epoch_seconds);
 

@@ -65,7 +65,9 @@ int main() {
         MakeEdgeLearner(strategy, cloud.artifact, config);
     PILOTE_CHECK(made.ok()) << made.status().ToString();
     std::unique_ptr<EdgeLearner> learner = std::move(made).value();
-    learner->LearnNewClasses(d_new);
+    pilote::Result<pilote::core::TrainReport> learned =
+        learner->LearnNewClasses(d_new);
+    PILOTE_CHECK(learned.ok()) << learned.status().ToString();
     Report(strategy, *learner, test);
   }
 

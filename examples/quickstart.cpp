@@ -46,7 +46,10 @@ int main() {
   // ---- Edge: a new activity ('Run') arrives with 60 samples ----
   PiloteLearner learner(cloud.artifact, config);
   pilote::data::Dataset d_new = generator.Generate(Activity::kRun, 60);
-  pilote::core::TrainReport report = learner.LearnNewClasses(d_new);
+  pilote::Result<pilote::core::TrainReport> learned =
+      learner.LearnNewClasses(d_new);
+  PILOTE_CHECK(learned.ok()) << learned.status().ToString();
+  pilote::core::TrainReport report = std::move(learned).value();
   std::printf("incremental update: %d epochs, %.3f s/epoch\n",
               report.epochs_completed, report.mean_epoch_seconds);
 

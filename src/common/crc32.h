@@ -1,0 +1,27 @@
+#ifndef PILOTE_COMMON_CRC32_H_
+#define PILOTE_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace pilote {
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+// behind the crash-safe artifact formats in serialize/io and
+// core/artifact_io. A torn or bit-flipped section fails its CRC and the
+// loader rejects it with kDataLoss instead of deserializing garbage.
+//
+// Incremental use: feed the previous return value back as `seed`:
+//   uint32_t crc = Crc32(part1);
+//   crc = Crc32(part2, crc);
+// The empty-input CRC is 0, matching zlib's crc32(0, nullptr, 0).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace pilote
+
+#endif  // PILOTE_COMMON_CRC32_H_

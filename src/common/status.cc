@@ -26,6 +26,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

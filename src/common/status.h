@@ -21,6 +21,10 @@ enum class StatusCode {
   kDataLoss,
   kResourceExhausted,
   kIoError,
+  // Transient condition: the operation may succeed if retried (the serving
+  // layer's bounded retry-with-backoff keys off this code; see
+  // serve::BatchingEngine).
+  kUnavailable,
 };
 
 // Returns a stable human-readable name ("OK", "InvalidArgument", ...).
@@ -71,6 +75,9 @@ class [[nodiscard]] Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

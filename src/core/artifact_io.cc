@@ -2,7 +2,10 @@
 
 #include <cstdint>
 #include <fstream>
+#include <sstream>
 
+#include "common/crc32.h"
+#include "common/failpoint.h"
 #include "serialize/io.h"
 
 namespace pilote {
@@ -10,9 +13,37 @@ namespace core {
 namespace {
 
 constexpr uint32_t kArtifactMagic = 0x504C5441;  // "PLTA"
-constexpr uint32_t kArtifactVersion = 1;
+constexpr uint32_t kLegacyArtifactVersion = 1;
+constexpr uint32_t kArtifactVersion = 2;
+
+// v2 section tags, in file order.
+constexpr uint32_t kSectionConfig = 0x30474643;   // "CFG0"
+constexpr uint32_t kSectionModel = 0x304C444D;    // "MDL0"
+constexpr uint32_t kSectionScaler = 0x304C4353;   // "SCL0"
+constexpr uint32_t kSectionClasses = 0x30534C43;  // "CLS0"
+constexpr uint32_t kSectionSupport = 0x30505553;  // "SUP0"
+
+const char* SectionName(uint32_t tag) {
+  switch (tag) {
+    case kSectionConfig:
+      return "backbone config";
+    case kSectionModel:
+      return "model payload";
+    case kSectionScaler:
+      return "scaler";
+    case kSectionClasses:
+      return "old-class list";
+    case kSectionSupport:
+      return "support set";
+  }
+  return "unknown";
+}
 
 void WriteU32(std::ostream& os, uint32_t value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void WriteU64(std::ostream& os, uint64_t value) {
   os.write(reinterpret_cast<const char*>(&value), sizeof(value));
 }
 
@@ -27,6 +58,13 @@ Result<uint32_t> ReadU32(std::istream& is) {
   return value;
 }
 
+Result<uint64_t> ReadU64(std::istream& is) {
+  uint64_t value = 0;
+  is.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!is) return Status::DataLoss("truncated artifact (u64)");
+  return value;
+}
+
 Result<int64_t> ReadI64(std::istream& is) {
   int64_t value = 0;
   is.read(reinterpret_cast<char*>(&value), sizeof(value));
@@ -34,17 +72,9 @@ Result<int64_t> ReadI64(std::istream& is) {
   return value;
 }
 
-}  // namespace
+// ---- Section bodies (shared between the v2 writer and both parsers) ----
 
-Status SaveArtifact(const std::string& path, const CloudArtifact& artifact) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return Status::IoError("cannot open for write: " + path);
-
-  WriteU32(os, kArtifactMagic);
-  WriteU32(os, kArtifactVersion);
-
-  // Backbone config.
-  const nn::BackboneConfig& backbone = artifact.backbone_config;
+void WriteConfigBody(std::ostream& os, const nn::BackboneConfig& backbone) {
   WriteI64(os, backbone.input_dim);
   WriteI64(os, static_cast<int64_t>(backbone.hidden_dims.size()));
   for (int64_t dim : backbone.hidden_dims) WriteI64(os, dim);
@@ -54,47 +84,9 @@ Status SaveArtifact(const std::string& path, const CloudArtifact& artifact) {
            sizeof(backbone.bn_eps));
   os.write(reinterpret_cast<const char*>(&backbone.bn_momentum),
            sizeof(backbone.bn_momentum));
-
-  // Model payload (already-serialized module bytes).
-  WriteI64(os, static_cast<int64_t>(artifact.model_payload.size()));
-  os.write(artifact.model_payload.data(),
-           static_cast<std::streamsize>(artifact.model_payload.size()));
-
-  // Scaler.
-  PILOTE_RETURN_IF_ERROR(serialize::WriteTensor(os, artifact.scaler.mean()));
-  PILOTE_RETURN_IF_ERROR(
-      serialize::WriteTensor(os, artifact.scaler.stddev()));
-
-  // Old-class list.
-  WriteI64(os, static_cast<int64_t>(artifact.old_classes.size()));
-  for (int label : artifact.old_classes) WriteU32(os, static_cast<uint32_t>(label));
-
-  // Support set: per-class exemplar matrices.
-  const std::vector<int> classes = artifact.support.Classes();
-  WriteI64(os, static_cast<int64_t>(classes.size()));
-  for (int label : classes) {
-    WriteU32(os, static_cast<uint32_t>(label));
-    PILOTE_RETURN_IF_ERROR(
-        serialize::WriteTensor(os, artifact.support.ClassExemplars(label)));
-  }
-  if (!os) return Status::IoError("failed writing artifact");
-  return Status::Ok();
 }
 
-Result<CloudArtifact> LoadArtifact(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return Status::IoError("cannot open for read: " + path);
-
-  PILOTE_ASSIGN_OR_RETURN(uint32_t magic, ReadU32(is));
-  if (magic != kArtifactMagic) return Status::DataLoss("bad artifact magic");
-  PILOTE_ASSIGN_OR_RETURN(uint32_t version, ReadU32(is));
-  if (version != kArtifactVersion) {
-    return Status::DataLoss("unsupported artifact version " +
-                            std::to_string(version));
-  }
-
-  CloudArtifact artifact;
-  nn::BackboneConfig& backbone = artifact.backbone_config;
+Status ParseConfigBody(std::istream& is, nn::BackboneConfig& backbone) {
   PILOTE_ASSIGN_OR_RETURN(backbone.input_dim, ReadI64(is));
   PILOTE_ASSIGN_OR_RETURN(int64_t num_hidden, ReadI64(is));
   if (num_hidden < 0 || num_hidden > 64) {
@@ -112,19 +104,30 @@ Result<CloudArtifact> LoadArtifact(const std::string& path) {
   is.read(reinterpret_cast<char*>(&backbone.bn_momentum),
           sizeof(backbone.bn_momentum));
   if (!is) return Status::DataLoss("truncated backbone config");
+  return Status::Ok();
+}
 
-  PILOTE_ASSIGN_OR_RETURN(int64_t payload_size, ReadI64(is));
-  if (payload_size < 0 || payload_size > (1LL << 32)) {
-    return Status::DataLoss("implausible model payload size");
-  }
-  artifact.model_payload.resize(static_cast<size_t>(payload_size));
-  is.read(artifact.model_payload.data(), payload_size);
-  if (!is) return Status::DataLoss("truncated model payload");
+Status WriteScalerBody(std::ostream& os, const CloudArtifact& artifact) {
+  PILOTE_RETURN_IF_ERROR(serialize::WriteTensor(os, artifact.scaler.mean()));
+  PILOTE_RETURN_IF_ERROR(serialize::WriteTensor(os, artifact.scaler.stddev()));
+  return Status::Ok();
+}
 
+Status ParseScalerBody(std::istream& is, CloudArtifact& artifact) {
   PILOTE_ASSIGN_OR_RETURN(Tensor mean, serialize::ReadTensor(is));
   PILOTE_ASSIGN_OR_RETURN(Tensor stddev, serialize::ReadTensor(is));
   artifact.scaler.SetState(std::move(mean), std::move(stddev));
+  return Status::Ok();
+}
 
+void WriteClassesBody(std::ostream& os, const CloudArtifact& artifact) {
+  WriteI64(os, static_cast<int64_t>(artifact.old_classes.size()));
+  for (int label : artifact.old_classes) {
+    WriteU32(os, static_cast<uint32_t>(label));
+  }
+}
+
+Status ParseClassesBody(std::istream& is, CloudArtifact& artifact) {
   PILOTE_ASSIGN_OR_RETURN(int64_t num_old, ReadI64(is));
   if (num_old < 0 || num_old > 1 << 20) {
     return Status::DataLoss("implausible old-class count");
@@ -133,7 +136,21 @@ Result<CloudArtifact> LoadArtifact(const std::string& path) {
     PILOTE_ASSIGN_OR_RETURN(uint32_t label, ReadU32(is));
     artifact.old_classes.push_back(static_cast<int>(label));
   }
+  return Status::Ok();
+}
 
+Status WriteSupportBody(std::ostream& os, const CloudArtifact& artifact) {
+  const std::vector<int> classes = artifact.support.Classes();
+  WriteI64(os, static_cast<int64_t>(classes.size()));
+  for (int label : classes) {
+    WriteU32(os, static_cast<uint32_t>(label));
+    PILOTE_RETURN_IF_ERROR(
+        serialize::WriteTensor(os, artifact.support.ClassExemplars(label)));
+  }
+  return Status::Ok();
+}
+
+Status ParseSupportBody(std::istream& is, CloudArtifact& artifact) {
   PILOTE_ASSIGN_OR_RETURN(int64_t num_classes, ReadI64(is));
   if (num_classes < 0 || num_classes > 1 << 20) {
     return Status::DataLoss("implausible support class count");
@@ -144,7 +161,158 @@ Result<CloudArtifact> LoadArtifact(const std::string& path) {
     artifact.support.SetClassExemplars(static_cast<int>(label),
                                        std::move(exemplars));
   }
+  return Status::Ok();
+}
+
+// ---- v2 frame helpers ----
+
+void AppendSection(std::ostream& os, uint32_t tag, const std::string& body) {
+  WriteU32(os, tag);
+  WriteU64(os, static_cast<uint64_t>(body.size()));
+  WriteU32(os, Crc32(body));
+  os.write(body.data(), static_cast<std::streamsize>(body.size()));
+}
+
+// Reads the next section, requiring `expected_tag`, and CRC-verifies its
+// body into `body_stream`.
+Status OpenSection(std::istream& is, uint32_t expected_tag,
+                   std::istringstream& body_stream) {
+  PILOTE_ASSIGN_OR_RETURN(uint32_t tag, ReadU32(is));
+  if (tag != expected_tag) {
+    return Status::DataLoss(std::string("expected section ") +
+                            SectionName(expected_tag) + ", found tag " +
+                            std::to_string(tag));
+  }
+  PILOTE_ASSIGN_OR_RETURN(uint64_t size, ReadU64(is));
+  PILOTE_ASSIGN_OR_RETURN(uint32_t expected_crc, ReadU32(is));
+  if (size > (1ULL << 33)) {
+    return Status::DataLoss(std::string("implausible size for section ") +
+                            SectionName(expected_tag));
+  }
+  std::string body(static_cast<size_t>(size), '\0');
+  is.read(body.data(), static_cast<std::streamsize>(body.size()));
+  if (!is) {
+    return Status::DataLoss(std::string("truncated section ") +
+                            SectionName(expected_tag));
+  }
+  if (Crc32(body) != expected_crc) {
+    return Status::DataLoss(std::string("checksum mismatch in section ") +
+                            SectionName(expected_tag));
+  }
+  body_stream.str(std::move(body));
+  return Status::Ok();
+}
+
+Result<CloudArtifact> LoadArtifactV2(std::istream& is) {
+  CloudArtifact artifact;
+  std::istringstream body;
+
+  PILOTE_RETURN_IF_ERROR(OpenSection(is, kSectionConfig, body));
+  PILOTE_RETURN_IF_ERROR(ParseConfigBody(body, artifact.backbone_config));
+
+  PILOTE_RETURN_IF_ERROR(OpenSection(is, kSectionModel, body));
+  artifact.model_payload = body.str();
+  if (artifact.model_payload.size() > (1ULL << 32)) {
+    return Status::DataLoss("implausible model payload size");
+  }
+
+  PILOTE_RETURN_IF_ERROR(OpenSection(is, kSectionScaler, body));
+  PILOTE_RETURN_IF_ERROR(ParseScalerBody(body, artifact));
+
+  PILOTE_RETURN_IF_ERROR(OpenSection(is, kSectionClasses, body));
+  PILOTE_RETURN_IF_ERROR(ParseClassesBody(body, artifact));
+
+  PILOTE_RETURN_IF_ERROR(OpenSection(is, kSectionSupport, body));
+  PILOTE_RETURN_IF_ERROR(ParseSupportBody(body, artifact));
   return artifact;
+}
+
+// v1: all fields sequential after the header, model payload preceded by
+// an explicit i64 size, no checksums.
+Result<CloudArtifact> LoadArtifactV1(std::istream& is) {
+  CloudArtifact artifact;
+  PILOTE_RETURN_IF_ERROR(ParseConfigBody(is, artifact.backbone_config));
+
+  PILOTE_ASSIGN_OR_RETURN(int64_t payload_size, ReadI64(is));
+  if (payload_size < 0 || payload_size > (1LL << 32)) {
+    return Status::DataLoss("implausible model payload size");
+  }
+  artifact.model_payload.resize(static_cast<size_t>(payload_size));
+  is.read(artifact.model_payload.data(), payload_size);
+  if (!is) return Status::DataLoss("truncated model payload");
+
+  PILOTE_RETURN_IF_ERROR(ParseScalerBody(is, artifact));
+  PILOTE_RETURN_IF_ERROR(ParseClassesBody(is, artifact));
+  PILOTE_RETURN_IF_ERROR(ParseSupportBody(is, artifact));
+  return artifact;
+}
+
+}  // namespace
+
+Status SaveArtifact(const std::string& path, const CloudArtifact& artifact) {
+  PILOTE_RETURN_IF_ERROR(PILOTE_FAILPOINT("core/artifact/save"));
+
+  std::ostringstream os(std::ios::binary);
+  WriteU32(os, kArtifactMagic);
+  WriteU32(os, kArtifactVersion);
+
+  {
+    std::ostringstream body(std::ios::binary);
+    WriteConfigBody(body, artifact.backbone_config);
+    AppendSection(os, kSectionConfig, body.str());
+  }
+  AppendSection(os, kSectionModel, artifact.model_payload);
+  {
+    std::ostringstream body(std::ios::binary);
+    PILOTE_RETURN_IF_ERROR(WriteScalerBody(body, artifact));
+    AppendSection(os, kSectionScaler, body.str());
+  }
+  {
+    std::ostringstream body(std::ios::binary);
+    WriteClassesBody(body, artifact);
+    AppendSection(os, kSectionClasses, body.str());
+  }
+  {
+    std::ostringstream body(std::ios::binary);
+    PILOTE_RETURN_IF_ERROR(WriteSupportBody(body, artifact));
+    AppendSection(os, kSectionSupport, body.str());
+  }
+  if (!os) return Status::Internal("failed serializing artifact");
+  return serialize::WriteFileAtomic(path, os.str());
+}
+
+Result<CloudArtifact> LoadArtifact(const std::string& path) {
+  PILOTE_RETURN_IF_ERROR(PILOTE_FAILPOINT("core/artifact/load"));
+
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open for read: " + path);
+
+  PILOTE_ASSIGN_OR_RETURN(uint32_t magic, ReadU32(is));
+  if (magic != kArtifactMagic) return Status::DataLoss("bad artifact magic");
+  PILOTE_ASSIGN_OR_RETURN(uint32_t version, ReadU32(is));
+  if (version == kLegacyArtifactVersion) return LoadArtifactV1(is);
+  if (version != kArtifactVersion) {
+    return Status::DataLoss("unsupported artifact version " +
+                            std::to_string(version));
+  }
+  return LoadArtifactV2(is);
+}
+
+Status SaveArtifactV1ForTesting(const std::string& path,
+                                const CloudArtifact& artifact) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IoError("cannot open for write: " + path);
+  WriteU32(os, kArtifactMagic);
+  WriteU32(os, kLegacyArtifactVersion);
+  WriteConfigBody(os, artifact.backbone_config);
+  WriteI64(os, static_cast<int64_t>(artifact.model_payload.size()));
+  os.write(artifact.model_payload.data(),
+           static_cast<std::streamsize>(artifact.model_payload.size()));
+  PILOTE_RETURN_IF_ERROR(WriteScalerBody(os, artifact));
+  WriteClassesBody(os, artifact);
+  PILOTE_RETURN_IF_ERROR(WriteSupportBody(os, artifact));
+  if (!os) return Status::IoError("failed writing artifact");
+  return Status::Ok();
 }
 
 }  // namespace core

@@ -10,11 +10,26 @@ namespace pilote {
 namespace core {
 
 // Persistence for the full cloud artifact — the single file MAGNETO ships
-// from the training cluster to a device. Layout (versioned, little
-// endian): backbone config, serialized model payload, scaler state and
-// the per-class exemplar support set.
+// from the training cluster to a device.
+//
+// Format version 2 (current): magic "PLTA", version word, then five
+// sections — backbone config, model payload, scaler state, old-class
+// list, support set — each framed as [u32 tag][u64 size][u32 crc32]
+// [bytes]. Saves serialize to memory and land via
+// serialize::WriteFileAtomic, so an interrupted save never clobbers the
+// previous artifact; loads verify every section CRC and report torn or
+// bit-flipped files as kDataLoss, naming the damaged section.
+//
+// Version-1 files (sequential fields, no CRC) still load via a fallback
+// parser keyed off the version word.
+// Failpoints: "core/artifact/save", "core/artifact/load".
 Status SaveArtifact(const std::string& path, const CloudArtifact& artifact);
 Result<CloudArtifact> LoadArtifact(const std::string& path);
+
+// Writes the legacy v1 layout. Test-only: exists so the compatibility
+// suite can fabricate old files without keeping binary fixtures in-tree.
+Status SaveArtifactV1ForTesting(const std::string& path,
+                                const CloudArtifact& artifact);
 
 }  // namespace core
 }  // namespace pilote

@@ -1,7 +1,9 @@
 #include "core/edge_learner.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "core/embedding.h"
@@ -122,9 +124,78 @@ int64_t EdgeLearner::ModelStateBytes() const {
   return state_elements * static_cast<int64_t>(sizeof(float));
 }
 
-void EdgeLearner::ApplySupportSetUpdate(SupportSet support) {
+EdgeLearner::Snapshot EdgeLearner::TakeSnapshot() const {
+  return Snapshot{model_->Clone(), support_, classifier_, known_classes_,
+                  rng_};
+}
+
+void EdgeLearner::RestoreSnapshot(Snapshot snapshot) {
+  model_ = std::move(snapshot.model);
+  model_->SetTraining(false);
+  support_ = std::move(snapshot.support);
+  classifier_ = std::move(snapshot.classifier);
+  known_classes_ = std::move(snapshot.known_classes);
+  rng_ = snapshot.rng;
+  // The aborted update may have published intermediate prototypes; force
+  // version-watching callers (serving shards) to refresh.
+  model_version_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Result<TrainReport> EdgeLearner::LearnNewClasses(const data::Dataset& d_new) {
+  PILOTE_TRACE_SPAN("core/learn_new_classes");
+  if (d_new.empty()) {
+    return Status::InvalidArgument("LearnNewClasses: d_new is empty");
+  }
+  for (int label : d_new.Classes()) {
+    if (support_.HasClass(label)) {
+      return Status::InvalidArgument("LearnNewClasses: class " +
+                                     std::to_string(label) +
+                                     " already known");
+    }
+  }
+  PILOTE_RETURN_IF_ERROR(PILOTE_FAILPOINT("core/learn/begin"));
+
+  Snapshot snapshot = TakeSnapshot();
+  Result<TrainReport> result = DoLearnNewClasses(Scale(d_new));
+  if (result.ok()) {
+    Status commit = PILOTE_FAILPOINT("core/learn/commit");
+    if (commit.ok()) return result;
+    RestoreSnapshot(std::move(snapshot));
+    return commit;
+  }
+  RestoreSnapshot(std::move(snapshot));
+  return result.status();
+}
+
+Status EdgeLearner::ApplySupportSetUpdate(SupportSet support) {
+  PILOTE_RETURN_IF_ERROR(PILOTE_FAILPOINT("core/support_update/begin"));
+  const int64_t input_dim = model_->input_dim();
+  for (int label : support.Classes()) {
+    const Tensor& exemplars = support.ClassExemplars(label);
+    if (exemplars.rows() == 0) {
+      return Status::InvalidArgument("support update: class " +
+                                     std::to_string(label) +
+                                     " has no exemplars");
+    }
+    if (exemplars.cols() != input_dim) {
+      return Status::InvalidArgument(
+          "support update: class " + std::to_string(label) +
+          " feature width " + std::to_string(exemplars.cols()) +
+          " does not match backbone " + std::to_string(input_dim));
+    }
+  }
+  // Build the replacement prototypes aside; the live classifier is only
+  // swapped once every class embedded cleanly.
+  NcmClassifier fresh;
+  for (int label : support.Classes()) {
+    PILOTE_RETURN_IF_ERROR(PILOTE_FAILPOINT("core/support_update/embed"));
+    Tensor embeddings = EmbedBatched(*model_, support.ClassExemplars(label));
+    fresh.SetPrototypeFromEmbeddings(label, embeddings);
+  }
   support_ = std::move(support);
-  RebuildPrototypes();
+  classifier_ = std::move(fresh);
+  model_version_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
 }
 
 void EdgeLearner::EnforceSupportBudget(int64_t cache_size) {
@@ -158,21 +229,17 @@ void EdgeLearner::EnrichSupportSet(const data::Dataset& scaled_new) {
   std::sort(known_classes_.begin(), known_classes_.end());
 }
 
-TrainReport PretrainedLearner::LearnNewClasses(const data::Dataset& d_new) {
-  PILOTE_TRACE_SPAN("core/learn_new_classes");
-  PILOTE_CHECK(!d_new.empty());
-  data::Dataset scaled_new = Scale(d_new);
+Result<TrainReport> PretrainedLearner::DoLearnNewClasses(
+    const data::Dataset& scaled_new) {
   EnrichSupportSet(scaled_new);
+  PILOTE_RETURN_IF_ERROR(PILOTE_FAILPOINT("core/learn/mid"));
   // No training: the frozen embedding space simply gains prototypes.
   RebuildPrototypes();
   return TrainReport{};
 }
 
-TrainReport RetrainedLearner::LearnNewClasses(const data::Dataset& d_new) {
-  PILOTE_TRACE_SPAN("core/learn_new_classes");
-  PILOTE_CHECK(!d_new.empty());
-  data::Dataset scaled_new = Scale(d_new);
-
+Result<TrainReport> RetrainedLearner::DoLearnNewClasses(
+    const data::Dataset& scaled_new) {
   // Table 2's "without considering the catastrophic forgetting problem"
   // baseline: re-run the cloud's contrastive training recipe on the
   // enriched support set (balanced pairs over ALL classes — the paper's
@@ -181,6 +248,7 @@ TrainReport RetrainedLearner::LearnNewClasses(const data::Dataset& d_new) {
   // counter-measures: no distillation term, free batch-norm statistics,
   // no stop-gradient anchoring.
   EnrichSupportSet(scaled_new);
+  PILOTE_RETURN_IF_ERROR(PILOTE_FAILPOINT("core/learn/mid"));
   data::Dataset enriched = support_.ToDataset();
   NewDataSplit split =
       SplitNewData(enriched, config_.validation_fraction, rng_);
@@ -203,11 +271,8 @@ TrainReport RetrainedLearner::LearnNewClasses(const data::Dataset& d_new) {
   return report;
 }
 
-TrainReport PiloteLearner::LearnNewClasses(const data::Dataset& d_new) {
-  PILOTE_TRACE_SPAN("core/learn_new_classes");
-  PILOTE_CHECK(!d_new.empty());
-  data::Dataset scaled_new = Scale(d_new);
-
+Result<TrainReport> PiloteLearner::DoLearnNewClasses(
+    const data::Dataset& scaled_new) {
   // Snapshot the teacher BEFORE any update: phi_old of the old exemplars
   // anchors the distillation term (Algo 1 line 11).
   data::Dataset old_support = support_.ToDataset();
@@ -238,16 +303,18 @@ TrainReport PiloteLearner::LearnNewClasses(const data::Dataset& d_new) {
   SiameseTrainer trainer(*model_, options);
   TrainReport report = trainer.Train(train_sampler, val_sampler, &distill);
 
+  // The model has already moved; a fault here must roll the weights back
+  // too, which is exactly what the wrapper's snapshot covers.
+  PILOTE_RETURN_IF_ERROR(PILOTE_FAILPOINT("core/learn/mid"));
   EnrichSupportSet(scaled_new);
   RebuildPrototypes();
   return report;
 }
 
-TrainReport GdumbLearner::LearnNewClasses(const data::Dataset& d_new) {
-  PILOTE_TRACE_SPAN("core/learn_new_classes");
-  PILOTE_CHECK(!d_new.empty());
-  data::Dataset scaled_new = Scale(d_new);
+Result<TrainReport> GdumbLearner::DoLearnNewClasses(
+    const data::Dataset& scaled_new) {
   EnrichSupportSet(scaled_new);
+  PILOTE_RETURN_IF_ERROR(PILOTE_FAILPOINT("core/learn/mid"));
   // Greedy balancing: every class keeps at most the size of the smallest
   // class' cache (GDumb's balanced reservoir).
   int64_t smallest = config_.exemplars_per_class;

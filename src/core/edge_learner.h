@@ -46,7 +46,15 @@ class EdgeLearner {
   // extreme edge (D_n of Algo 1); the caller controls its size (Figure 7
   // sweeps it). Returns the training report (empty for the pre-trained
   // baseline, which does not train).
-  virtual TrainReport LearnNewClasses(const data::Dataset& d_new) = 0;
+  //
+  // Transactional: on any non-OK return — an empty or already-known input
+  // (kInvalidArgument) or an injected/real mid-update fault — the learner
+  // is rolled back to its pre-call state (model weights, support set,
+  // prototypes, known classes and RNG stream are all bit-identical), so a
+  // failed update can simply be retried. Strategy-specific work lives in
+  // DoLearnNewClasses.
+  // Failpoints: "core/learn/begin", "core/learn/mid", "core/learn/commit".
+  Result<TrainReport> LearnNewClasses(const data::Dataset& d_new);
 
   // NCM inference on raw feature rows.
   std::vector<int> Predict(const Tensor& raw_features) const;
@@ -80,8 +88,12 @@ class EdgeLearner {
   }
 
   // Replaces the support set (e.g. with a quantize round-tripped cache
-  // modeling compressed storage) and refreshes the prototypes.
-  void ApplySupportSetUpdate(SupportSet support);
+  // modeling compressed storage) and refreshes the prototypes. The new
+  // classifier is built aside and swapped in only on success: a rejected
+  // update (wrong exemplar width, empty class, injected fault) leaves the
+  // live support set and prototypes untouched.
+  // Failpoints: "core/support_update/begin", "core/support_update/embed".
+  Status ApplySupportSetUpdate(SupportSet support);
 
   // Enforces a total cache budget of `cache_size` exemplars (Algo 1 line 1:
   // m = K / num_classes per class) and refreshes the prototypes.
@@ -92,6 +104,12 @@ class EdgeLearner {
   void RebuildPrototypes();
 
  protected:
+  // Strategy body, called by LearnNewClasses with the already-scaled new
+  // data after validation and state snapshotting. Implementations mutate
+  // freely; the wrapper restores the snapshot if they return non-OK.
+  virtual Result<TrainReport> DoLearnNewClasses(
+      const data::Dataset& scaled_new) = 0;
+
   // Adds new-class rows to the support set: keeps up to
   // config.exemplars_per_class rows per class, chosen uniformly at random
   // as in the paper ("enriches the support set with random new-class
@@ -110,6 +128,17 @@ class EdgeLearner {
   Rng rng_;
 
  private:
+  // Deep copy of every member a DoLearnNewClasses body may mutate.
+  struct Snapshot {
+    std::unique_ptr<nn::MlpBackbone> model;
+    SupportSet support;
+    NcmClassifier classifier;
+    std::vector<int> known_classes;
+    Rng rng;
+  };
+  Snapshot TakeSnapshot() const;
+  void RestoreSnapshot(Snapshot snapshot);
+
   std::atomic<int64_t> model_version_{0};
 };
 
@@ -118,7 +147,10 @@ class EdgeLearner {
 class PretrainedLearner : public EdgeLearner {
  public:
   using EdgeLearner::EdgeLearner;
-  TrainReport LearnNewClasses(const data::Dataset& d_new) override;
+
+ protected:
+  Result<TrainReport> DoLearnNewClasses(
+      const data::Dataset& scaled_new) override;
 };
 
 // Baseline 2 (Sec 6.1.3, Table 2's "without considering the catastrophic
@@ -129,7 +161,10 @@ class PretrainedLearner : public EdgeLearner {
 class RetrainedLearner : public EdgeLearner {
  public:
   using EdgeLearner::EdgeLearner;
-  TrainReport LearnNewClasses(const data::Dataset& d_new) override;
+
+ protected:
+  Result<TrainReport> DoLearnNewClasses(
+      const data::Dataset& scaled_new) override;
 };
 
 // PILOTE (Algo 1, edge part): joint distillation + contrastive objective
@@ -137,7 +172,10 @@ class RetrainedLearner : public EdgeLearner {
 class PiloteLearner : public EdgeLearner {
  public:
   using EdgeLearner::EdgeLearner;
-  TrainReport LearnNewClasses(const data::Dataset& d_new) override;
+
+ protected:
+  Result<TrainReport> DoLearnNewClasses(
+      const data::Dataset& scaled_new) override;
 };
 
 // Extra continual-learning baseline from the paper's related work
@@ -149,7 +187,10 @@ class PiloteLearner : public EdgeLearner {
 class GdumbLearner : public EdgeLearner {
  public:
   using EdgeLearner::EdgeLearner;
-  TrainReport LearnNewClasses(const data::Dataset& d_new) override;
+
+ protected:
+  Result<TrainReport> DoLearnNewClasses(
+      const data::Dataset& scaled_new) override;
 };
 
 // Validates that `artifact` can seed an edge learner under `config`:

@@ -1,8 +1,12 @@
 #include "serialize/io.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
+
+#include "common/crc32.h"
+#include "common/failpoint.h"
 
 namespace pilote {
 namespace serialize {
@@ -10,7 +14,11 @@ namespace {
 
 constexpr uint32_t kTensorFileMagic = 0x504C5454;  // "PLTT"
 constexpr uint32_t kModuleFileMagic = 0x504C544D;  // "PLTM"
-constexpr uint32_t kFormatVersion = 1;
+// v1: [magic][version][u64 count][records] with no integrity check.
+// v2: [magic][version][u64 payload_size][u32 payload_crc][payload] where
+//     payload is the v1 body ([u64 count][records]).
+constexpr uint32_t kLegacyFormatVersion = 1;
+constexpr uint32_t kFormatVersion = 2;
 
 void WriteU32(std::ostream& os, uint32_t value) {
   os.write(reinterpret_cast<const char*>(&value), sizeof(value));
@@ -34,28 +42,108 @@ Result<uint64_t> ReadU64(std::istream& is) {
   return value;
 }
 
-Status WriteHeader(std::ostream& os, uint32_t magic, uint64_t count) {
+// Wraps an already-serialized payload in the v2 CRC frame.
+std::string FramePayload(uint32_t magic, const std::string& payload) {
+  std::ostringstream os(std::ios::binary);
   WriteU32(os, magic);
   WriteU32(os, kFormatVersion);
-  WriteU64(os, count);
-  if (!os) return Status::IoError("failed writing header");
-  return Status::Ok();
+  WriteU64(os, static_cast<uint64_t>(payload.size()));
+  WriteU32(os, Crc32(payload));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  return os.str();
 }
 
-Result<uint64_t> ReadHeader(std::istream& is, uint32_t expected_magic) {
+// Checks magic/version and hands back a stream positioned at the body
+// ([u64 count][records]). For v2 the payload is extracted and CRC-checked
+// into `owned_payload` first; for v1 the original stream is used as-is.
+Result<std::istream*> OpenBody(std::istream& is, uint32_t expected_magic,
+                               std::istringstream& owned_payload) {
   PILOTE_ASSIGN_OR_RETURN(uint32_t magic, ReadU32(is));
   if (magic != expected_magic) {
     return Status::DataLoss("bad magic number");
   }
   PILOTE_ASSIGN_OR_RETURN(uint32_t version, ReadU32(is));
+  if (version == kLegacyFormatVersion) {
+    return &is;  // pre-CRC format: body follows the version word directly
+  }
   if (version != kFormatVersion) {
     return Status::DataLoss("unsupported format version " +
                             std::to_string(version));
   }
-  return ReadU64(is);
+  PILOTE_ASSIGN_OR_RETURN(uint64_t payload_size, ReadU64(is));
+  PILOTE_ASSIGN_OR_RETURN(uint32_t expected_crc, ReadU32(is));
+  if (payload_size > (1ULL << 33)) {
+    return Status::DataLoss("implausible payload size");
+  }
+  std::string payload(static_cast<size_t>(payload_size), '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!is) return Status::DataLoss("truncated payload");
+  uint32_t actual_crc = Crc32(payload);
+  if (actual_crc != expected_crc) {
+    return Status::DataLoss("payload checksum mismatch (stored " +
+                            std::to_string(expected_crc) + ", computed " +
+                            std::to_string(actual_crc) + ")");
+  }
+  owned_payload.str(std::move(payload));
+  return &owned_payload;
 }
 
 }  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  PILOTE_RETURN_IF_ERROR(PILOTE_FAILPOINT("serialize/atomic/open"));
+  {
+    // Simulated torn write: a crash mid-write with no tmp/rename dance
+    // would leave a prefix of the new contents at the destination. The
+    // chaos suite arms this to prove loaders reject such a file.
+    Status torn = PILOTE_FAILPOINT("serialize/atomic/torn");
+    if (!torn.ok()) {
+      std::ofstream os(path, std::ios::binary | std::ios::trunc);
+      if (os) {
+        os.write(contents.data(),
+                 static_cast<std::streamsize>(contents.size() / 2));
+      }
+      return torn;
+    }
+  }
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!os) return Status::IoError("cannot open for write: " + tmp_path);
+    Status write_fault = PILOTE_FAILPOINT("serialize/atomic/write");
+    if (!write_fault.ok()) {
+      os.close();
+      std::remove(tmp_path.c_str());
+      return write_fault;
+    }
+    os.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    os.flush();
+    if (!os) {
+      os.close();
+      std::remove(tmp_path.c_str());
+      return Status::IoError("failed writing " + tmp_path);
+    }
+  }
+  Status rename_fault = PILOTE_FAILPOINT("serialize/atomic/rename");
+  if (!rename_fault.ok()) {
+    std::remove(tmp_path.c_str());
+    return rename_fault;
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("cannot rename " + tmp_path + " over " + path);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  if (!is && !is.eof()) return Status::IoError("failed reading " + path);
+  return buffer.str();
+}
 
 Status WriteTensor(std::ostream& os, const Tensor& tensor) {
   WriteU32(os, static_cast<uint32_t>(tensor.rank()));
@@ -87,25 +175,41 @@ Result<Tensor> ReadTensor(std::istream& is) {
   return tensor;
 }
 
+namespace {
+
+Status WriteTensorListBody(std::ostream& os,
+                           const std::vector<const Tensor*>& tensors) {
+  WriteU64(os, static_cast<uint64_t>(tensors.size()));
+  for (const Tensor* tensor : tensors) {
+    PILOTE_RETURN_IF_ERROR(WriteTensor(os, *tensor));
+  }
+  if (!os) return Status::IoError("failed writing tensor list");
+  return Status::Ok();
+}
+
+}  // namespace
+
 Status SaveTensors(const std::string& path,
                    const std::vector<Tensor>& tensors) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return Status::IoError("cannot open for write: " + path);
-  PILOTE_RETURN_IF_ERROR(WriteHeader(os, kTensorFileMagic, tensors.size()));
-  for (const Tensor& tensor : tensors) {
-    PILOTE_RETURN_IF_ERROR(WriteTensor(os, tensor));
-  }
-  return Status::Ok();
+  std::vector<const Tensor*> refs;
+  refs.reserve(tensors.size());
+  for (const Tensor& tensor : tensors) refs.push_back(&tensor);
+  std::ostringstream body(std::ios::binary);
+  PILOTE_RETURN_IF_ERROR(WriteTensorListBody(body, refs));
+  return WriteFileAtomic(path, FramePayload(kTensorFileMagic, body.str()));
 }
 
 Result<std::vector<Tensor>> LoadTensors(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) return Status::IoError("cannot open for read: " + path);
-  PILOTE_ASSIGN_OR_RETURN(uint64_t count, ReadHeader(is, kTensorFileMagic));
+  std::istringstream owned;
+  PILOTE_ASSIGN_OR_RETURN(std::istream * body,
+                          OpenBody(is, kTensorFileMagic, owned));
+  PILOTE_ASSIGN_OR_RETURN(uint64_t count, ReadU64(*body));
   std::vector<Tensor> tensors;
   tensors.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
-    PILOTE_ASSIGN_OR_RETURN(Tensor tensor, ReadTensor(is));
+    PILOTE_ASSIGN_OR_RETURN(Tensor tensor, ReadTensor(*body));
     tensors.push_back(std::move(tensor));
   }
   return tensors;
@@ -113,18 +217,19 @@ Result<std::vector<Tensor>> LoadTensors(const std::string& path) {
 
 namespace {
 
-Status WriteModuleState(std::ostream& os, nn::Module& module) {
+std::string SerializeModuleBody(nn::Module& module) {
   std::vector<Tensor*> state = module.StateTensors();
-  PILOTE_RETURN_IF_ERROR(WriteHeader(os, kModuleFileMagic, state.size()));
-  for (const Tensor* tensor : state) {
-    PILOTE_RETURN_IF_ERROR(WriteTensor(os, *tensor));
-  }
-  return Status::Ok();
+  std::vector<const Tensor*> refs(state.begin(), state.end());
+  std::ostringstream body(std::ios::binary);
+  Status status = WriteTensorListBody(body, refs);
+  // Writing to a memory stream only fails on logic errors, never I/O.
+  PILOTE_CHECK(status.ok()) << status.ToString();
+  return body.str();
 }
 
-Status ReadModuleState(std::istream& is, nn::Module& module) {
+Status ReadModuleBody(std::istream& is, nn::Module& module) {
   std::vector<Tensor*> state = module.StateTensors();
-  PILOTE_ASSIGN_OR_RETURN(uint64_t count, ReadHeader(is, kModuleFileMagic));
+  PILOTE_ASSIGN_OR_RETURN(uint64_t count, ReadU64(is));
   if (count != state.size()) {
     return Status::DataLoss("module state count mismatch: stored " +
                             std::to_string(count) + ", module has " +
@@ -142,31 +247,34 @@ Status ReadModuleState(std::istream& is, nn::Module& module) {
   return Status::Ok();
 }
 
+Status ReadFramedModule(std::istream& is, nn::Module& module) {
+  std::istringstream owned;
+  PILOTE_ASSIGN_OR_RETURN(std::istream * body,
+                          OpenBody(is, kModuleFileMagic, owned));
+  return ReadModuleBody(*body, module);
+}
+
 }  // namespace
 
 Status SaveModule(const std::string& path, nn::Module& module) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return Status::IoError("cannot open for write: " + path);
-  return WriteModuleState(os, module);
+  return WriteFileAtomic(
+      path, FramePayload(kModuleFileMagic, SerializeModuleBody(module)));
 }
 
 Status LoadModule(const std::string& path, nn::Module& module) {
   std::ifstream is(path, std::ios::binary);
   if (!is) return Status::IoError("cannot open for read: " + path);
-  return ReadModuleState(is, module);
+  return ReadFramedModule(is, module);
 }
 
 std::string SerializeModuleToString(nn::Module& module) {
-  std::ostringstream os(std::ios::binary);
-  Status status = WriteModuleState(os, module);
-  PILOTE_CHECK(status.ok()) << status.ToString();
-  return os.str();
+  return FramePayload(kModuleFileMagic, SerializeModuleBody(module));
 }
 
 Status DeserializeModuleFromString(const std::string& payload,
                                    nn::Module& module) {
   std::istringstream is(payload, std::ios::binary);
-  return ReadModuleState(is, module);
+  return ReadFramedModule(is, module);
 }
 
 }  // namespace serialize

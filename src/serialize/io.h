@@ -3,6 +3,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -17,13 +18,36 @@ namespace serialize {
 // This is the artifact that "moves" from the cloud to the edge in the
 // MAGNETO deployment: the pre-trained model, the feature scaler and the
 // exemplar support set all round-trip through these functions.
+//
+// Crash safety (format version 2):
+//  * Files are framed as [magic][u32 version][u64 payload_size]
+//    [u32 payload_crc][payload]; the CRC-32 (common/crc32.h) covers the
+//    payload, so a torn tail or a flipped bit is reported as kDataLoss —
+//    the loader never deserializes garbage into a live model.
+//  * Saves serialize to memory first, then go through WriteFileAtomic
+//    (write to "<path>.tmp", then rename), so a crash mid-save leaves
+//    either the old file or the new file, never a half-written one.
+//  * Version-1 files (no CRC frame) still load via a fallback path.
+
+// ---- Crash-safe file primitive ----
+// Writes `contents` to "<path>.tmp" and renames it over `path`. Any
+// failure leaves the previous contents of `path` intact (modulo the
+// injected-torn-write failpoint below, which deliberately corrupts the
+// destination to model a crash without this protection).
+// Failpoints: "serialize/atomic/open", "serialize/atomic/write",
+// "serialize/atomic/torn", "serialize/atomic/rename".
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+Result<std::string> ReadFileToString(const std::string& path);
 
 // ---- Stream primitives ----
+// Raw tensor records (rank, dims, row-major floats) with no CRC frame of
+// their own; callers embed them inside a framed payload.
 Status WriteTensor(std::ostream& os, const Tensor& tensor);
 Result<Tensor> ReadTensor(std::istream& is);
 
 // ---- Tensor collections ----
-// File layout: magic "PLTT", format version, tensor count, tensors.
+// File layout: magic "PLTT", CRC frame, tensor count, tensors.
 Status SaveTensors(const std::string& path, const std::vector<Tensor>& tensors);
 Result<std::vector<Tensor>> LoadTensors(const std::string& path);
 
@@ -34,7 +58,9 @@ Status SaveModule(const std::string& path, nn::Module& module);
 Status LoadModule(const std::string& path, nn::Module& module);
 
 // In-memory round trip (used to model the cloud->edge transfer and to
-// measure the transfer payload in bytes).
+// measure the transfer payload in bytes). The string carries the same
+// CRC frame as the on-disk format, so an embedded payload (e.g. inside a
+// deployment artifact) detects corruption independently.
 std::string SerializeModuleToString(nn::Module& module);
 Status DeserializeModuleFromString(const std::string& payload,
                                    nn::Module& module);

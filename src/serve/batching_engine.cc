@@ -1,5 +1,7 @@
 #include "serve/batching_engine.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -124,12 +126,43 @@ void BatchingEngine::ProcessBatch(std::vector<PredictRequest>& batch) {
     std::vector<Tensor> rows;
     rows.reserve(groups[g].size());
     for (size_t i : groups[g]) rows.push_back(batch[i].features);
-    const std::vector<int> labels =
-        group_keys[g]->PredictBatch(ConcatRows(rows));
-    PILOTE_CHECK_EQ(labels.size(), groups[g].size());
+    const Tensor features = ConcatRows(rows);
+
+    // Bounded retry-with-backoff on transient faults: the learner forward
+    // may report kUnavailable (in production a device-side brownout, in the
+    // chaos suite the "serve/predict" failpoint). Anything else fails the
+    // batch immediately — retrying a deterministic error only burns the
+    // latency budget.
+    Result<std::vector<int>> labels = group_keys[g]->TryPredictBatch(features);
+    for (int attempt = 0;
+         !labels.ok() && labels.status().code() == StatusCode::kUnavailable &&
+         attempt < options_.predict_retries;
+         ++attempt) {
+      PILOTE_METRIC_COUNT("serve/faults_injected", 1);
+      if (options_.retry_backoff_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options_.retry_backoff_us << attempt));
+      }
+      labels = group_keys[g]->TryPredictBatch(features);
+      if (labels.ok()) PILOTE_METRIC_COUNT("serve/recoveries", 1);
+    }
+
+    if (!labels.ok()) {
+      // Retry budget exhausted (or non-transient): complete every request
+      // degraded with the session's last smoothed label, leaving the vote
+      // history untouched — the same contract as a deadline miss.
+      PILOTE_METRIC_COUNT("serve/faults_injected", 1);
+      for (size_t k = 0; k < groups[g].size(); ++k) {
+        PredictRequest& request = batch[groups[g][k]];
+        request.done.set_value(request.session->LastPrediction().label);
+      }
+      continue;
+    }
+
+    PILOTE_CHECK_EQ(labels.value().size(), groups[g].size());
     for (size_t k = 0; k < groups[g].size(); ++k) {
       PredictRequest& request = batch[groups[g][k]];
-      const int smoothed = request.session->CompleteWindow(labels[k]);
+      const int smoothed = request.session->CompleteWindow(labels.value()[k]);
       request.done.set_value(smoothed);
       using MilliDouble = std::chrono::duration<double, std::milli>;
       const double request_ms =

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/failpoint.h"
 #include "obs/trace.h"
 
 namespace pilote {
@@ -31,7 +32,15 @@ std::vector<int> LearnerHandle::PredictBatch(const Tensor& raw_features) const {
   return learner_->PredictBatch(raw_features);
 }
 
-core::TrainReport LearnerHandle::LearnNewClasses(const data::Dataset& d_new) {
+Result<std::vector<int>> LearnerHandle::TryPredictBatch(
+    const Tensor& raw_features) const {
+  PILOTE_RETURN_IF_ERROR(PILOTE_FAILPOINT("serve/predict"));
+  ReaderLock lock(mutex_);
+  return learner_->PredictBatch(raw_features);
+}
+
+Result<core::TrainReport> LearnerHandle::LearnNewClasses(
+    const data::Dataset& d_new) {
   PILOTE_TRACE_SPAN("serve/learn_new_classes");
   WriterLock lock(mutex_);
   return learner_->LearnNewClasses(d_new);

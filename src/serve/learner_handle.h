@@ -33,8 +33,17 @@ class LearnerHandle {
   std::vector<int> PredictBatch(const Tensor& raw_features) const
       PILOTE_EXCLUDES(mutex_);
 
-  // Incremental update under the exclusive lock.
-  core::TrainReport LearnNewClasses(const data::Dataset& d_new)
+  // PredictBatch with a fault hook: the "serve/predict" failpoint can
+  // inject a transient kUnavailable here, which the batching engine's
+  // bounded retry-with-backoff absorbs. The plain PredictBatch above stays
+  // infallible for callers outside the serving path.
+  Result<std::vector<int>> TryPredictBatch(const Tensor& raw_features) const
+      PILOTE_EXCLUDES(mutex_);
+
+  // Incremental update under the exclusive lock. Non-OK means the learner
+  // rejected or rolled back the update (see
+  // core::EdgeLearner::LearnNewClasses); the serving state is unchanged.
+  Result<core::TrainReport> LearnNewClasses(const data::Dataset& d_new)
       PILOTE_EXCLUDES(mutex_);
 
   // Immutable after construction; lock-free.

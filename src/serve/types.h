@@ -32,6 +32,14 @@ struct ServeOptions {
   // Bound on windows awaiting a batch slot. A full queue rejects new
   // windows with kResourceExhausted instead of blocking ingest.
   int64_t queue_capacity = 256;
+  // Transient-fault handling: a batch whose learner forward returns
+  // kUnavailable is retried up to `predict_retries` times, sleeping
+  // `retry_backoff_us << attempt` between attempts. Requests that exhaust
+  // the budget complete degraded with the session's last smoothed label
+  // (same contract as a deadline miss). Non-transient codes are not
+  // retried.
+  int predict_retries = 3;
+  int64_t retry_backoff_us = 100;
 };
 
 inline Status ValidateServeOptions(const ServeOptions& options) {
@@ -50,6 +58,14 @@ inline Status ValidateServeOptions(const ServeOptions& options) {
   if (options.queue_capacity < 1) {
     return Status::InvalidArgument("queue_capacity must be >= 1, got " +
                                    std::to_string(options.queue_capacity));
+  }
+  if (options.predict_retries < 0) {
+    return Status::InvalidArgument("predict_retries must be >= 0, got " +
+                                   std::to_string(options.predict_retries));
+  }
+  if (options.retry_backoff_us < 0) {
+    return Status::InvalidArgument("retry_backoff_us must be >= 0, got " +
+                                   std::to_string(options.retry_backoff_us));
   }
   return Status::Ok();
 }

@@ -105,6 +105,22 @@ TEST_F(DeploymentTest, ArtifactLoadRejectsTruncation) {
   std::remove(path.c_str());
 }
 
+TEST_F(DeploymentTest, LegacyV1ArtifactStillLoadsAndPredictsIdentically) {
+  // Devices in the field hold pre-CRC v1 artifacts; the versioned header
+  // keeps them loadable after the v2 migration.
+  const std::string path = TempPath("pilote_artifact_v1.bin");
+  ASSERT_TRUE(SaveArtifactV1ForTesting(path, state_->artifact).ok());
+  Result<CloudArtifact> loaded = LoadArtifact(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->old_classes, state_->artifact.old_classes);
+  EXPECT_EQ(loaded->model_payload, state_->artifact.model_payload);
+  PretrainedLearner original(state_->artifact, state_->config);
+  PretrainedLearner restored(*loaded, state_->config);
+  EXPECT_EQ(original.Predict(state_->test.features()),
+            restored.Predict(state_->test.features()));
+  std::remove(path.c_str());
+}
+
 TEST_F(DeploymentTest, MissingArtifactFileIsIoError) {
   Result<CloudArtifact> loaded = LoadArtifact("/no/such/artifact.bin");
   EXPECT_FALSE(loaded.ok());

@@ -64,6 +64,14 @@ class PipelineTest : public ::testing::Test {
 
 PipelineTest::State* PipelineTest::state_ = nullptr;
 
+// Most tests expect the incremental update to succeed; unwrap with a
+// readable failure instead of repeating the ASSERT boilerplate.
+TrainReport MustLearn(EdgeLearner& learner, const data::Dataset& d_new) {
+  Result<TrainReport> report = learner.LearnNewClasses(d_new);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.value_or(TrainReport{});
+}
+
 TEST_F(PipelineTest, CloudPretrainingConverged) {
   EXPECT_GT(state_->pretrain_report.epochs_completed, 0);
   ASSERT_GE(state_->pretrain_report.val_loss_history.size(), 2u);
@@ -92,7 +100,7 @@ TEST_F(PipelineTest, PretrainedLearnerClassifiesOldClassesWell) {
 
 TEST_F(PipelineTest, GdumbRetrainsFromScratchAndBalancesCache) {
   GdumbLearner learner(state_->artifact, state_->config);
-  TrainReport report = learner.LearnNewClasses(state_->d_new);
+  TrainReport report = MustLearn(learner, state_->d_new);
   EXPECT_GT(report.epochs_completed, 0);
   // The cache is balanced: every class holds the same exemplar count.
   int64_t expected = -1;
@@ -112,7 +120,7 @@ TEST_F(PipelineTest, AllLearnersGainTheNewClass) {
         MakeEdgeLearner(strategy, state_->artifact, state_->config);
     ASSERT_TRUE(made.ok()) << made.status().ToString();
     std::unique_ptr<EdgeLearner> learner = std::move(made).value();
-    learner->LearnNewClasses(state_->d_new);
+    MustLearn(*learner, state_->d_new);
     EXPECT_EQ(learner->known_classes().size(), 5u);
     EXPECT_TRUE(
         learner->support().HasClass(ActivityLabel(Activity::kRun)));
@@ -127,9 +135,9 @@ TEST_F(PipelineTest, AllLearnersGainTheNewClass) {
 
 TEST_F(PipelineTest, TrainedLearnersBeatThePretrainedBaseline) {
   PretrainedLearner pretrained(state_->artifact, state_->config);
-  pretrained.LearnNewClasses(state_->d_new);
+  MustLearn(pretrained, state_->d_new);
   PiloteLearner pilote(state_->artifact, state_->config);
-  pilote.LearnNewClasses(state_->d_new);
+  MustLearn(pilote, state_->d_new);
 
   const double base = pretrained.Evaluate(state_->test_all);
   const double ours = pilote.Evaluate(state_->test_all);
@@ -142,12 +150,12 @@ TEST_F(PipelineTest, DistillationImprovesOldClassRetention) {
   // (alpha = 0.5) the updated model retains more old-class accuracy than
   // the identical training run without it (alpha = 0).
   PiloteLearner with_distill(state_->artifact, state_->config);
-  with_distill.LearnNewClasses(state_->d_new);
+  MustLearn(with_distill, state_->d_new);
 
   PiloteConfig no_distill_config = state_->config;
   no_distill_config.alpha = 0.0f;
   PiloteLearner without_distill(state_->artifact, no_distill_config);
-  without_distill.LearnNewClasses(state_->d_new);
+  MustLearn(without_distill, state_->d_new);
 
   data::Dataset old_test = state_->test_all.FilterByClasses(
       state_->artifact.old_classes);
@@ -159,21 +167,34 @@ TEST_F(PipelineTest, DistillationImprovesOldClassRetention) {
 
 TEST_F(PipelineTest, LearnersAreDeterministicGivenConfigSeed) {
   PiloteLearner a(state_->artifact, state_->config);
-  a.LearnNewClasses(state_->d_new);
+  MustLearn(a, state_->d_new);
   PiloteLearner b(state_->artifact, state_->config);
-  b.LearnNewClasses(state_->d_new);
+  MustLearn(b, state_->d_new);
   EXPECT_DOUBLE_EQ(a.Evaluate(state_->test_all),
                    b.Evaluate(state_->test_all));
 }
 
-TEST_F(PipelineTest, LearningAKnownClassIsFatal) {
+TEST_F(PipelineTest, LearningAKnownClassIsRejectedWithoutStateChange) {
   PiloteLearner learner(state_->artifact, state_->config);
-  EXPECT_DEATH(learner.LearnNewClasses(state_->d_old), "already known");
+  const size_t known_before = learner.known_classes().size();
+  Result<TrainReport> result = learner.LearnNewClasses(state_->d_old);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("already known"),
+            std::string::npos);
+  EXPECT_EQ(learner.known_classes().size(), known_before);
+}
+
+TEST_F(PipelineTest, LearningFromAnEmptyDatasetIsRejected) {
+  PiloteLearner learner(state_->artifact, state_->config);
+  Result<TrainReport> result = learner.LearnNewClasses(data::Dataset());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(PipelineTest, EdgeProfileReportsBudget) {
   PiloteLearner learner(state_->artifact, state_->config);
-  TrainReport report = learner.LearnNewClasses(state_->d_new);
+  TrainReport report = MustLearn(learner, state_->d_new);
   EdgeProfileReport profile =
       ProfileEdge(learner, state_->test_all.features(), &report);
   EXPECT_GT(profile.model_parameters, 0);
@@ -203,11 +224,12 @@ TEST_F(PipelineTest, QuantizedSupportSetStillClassifies) {
   // Storing the cache in int8 must not destroy accuracy (Q2's compressed
   // storage claim).
   PiloteLearner learner(state_->artifact, state_->config);
-  learner.LearnNewClasses(state_->d_new);
+  MustLearn(learner, state_->d_new);
   const double before = learner.Evaluate(state_->test_all);
 
-  learner.ApplySupportSetUpdate(
+  Status applied = learner.ApplySupportSetUpdate(
       learner.support().QuantizeRoundTrip(serialize::QuantMode::kInt8));
+  ASSERT_TRUE(applied.ok()) << applied.ToString();
   const double after = learner.Evaluate(state_->test_all);
   EXPECT_GT(after, before - 0.1);
 }
@@ -220,10 +242,10 @@ TEST_F(PipelineTest, SequentialIncrementsKeepAllClasses) {
   // Pretrain artifact knows 4 classes (Run held out). Feed Run first;
   // then a synthetic 6th class derived from E-scooter-like windows
   // cannot exist — so instead run the Run increment and verify a second
-  // LearnNewClasses with an already-known class dies, while re-running on
-  // a fresh learner with both orders works class-by-class.
+  // LearnNewClasses with an already-known class is rejected, while
+  // re-running on a fresh learner with both orders works class-by-class.
   PiloteLearner learner(state_->artifact, state_->config);
-  learner.LearnNewClasses(state_->d_new);
+  MustLearn(learner, state_->d_new);
   EXPECT_EQ(learner.known_classes().size(), 5u);
   EXPECT_EQ(learner.classifier().NumClasses(), 5);
 
@@ -236,7 +258,7 @@ TEST_F(PipelineTest, AnchoredVariantAlsoLearnsNewClass) {
   PiloteConfig anchored_config = state_->config;
   anchored_config.anchor_old_pair_side = true;
   PiloteLearner learner(state_->artifact, anchored_config);
-  learner.LearnNewClasses(state_->d_new);
+  MustLearn(learner, state_->d_new);
   data::Dataset run_test =
       state_->test_all.FilterByClass(ActivityLabel(Activity::kRun));
   auto per_class = eval::PerClassAccuracy(
@@ -249,7 +271,7 @@ TEST_F(PipelineTest, PaperContrastiveFormStillWorksEndToEnd) {
   eq2_config.incremental.contrastive_form =
       losses::ContrastiveForm::kSquaredHinge;
   PiloteLearner learner(state_->artifact, eq2_config);
-  learner.LearnNewClasses(state_->d_new);
+  MustLearn(learner, state_->d_new);
   EXPECT_GT(learner.Evaluate(state_->test_all), 0.6);
 }
 
@@ -269,7 +291,7 @@ TEST_F(PipelineTest, EvaluateOnEmptyTestSetIsFatal) {
 
 TEST_F(PipelineTest, CacheBudgetSurvivesNewClass) {
   PiloteLearner learner(state_->artifact, state_->config);
-  learner.LearnNewClasses(state_->d_new);
+  MustLearn(learner, state_->d_new);
   // Device enforces a total budget across the now-5 classes.
   learner.EnforceSupportBudget(100);  // m = 20/class
   for (int label : learner.support().Classes()) {

@@ -1,17 +1,24 @@
 // Property-style tests: invariants swept over seeds, shapes and
 // configurations with TEST_P / INSTANTIATE_TEST_SUITE_P.
 #include <cmath>
+#include <memory>
 #include <tuple>
+#include <utility>
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "common/rng.h"
+#include "core/cloud.h"
+#include "core/edge_learner.h"
 #include "core/exemplar_selector.h"
 #include "core/ncm_classifier.h"
 #include "har/feature_extractor.h"
 #include "har/har_dataset.h"
 #include "losses/contrastive.h"
 #include "losses/pair_sampler.h"
+#include "nn/backbone.h"
+#include "serialize/io.h"
 #include "serialize/quantize.h"
 #include "tensor/tensor_ops.h"
 
@@ -272,6 +279,99 @@ INSTANTIATE_TEST_SUITE_P(Metrics, NcmMetricTest,
                          ::testing::Values(
                              core::NcmDistance::kSquaredEuclidean,
                              core::NcmDistance::kCosine));
+
+// ------------------------------------------------------- Rollback sweep
+
+// Handcrafted artifact (random backbone, offset class clusters) so the
+// rollback sweep doesn't pay for cloud pre-training on every seed.
+core::CloudArtifact MakeRollbackArtifact(const core::PiloteConfig& config) {
+  Rng rng(505);
+  nn::MlpBackbone model(config.backbone, rng);
+  core::CloudArtifact artifact;
+  artifact.backbone_config = config.backbone;
+  artifact.model_payload = serialize::SerializeModuleToString(model);
+  const int64_t input_dim = config.backbone.input_dim;
+  artifact.scaler.Fit(Tensor::RandNormal(Shape::Matrix(64, input_dim), rng));
+  for (int label = 0; label < 4; ++label) {
+    Tensor exemplars =
+        Tensor::RandNormal(Shape::Matrix(8, input_dim), rng,
+                           static_cast<float>(2 * label), 0.25f);
+    artifact.support.SetClassExemplars(label,
+                                       artifact.scaler.Transform(exemplars));
+    artifact.old_classes.push_back(label);
+  }
+  return artifact;
+}
+
+data::Dataset ClassDataset(int label, int64_t input_dim, Rng& rng) {
+  Tensor features = Tensor::RandNormal(Shape::Matrix(12, input_dim), rng,
+                                       static_cast<float>(2 * label), 0.3f);
+  return data::Dataset(std::move(features), std::vector<int>(12, label));
+}
+
+class RollbackScheduleTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Property: under a seeded random failpoint schedule, every failed
+// LearnNewClasses leaves the learner exactly as it was (class list and
+// predictions bit-identical), every successful one grows the class list
+// by one, and a clean call after the storm always succeeds — i.e. faults
+// never wedge or corrupt the learner, regardless of where they land.
+TEST_P(RollbackScheduleTest, RandomFaultSchedulesNeverLeakPartialState) {
+  const uint64_t seed = GetParam();
+  fail::ScopedFailpoints scope;
+  core::PiloteConfig config = core::PiloteConfig::Small();
+  config.exemplars_per_class = 12;
+  core::CloudArtifact artifact = MakeRollbackArtifact(config);
+  Result<std::unique_ptr<core::EdgeLearner>> made =
+      core::MakeEdgeLearner("pretrained", artifact, config);
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  std::unique_ptr<core::EdgeLearner> learner = std::move(made).value();
+
+  const int64_t input_dim = config.backbone.input_dim;
+  Rng data_rng(seed ^ 0xD00DULL);
+  Tensor probe = Tensor::RandNormal(Shape::Matrix(6, input_dim), data_rng);
+  ASSERT_TRUE(fail::FailpointRegistry::Global()
+                  .Arm("core/learn/mid",
+                       fail::FailpointSpec::WithProbability(0.4, seed))
+                  .ok());
+  ASSERT_TRUE(fail::FailpointRegistry::Global()
+                  .Arm("core/learn/commit",
+                       fail::FailpointSpec::WithProbability(
+                           0.4, seed ^ 0x9E3779B97F4A7C15ULL))
+                  .ok());
+
+  int next_label = 4;
+  int failures = 0;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    data::Dataset d_new = ClassDataset(next_label, input_dim, data_rng);
+    const std::vector<int> pre_known = learner->known_classes();
+    const std::vector<int> pre_predictions = learner->Predict(probe);
+    Result<core::TrainReport> result = learner->LearnNewClasses(d_new);
+    if (result.ok()) {
+      EXPECT_EQ(learner->known_classes().size(), pre_known.size() + 1);
+      ++next_label;
+    } else {
+      ++failures;
+      EXPECT_EQ(learner->known_classes(), pre_known)
+          << "failure leaked a class-list change (attempt " << attempt << ")";
+      EXPECT_EQ(learner->Predict(probe), pre_predictions)
+          << "failure leaked model/prototype state (attempt " << attempt
+          << ")";
+    }
+  }
+  // p(no fire in 10 attempts) = 0.36^10; with the repo's deterministic
+  // Rng this is a fixed schedule per seed, not a flake source.
+  EXPECT_GT(failures, 0);
+
+  fail::FailpointRegistry::Global().DisarmAll();
+  data::Dataset d_clean = ClassDataset(next_label, input_dim, data_rng);
+  Result<core::TrainReport> clean = learner->LearnNewClasses(d_clean);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_TRUE(learner->support().HasClass(next_label));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RollbackScheduleTest,
+                         ::testing::Values(1ull, 7ull, 42ull, 31337ull));
 
 }  // namespace
 }  // namespace pilote

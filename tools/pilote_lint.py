@@ -268,6 +268,11 @@ STMT_KEYWORD_RE = re.compile(
     r"^\s*(?:return|co_return|co_await|co_yield|if|else|while|for|do|switch|"
     r"case|goto|new|delete|throw|sizeof|static_assert|using|typedef)\b")
 
+# PILOTE_FAILPOINT(...) expands to a Status; a bare statement silently
+# swallows the injected fault and defeats the whole chaos suite. The name
+# argument is a string literal, which stripping reduces to empty quotes.
+BARE_FAILPOINT_RE = re.compile(r'^\s*PILOTE_FAILPOINT\s*\(\s*(?:"")?\s*\)\s*;')
+
 
 def stripped_lines_of(path):
     """The file's lines with comments and string/char literals removed, plus
@@ -513,6 +518,15 @@ def check_discarded_results(root, rel_path, stripped, result_fns, errors):
             "failure is truly ignorable")
 
 
+def check_discarded_failpoints(root, rel_path, stripped, errors):
+    for idx, line in enumerate(stripped):
+        if BARE_FAILPOINT_RE.match(line):
+            errors.append(
+                f"{rel_path}:{idx + 1}: the Status of PILOTE_FAILPOINT(...) "
+                "is discarded, so the injected fault would be swallowed; "
+                "wrap it in PILOTE_RETURN_IF_ERROR or handle the Status")
+
+
 def run_style_stage(root, args, headers, sources, errors):
     for h in headers:
         check_header_guard(root, h, errors)
@@ -534,6 +548,7 @@ def run_concurrency_stage(root, errors):
     for rel_path in all_files:
         stripped, _ = stripped_lines_of(os.path.join(root, rel_path))
         check_discarded_results(root, rel_path, stripped, result_fns, errors)
+        check_discarded_failpoints(root, rel_path, stripped, errors)
 
 
 def main():

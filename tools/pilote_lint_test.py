@@ -243,6 +243,29 @@ class DiscardedResultTest(unittest.TestCase):
         """
         self.assertEqual(self.run_check(src), [])
 
+    def test_bare_failpoint_statement_fires(self):
+        src = """
+            Status Save() {
+              PILOTE_FAILPOINT("core/artifact/save");
+              return Status::Ok();
+            }
+        """
+        errors = analyze(src, pilote_lint.check_discarded_failpoints)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("swallowed", errors[0])
+
+    def test_handled_failpoint_passes(self):
+        src = """
+            Status Save() {
+              PILOTE_RETURN_IF_ERROR(PILOTE_FAILPOINT("core/artifact/save"));
+              Status torn = PILOTE_FAILPOINT("serialize/atomic/torn");
+              if (!torn.ok()) return torn;
+              return PILOTE_FAILPOINT("core/artifact/load");
+            }
+        """
+        self.assertEqual(
+            analyze(src, pilote_lint.check_discarded_failpoints), [])
+
     def test_ambiguous_overload_is_not_flagged(self):
         errors = []
         with tempfile.TemporaryDirectory() as tmp:
