@@ -1,0 +1,138 @@
+// Deterministic hot-path accounting: runs the full edge inference path
+// (scale + embed + NCM) window by window on one thread and reports the
+// exact per-window heap-allocation and GEMM-dispatch counts. Unlike the
+// wall-clock benches these quantities are machine-independent, so CI pins
+// them against the committed BENCH_kernels.json baseline via
+// tools/check_bench_regression.py — a change that reintroduces per-window
+// churn on the serve loop fails the compare even when it is too small to
+// move a latency percentile.
+//
+// Flags:
+//   --windows=N        probe windows to classify       (default 64)
+//   --small            test-sized backbone instead of the paper's
+//   --bench-json=PATH  machine-readable output for the regression check
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/alloc_tracker.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "core/cloud.h"
+#include "core/edge_learner.h"
+#include "nn/backbone.h"
+#include "obs/metrics.h"
+#include "serialize/io.h"
+#include "tensor/tensor_ops.h"
+
+namespace {
+
+using pilote::Rng;
+using pilote::Shape;
+using pilote::Tensor;
+
+struct BenchArgs {
+  int windows = 64;
+  bool small = false;
+  std::string bench_json;
+};
+
+BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--windows=", 0) == 0) {
+      args.windows = std::atoi(arg.c_str() + std::strlen("--windows="));
+    } else if (arg == "--small") {
+      args.small = true;
+    } else if (arg.rfind("--bench-json=", 0) == 0) {
+      args.bench_json = arg.substr(std::strlen("--bench-json="));
+    } else {
+      std::fprintf(stderr, "warning: unknown flag %s\n", arg.c_str());
+    }
+  }
+  PILOTE_CHECK_GT(args.windows, 0);
+  return args;
+}
+
+pilote::core::CloudArtifact MakeArtifact(
+    const pilote::core::PiloteConfig& config) {
+  Rng rng(20230901);
+  pilote::nn::MlpBackbone model(config.backbone, rng);
+  pilote::core::CloudArtifact artifact;
+  artifact.backbone_config = config.backbone;
+  artifact.model_payload = pilote::serialize::SerializeModuleToString(model);
+  const int64_t input_dim = config.backbone.input_dim;
+  artifact.scaler.Fit(Tensor::RandNormal(Shape::Matrix(128, input_dim), rng));
+  for (int label = 0; label < 4; ++label) {
+    Tensor exemplars =
+        Tensor::RandNormal(Shape::Matrix(16, input_dim), rng,
+                           /*mean=*/static_cast<float>(2 * label), 0.25f);
+    artifact.support.SetClassExemplars(label,
+                                       artifact.scaler.Transform(exemplars));
+    artifact.old_classes.push_back(label);
+  }
+  return artifact;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  pilote::obs::ScopedEnable metrics_enabled;
+
+  pilote::core::PiloteConfig config = pilote::core::PiloteConfig::Small();
+  if (!args.small) config.backbone = pilote::nn::BackboneConfig::Paper();
+  pilote::Result<std::unique_ptr<pilote::core::EdgeLearner>> learner =
+      pilote::core::MakeEdgeLearner("pilote", MakeArtifact(config), config);
+  PILOTE_CHECK(learner.ok()) << learner.status().ToString();
+
+  Rng rng(7);
+  std::vector<Tensor> windows;
+  windows.reserve(static_cast<size_t>(args.windows));
+  for (int w = 0; w < args.windows; ++w) {
+    windows.push_back(Tensor::RandNormal(
+        Shape::Matrix(1, config.backbone.input_dim), rng));
+  }
+
+  // Warm-up: lazy singletons (metric cells, thread pool) and scratch
+  // buffers initialize outside the measured region, leaving steady state.
+  (void)learner.value()->Predict(windows.front());
+
+  pilote::obs::Counter& gemm_calls =
+      pilote::obs::MetricsRegistry::Global().GetCounter("tensor/gemm_calls");
+  const int64_t gemm_before = gemm_calls.value();
+  pilote::alloc::ScopedTracking track_allocs;
+  pilote::alloc::AllocationScope alloc_scope;
+  int64_t label_sink = 0;
+  for (const Tensor& window : windows) {
+    label_sink += learner.value()->Predict(window).front();
+  }
+  const double n = static_cast<double>(args.windows);
+  const double allocs_per_window = static_cast<double>(alloc_scope.count()) / n;
+  const double gemm_per_window =
+      static_cast<double>(gemm_calls.value() - gemm_before) / n;
+
+  std::printf("alloc stats: %d windows (%s backbone), label checksum %lld\n",
+              args.windows, args.small ? "small" : "paper",
+              static_cast<long long>(label_sink));
+  std::printf("  allocs/window: %.2f\n", allocs_per_window);
+  std::printf("  gemm calls/window: %.2f\n", gemm_per_window);
+
+  if (!args.bench_json.empty()) {
+    std::FILE* f = std::fopen(args.bench_json.c_str(), "w");
+    PILOTE_CHECK(f != nullptr) << "cannot write " << args.bench_json;
+    std::fprintf(f,
+                 "{\n"
+                 "  \"allocs_per_window\": %.3f,\n"
+                 "  \"gemm_calls_per_window\": %.3f\n"
+                 "}\n",
+                 allocs_per_window, gemm_per_window);
+    std::fclose(f);
+    std::printf("bench json written to %s\n", args.bench_json.c_str());
+  }
+  return 0;
+}

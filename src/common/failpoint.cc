@@ -137,6 +137,7 @@ Status ValidateSpec(const std::string& name, const FailpointSpec& spec) {
 
 namespace internal {
 
+// hotpath-ok: one-time environment parse, first failpoint check only
 bool InitFromEnvironment() {
   const char* env = std::getenv("PILOTE_FAILPOINTS");
   if (env == nullptr || env[0] == '\0') return false;
@@ -212,6 +213,7 @@ FailpointStats Failpoint::Stats() const {
   return stats;
 }
 
+// hotpath-ok: process-lifetime singleton, allocates on first call only
 FailpointRegistry& FailpointRegistry::Global() {
   static FailpointRegistry* registry = new FailpointRegistry();
   return *registry;

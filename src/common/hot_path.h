@@ -1,0 +1,49 @@
+#ifndef PILOTE_COMMON_HOT_PATH_H_
+#define PILOTE_COMMON_HOT_PATH_H_
+
+// Hot-path discipline annotation surface (see DESIGN.md "Hot-path
+// discipline").
+//
+// PILOTE_HOT_PATH marks a function as a steady-state serve-loop root: the
+// repo analyzer (`tools/pilote_lint.py --stage hotpath`, the
+// `repo_hotpath` ctest test) computes the transitive intra-repo call
+// closure of every marked function and rejects, anywhere in that closure:
+//
+//   * heap allocation (`new`, make_unique/make_shared, container
+//     push_back/emplace_back/resize/reserve/insert, construction of
+//     local Tensor/std::vector/std::string/... values)
+//   * string building (std::to_string, literal concatenation, ostringstream)
+//   * writer-lock acquisition (MutexLock, WriterLock; ReaderLock is fine)
+//   * exceptions (`throw`)
+//   * blocking I/O (fstream, PILOTE_LOG, printf-family, sleep_for)
+//
+// Two escape hatches, both requiring a reason:
+//
+//   * `// hotpath-ok: <reason>` on the offending line (or a comment line
+//     directly above it) exempts that one statement — for allocations that
+//     are provably amortized (reserved capacity, function-local static
+//     registration) or cold (error branches).
+//   * `// hotpath-ok: <reason>` on a function's definition head exempts
+//     the whole body — for functions pulled into the closure by name that
+//     are not actually on the steady-state path, or for leaf kernels whose
+//     single output allocation is the documented per-call budget.
+//
+// PILOTE_CHECK / PILOTE_DCHECK statements are exempt by construction: the
+// streamed message is only materialized on the failure (abort) path.
+//
+// The marker doubles as an optimizer hint: on GCC/Clang the function is
+// placed in the hot text section and optimized more aggressively. It has
+// no semantic effect.
+//
+// Runtime counterpart: src/common/alloc_tracker.h counts the allocations
+// the analyzer reasons about statically; the serve loop's steady-state
+// allocs-per-window is pinned by test and reported by bench_serving and
+// core::ProfileEdge.
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PILOTE_HOT_PATH __attribute__((hot))
+#else
+#define PILOTE_HOT_PATH
+#endif
+
+#endif  // PILOTE_COMMON_HOT_PATH_H_

@@ -68,6 +68,8 @@ void ThreadPool::ParallelFor(int64_t count,
   });
 }
 
+// hotpath-ok: worker handoff synchronization is the cost of parallel
+// dispatch; the queue lock and completion wait are the mechanism.
 void ThreadPool::ParallelForRanges(
     int64_t count, const std::function<void(int64_t, int64_t)>& fn) {
   if (count <= 0) return;
@@ -102,6 +104,7 @@ void ThreadPool::ParallelForRanges(
   }
 }
 
+// hotpath-ok: process-lifetime singleton, allocates on first call only
 ThreadPool& ThreadPool::Global() {
   static ThreadPool* pool = new ThreadPool();
   return *pool;

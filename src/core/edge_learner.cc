@@ -92,6 +92,7 @@ std::vector<int> EdgeLearner::Predict(const Tensor& raw_features) const {
   // amortized per-window latency so the histogram stays comparable with the
   // row-at-a-time streaming path.
   WallTimer timer;
+  // hotpath-ok: the per-call output labels
   std::vector<int> labels = classifier_.Predict(EmbedRaw(raw_features));
   const int64_t rows = std::max<int64_t>(1, raw_features.rows());
   const double per_window_ms = timer.ElapsedSeconds() * 1e3 /

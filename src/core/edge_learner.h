@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/hot_path.h"
 #include "core/cloud.h"
 #include "core/config.h"
 #include "core/ncm_classifier.h"
@@ -57,13 +58,13 @@ class EdgeLearner {
   Result<TrainReport> LearnNewClasses(const data::Dataset& d_new);
 
   // NCM inference on raw feature rows.
-  std::vector<int> Predict(const Tensor& raw_features) const;
+  PILOTE_HOT_PATH std::vector<int> Predict(const Tensor& raw_features) const;
   // Batched inference entry point for the serving layer: identical labels
   // to Predict (the embedding and NCM stages are row-independent), but
   // skips the per-row latency bookkeeping so one call costs one scaler
   // pass, one backbone forward (a single GEMM chain for all K rows) and
   // one NCM pass.
-  std::vector<int> PredictBatch(const Tensor& raw_features) const;
+  PILOTE_HOT_PATH std::vector<int> PredictBatch(const Tensor& raw_features) const;
   // Accuracy on a raw-feature test set.
   double Evaluate(const data::Dataset& raw_test) const;
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/alloc_tracker.h"
 #include "obs/metrics.h"
 #include "serialize/quantize.h"
 #include "tensor/tensor_ops.h"
@@ -20,7 +21,8 @@ std::string EdgeProfileReport::ToString() const {
      << "prototypes: " << prototype_bytes << " B\n"
      << "inference: " << inference_ms_per_window << " ms/window (p50 "
      << inference_p50_ms << ", p95 " << inference_p95_ms << ", p99 "
-     << inference_p99_ms << ")\n"
+     << inference_p99_ms << "), " << inference_allocs_per_window
+     << " allocs/window\n"
      << "training: ";
   if (std::isnan(train_epoch_seconds)) {
     os << "n/a";
@@ -58,9 +60,17 @@ EdgeProfileReport ProfileEdge(const EdgeLearner& learner,
   obs::Histogram& latency = obs::MetricsRegistry::Global().GetHistogram(
       "core/inference_window_ms");
   const obs::HistogramSnapshot before = latency.Snapshot();
+  // The allocation count includes the probe-row gather — one small
+  // constant per window, same as the serve ingest handing a feature row
+  // to the batcher — so the figure matches the deployed steady state.
+  alloc::ScopedTracking track_allocs;
+  alloc::AllocationScope alloc_scope;
   for (int64_t r = 0; r < probe_features.rows(); ++r) {
     learner.Predict(GatherRows(probe_features, {r}));
   }
+  report.inference_allocs_per_window =
+      static_cast<double>(alloc_scope.count()) /
+      static_cast<double>(probe_features.rows());
   const obs::HistogramSnapshot probe =
       obs::Delta(before, latency.Snapshot());
   report.inference_ms_per_window = probe.Mean();

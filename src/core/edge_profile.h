@@ -23,6 +23,10 @@ struct EdgeProfileReport {
   double inference_p50_ms = 0.0;         // per-window latency percentiles
   double inference_p95_ms = 0.0;
   double inference_p99_ms = 0.0;
+  // Heap allocations per classified window (scale + embed + NCM),
+  // measured via common/alloc_tracker.h. Steady-state churn, the edge
+  // budget the hot-path lint enforces statically.
+  double inference_allocs_per_window = 0.0;
   // NaN until the learner has trained (ToString prints "n/a").
   double train_epoch_seconds = std::numeric_limits<double>::quiet_NaN();
 

@@ -23,6 +23,8 @@ Tensor Embed(nn::Module& model, const Tensor& features) {
   return out.value();
 }
 
+// hotpath-ok: autograd forward allocates per-op tape nodes; the
+// arena'd inference executor that removes them is roadmap item 3.
 Tensor EmbedBatched(nn::Module& model, const Tensor& features,
                     int64_t batch_size) {
   PILOTE_CHECK_GT(batch_size, 0);

@@ -20,12 +20,14 @@ void NcmClassifier::SetPrototype(int label, Tensor prototype) {
   if (it != labels_.end() && *it == label) {
     prototypes_[static_cast<size_t>(it - labels_.begin())] =
         std::move(prototype);
+    RebuildCache();
     return;
   }
   const size_t pos = static_cast<size_t>(it - labels_.begin());
   labels_.insert(it, label);
   prototypes_.insert(prototypes_.begin() + static_cast<ptrdiff_t>(pos),
                      std::move(prototype));
+  RebuildCache();
 }
 
 void NcmClassifier::SetPrototypeFromEmbeddings(int label,
@@ -38,6 +40,7 @@ void NcmClassifier::SetPrototypeFromEmbeddings(int label,
 void NcmClassifier::Clear() {
   labels_.clear();
   prototypes_.clear();
+  RebuildCache();
 }
 
 bool NcmClassifier::HasPrototype(int label) const {
@@ -63,28 +66,40 @@ int64_t NcmClassifier::embedding_dim() const {
   return prototypes_.front().dim(0);
 }
 
-Tensor NcmClassifier::PrototypeMatrix() const {
+void NcmClassifier::RebuildCache() {
+  if (prototypes_.empty()) {
+    proto_matrix_ = Tensor();
+    proto_sq_norms_ = Tensor();
+    return;
+  }
   const int64_t d = embedding_dim();
-  Tensor protos(Shape::Matrix(static_cast<int64_t>(prototypes_.size()), d));
+  const int64_t k = static_cast<int64_t>(prototypes_.size());
+  if (proto_matrix_.rank() != 2 || proto_matrix_.rows() != k ||
+      proto_matrix_.cols() != d) {
+    proto_matrix_ = Tensor(Shape::Matrix(k, d));
+  }
   for (size_t i = 0; i < prototypes_.size(); ++i) {
     std::copy(prototypes_[i].data(), prototypes_[i].data() + d,
-              protos.row(static_cast<int64_t>(i)));
+              proto_matrix_.row(static_cast<int64_t>(i)));
   }
-  return protos;
+  proto_sq_norms_ = RowSquaredNorm(proto_matrix_);
 }
 
 Tensor NcmClassifier::DistanceMatrix(const Tensor& embeddings) const {
   PILOTE_CHECK(!prototypes_.empty()) << "no prototypes registered";
-  Tensor protos = PrototypeMatrix();
+  const Tensor& protos = proto_matrix_;
   switch (distance_) {
     case NcmDistance::kSquaredEuclidean:
-      return PairwiseSquaredDistance(embeddings, protos);
+      // The cached norms are RowSquaredNorm(protos) verbatim, so this is
+      // bit-identical to the uncached two-argument overload.
+      return PairwiseSquaredDistance(embeddings, protos, proto_sq_norms_);
     case NcmDistance::kCosine: {
       // 1 - <x, mu> / (||x|| ||mu||); degenerate zero vectors score 1.
+      // hotpath-ok: per-call GEMM temporaries of the cosine metric
       Tensor dots = MatMulTransB(embeddings, protos);
-      Tensor x_norm = RowSquaredNorm(embeddings);
-      Tensor p_norm = RowSquaredNorm(protos);
-      Tensor out(dots.shape());
+      Tensor x_norm = RowSquaredNorm(embeddings);  // hotpath-ok: ditto
+      const Tensor& p_norm = proto_sq_norms_;
+      Tensor out(dots.shape());  // hotpath-ok: the per-call output
       for (int64_t i = 0; i < dots.rows(); ++i) {
         for (int64_t j = 0; j < dots.cols(); ++j) {
           const float denom = std::sqrt(x_norm[i] * p_norm[j]);
@@ -96,14 +111,17 @@ Tensor NcmClassifier::DistanceMatrix(const Tensor& embeddings) const {
     }
   }
   PILOTE_CHECK(false) << "unreachable";
-  return Tensor();
+  return Tensor();  // hotpath-ok: unreachable
 }
 
 std::vector<int> NcmClassifier::Predict(const Tensor& embeddings) const {
   PILOTE_METRIC_COUNT("core/ncm_predictions", embeddings.rows());
+  // hotpath-ok: the distance matrix and label vector are the
+  // per-call outputs
   Tensor distances = DistanceMatrix(embeddings);
+  // hotpath-ok: per-call output
   std::vector<int64_t> nearest = ArgMinPerRow(distances);
-  std::vector<int> result(nearest.size());
+  std::vector<int> result(nearest.size());  // hotpath-ok: output
   for (size_t i = 0; i < nearest.size(); ++i) {
     result[i] = labels_[static_cast<size_t>(nearest[i])];
   }

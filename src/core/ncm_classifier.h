@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "common/hot_path.h"
 
 namespace pilote {
 namespace core {
@@ -39,11 +40,11 @@ class NcmClassifier {
   int64_t embedding_dim() const;
 
   // Nearest-prototype label per row of `embeddings` [n, d].
-  std::vector<int> Predict(const Tensor& embeddings) const;
+  PILOTE_HOT_PATH std::vector<int> Predict(const Tensor& embeddings) const;
 
   // Distance of each row to each prototype under the configured metric,
   // columns ordered as Labels() -> [n, k].
-  Tensor DistanceMatrix(const Tensor& embeddings) const;
+  PILOTE_HOT_PATH Tensor DistanceMatrix(const Tensor& embeddings) const;
 
   NcmDistance distance() const { return distance_; }
 
@@ -52,12 +53,20 @@ class NcmClassifier {
 
  private:
   int IndexOf(int label) const;
-  // Prototypes stacked into one [k, d] matrix.
-  Tensor PrototypeMatrix() const;
+  // Refreshes the stacked prototype matrix and its row norms after a
+  // prototype mutation.
+  void RebuildCache();
 
   NcmDistance distance_ = NcmDistance::kSquaredEuclidean;
   std::vector<int> labels_;          // sorted
   std::vector<Tensor> prototypes_;   // aligned with labels_
+  // Prototypes stacked into one [k, d] matrix plus their squared row
+  // norms, rebuilt on every prototype mutation (SetPrototype / Clear) so
+  // the predict path neither allocates prototype temporaries nor redoes
+  // the k*d norm reduction per call. The cached norms are the exact
+  // RowSquaredNorm output, keeping distances bit-identical.
+  Tensor proto_matrix_;
+  Tensor proto_sq_norms_;
 };
 
 }  // namespace core

@@ -1,6 +1,7 @@
 #include "core/streaming_classifier.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/timer.h"
 #include "har/feature_extractor.h"
@@ -11,22 +12,27 @@
 namespace pilote {
 namespace core {
 
-StreamingClassifier::StreamingClassifier(const EdgeLearner* learner,
-                                         const Options& options)
-    : learner_(learner), options_(options) {
-  PILOTE_CHECK(learner != nullptr);
+namespace {
+
+const StreamingOptions& Validated(const StreamingOptions& options) {
   Status valid = ValidateStreamingOptions(options);
   PILOTE_CHECK(valid.ok()) << valid.ToString();
-  buffer_.reserve(static_cast<size_t>(options.window_length));
+  return options;
+}
+
+}  // namespace
+
+StreamingClassifier::StreamingClassifier(const EdgeLearner* learner,
+                                         const Options& options)
+    : learner_(learner),
+      options_(Validated(options)),
+      assembler_(options_.window_length, options_.denoise_half_width),
+      recent_(options_.vote_window) {
+  PILOTE_CHECK(learner != nullptr);
 }
 
 std::optional<int> StreamingClassifier::PushSample(const Tensor& sample) {
-  PILOTE_CHECK_EQ(sample.rank(), 1);
-  PILOTE_CHECK_EQ(sample.dim(0), har::kNumChannels);
-  buffer_.push_back(sample.Reshape(Shape::Matrix(1, har::kNumChannels)));
-  if (static_cast<int>(buffer_.size()) < options_.window_length) {
-    return std::nullopt;
-  }
+  if (!assembler_.Append(sample, &features_)) return std::nullopt;
   return ClassifyWindow();
 }
 
@@ -44,21 +50,15 @@ std::vector<int> StreamingClassifier::PushBlock(const Tensor& samples) {
 int StreamingClassifier::ClassifyWindow() {
   PILOTE_TRACE_SPAN("core/classify_window");
   WallTimer timer;
-  Tensor window = ConcatRows(buffer_);
-  buffer_.clear();
-  window = har::DenoiseMovingAverage(window, options_.denoise_half_width);
-  Tensor features = har::ExtractFeatures(window)
-                        .Reshape(Shape::Matrix(1, har::kNumFeatures));
-  const int raw = learner_->Predict(features).front();
+  // features_ was filled by the assembler when the window completed.
+  const int raw = learner_->Predict(features_).front();
   PILOTE_METRIC_COUNT("core/windows_classified", 1);
   PILOTE_METRIC_HISTOGRAM("core/stream_window_ms",
                           timer.ElapsedSeconds() * 1e3);
 
+  // hotpath-ok: unbounded raw-label telemetry by design
   window_history_.push_back(raw);
-  recent_.push_back(raw);
-  while (static_cast<int>(recent_.size()) > options_.vote_window) {
-    recent_.pop_front();
-  }
+  recent_.Push(raw);
   current_ = MajorityVote();
   return *current_;
 }
@@ -80,7 +80,7 @@ int MajorityVoteLabel(const std::deque<int>& recent) {
 }
 
 int StreamingClassifier::MajorityVote() const {
-  return MajorityVoteLabel(recent_);
+  return recent_.MajorityLabel();
 }
 
 Result<int> StreamingClassifier::CurrentActivity() const {

@@ -2,20 +2,24 @@
 #define PILOTE_CORE_STREAMING_CLASSIFIER_H_
 
 #include <deque>
-#include <map>
 #include <optional>
 #include <vector>
 
 #include "common/result.h"
+#include "common/hot_path.h"
 #include "core/edge_learner.h"
+#include "core/vote_ring.h"
 #include "har/preprocessing.h"
+#include "har/window_assembler.h"
 
 namespace pilote {
 namespace core {
 
 // Majority label over the trailing window of raw labels; ties break toward
-// the most recent label. Shared by StreamingClassifier and the serving
-// layer's sessions so the smoothing semantics cannot diverge. CHECKs
+// the most recent label. Reference implementation of the vote semantics:
+// the hot paths (StreamingClassifier and the serving layer's sessions) use
+// the allocation-free core::VoteRing, whose agreement with this function
+// is pinned by test so the smoothing semantics cannot diverge. CHECKs
 // against an empty history.
 int MajorityVoteLabel(const std::deque<int>& recent);
 
@@ -39,7 +43,7 @@ class StreamingClassifier {
 
   // Feeds one sensor sample [har::kNumChannels]. Returns a prediction
   // when this sample completes a window, std::nullopt otherwise.
-  std::optional<int> PushSample(const Tensor& sample);
+  PILOTE_HOT_PATH std::optional<int> PushSample(const Tensor& sample);
 
   // Feeds a [t, kNumChannels] block; returns one label per completed
   // window, in order.
@@ -60,8 +64,9 @@ class StreamingClassifier {
 
   const EdgeLearner* learner_;
   Options options_;
-  std::vector<Tensor> buffer_;           // samples of the current window
-  std::deque<int> recent_;               // last vote_window raw labels
+  har::WindowAssembler assembler_;  // preallocated current-window buffer
+  VoteRing recent_;                 // last vote_window raw labels
+  Tensor features_;                 // [1, kNumFeatures] scratch, reused
   std::vector<int> window_history_;
   std::optional<int> current_;
 };

@@ -22,8 +22,22 @@ void StandardScaler::Fit(const Tensor& features) {
 
 Tensor StandardScaler::Transform(const Tensor& features) const {
   PILOTE_CHECK(fitted()) << "StandardScaler::Transform before Fit";
+  PILOTE_CHECK_EQ(features.rank(), 2);
   PILOTE_CHECK_EQ(features.cols(), mean_.dim(0));
-  return DivRowVector(SubRowVector(features, mean_), stddev_);
+  // Fused (x - mean) / stddev: the same operation order as
+  // DivRowVector(SubRowVector(...)) — so bit-identical — without the
+  // intermediate difference tensor on the serve hot path.
+  Tensor out(features.shape());  // hotpath-ok: the output row batch
+  const int64_t n = features.rows();
+  const int64_t d = features.cols();
+  const float* pm = mean_.data();
+  const float* ps = stddev_.data();
+  for (int64_t r = 0; r < n; ++r) {
+    const float* pf = features.row(r);
+    float* po = out.row(r);
+    for (int64_t c = 0; c < d; ++c) po[c] = (pf[c] - pm[c]) / ps[c];
+  }
+  return out;
 }
 
 Dataset StandardScaler::Transform(const Dataset& dataset) const {

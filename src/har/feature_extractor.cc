@@ -42,31 +42,46 @@ void JerkMeanVar(const Tensor& window, int channel, double* mean,
   *var = acc / static_cast<double>(n - 1);
 }
 
-}  // namespace
-
-Tensor ExtractFeatures(const Tensor& window) {
+// Writes the kNumFeatures features of `window` to `out`; the single
+// implementation behind every public extraction entry point, so the
+// allocating and in-place variants cannot diverge numerically.
+void FillFeatures(const Tensor& window, float* out) {
   PILOTE_CHECK_EQ(window.rank(), 2);
   PILOTE_CHECK_EQ(window.cols(), kNumChannels);
   PILOTE_CHECK_GE(window.rows(), 2);
-
-  Tensor features(Shape::Vector(kNumFeatures));
   int64_t f = 0;
   for (int c = 0; c < kNumChannels; ++c) {
     double mean = 0.0;
     double var = 0.0;
     MeanVar(window, c, &mean, &var);
-    features[f++] = static_cast<float>(mean);
-    features[f++] = static_cast<float>(var);
+    out[f++] = static_cast<float>(mean);
+    out[f++] = static_cast<float>(var);
   }
   for (int c = 0; c < kNumTriAxisChannels; ++c) {
     double mean = 0.0;
     double var = 0.0;
     JerkMeanVar(window, c, &mean, &var);
-    features[f++] = static_cast<float>(mean);
-    features[f++] = static_cast<float>(var);
+    out[f++] = static_cast<float>(mean);
+    out[f++] = static_cast<float>(var);
   }
   PILOTE_CHECK_EQ(f, kNumFeatures);
+}
+
+}  // namespace
+
+Tensor ExtractFeatures(const Tensor& window) {
+  Tensor features(Shape::Vector(kNumFeatures));
+  FillFeatures(window, features.data());
   return features;
+}
+
+void ExtractFeaturesInto(const Tensor& window, Tensor* features) {
+  PILOTE_CHECK(features != nullptr);
+  if (features->rank() != 2 || features->rows() != 1 ||
+      features->cols() != kNumFeatures) {
+    *features = Tensor(Shape::Matrix(1, kNumFeatures));  // hotpath-ok: first window only
+  }
+  FillFeatures(window, features->data());
 }
 
 Tensor ExtractFeaturesBatch(const std::vector<Tensor>& windows) {
@@ -74,9 +89,7 @@ Tensor ExtractFeaturesBatch(const std::vector<Tensor>& windows) {
   Tensor batch(Shape::Matrix(static_cast<int64_t>(windows.size()),
                              kNumFeatures));
   for (size_t i = 0; i < windows.size(); ++i) {
-    Tensor features = ExtractFeatures(windows[i]);
-    std::copy(features.data(), features.data() + kNumFeatures,
-              batch.row(static_cast<int64_t>(i)));
+    FillFeatures(windows[i], batch.row(static_cast<int64_t>(i)));
   }
   return batch;
 }

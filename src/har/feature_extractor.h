@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "har/sensor_layout.h"
+#include "common/hot_path.h"
 #include "tensor/tensor.h"
 
 namespace pilote {
@@ -21,6 +22,12 @@ inline constexpr int kNumFeatures = 80;
 
 // window: [kWindowLength, kNumChannels] -> [kNumFeatures].
 Tensor ExtractFeatures(const Tensor& window);
+
+// In-place variant for the serve hot loop: writes the features of `window`
+// into *features shaped [1, kNumFeatures] (a batched-classification row),
+// resizing only on first use. Values are bit-identical to ExtractFeatures.
+PILOTE_HOT_PATH void ExtractFeaturesInto(const Tensor& window,
+                                         Tensor* features);
 
 // Batch version: stacks ExtractFeatures over a list of windows.
 Tensor ExtractFeaturesBatch(const std::vector<Tensor>& windows);

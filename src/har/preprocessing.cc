@@ -1,6 +1,7 @@
 #include "har/preprocessing.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/macros.h"
 #include "har/feature_extractor.h"
@@ -13,9 +14,28 @@ Tensor DenoiseMovingAverage(const Tensor& recording, int half_width) {
   PILOTE_CHECK_EQ(recording.rank(), 2);
   PILOTE_CHECK_GE(half_width, 0);
   if (half_width == 0) return recording;
+  Tensor smoothed;
+  DenoiseMovingAverageInto(recording, half_width, &smoothed);
+  return smoothed;
+}
+
+void DenoiseMovingAverageInto(const Tensor& recording, int half_width,
+                              Tensor* out) {
+  PILOTE_CHECK_EQ(recording.rank(), 2);
+  PILOTE_CHECK_GE(half_width, 0);
+  PILOTE_CHECK(out != nullptr);
+  PILOTE_CHECK(out != &recording) << "in-place smoothing would corrupt input";
+  if (out->shape() != recording.shape()) {
+    *out = Tensor(recording.shape());  // hotpath-ok: first window only
+  }
+  if (half_width == 0) {
+    std::memcpy(out->data(), recording.data(),
+                static_cast<size_t>(recording.numel()) * sizeof(float));
+    return;
+  }
   const int64_t t_len = recording.rows();
   const int64_t channels = recording.cols();
-  Tensor smoothed(recording.shape());
+  Tensor& smoothed = *out;
   for (int64_t t = 0; t < t_len; ++t) {
     const int64_t begin = std::max<int64_t>(0, t - half_width);
     const int64_t end = std::min<int64_t>(t_len - 1, t + half_width);
@@ -26,7 +46,6 @@ Tensor DenoiseMovingAverage(const Tensor& recording, int half_width) {
       smoothed(t, c) = acc * inv_n;
     }
   }
-  return smoothed;
 }
 
 Result<std::vector<Tensor>> SegmentWindows(const Tensor& recording,

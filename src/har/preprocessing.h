@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/hot_path.h"
 #include "har/activity.h"
 #include "har/sensor_simulator.h"
 #include "tensor/tensor.h"
@@ -19,6 +20,12 @@ namespace har {
 // (odd window size; ends use the available neighborhood). half_width = 0
 // returns the input unchanged.
 Tensor DenoiseMovingAverage(const Tensor& recording, int half_width);
+
+// In-place variant for the serve hot loop: writes the smoothed recording
+// into *out (resized on first use; no allocation once the shape matches).
+// half_width = 0 copies the input. Bit-identical to DenoiseMovingAverage.
+PILOTE_HOT_PATH void DenoiseMovingAverageInto(const Tensor& recording,
+                                              int half_width, Tensor* out);
 
 // Splits a [t, c] recording into fixed-length windows with the given
 // stride (stride == window_length -> disjoint windows, the paper's

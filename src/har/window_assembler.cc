@@ -1,0 +1,39 @@
+#include "har/window_assembler.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+#include "har/feature_extractor.h"
+#include "har/preprocessing.h"
+#include "har/sensor_layout.h"
+
+namespace pilote {
+namespace har {
+
+WindowAssembler::WindowAssembler(int window_length, int denoise_half_width)
+    : window_length_(window_length), half_width_(denoise_half_width) {
+  PILOTE_CHECK_GT(window_length, 0);
+  PILOTE_CHECK_GE(denoise_half_width, 0);
+  window_ = Tensor(Shape::Matrix(window_length, kNumChannels));
+}
+
+bool WindowAssembler::Append(const Tensor& sample, Tensor* features) {
+  PILOTE_CHECK_EQ(sample.rank(), 1);
+  PILOTE_CHECK_EQ(sample.dim(0), kNumChannels);
+  PILOTE_CHECK(features != nullptr);
+  std::memcpy(window_.row(cursor_), sample.data(),
+              static_cast<size_t>(kNumChannels) * sizeof(float));
+  ++cursor_;
+  if (cursor_ < window_length_) return false;
+  cursor_ = 0;
+  if (half_width_ > 0) {
+    DenoiseMovingAverageInto(window_, half_width_, &denoised_);
+    ExtractFeaturesInto(denoised_, features);
+  } else {
+    ExtractFeaturesInto(window_, features);
+  }
+  return true;
+}
+
+}  // namespace har
+}  // namespace pilote

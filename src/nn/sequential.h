@@ -15,6 +15,8 @@ class Sequential : public Module {
  public:
   Sequential() = default;
 
+  // hotpath-ok: model assembly at construction time, not the
+  // streaming WindowAssembler::Append
   void Append(std::unique_ptr<Module> module) {
     PILOTE_CHECK(module != nullptr);
     children_.push_back(std::move(module));

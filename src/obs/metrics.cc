@@ -145,6 +145,7 @@ HistogramSnapshot Delta(const HistogramSnapshot& before,
 
 // ------------------------------------------------------------- Registry
 
+// hotpath-ok: process-lifetime singleton, allocates on first call only
 MetricsRegistry& MetricsRegistry::Global() {
   // Leaked so instrumentation in static destructors stays safe.
   static MetricsRegistry* registry = new MetricsRegistry();

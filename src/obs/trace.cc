@@ -34,6 +34,7 @@ uint64_t CurrentThreadId() {
 // pointers for the process lifetime.
 class SpanRegistry {
  public:
+  // hotpath-ok: process-lifetime singleton, allocates on first call only
   static SpanRegistry& Global() {
     static SpanRegistry* registry = new SpanRegistry();
     return *registry;
@@ -103,6 +104,7 @@ struct CaptureState {
     }
   }
 
+  // hotpath-ok: process-lifetime singleton, allocates on first call only
   static CaptureState& Global() {
     static CaptureState* state = new CaptureState();
     return *state;

@@ -1,15 +1,16 @@
 #include "serve/batching_engine.h"
 
 #include <chrono>
+#include <cstring>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/alloc_tracker.h"
 #include "common/macros.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/learner_handle.h"
-#include "tensor/tensor_ops.h"
 
 namespace pilote {
 namespace serve {
@@ -92,11 +93,12 @@ void BatchingEngine::WorkerLoop() {
 
 void BatchingEngine::ProcessBatch(std::vector<PredictRequest>& batch) {
   PILOTE_TRACE_SPAN("serve/process_batch");
+  alloc::AllocationScope alloc_scope;
   {
     // Surfaced by the annotation pass: this counter was declared guarded by
     // stats_mutex_ but no path ever advanced it, so batches_flushed()
     // always reported 0.
-    MutexLock lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);  // hotpath-ok: uncontended stats tick
     ++batches_flushed_;
   }
   PILOTE_METRIC_COUNT("serve/batches", 1);
@@ -106,44 +108,67 @@ void BatchingEngine::ProcessBatch(std::vector<PredictRequest>& batch) {
                           static_cast<double>(queue_.size()));
 
   // Group requests by learner, preserving arrival order within each group,
-  // so each distinct learner gets exactly one batched forward.
-  std::vector<std::vector<size_t>> groups;
-  std::vector<const LearnerHandle*> group_keys;
+  // so each distinct learner gets exactly one batched forward. The group
+  // index is member scratch: it grows to the distinct-learner high-water
+  // mark once and is reused (capacity-preserving clear) ever after.
+  group_count_ = 0;
   for (size_t i = 0; i < batch.size(); ++i) {
     const LearnerHandle* key = batch[i].session->learner().get();
     size_t g = 0;
-    for (; g < group_keys.size(); ++g) {
-      if (group_keys[g] == key) break;
+    for (; g < group_count_; ++g) {
+      if (group_keys_[g] == key) break;
     }
-    if (g == group_keys.size()) {
-      group_keys.push_back(key);
-      groups.emplace_back();
+    if (g == group_count_) {
+      if (group_count_ == group_keys_.size()) {
+        group_keys_.push_back(nullptr);  // hotpath-ok: high-water growth
+        group_rows_.emplace_back();      // hotpath-ok: high-water growth
+      }
+      group_keys_[g] = key;
+      group_rows_[g].clear();
+      ++group_count_;
     }
-    groups[g].push_back(i);
+    group_rows_[g].push_back(i);  // hotpath-ok: capacity reused across flushes
   }
 
-  for (size_t g = 0; g < groups.size(); ++g) {
-    std::vector<Tensor> rows;
-    rows.reserve(groups[g].size());
-    for (size_t i : groups[g]) rows.push_back(batch[i].features);
-    const Tensor features = ConcatRows(rows);
+  for (size_t g = 0; g < group_count_; ++g) {
+    const std::vector<size_t>& rows = group_rows_[g];
+    const int64_t dim = batch[rows.front()].features.cols();
+    const int64_t n = static_cast<int64_t>(rows.size());
+    // Assemble the [n, dim] forward input in the reused member buffer:
+    // same values and layout as ConcatRows of the request rows, without
+    // the per-flush tensor vector and concat allocation.
+    if (flush_features_.rank() != 2 || flush_features_.cols() != dim) {
+      flush_features_ =
+          Tensor(Shape::Matrix(n, dim));  // hotpath-ok: first flush only
+    } else {
+      flush_features_.ResizeRows(n);
+    }
+    for (size_t k = 0; k < rows.size(); ++k) {
+      const Tensor& row = batch[rows[k]].features;
+      PILOTE_DCHECK(row.rank() == 2 && row.rows() == 1 && row.cols() == dim);
+      std::memcpy(flush_features_.row(static_cast<int64_t>(k)), row.data(),
+                  static_cast<size_t>(dim) * sizeof(float));
+    }
+    const Tensor& features = flush_features_;
 
     // Bounded retry-with-backoff on transient faults: the learner forward
     // may report kUnavailable (in production a device-side brownout, in the
     // chaos suite the "serve/predict" failpoint). Anything else fails the
     // batch immediately — retrying a deterministic error only burns the
     // latency budget.
-    Result<std::vector<int>> labels = group_keys[g]->TryPredictBatch(features);
+    Result<std::vector<int>> labels =
+        group_keys_[g]->TryPredictBatch(features);
     for (int attempt = 0;
          !labels.ok() && labels.status().code() == StatusCode::kUnavailable &&
          attempt < options_.predict_retries;
          ++attempt) {
       PILOTE_METRIC_COUNT("serve/faults_injected", 1);
       if (options_.retry_backoff_us > 0) {
+        // hotpath-ok: fault-retry backoff, cold path by construction
         std::this_thread::sleep_for(
             std::chrono::microseconds(options_.retry_backoff_us << attempt));
       }
-      labels = group_keys[g]->TryPredictBatch(features);
+      labels = group_keys_[g]->TryPredictBatch(features);
       if (labels.ok()) PILOTE_METRIC_COUNT("serve/recoveries", 1);
     }
 
@@ -152,16 +177,16 @@ void BatchingEngine::ProcessBatch(std::vector<PredictRequest>& batch) {
       // degraded with the session's last smoothed label, leaving the vote
       // history untouched — the same contract as a deadline miss.
       PILOTE_METRIC_COUNT("serve/faults_injected", 1);
-      for (size_t k = 0; k < groups[g].size(); ++k) {
-        PredictRequest& request = batch[groups[g][k]];
+      for (size_t k = 0; k < rows.size(); ++k) {
+        PredictRequest& request = batch[rows[k]];
         request.done.set_value(request.session->LastPrediction().label);
       }
       continue;
     }
 
-    PILOTE_CHECK_EQ(labels.value().size(), groups[g].size());
-    for (size_t k = 0; k < groups[g].size(); ++k) {
-      PredictRequest& request = batch[groups[g][k]];
+    PILOTE_CHECK_EQ(labels.value().size(), rows.size());
+    for (size_t k = 0; k < rows.size(); ++k) {
+      PredictRequest& request = batch[rows[k]];
       const int smoothed = request.session->CompleteWindow(labels.value()[k]);
       request.done.set_value(smoothed);
       using MilliDouble = std::chrono::duration<double, std::milli>;
@@ -170,6 +195,18 @@ void BatchingEngine::ProcessBatch(std::vector<PredictRequest>& batch) {
               .count();
       PILOTE_METRIC_HISTOGRAM("serve/request_ms", request_ms);
     }
+  }
+
+  // Runtime side of the hot-path discipline: with PILOTE_ALLOC_STATS armed
+  // (or a ScopedTracking in scope), every flush reports how often the
+  // worker thread hit the allocator. bench_serving and the allocation-pin
+  // test read these back through the metrics registry.
+  if (alloc::TrackingEnabled()) {
+    PILOTE_METRIC_COUNT("serve/flush_allocs", alloc_scope.count());
+    PILOTE_METRIC_COUNT("serve/flush_alloc_bytes", alloc_scope.bytes());
+    PILOTE_METRIC_HISTOGRAM("serve/window_allocs",
+                            static_cast<double>(alloc_scope.count()) /
+                                static_cast<double>(batch.size()));
   }
 }
 

@@ -5,8 +5,10 @@
 #include <future>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "common/bounded_queue.h"
+#include "common/hot_path.h"
 #include "common/thread_annotations.h"
 #include "serve/session.h"
 #include "serve/types.h"
@@ -56,7 +58,7 @@ class BatchingEngine {
 
  private:
   void WorkerLoop() PILOTE_EXCLUDES(pause_mutex_);
-  void ProcessBatch(std::vector<PredictRequest>& batch)
+  PILOTE_HOT_PATH void ProcessBatch(std::vector<PredictRequest>& batch)
       PILOTE_EXCLUDES(stats_mutex_);
 
   const ServeOptions options_;
@@ -71,6 +73,15 @@ class BatchingEngine {
 
   mutable Mutex stats_mutex_;
   int64_t batches_flushed_ PILOTE_GUARDED_BY(stats_mutex_) = 0;
+
+  // Flush scratch, reused across flushes so the steady state never hits
+  // the allocator: the group index and the assembled feature matrix keep
+  // their capacity between ProcessBatch calls (hot-path discipline).
+  // Row indices into the drained batch, one list per distinct learner.
+  std::vector<std::vector<size_t>> group_rows_;   // unguarded: worker only
+  std::vector<const LearnerHandle*> group_keys_;  // unguarded: worker only
+  size_t group_count_ = 0;                        // unguarded: worker only
+  Tensor flush_features_;                         // unguarded: worker only
 
   std::thread worker_;  // unguarded: started in ctor, joined in Stop
 };

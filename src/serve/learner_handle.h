@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/hot_path.h"
 #include "common/thread_annotations.h"
 #include "core/edge_learner.h"
 
@@ -37,7 +38,8 @@ class LearnerHandle {
   // inject a transient kUnavailable here, which the batching engine's
   // bounded retry-with-backoff absorbs. The plain PredictBatch above stays
   // infallible for callers outside the serving path.
-  Result<std::vector<int>> TryPredictBatch(const Tensor& raw_features) const
+  PILOTE_HOT_PATH Result<std::vector<int>> TryPredictBatch(
+      const Tensor& raw_features) const
       PILOTE_EXCLUDES(mutex_);
 
   // Incremental update under the exclusive lock. Non-OK means the learner

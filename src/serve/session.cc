@@ -3,51 +3,52 @@
 #include <utility>
 
 #include "common/macros.h"
-#include "core/streaming_classifier.h"
-#include "har/feature_extractor.h"
-#include "har/preprocessing.h"
-#include "har/sensor_layout.h"
-#include "tensor/tensor_ops.h"
 
 namespace pilote {
 namespace serve {
 
+namespace {
+
+const core::StreamingOptions& Validated(
+    const core::StreamingOptions& options) {
+  Status valid = core::ValidateStreamingOptions(options);
+  PILOTE_CHECK(valid.ok()) << valid.ToString();
+  return options;
+}
+
+}  // namespace
+
 Session::Session(SessionId id, std::shared_ptr<LearnerHandle> learner,
                  const core::StreamingOptions& options)
-    : id_(id), learner_(std::move(learner)), options_(options) {
+    : id_(id),
+      learner_(std::move(learner)),
+      options_(Validated(options)),
+      assembler_(options_.window_length, options_.denoise_half_width),
+      recent_(options_.vote_window) {
   PILOTE_CHECK(learner_ != nullptr);
-  Status valid = core::ValidateStreamingOptions(options_);
-  PILOTE_CHECK(valid.ok()) << valid.ToString();
-  buffer_.reserve(static_cast<size_t>(options_.window_length));
 }
 
 std::optional<Tensor> Session::AppendSample(const Tensor& sample) {
-  PILOTE_CHECK_EQ(sample.rank(), 1);
-  PILOTE_CHECK_EQ(sample.dim(0), har::kNumChannels);
+  // hotpath-ok: per-session mutex, uncontended in steady state
   MutexLock lock(mutex_);
-  buffer_.push_back(sample.Reshape(Shape::Matrix(1, har::kNumChannels)));
-  if (static_cast<int>(buffer_.size()) < options_.window_length) {
-    return std::nullopt;
-  }
-  Tensor window = ConcatRows(buffer_);
-  buffer_.clear();
-  window = har::DenoiseMovingAverage(window, options_.denoise_half_width);
-  return har::ExtractFeatures(window).Reshape(
-      Shape::Matrix(1, har::kNumFeatures));
+  // The feature row's ownership moves to the predict request, so it is the
+  // one unavoidable per-window allocation on the ingest side.
+  Tensor features;  // hotpath-ok: per-window output, handed to the request
+  if (!assembler_.Append(sample, &features)) return std::nullopt;
+  return features;
 }
 
 int Session::CompleteWindow(int raw_label) {
+  // hotpath-ok: per-session mutex, uncontended in steady state
   MutexLock lock(mutex_);
-  recent_.push_back(raw_label);
-  while (static_cast<int>(recent_.size()) > options_.vote_window) {
-    recent_.pop_front();
-  }
-  last_smoothed_ = core::MajorityVoteLabel(recent_);
+  recent_.Push(raw_label);
+  last_smoothed_ = recent_.MajorityLabel();
   ++windows_classified_;
   return last_smoothed_;
 }
 
 Prediction Session::LastPrediction() const {
+  // hotpath-ok: per-session mutex, uncontended in steady state
   MutexLock lock(mutex_);
   Prediction p;
   p.label = last_smoothed_;

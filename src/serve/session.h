@@ -2,13 +2,14 @@
 #define PILOTE_SERVE_SESSION_H_
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
-#include <vector>
 
 #include "common/thread_annotations.h"
+#include "common/hot_path.h"
 #include "core/config.h"
+#include "core/vote_ring.h"
+#include "har/window_assembler.h"
 #include "serve/learner_handle.h"
 #include "serve/types.h"
 #include "tensor/tensor.h"
@@ -39,12 +40,12 @@ class Session {
   // a window, runs the paper's preprocessing (denoise + feature
   // extraction) and returns the [1, kNumFeatures] raw feature row ready
   // for batched classification.
-  std::optional<Tensor> AppendSample(const Tensor& sample)
+  PILOTE_HOT_PATH std::optional<Tensor> AppendSample(const Tensor& sample)
       PILOTE_EXCLUDES(mutex_);
 
   // Records the raw label of a completed window and returns the smoothed
   // majority-vote label (the stream's user-facing prediction).
-  int CompleteWindow(int raw_label) PILOTE_EXCLUDES(mutex_);
+  PILOTE_HOT_PATH int CompleteWindow(int raw_label) PILOTE_EXCLUDES(mutex_);
 
   // Last smoothed label, degraded-flagged — what a deadline miss returns.
   Prediction LastPrediction() const PILOTE_EXCLUDES(mutex_);
@@ -57,10 +58,10 @@ class Session {
   const core::StreamingOptions options_;
 
   mutable Mutex mutex_;
-  // Samples of the current window.
-  std::vector<Tensor> buffer_ PILOTE_GUARDED_BY(mutex_);
-  // Last vote_window raw labels.
-  std::deque<int> recent_ PILOTE_GUARDED_BY(mutex_);
+  // Current-window sample buffer, preallocated (hot-path discipline).
+  har::WindowAssembler assembler_ PILOTE_GUARDED_BY(mutex_);
+  // Last vote_window raw labels, fixed-capacity.
+  core::VoteRing recent_ PILOTE_GUARDED_BY(mutex_);
   int last_smoothed_ PILOTE_GUARDED_BY(mutex_) = kNoPrediction;
   int64_t windows_classified_ PILOTE_GUARDED_BY(mutex_) = 0;
 };

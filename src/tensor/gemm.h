@@ -2,6 +2,7 @@
 #define PILOTE_TENSOR_GEMM_H_
 
 #include <cstdint>
+#include "common/hot_path.h"
 
 namespace pilote {
 
@@ -12,10 +13,10 @@ namespace pilote {
 // Gemm:        C[m,n] = A[m,k] * B[k,n]
 // GemmTransB:  C[m,n] = A[m,k] * B[n,k]^T
 // GemmTransA:  C[m,n] = A[k,m]^T * B[k,n]
-void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
-          int64_t n);
-void GemmTransB(const float* a, const float* b, float* c, int64_t m, int64_t k,
-                int64_t n);
+PILOTE_HOT_PATH void Gemm(const float* a, const float* b, float* c,
+                          int64_t m, int64_t k, int64_t n);
+PILOTE_HOT_PATH void GemmTransB(const float* a, const float* b, float* c,
+                                int64_t m, int64_t k, int64_t n);
 void GemmTransA(const float* a, const float* b, float* c, int64_t m, int64_t k,
                 int64_t n);
 

@@ -33,6 +33,14 @@ class Shape {
   }
   const std::vector<int64_t>& dims() const { return dims_; }
 
+  // In-place dimension update; lets Tensor::ResizeRows reuse a buffer
+  // without reallocating the dims vector.
+  void set_dim(int i, int64_t value) {
+    PILOTE_DCHECK(i >= 0 && i < rank());
+    PILOTE_CHECK_GE(value, 0);
+    dims_[static_cast<size_t>(i)] = value;
+  }
+
   int64_t numel() const {
     return std::accumulate(dims_.begin(), dims_.end(), int64_t{1},
                            std::multiplies<int64_t>());

@@ -108,6 +108,18 @@ class Tensor {
 
   void Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
 
+  // Reuses this rank-2 tensor's buffer as a [new_rows, cols()] matrix:
+  // the shape is updated in place and the data vector resized, so the
+  // allocator is only hit when the element count grows past the buffer's
+  // high-water mark. Contents are unspecified afterwards — callers are
+  // expected to overwrite every element (serve flush assembly does).
+  void ResizeRows(int64_t new_rows) {
+    PILOTE_CHECK_EQ(rank(), 2);
+    shape_.set_dim(0, new_rows);
+    // hotpath-ok: grows only past the buffer's high-water mark
+    data_.resize(static_cast<size_t>(shape_.numel()));
+  }
+
   std::string DebugString(int64_t max_elements = 16) const;
 
  private:

@@ -152,7 +152,7 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   PILOTE_CHECK_EQ(a.cols(), b.cols())
       << "MatMulTransB " << a.shape().ToString() << " x "
       << b.shape().ToString();
-  Tensor out(Shape::Matrix(a.rows(), b.rows()));
+  Tensor out(Shape::Matrix(a.rows(), b.rows()));  // hotpath-ok: output
   GemmTransB(a.data(), b.data(), out.data(), a.rows(), a.cols(), b.rows());
   PILOTE_CHECK_NUMERICS("MatMulTransB", out);
   return out;
@@ -284,6 +284,7 @@ std::vector<int64_t> ArgMaxPerRow(const Tensor& m) {
 std::vector<int64_t> ArgMinPerRow(const Tensor& m) {
   PILOTE_CHECK_EQ(m.rank(), 2);
   PILOTE_CHECK_GT(m.cols(), 0);
+  // hotpath-ok: the per-call output
   std::vector<int64_t> result(static_cast<size_t>(m.rows()));
   for (int64_t r = 0; r < m.rows(); ++r) {
     const float* pm = m.row(r);
@@ -344,14 +345,21 @@ Tensor RowAt(const Tensor& m, int64_t r) {
 }
 
 Tensor PairwiseSquaredDistance(const Tensor& a, const Tensor& b) {
+  return PairwiseSquaredDistance(a, b, RowSquaredNorm(b));
+}
+
+Tensor PairwiseSquaredDistance(const Tensor& a, const Tensor& b,
+                               const Tensor& nb) {
   PILOTE_CHECK_EQ(a.rank(), 2);
   PILOTE_CHECK_EQ(b.rank(), 2);
   PILOTE_CHECK_EQ(a.cols(), b.cols());
+  PILOTE_CHECK_EQ(nb.numel(), b.rows());
   // ||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y ; the cross term is one GEMM.
+  // hotpath-ok: two small temporaries buy the GEMM factorization of
+  // the O(n*m*d) naive distance loop; `out` is the per-call output.
   Tensor cross = MatMulTransB(a, b);  // [n,m]
-  Tensor na = RowSquaredNorm(a);      // [n]
-  Tensor nb = RowSquaredNorm(b);      // [m]
-  Tensor out(Shape::Matrix(a.rows(), b.rows()));
+  Tensor na = RowSquaredNorm(a);      // hotpath-ok: [n] temporary
+  Tensor out(Shape::Matrix(a.rows(), b.rows()));  // hotpath-ok: output
   for (int64_t i = 0; i < a.rows(); ++i) {
     float* po = out.row(i);
     const float* pc = cross.row(i);
@@ -366,7 +374,7 @@ Tensor PairwiseSquaredDistance(const Tensor& a, const Tensor& b) {
 
 Tensor RowSquaredNorm(const Tensor& m) {
   PILOTE_CHECK_EQ(m.rank(), 2);
-  Tensor out(Shape::Vector(m.rows()));
+  Tensor out(Shape::Vector(m.rows()));  // hotpath-ok: output
   for (int64_t r = 0; r < m.rows(); ++r) {
     const float* pm = m.row(r);
     float acc = 0.0f;

@@ -80,6 +80,12 @@ Tensor RowAt(const Tensor& m, int64_t r);
 // Squared L2 distance between every row of a [n,d] and every row of
 // b [m,d] -> [n,m].
 Tensor PairwiseSquaredDistance(const Tensor& a, const Tensor& b);
+// Same, with the squared row norms of b supplied by the caller. Passing
+// b_sq_norms == RowSquaredNorm(b) yields bit-identical results to the
+// two-argument form; callers with fixed b (NCM prototypes) cache the norms
+// to keep the per-predict path free of prototype-sized work.
+Tensor PairwiseSquaredDistance(const Tensor& a, const Tensor& b,
+                               const Tensor& b_sq_norms);
 // Squared L2 norm of each row of m -> [n].
 Tensor RowSquaredNorm(const Tensor& m);
 float SquaredDistance(const Tensor& a, const Tensor& b);

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <deque>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -8,7 +9,9 @@
 #include "core/embedding.h"
 #include "core/exemplar_selector.h"
 #include "core/ncm_classifier.h"
+#include "core/streaming_classifier.h"
 #include "core/support_set.h"
+#include "core/vote_ring.h"
 #include "nn/backbone.h"
 #include "tensor/tensor_ops.h"
 #include "test_util.h"
@@ -103,6 +106,51 @@ TEST(NcmClassifierTest, StorageBytesCountsPrototypes) {
 }
 
 // ---------------------------------------------------------------- Herding
+
+TEST(VoteRingTest, MatchesReferenceMajorityVote) {
+  // The allocation-free ring must agree with the std::deque reference
+  // implementation on random label streams across capacities, including
+  // the partially-filled warm-up phase and every tie case that shows up.
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int capacity = rng.UniformInt(1, 8);
+    VoteRing ring(capacity);
+    std::deque<int> recent;
+    for (int step = 0; step < 64; ++step) {
+      const int label = rng.UniformInt(0, 4);
+      ring.Push(label);
+      recent.push_back(label);
+      if (static_cast<int>(recent.size()) > capacity) recent.pop_front();
+      ASSERT_EQ(ring.MajorityLabel(), MajorityVoteLabel(recent))
+          << "capacity=" << capacity << " step=" << step;
+    }
+  }
+}
+
+TEST(VoteRingTest, TieBreaksTowardMostRecentLabel) {
+  VoteRing ring(4);
+  ring.Push(1);
+  ring.Push(2);
+  ring.Push(1);
+  ring.Push(2);  // 1 and 2 tie at two votes each; 2 is most recent
+  EXPECT_EQ(ring.MajorityLabel(), 2);
+}
+
+TEST(VoteRingTest, OldLabelsFallOutOfTheWindow) {
+  VoteRing ring(3);
+  ring.Push(7);
+  ring.Push(7);
+  ring.Push(7);
+  EXPECT_EQ(ring.MajorityLabel(), 7);
+  ring.Push(5);
+  ring.Push(5);  // window now {7, 5, 5}
+  EXPECT_EQ(ring.MajorityLabel(), 5);
+}
+
+TEST(VoteRingTest, EmptyMajorityIsFatal) {
+  VoteRing ring(3);
+  EXPECT_DEATH(ring.MajorityLabel(), "");
+}
 
 TEST(HerdingTest, SelectsRequestedCountOfDistinctRows) {
   Rng rng(1);

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <optional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -15,12 +16,15 @@
 
 #include <gtest/gtest.h>
 
+#include "common/alloc_tracker.h"
 #include "common/bounded_queue.h"
 #include "common/rng.h"
 #include "core/cloud.h"
 #include "core/edge_learner.h"
+#include "har/feature_extractor.h"
 #include "har/sensor_layout.h"
 #include "nn/backbone.h"
+#include "obs/metrics.h"
 #include "serialize/io.h"
 #include "serve/session_manager.h"
 #include "tensor/tensor_ops.h"
@@ -481,6 +485,88 @@ TEST(SessionManagerTest, DeadlineMissDegradesToLastVote) {
   EXPECT_TRUE(degraded->degraded);
   EXPECT_GE(degraded->label, 0);
   manager.engine().ResumeForTesting();
+}
+
+// ------------------------------------------- Hot-path allocation budgets
+
+// Steady-state ingest must not allocate beyond the returned feature row:
+// the window buffer and denoise scratch are preallocated in the assembler,
+// so after the first window the only heap traffic per window is the
+// [1, kNumFeatures] output Tensor handed to the batcher.
+TEST(SessionTest, SteadyStateIngestAllocationsArePinned) {
+  core::PiloteConfig config = TestConfig();
+  Session session(SessionId{1}, MakeHandle(config), config.streaming);
+  Rng rng(7);
+  const int window_length = config.streaming.window_length;
+  auto make_sample = [&] {
+    return Tensor::RandNormal(Shape::Vector(har::kNumChannels), rng);
+  };
+
+  // Warm-up window: allocates the assembler buffers (high-water mark).
+  std::optional<Tensor> features;
+  for (int i = 0; i < window_length; ++i) {
+    features = session.AppendSample(make_sample());
+  }
+  ASSERT_TRUE(features.has_value());
+
+  // Pre-generate the samples so the measured region is ingest only.
+  std::vector<Tensor> samples;
+  samples.reserve(static_cast<size_t>(window_length));
+  for (int i = 0; i < window_length; ++i) samples.push_back(make_sample());
+
+  alloc::ScopedTracking tracking;
+  alloc::AllocationScope scope;
+  features.reset();
+  for (const Tensor& sample : samples) {
+    std::optional<Tensor> out = session.AppendSample(sample);
+    if (out.has_value()) features = std::move(out);
+  }
+  ASSERT_TRUE(features.has_value());
+  ASSERT_EQ(features->cols(), har::kNumFeatures);
+  // One window = one feature-row Tensor (data + dims) plus slack for the
+  // optional plumbing; anything above this means per-sample churn is back.
+  EXPECT_LE(scope.count(), 8) << "steady-state ingest allocations regressed";
+}
+
+// The flush side is pinned through the serve/flush_allocs counter, which
+// the worker thread ticks per batch when tracking is enabled. The batched
+// predict still walks the autograd tape (arena executor is a roadmap
+// item), so the budget is a measured bound with headroom, not zero — the
+// point is to catch regressions that reintroduce per-flush churn.
+TEST(SessionManagerTest, SteadyStateFlushAllocationsAreBounded) {
+  core::PiloteConfig config = TestConfig();
+  SessionManager manager(ServeOptions{});
+  Result<SessionId> id =
+      manager.CreateSession(MakeHandle(config), config.streaming);
+  ASSERT_TRUE(id.ok());
+  Rng rng(21);
+  auto classify_one = [&] {
+    Result<std::future<int>> f =
+        manager.SubmitWindow(*id, RandomWindow(config, rng));
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+    EXPECT_GE(f.value().get(), 0);
+  };
+
+  // Warm-up: drive the flush scratch to its high-water mark.
+  for (int i = 0; i < 4; ++i) classify_one();
+
+  obs::Counter& flush_allocs =
+      obs::MetricsRegistry::Global().GetCounter("serve/flush_allocs");
+  alloc::ScopedTracking tracking;
+  const int64_t before = flush_allocs.value();
+  constexpr int kWindows = 16;
+  for (int i = 0; i < kWindows; ++i) classify_one();
+  // The worker records the counter after completing a batch's futures; one
+  // sentinel window makes the first kWindows flushes' metrics visible (the
+  // sentinel's own allocations may or may not be included — the bound has
+  // headroom for one extra flush either way).
+  classify_one();
+  const int64_t delta = flush_allocs.value() - before;
+  const double per_window =
+      static_cast<double>(delta) / static_cast<double>(kWindows);
+  EXPECT_LT(per_window, 120.0)
+      << "steady-state flush allocations regressed: " << per_window
+      << " allocs/window";
 }
 
 }  // namespace

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Compares a bench JSON result against its committed baseline.
+
+Usage:
+  python3 tools/check_bench_regression.py BASELINE.json CURRENT.json \
+      [--tolerance=0.15]
+
+Keys are classified by name:
+  * counted quantities (substring "allocs" or "calls"): deterministic
+    per-window accounting. The current value must not exceed
+    baseline * (1 + tolerance); lower is always fine (an improvement —
+    the message suggests refreshing the baseline).
+  * everything else (throughput, speedups): machine-dependent, printed
+    for information only and never failed on.
+
+Exits 1 when any counted quantity regressed, 0 otherwise. Keys present in
+only one file are reported (missing baseline keys fail: the baseline must
+be refreshed deliberately, not silently skipped).
+"""
+
+import argparse
+import json
+import sys
+
+
+def is_counted(key):
+    return "allocs" in key or "calls" in key
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare bench JSON against a committed baseline.")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly produced JSON")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed relative growth for counted "
+                             "quantities (default 0.15)")
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+    with open(args.current, encoding="utf-8") as f:
+        current = json.load(f)
+
+    failures = []
+    for key in sorted(set(baseline) | set(current)):
+        if key not in current:
+            failures.append(f"{key}: present in baseline but not produced "
+                            "by the bench (stale baseline?)")
+            continue
+        if key not in baseline:
+            failures.append(f"{key}: produced by the bench but missing "
+                            f"from {args.baseline}; add it to the baseline")
+            continue
+        base, cur = float(baseline[key]), float(current[key])
+        if not is_counted(key):
+            print(f"  info  {key}: baseline {base:g}, current {cur:g} "
+                  "(machine-dependent, not gated)")
+            continue
+        limit = base * (1.0 + args.tolerance)
+        if cur > limit:
+            failures.append(
+                f"{key}: {cur:g} exceeds baseline {base:g} "
+                f"(+{(cur / base - 1.0) * 100.0:.1f}%, limit "
+                f"+{args.tolerance * 100.0:.0f}%)")
+        else:
+            note = ""
+            if base > 0 and cur < base * (1.0 - args.tolerance):
+                note = "  <- improved; consider refreshing the baseline"
+            print(f"  ok    {key}: {cur:g} (baseline {base:g}){note}")
+
+    if failures:
+        print(f"check_bench_regression: {len(failures)} regression(s) "
+              f"vs {args.baseline}:")
+        for failure in failures:
+            print(f"  FAIL  {failure}")
+        return 1
+    print(f"check_bench_regression: OK ({args.current} vs {args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

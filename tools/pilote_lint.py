@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-invariant linter and analyzer for pilote.
 
-Two stages, selected with --stage (default: all).
+Three stages, selected with --stage (default: all).
 
 `--stage style` enforces project conventions that the compiler cannot:
 
@@ -31,8 +31,35 @@ contract (src/common/thread_annotations.h) -- invariants that even
     relaxed-counter policy is a reviewable decision at every site, never an
     accidental seq_cst default)
 
+`--stage hotpath` enforces the hot-path discipline contract
+(src/common/hot_path.h): it builds a lightweight intra-repo call graph
+(function definitions by brace scan, call sites by identifier matching —
+the same deliberately name-based precision as the concurrency stage),
+takes the transitive closure of every function marked PILOTE_HOT_PATH,
+and rejects, anywhere in that closure:
+
+  * heap allocation: `new`, std::make_unique/make_shared, growing
+    container calls (push_back/emplace/resize/reserve/insert/assign),
+    construction of local Tensor/std::vector/std::string/... values
+  * string building: std::to_string, stringstreams
+  * writer-lock acquisition: MutexLock / WriterLock (ReaderLock is the
+    sanctioned steady-state lock)
+  * exceptions: `throw`
+  * blocking I/O: fstreams, PILOTE_LOG, printf-family, std::cout/cerr,
+    std::this_thread::sleep_for/until
+
+PILOTE_CHECK / PILOTE_DCHECK statements are exempt (their streamed
+message only materializes on the abort path). `// hotpath-ok: <reason>`
+on a line (or the comment line directly above) exempts one statement; on
+a function's definition head it exempts the whole body and prunes the
+function from the closure (for name-collision pulls that are not on the
+steady-state path, and for leaf kernels whose output allocation is the
+documented per-call budget). Accessor-ish names (size, rows, data, ...)
+do not propagate the closure — by repo convention those are trivial
+inline accessors, and following every `size(` would pull in the world.
+
 Run directly, via the `lint` CMake target, or as the `repo_lint` /
-`repo_analyzer` ctest tests:
+`repo_analyzer` / `repo_hotpath` ctest tests:
 
   python3 tools/pilote_lint.py --root . [--stage STAGE] [--compiler g++]
                                [--no-self-contained]
@@ -527,6 +554,278 @@ def check_discarded_failpoints(root, rel_path, stripped, errors):
                 "wrap it in PILOTE_RETURN_IF_ERROR or handle the Status")
 
 
+# ---------------------------------------------------------------------------
+# Hot-path analyzer stage
+# ---------------------------------------------------------------------------
+
+HOT_PATH_MARKER = "PILOTE_HOT_PATH"
+HOTPATH_OK_RE = re.compile(r"//\s*hotpath-ok\s*:")
+
+# Heads starting with these never open a function body.
+NON_FUNCTION_HEAD_RE = re.compile(
+    r"^\s*(?:class|struct|union|enum|namespace|extern)\b")
+CONTROL_KEYWORDS = {
+    "if", "else", "for", "while", "switch", "catch", "do", "return",
+    "sizeof", "alignof", "decltype", "static_assert", "new", "delete",
+    "throw", "co_await", "co_return", "co_yield",
+}
+# Call-site names that never propagate the closure: by repo convention
+# these are trivial inline accessors (Tensor::rows, BoundedQueue::size,
+# ...), and resolving them by bare name would pull in the entire repo.
+ACCESSOR_NAMES = {
+    "size", "empty", "data", "begin", "end", "front", "back", "rows",
+    "cols", "dim", "rank", "numel", "shape", "vec", "row", "get", "at",
+    "ok", "value", "status", "code", "count", "bytes", "name", "id",
+    "learner", "options", "capacity", "pending", "window_length", "dims",
+    "distance", "label",
+}
+
+HOTPATH_CHECKS = [
+    ("heap-new", re.compile(r"(?<![\w.])new\b"),
+     "operator new"),
+    ("heap-new", re.compile(r"\bstd::make_(?:unique|shared)\b"),
+     "std::make_unique/make_shared"),
+    ("container-growth",
+     re.compile(r"(?:\.|->)\s*(?:push_back|emplace_back|emplace|insert|"
+                r"resize|reserve|assign|append)\s*\("),
+     "growing container call"),
+    ("local-alloc",
+     re.compile(r"^\s*(?:const\s+)?(?:pilote::)?(?:Tensor|std::vector|"
+                r"std::string|std::deque|std::map|std::unordered_map|"
+                r"std::set|std::unordered_set|std::function|std::list)"
+                r"\s*(?:<[^;=()]*>)?\s+[A-Za-z_]\w*\s*[({=;]"),
+     "allocating local object"),
+    ("local-alloc", re.compile(r"(?<![\w:])(?:pilote::)?Tensor\s*\("),
+     "Tensor construction"),
+    ("string-build",
+     re.compile(r"\bstd::to_string\s*\(|\bstd::o?i?stringstream\b"),
+     "string building"),
+    ("writer-lock",
+     re.compile(r"\b(?:MutexLock|WriterLock)\s+[A-Za-z_]\w*\s*[({]"),
+     "exclusive lock acquisition"),
+    ("throw", re.compile(r"(?<![\w.])throw\b"),
+     "exception throw"),
+    ("blocking-io",
+     re.compile(r"\bstd::o?i?fstream\b|\bPILOTE_LOG\s*\(|\bstd::cout\b|"
+                r"\bstd::cerr\b|(?<![\w.])f?printf\s*\(|"
+                r"\bstd::this_thread::sleep_(?:for|until)\b"),
+     "blocking I/O"),
+]
+
+CHECK_STMT_RE = re.compile(r"^\s*PILOTE_D?CHECK")
+CALL_SITE_RE = re.compile(r"(?:^|[^\w.>:])([A-Za-z_]\w*)\s*\(")
+METHOD_CALL_RE = re.compile(r"(?:\.|->|::)\s*([A-Za-z_]\w*)\s*\(")
+
+
+def parse_function_head(head):
+    """(bare_name, display_name) when `head{` opens a function body, else
+    None. `head` is the accumulated statement text before the brace."""
+    head = head.strip()
+    if not head or "(" not in head or NON_FUNCTION_HEAD_RE.match(head):
+        return None
+    head = re.sub(r"^template\s*<[^>]*>\s*", "", head)
+    p = head.find("(")
+    if "=" in head[:p]:
+        return None  # lambda assignment or initializer
+    m = re.search(r"([A-Za-z_]\w*(?:::~?[A-Za-z_]\w*)*)\s*$", head[:p])
+    if not m:
+        return None  # lambda or operator overload
+    qual = m.group(1)
+    bare = qual.rsplit("::", 1)[-1]
+    if bare in CONTROL_KEYWORDS or bare == "operator":
+        return None
+    close = find_matching_paren(head, p)
+    if close == -1:
+        return None
+    tail = head[close + 1:]
+    if ";" in tail or "=" in tail:
+        return None  # member with brace-init, `= default`, ...
+    return bare, qual
+
+
+def collect_functions(stripped):
+    """Brace-tracking scan yielding every function definition: bare name,
+    qualified display name, head/open/close line numbers."""
+    functions = []
+    buf, buf_line = [], None
+    depth = 0
+    current = None
+    for lineno, line in enumerate(stripped, start=1):
+        for ch in line:
+            if ch == "{":
+                if current is None:
+                    parsed = parse_function_head("".join(buf))
+                    if parsed:
+                        current = {
+                            "name": parsed[0], "qual": parsed[1],
+                            "head_line": buf_line or lineno,
+                            "open_line": lineno, "close_line": None,
+                            "fn_depth": depth,
+                        }
+                buf, buf_line = [], None
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if current is not None and depth == current["fn_depth"]:
+                    current["close_line"] = lineno
+                    functions.append(current)
+                    current = None
+                buf, buf_line = [], None
+            elif ch == ";":
+                buf, buf_line = [], None
+            else:
+                if buf or not ch.isspace():
+                    buf.append(ch)
+                    if buf_line is None:
+                        buf_line = lineno
+        if buf:
+            buf.append(" ")
+    return functions
+
+
+def body_lines(fn, stripped):
+    """(lineno, text) for the function's body, with the head fragment on
+    the opening line and the trailing fragment on the closing line cut so
+    signatures are not mistaken for local declarations."""
+    out = []
+    for ln in range(fn["open_line"], (fn["close_line"] or 0) + 1):
+        text = stripped[ln - 1]
+        if ln == fn["open_line"]:
+            brace = text.find("{")
+            if brace != -1:
+                text = text[brace + 1:]
+        if ln == fn["close_line"]:
+            brace = text.rfind("}")
+            if brace != -1:
+                text = text[:brace]
+        out.append((ln, text))
+    return out
+
+
+def non_check_body_lines(fn, stripped):
+    """body_lines() minus PILOTE_CHECK/PILOTE_DCHECK statements (including
+    their continuation lines). The fatal-check path may format messages and
+    allocate; it fires at most once per process, so neither its calls nor
+    its allocations count against the hot path."""
+    in_check = False
+    for lineno, text in body_lines(fn, stripped):
+        if in_check:
+            if text.rstrip().endswith(";"):
+                in_check = False
+            continue
+        if CHECK_STMT_RE.match(text):
+            if not text.rstrip().endswith(";"):
+                in_check = True
+            continue
+        yield lineno, text
+
+
+def call_sites(fn, stripped):
+    names = set()
+    for _, text in non_check_body_lines(fn, stripped):
+        for m in CALL_SITE_RE.finditer(text):
+            names.add(m.group(1))
+        for m in METHOD_CALL_RE.finditer(text):
+            names.add(m.group(1))
+    return {n for n in names
+            if n not in CONTROL_KEYWORDS and n not in ACCESSOR_NAMES}
+
+
+def statement_has_hotpath_ok(raw, first_line, last_line=None):
+    """True if the raw line range, or a comment-only line immediately above
+    it, carries `// hotpath-ok: <reason>`."""
+    last_line = last_line or first_line
+    for ln in range(first_line, min(last_line, len(raw)) + 1):
+        if HOTPATH_OK_RE.search(raw[ln - 1]):
+            return True
+    ln = first_line - 1
+    while ln >= 1 and raw[ln - 1].strip().startswith("//"):
+        if HOTPATH_OK_RE.search(raw[ln - 1]):
+            return True
+        ln -= 1
+    return False
+
+
+def find_hot_path_roots(stripped):
+    """Bare names of functions declared or defined with PILOTE_HOT_PATH.
+    The marker and the declarator may be split across lines, so a few
+    following lines are joined before parsing."""
+    roots = set()
+    for idx, line in enumerate(stripped):
+        if HOT_PATH_MARKER not in line:
+            continue
+        joined = " ".join(stripped[idx:idx + 4])
+        joined = joined.split(HOT_PATH_MARKER, 1)[1]
+        p = joined.find("(")
+        if p == -1:
+            continue
+        m = re.search(r"([A-Za-z_]\w*)\s*$", joined[:p].strip())
+        if m:
+            roots.add(m.group(1))
+    return roots
+
+
+def run_hotpath_stage(root, errors):
+    src_files = find_files(root, ("src",), SOURCE_EXTENSIONS)
+    files = {}
+    index = {}   # bare name -> [(rel_path, fn)]
+    roots = set()
+    for rel_path in src_files:
+        stripped, raw = stripped_lines_of(os.path.join(root, rel_path))
+        files[rel_path] = (stripped, raw)
+        for fn in collect_functions(stripped):
+            index.setdefault(fn["name"], []).append((rel_path, fn))
+        roots |= find_hot_path_roots(stripped)
+
+    if not roots:
+        return
+
+    def head_exempt(rel_path, fn):
+        _, raw = files[rel_path]
+        return statement_has_hotpath_ok(raw, fn["head_line"],
+                                        fn["open_line"])
+
+    # BFS over bare names from the marked roots; a head-level hotpath-ok
+    # prunes that definition (its body is neither checked nor traversed).
+    via = {name: None for name in roots if name in index}
+    queue = sorted(via)
+    while queue:
+        name = queue.pop(0)
+        for rel_path, fn in index.get(name, ()):
+            if head_exempt(rel_path, fn):
+                continue
+            stripped, _ = files[rel_path]
+            for callee in sorted(call_sites(fn, stripped)):
+                if callee in index and callee not in via:
+                    via[callee] = name
+                    queue.append(callee)
+
+    def chain(name):
+        parts = [name]
+        while via.get(parts[-1]):
+            parts.append(via[parts[-1]])
+        return " <- ".join(parts)
+
+    for name in sorted(via):
+        for rel_path, fn in index.get(name, ()):
+            if head_exempt(rel_path, fn):
+                continue
+            stripped, raw = files[rel_path]
+            for lineno, text in non_check_body_lines(fn, stripped):
+                if not text.strip():
+                    continue
+                for check_id, pattern, what in HOTPATH_CHECKS:
+                    if not pattern.search(text):
+                        continue
+                    if statement_has_hotpath_ok(raw, lineno):
+                        continue
+                    errors.append(
+                        f"{rel_path}:{lineno}: [hotpath:{check_id}] {what} "
+                        f"in '{fn['qual']}' (hot via {chain(name)}); fix it "
+                        "or mark the line `// hotpath-ok: <reason>`")
+                    break
+
+
 def run_style_stage(root, args, headers, sources, errors):
     for h in headers:
         check_header_guard(root, h, errors)
@@ -554,7 +853,8 @@ def run_concurrency_stage(root, errors):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=".", help="repository root")
-    parser.add_argument("--stage", choices=("style", "concurrency", "all"),
+    parser.add_argument("--stage",
+                        choices=("style", "concurrency", "hotpath", "all"),
                         default="all", help="which invariant stage to run")
     parser.add_argument("--compiler", default="c++",
                         help="compiler used for the self-containedness check")
@@ -571,6 +871,8 @@ def main():
         run_style_stage(root, args, headers, sources, errors)
     if args.stage in ("concurrency", "all"):
         run_concurrency_stage(root, errors)
+    if args.stage in ("hotpath", "all"):
+        run_hotpath_stage(root, errors)
 
     if errors:
         for e in errors:

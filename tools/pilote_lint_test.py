@@ -286,6 +286,149 @@ class DiscardedResultTest(unittest.TestCase):
         self.assertEqual(errors, [])
 
 
+def hotpath_errors(files):
+    """Writes a src/ tree and runs the hotpath stage over it."""
+    errors = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for rel, content in files.items():
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(textwrap.dedent(content))
+        pilote_lint.run_hotpath_stage(tmp, errors)
+    return errors
+
+
+def hot(body):
+    """A marked hot root whose body is `body`."""
+    return ("PILOTE_HOT_PATH void Serve();\n"
+            "void Serve() {\n" + textwrap.dedent(body) + "}\n")
+
+
+class HotpathChecksTest(unittest.TestCase):
+    """Every hotpath check must fire on a known-bad body and stay silent
+    once the line carries `// hotpath-ok: <reason>`."""
+
+    CASES = [
+        ("heap-new", "  int* p = new int(3);\n  Use(p);\n"),
+        ("heap-new", "  auto p = std::make_unique<int>(3);\n"),
+        ("container-growth", "  sink_.push_back(1);\n"),
+        ("container-growth", "  sink_.resize(8);\n"),
+        ("local-alloc", "  std::vector<int> tmp;\n"),
+        ("local-alloc", "  Tensor t(shape_);\n"),
+        ("string-build", "  Use(std::to_string(42));\n"),
+        ("writer-lock", "  MutexLock lock(mutex_);\n"),
+        ("throw", "  throw 42;\n"),
+        ("blocking-io",
+         "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"),
+    ]
+
+    def test_each_check_fires(self):
+        for check_id, body in self.CASES:
+            with self.subTest(check=check_id, body=body):
+                errors = hotpath_errors(
+                    {os.path.join("src", "a.cc"): hot(body)})
+                self.assertEqual(len(errors), 1, errors)
+                self.assertIn(f"[hotpath:{check_id}]", errors[0])
+                self.assertIn("'Serve'", errors[0])
+
+    def test_line_marker_suppresses(self):
+        for check_id, body in self.CASES:
+            with self.subTest(check=check_id):
+                marked = "".join(
+                    line + "  // hotpath-ok: test\n"
+                    for line in body.rstrip("\n").split("\n"))
+                errors = hotpath_errors(
+                    {os.path.join("src", "a.cc"): hot(marked)})
+                self.assertEqual(errors, [], errors)
+
+    def test_comment_line_above_suppresses(self):
+        body = "  // hotpath-ok: the per-call output\n  Tensor t(shape_);\n"
+        self.assertEqual(
+            hotpath_errors({os.path.join("src", "a.cc"): hot(body)}), [])
+
+    def test_check_statements_are_exempt(self):
+        body = ("  PILOTE_CHECK_EQ(a.rank(), 2)\n"
+                "      << std::to_string(a.rank());\n"
+                "  PILOTE_DCHECK(ok_);\n")
+        self.assertEqual(
+            hotpath_errors({os.path.join("src", "a.cc"): hot(body)}), [])
+
+    def test_no_roots_no_errors(self):
+        src = "void F() { int* p = new int(3); Use(p); }\n"
+        self.assertEqual(
+            hotpath_errors({os.path.join("src", "a.cc"): src}), [])
+
+
+class HotpathClosureTest(unittest.TestCase):
+    def test_violation_in_transitive_callee_fires_with_chain(self):
+        files = {
+            os.path.join("src", "a.cc"): (
+                "PILOTE_HOT_PATH void Serve();\n"
+                "void Serve() { Step(); }\n"
+                "void Step() { Leaf(); }\n"),
+            os.path.join("src", "b.cc"): (
+                "void Leaf() {\n"
+                "  std::vector<int> tmp;\n"
+                "}\n"),
+        }
+        errors = hotpath_errors(files)
+        self.assertEqual(len(errors), 1, errors)
+        self.assertIn("[hotpath:local-alloc]", errors[0])
+        self.assertIn("hot via Leaf <- Step <- Serve", errors[0])
+
+    def test_head_marker_prunes_subtree(self):
+        files = {
+            os.path.join("src", "a.cc"): (
+                "PILOTE_HOT_PATH void Serve();\n"
+                "void Serve() { Step(); }\n"
+                "// hotpath-ok: cold by construction\n"
+                "void Step() { Leaf(); }\n"
+                "void Leaf() { int* p = new int(3); Use(p); }\n"),
+        }
+        self.assertEqual(hotpath_errors(files), [])
+
+    def test_head_marker_exempts_own_body(self):
+        files = {
+            os.path.join("src", "a.cc"): (
+                "PILOTE_HOT_PATH void Serve();\n"
+                "// hotpath-ok: setup, called once\n"
+                "void Serve() { int* p = new int(3); Use(p); }\n"),
+        }
+        self.assertEqual(hotpath_errors(files), [])
+
+    def test_accessor_names_do_not_propagate(self):
+        # `size` is an accessor name: a same-named free function with a
+        # violation must not be dragged into the closure.
+        files = {
+            os.path.join("src", "a.cc"): (
+                "PILOTE_HOT_PATH void Serve();\n"
+                "void Serve() { int n = q.size(); Use(n); }\n"),
+            os.path.join("src", "b.cc"): (
+                "int size() {\n"
+                "  std::vector<int> tmp;\n"
+                "  return 0;\n"
+                "}\n"),
+        }
+        self.assertEqual(hotpath_errors(files), [])
+
+    def test_calls_inside_check_statements_do_not_propagate(self):
+        # ToString is only reached from a fatal CHECK message; it must not
+        # join the hot closure.
+        files = {
+            os.path.join("src", "a.cc"): (
+                "PILOTE_HOT_PATH void Serve();\n"
+                "void Serve() {\n"
+                "  PILOTE_CHECK_EQ(a, b) << Describe(a);\n"
+                "}\n"
+                "std::string Describe(int a) {\n"
+                "  std::ostringstream os;\n"
+                "  return os.str();\n"
+                "}\n"),
+        }
+        self.assertEqual(hotpath_errors(files), [])
+
+
 class StageWiringTest(unittest.TestCase):
     """End-to-end: the CLI catches a violation and passes a clean tree."""
 
@@ -332,6 +475,26 @@ class StageWiringTest(unittest.TestCase):
             "style")
         self.assertEqual(proc.returncode, 1)
         self.assertIn("include guard", proc.stdout)
+
+    def test_hotpath_stage_fails_on_hot_allocation(self):
+        proc = self.run_cli(
+            {os.path.join("src", "bad.cc"):
+             "PILOTE_HOT_PATH void Serve();\n"
+             "void Serve() { int* p = new int(3); Use(p); }\n"},
+            "hotpath")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("[hotpath:heap-new]", proc.stdout)
+
+    def test_hotpath_stage_passes_marked_tree(self):
+        proc = self.run_cli(
+            {os.path.join("src", "ok.cc"):
+             "PILOTE_HOT_PATH void Serve();\n"
+             "void Serve() {\n"
+             "  int* p = new int(3);  // hotpath-ok: test\n"
+             "  Use(p);\n"
+             "}\n"},
+            "hotpath")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
 
 
 if __name__ == "__main__":
