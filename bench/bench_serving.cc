@@ -248,21 +248,23 @@ int main(int argc, char** argv) {
 
   const double speedup =
       batched.WindowsPerSecond() / unbatched.WindowsPerSecond();
-  std::printf("\n%-12s %12s %12s %10s %10s %10s %11s\n", "config",
+  std::printf("\n%-12s %12s %12s %10s %10s %10s %10s %11s\n", "config",
               "windows/s", "mean batch", "p50 ms", "p95 ms", "p99 ms",
-              "allocs/win");
-  std::printf("%-12s %12.0f %12.2f %10.3f %10.3f %10.3f %11.1f\n", "batch=1",
-              unbatched.WindowsPerSecond(), unbatched.MeanBatch(),
+              "p999 ms", "allocs/win");
+  std::printf("%-12s %12.0f %12.2f %10.3f %10.3f %10.3f %10.3f %11.1f\n",
+              "batch=1", unbatched.WindowsPerSecond(), unbatched.MeanBatch(),
               unbatched.request_ms.Percentile(0.50),
               unbatched.request_ms.Percentile(0.95),
               unbatched.request_ms.Percentile(0.99),
+              unbatched.request_ms.Percentile(0.999),
               unbatched.AllocsPerWindow());
-  std::printf("%-12s %12.0f %12.2f %10.3f %10.3f %10.3f %11.1f\n",
+  std::printf("%-12s %12.0f %12.2f %10.3f %10.3f %10.3f %10.3f %11.1f\n",
               ("batch=" + std::to_string(args.max_batch)).c_str(),
               batched.WindowsPerSecond(), batched.MeanBatch(),
               batched.request_ms.Percentile(0.50),
               batched.request_ms.Percentile(0.95),
               batched.request_ms.Percentile(0.99),
+              batched.request_ms.Percentile(0.999),
               batched.AllocsPerWindow());
   std::printf("\nbatched speedup: %.2fx\n", speedup);
   std::printf(
@@ -287,7 +289,11 @@ int main(int argc, char** argv) {
                  "  \"allocs_per_flush_batched\": %.3f,\n"
                  "  \"windows_per_s_batch1\": %.1f,\n"
                  "  \"windows_per_s_batched\": %.1f,\n"
-                 "  \"batched_speedup\": %.3f\n"
+                 "  \"batched_speedup\": %.3f,\n"
+                 "  \"request_p99_ms_batch1\": %.4f,\n"
+                 "  \"request_p999_ms_batch1\": %.4f,\n"
+                 "  \"request_p99_ms_batched\": %.4f,\n"
+                 "  \"request_p999_ms_batched\": %.4f\n"
                  "}\n",
                  unbatched.AllocsPerWindow(), batched.AllocsPerWindow(),
                  unbatched.batches > 0
@@ -299,7 +305,10 @@ int main(int argc, char** argv) {
                            static_cast<double>(batched.batches)
                      : 0.0,
                  unbatched.WindowsPerSecond(), batched.WindowsPerSecond(),
-                 speedup);
+                 speedup, unbatched.request_ms.Percentile(0.99),
+                 unbatched.request_ms.Percentile(0.999),
+                 batched.request_ms.Percentile(0.99),
+                 batched.request_ms.Percentile(0.999));
     std::fclose(f);
     std::printf("bench json written to %s\n", args.bench_json.c_str());
   }

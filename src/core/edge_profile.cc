@@ -21,7 +21,8 @@ std::string EdgeProfileReport::ToString() const {
      << "prototypes: " << prototype_bytes << " B\n"
      << "inference: " << inference_ms_per_window << " ms/window (p50 "
      << inference_p50_ms << ", p95 " << inference_p95_ms << ", p99 "
-     << inference_p99_ms << "), " << inference_allocs_per_window
+     << inference_p99_ms << ", p999 " << inference_p999_ms << "), "
+     << inference_allocs_per_window
      << " allocs/window\n"
      << "training: ";
   if (std::isnan(train_epoch_seconds)) {
@@ -77,6 +78,7 @@ EdgeProfileReport ProfileEdge(const EdgeLearner& learner,
   report.inference_p50_ms = probe.Percentile(0.50);
   report.inference_p95_ms = probe.Percentile(0.95);
   report.inference_p99_ms = probe.Percentile(0.99);
+  report.inference_p999_ms = probe.Percentile(0.999);
 
   if (last_report != nullptr) {
     report.train_epoch_seconds = last_report->mean_epoch_seconds;

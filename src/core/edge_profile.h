@@ -23,6 +23,7 @@ struct EdgeProfileReport {
   double inference_p50_ms = 0.0;         // per-window latency percentiles
   double inference_p95_ms = 0.0;
   double inference_p99_ms = 0.0;
+  double inference_p999_ms = 0.0;
   // Heap allocations per classified window (scale + embed + NCM),
   // measured via common/alloc_tracker.h. Steady-state churn, the edge
   // budget the hot-path lint enforces statically.

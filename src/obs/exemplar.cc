@@ -1,0 +1,80 @@
+#include "obs/exemplar.h"
+
+#include "common/macros.h"
+
+namespace pilote {
+namespace obs {
+
+// hotpath-ok: one-time slot array allocation at construction
+ExemplarRing::ExemplarRing(size_t capacity)
+    : capacity_(capacity), slots_(std::make_unique<Slot[]>(capacity)) {
+  PILOTE_CHECK_GT(capacity, 0u);
+}
+
+void ExemplarRing::Record(const SlowWindowExemplar& exemplar) {
+  const uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % capacity_];
+  uint64_t version = slot.version.load(std::memory_order_relaxed);
+  // Claim the slot by making its version odd. Losing the race (another
+  // writer wrapped around onto the same slot) drops this exemplar rather
+  // than spin — Record must never block the serve hot path.
+  if ((version & 1) != 0 ||
+      !slot.version.compare_exchange_strong(version, version + 1,
+                                            std::memory_order_acquire,
+                                            std::memory_order_relaxed)) {
+    return;
+  }
+  slot.sequence.store(ticket, std::memory_order_relaxed);
+  slot.session_id.store(exemplar.session_id, std::memory_order_relaxed);
+  slot.model_version.store(exemplar.model_version, std::memory_order_relaxed);
+  slot.queue_wait_ms.store(exemplar.queue_wait_ms, std::memory_order_relaxed);
+  slot.batch_wait_ms.store(exemplar.batch_wait_ms, std::memory_order_relaxed);
+  slot.predict_ms.store(exemplar.predict_ms, std::memory_order_relaxed);
+  slot.total_ms.store(exemplar.total_ms, std::memory_order_relaxed);
+  slot.version.store(version + 2, std::memory_order_release);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SlowWindowExemplar> ExemplarRing::Snapshot() const {
+  std::vector<SlowWindowExemplar> out;
+  out.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[i];
+    const uint64_t before = slot.version.load(std::memory_order_acquire);
+    // version 0 = never written; odd = write in flight.
+    if (before == 0 || (before & 1) != 0) continue;
+    SlowWindowExemplar e;
+    e.sequence = slot.sequence.load(std::memory_order_relaxed);
+    e.session_id = slot.session_id.load(std::memory_order_relaxed);
+    e.model_version = slot.model_version.load(std::memory_order_relaxed);
+    e.queue_wait_ms = slot.queue_wait_ms.load(std::memory_order_relaxed);
+    e.batch_wait_ms = slot.batch_wait_ms.load(std::memory_order_relaxed);
+    e.predict_ms = slot.predict_ms.load(std::memory_order_relaxed);
+    e.total_ms = slot.total_ms.load(std::memory_order_relaxed);
+    const uint64_t after = slot.version.load(std::memory_order_acquire);
+    if (after != before) continue;  // torn read: a writer got in
+    out.push_back(e);
+  }
+  return out;
+}
+
+void ExemplarRing::ResetForTesting() {
+  for (size_t i = 0; i < capacity_; ++i) {
+    // Settle any in-flight version parity too: stores, not +=.
+    slots_[i].version.store(0, std::memory_order_relaxed);
+  }
+  next_.store(0, std::memory_order_relaxed);
+  recorded_.store(0, std::memory_order_relaxed);
+}
+
+// hotpath-ok: process-lifetime singleton, allocates on first call only
+ExemplarRing& SlowWindows() {
+  // 64 slots: small enough to dump in every telemetry tick, large enough
+  // that a burst of slow windows survives until the next scrape. Leaked so
+  // instrumentation in static destructors stays safe.
+  static ExemplarRing* ring = new ExemplarRing(64);
+  return *ring;
+}
+
+}  // namespace obs
+}  // namespace pilote

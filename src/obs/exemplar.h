@@ -1,0 +1,81 @@
+#ifndef PILOTE_OBS_EXEMPLAR_H_
+#define PILOTE_OBS_EXEMPLAR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace pilote {
+namespace obs {
+
+// Slow-window exemplars: when a request lands in a top latency bucket the
+// serving path captures WHICH window was slow (session, model version) and
+// WHERE the time went (per-stage breakdown), into a fixed-size lock-free
+// ring. Aggregate histograms say "p999 is 40ms"; the exemplar ring says
+// "session 17 on model v3 spent 38ms of it waiting in the queue".
+
+struct SlowWindowExemplar {
+  uint64_t sequence{0};  // capture order (monotonic per ring)
+  uint64_t session_id{0};
+  int64_t model_version{0};
+  double queue_wait_ms{0.0};
+  double batch_wait_ms{0.0};
+  double predict_ms{0.0};
+  double total_ms{0.0};
+};
+
+// Fixed-capacity overwrite-oldest ring. Record() is wait-free for the
+// common case, allocation-free and never blocks: each slot is a per-slot
+// seqlock whose fields are themselves relaxed atomics (so concurrent
+// read/write is defined behaviour and TSan-clean); a writer that loses the
+// claim race for a slot simply drops its exemplar, and a reader that
+// observes a torn slot skips it. Sampling may therefore undercount under
+// contention — by design, exemplars are diagnostics, not accounting.
+class ExemplarRing {
+ public:
+  explicit ExemplarRing(size_t capacity);
+
+  // Lock-free, alloc-free; safe from the serve hot path.
+  void Record(const SlowWindowExemplar& exemplar);
+
+  // Consistent copies of every populated slot, oldest-capture order not
+  // guaranteed (use `sequence` to order). Torn/in-flight slots are skipped.
+  std::vector<SlowWindowExemplar> Snapshot() const;
+
+  // Total exemplars accepted (drops from lost claim races excluded).
+  int64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  void ResetForTesting();
+
+ private:
+  struct Slot {
+    // Even = stable, odd = write in flight; bumped twice per write.
+    std::atomic<uint64_t> version{0};
+    std::atomic<uint64_t> sequence{0};
+    std::atomic<uint64_t> session_id{0};
+    std::atomic<int64_t> model_version{0};
+    std::atomic<double> queue_wait_ms{0.0};
+    std::atomic<double> batch_wait_ms{0.0};
+    std::atomic<double> predict_ms{0.0};
+    std::atomic<double> total_ms{0.0};
+  };
+
+  const size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> next_{0};
+  std::atomic<int64_t> recorded_{0};
+};
+
+// Process-wide ring the serving path records into and the telemetry
+// exporter snapshots from.
+ExemplarRing& SlowWindows();
+
+}  // namespace obs
+}  // namespace pilote
+
+#endif  // PILOTE_OBS_EXEMPLAR_H_

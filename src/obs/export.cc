@@ -2,15 +2,52 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <string>
 
+#include "common/failpoint.h"
+#include "obs/exporter.h"
+#include "obs/labels.h"
 #include "obs/trace.h"
 
 namespace pilote {
 namespace obs {
 namespace {
+
+// `name` or `name{key="value"}` — the JSON/report key for one series.
+std::string SeriesName(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  return name + "{" + labels + "}";
+}
+
+// CSV cell for labels: no quotes (they would need CSV escaping) and no
+// commas by construction (single key=value pair).
+std::string CsvLabels(const std::string& labels) {
+  std::string out;
+  out.reserve(labels.size());
+  for (char c : labels) {
+    if (c != '"') out += c;
+  }
+  return out;
+}
+
+// pilote_a_b for a metric named a/b (Prometheus name charset).
+std::string PrometheusName(const std::string& name) {
+  std::string out = "pilote_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
 
 // JSON-safe rendering of a double (JSON has no NaN/Inf).
 std::string JsonNumber(double value) {
@@ -77,7 +114,13 @@ void WriteMetricsJsonAtExit() {
 
 MetricsSnapshot CaptureSnapshot() {
   MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  FamilyRegistry::Global().AppendTo(&snapshot);
   snapshot.spans = SpanProfile();
+  for (const fail::FailpointStats& stats :
+       fail::FailpointRegistry::Global().Stats()) {
+    snapshot.failpoints.push_back(
+        {stats.name, stats.armed, stats.hits, stats.fires});
+  }
   return snapshot;
 }
 
@@ -87,23 +130,31 @@ std::string ToReport(const MetricsSnapshot& snapshot) {
   os.precision(6);
   os << "== counters ==\n";
   for (const CounterSample& c : snapshot.counters) {
-    os << "  " << c.name << " = " << c.value << "\n";
+    os << "  " << SeriesName(c.name, c.labels) << " = " << c.value << "\n";
   }
   os << "== gauges ==\n";
   for (const GaugeSample& g : snapshot.gauges) {
-    os << "  " << g.name << " = " << g.value << "\n";
+    os << "  " << SeriesName(g.name, g.labels) << " = " << g.value << "\n";
   }
   os << "== histograms ==\n";
   for (const HistogramSample& h : snapshot.histograms) {
-    os << "  " << h.name << ": n=" << h.count << " mean="
+    os << "  " << SeriesName(h.name, h.labels) << ": n=" << h.count
+       << " mean="
        << (h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0)
        << " min=" << h.min << " p50=" << h.p50 << " p95=" << h.p95
-       << " p99=" << h.p99 << " max=" << h.max << "\n";
+       << " p99=" << h.p99 << " p999=" << h.p999 << " max=" << h.max << "\n";
   }
   os << "== spans (flat profile) ==\n";
   for (const SpanSample& s : snapshot.spans) {
     os << "  " << s.name << ": n=" << s.count << " total=" << s.total_seconds
        << "s self=" << s.self_seconds << "s\n";
+  }
+  if (!snapshot.failpoints.empty()) {
+    os << "== failpoints ==\n";
+    for (const FailpointSample& f : snapshot.failpoints) {
+      os << "  " << f.name << ": " << (f.armed ? "armed" : "disarmed")
+         << " hits=" << f.hits << " fires=" << f.fires << "\n";
+    }
   }
   return os.str();
 }
@@ -112,25 +163,28 @@ std::string ToJson(const MetricsSnapshot& snapshot) {
   std::ostringstream os;
   os << "{\n\"counters\":{";
   for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const CounterSample& c = snapshot.counters[i];
     os << (i == 0 ? "\n" : ",\n");
-    AppendJsonString(os, snapshot.counters[i].name);
-    os << ":" << snapshot.counters[i].value;
+    AppendJsonString(os, SeriesName(c.name, c.labels));
+    os << ":" << c.value;
   }
   os << "},\n\"gauges\":{";
   for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const GaugeSample& g = snapshot.gauges[i];
     os << (i == 0 ? "\n" : ",\n");
-    AppendJsonString(os, snapshot.gauges[i].name);
-    os << ":" << JsonNumber(snapshot.gauges[i].value);
+    AppendJsonString(os, SeriesName(g.name, g.labels));
+    os << ":" << JsonNumber(g.value);
   }
   os << "},\n\"histograms\":{";
   for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
     const HistogramSample& h = snapshot.histograms[i];
     os << (i == 0 ? "\n" : ",\n");
-    AppendJsonString(os, h.name);
+    AppendJsonString(os, SeriesName(h.name, h.labels));
     os << ":{\"count\":" << h.count << ",\"sum\":" << JsonNumber(h.sum)
        << ",\"min\":" << JsonNumber(h.min) << ",\"max\":" << JsonNumber(h.max)
        << ",\"p50\":" << JsonNumber(h.p50) << ",\"p95\":" << JsonNumber(h.p95)
-       << ",\"p99\":" << JsonNumber(h.p99) << "}";
+       << ",\"p99\":" << JsonNumber(h.p99)
+       << ",\"p999\":" << JsonNumber(h.p999) << "}";
   }
   os << "},\n\"spans\":{";
   for (size_t i = 0; i < snapshot.spans.size(); ++i) {
@@ -141,27 +195,98 @@ std::string ToJson(const MetricsSnapshot& snapshot) {
        << ",\"total_seconds\":" << JsonNumber(s.total_seconds)
        << ",\"self_seconds\":" << JsonNumber(s.self_seconds) << "}";
   }
+  os << "},\n\"failpoints\":{";
+  for (size_t i = 0; i < snapshot.failpoints.size(); ++i) {
+    const FailpointSample& f = snapshot.failpoints[i];
+    os << (i == 0 ? "\n" : ",\n");
+    AppendJsonString(os, f.name);
+    os << ":{\"armed\":" << (f.armed ? "true" : "false")
+       << ",\"hits\":" << f.hits << ",\"fires\":" << f.fires << "}";
+  }
   os << "}\n}\n";
   return os.str();
 }
 
 std::string ToCsv(const MetricsSnapshot& snapshot) {
   std::ostringstream os;
-  os << "kind,name,count,value,sum,min,max,p50,p95,p99\n";
+  os << "kind,name,labels,count,value,sum,min,max,p50,p95,p99,p999\n";
   for (const CounterSample& c : snapshot.counters) {
-    os << "counter," << c.name << ",," << c.value << ",,,,,,\n";
+    os << "counter," << c.name << "," << CsvLabels(c.labels) << ",,"
+       << c.value << ",,,,,,,\n";
   }
   for (const GaugeSample& g : snapshot.gauges) {
-    os << "gauge," << g.name << ",," << g.value << ",,,,,,\n";
+    os << "gauge," << g.name << "," << CsvLabels(g.labels) << ",,"
+       << g.value << ",,,,,,,\n";
   }
   for (const HistogramSample& h : snapshot.histograms) {
-    os << "histogram," << h.name << "," << h.count << ",," << h.sum << ","
-       << h.min << "," << h.max << "," << h.p50 << "," << h.p95 << ","
-       << h.p99 << "\n";
+    os << "histogram," << h.name << "," << CsvLabels(h.labels) << ","
+       << h.count << ",," << h.sum << "," << h.min << "," << h.max << ","
+       << h.p50 << "," << h.p95 << "," << h.p99 << "," << h.p999 << "\n";
   }
   for (const SpanSample& s : snapshot.spans) {
-    os << "span," << s.name << "," << s.count << ",," << s.total_seconds
-       << ",,,,," << "\n";
+    os << "span," << s.name << ",," << s.count << ",," << s.total_seconds
+       << ",,,,,," << "\n";
+  }
+  return os.str();
+}
+
+std::string ToPrometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os.setf(std::ios::fmtflags(0), std::ios::floatfield);
+  os.precision(9);
+  std::string last_family;
+  for (const CounterSample& c : snapshot.counters) {
+    std::string family = PrometheusName(c.name);
+    if (!EndsWith(family, "_total")) family += "_total";
+    if (family != last_family) {
+      os << "# TYPE " << family << " counter\n";
+      last_family = family;
+    }
+    os << family;
+    if (!c.labels.empty()) os << "{" << c.labels << "}";
+    os << " " << c.value << "\n";
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    const std::string family = PrometheusName(g.name);
+    if (family != last_family) {
+      os << "# TYPE " << family << " gauge\n";
+      last_family = family;
+    }
+    os << family;
+    if (!g.labels.empty()) os << "{" << g.labels << "}";
+    os << " " << g.value << "\n";
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    const std::string family = PrometheusName(h.name);
+    if (family != last_family) {
+      os << "# TYPE " << family << " summary\n";
+      last_family = family;
+    }
+    const std::string prefix = h.labels.empty() ? "" : h.labels + ",";
+    os << family << "{" << prefix << "quantile=\"0.5\"} " << h.p50 << "\n";
+    os << family << "{" << prefix << "quantile=\"0.95\"} " << h.p95 << "\n";
+    os << family << "{" << prefix << "quantile=\"0.99\"} " << h.p99 << "\n";
+    os << family << "{" << prefix << "quantile=\"0.999\"} " << h.p999 << "\n";
+    const std::string suffix = h.labels.empty() ? "" : "{" + h.labels + "}";
+    os << family << "_sum" << suffix << " " << h.sum << "\n";
+    os << family << "_count" << suffix << " " << h.count << "\n";
+  }
+  if (!snapshot.failpoints.empty()) {
+    os << "# TYPE pilote_failpoint_armed gauge\n";
+    for (const FailpointSample& f : snapshot.failpoints) {
+      os << "pilote_failpoint_armed{name=\"" << f.name << "\"} "
+         << (f.armed ? 1 : 0) << "\n";
+    }
+    os << "# TYPE pilote_failpoint_hits_total counter\n";
+    for (const FailpointSample& f : snapshot.failpoints) {
+      os << "pilote_failpoint_hits_total{name=\"" << f.name << "\"} "
+         << f.hits << "\n";
+    }
+    os << "# TYPE pilote_failpoint_fires_total counter\n";
+    for (const FailpointSample& f : snapshot.failpoints) {
+      os << "pilote_failpoint_fires_total{name=\"" << f.name << "\"} "
+         << f.fires << "\n";
+    }
   }
   return os.str();
 }
@@ -185,10 +310,16 @@ void EnableMetricsJsonOutput(const std::string& path) {
 
 int ConsumeMetricsFlags(int argc, char** argv) {
   int out = 1;
+  std::string telemetry_prefix;
+  int64_t telemetry_interval_ms = 0;  // 0 = keep the default
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--metrics-json=", 15) == 0) {
       EnableMetricsJsonOutput(arg + 15);
+    } else if (std::strncmp(arg, "--telemetry-out=", 16) == 0) {
+      telemetry_prefix = arg + 16;
+    } else if (std::strncmp(arg, "--telemetry-interval-ms=", 24) == 0) {
+      telemetry_interval_ms = std::strtol(arg + 24, nullptr, 10);
     } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       SetEnabled(true);
       StartTraceCapture();
@@ -210,6 +341,17 @@ int ConsumeMetricsFlags(int argc, char** argv) {
       argv[out++] = argv[i];
     }
   }
+  if (!telemetry_prefix.empty()) {
+    TelemetryOptions options;
+    options.output_prefix = telemetry_prefix;
+    if (telemetry_interval_ms > 0) options.interval_ms = telemetry_interval_ms;
+    Status status = StartGlobalTelemetry(options);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--telemetry-out: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+  MaybeStartTelemetryFromEnv();
   return out;
 }
 

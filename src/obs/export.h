@@ -15,26 +15,39 @@ namespace obs {
 //   PILOTE_METRICS=1       enable recording (any value but "0")
 //   PILOTE_TRACE_OUT=path  enable recording + buffer Chrome trace events,
 //                          written to `path` at process exit
+//   PILOTE_TELEMETRY_OUT=prefix      enable recording + start the streaming
+//                                    TelemetryExporter (see obs/exporter.h);
+//                                    applied by ConsumeMetricsFlags
+//   PILOTE_TELEMETRY_INTERVAL_MS=n   exporter tick interval (default 1000)
 //
 // Programmatic contract: EnableMetricsJsonOutput(path) is what the bench
 // harness's --metrics-json flag calls — it enables recording and arranges
 // for a JSON snapshot at process exit, so every bench run can leave a
 // machine-readable perf record next to its stdout tables.
 
-// Registry metrics + span profile merged into one snapshot.
+// Registry metrics + labeled family slots + span profile + failpoint stats
+// merged into one snapshot (the single chaos/perf artifact).
 MetricsSnapshot CaptureSnapshot();
 
 // Human-readable multi-section report (counters, gauges, histogram
-// percentiles, flat span profile).
+// percentiles, flat span profile, failpoint activity).
 std::string ToReport(const MetricsSnapshot& snapshot);
 
 // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...},
-// "spans":{...}}. Stable key order (sorted by name).
+// "spans":{...},"failpoints":{...}}. Stable key order (sorted by name);
+// labeled series use the key `name{key="value"}`.
 std::string ToJson(const MetricsSnapshot& snapshot);
 
-// Flat CSV: kind,name,count,value,sum,min,max,p50,p95,p99 — one row per
-// metric, empty cells where a column does not apply.
+// Flat CSV: kind,name,labels,count,value,sum,min,max,p50,p95,p99,p999 —
+// one row per metric, empty cells where a column does not apply. The
+// labels cell is rendered without quotes (`stage=predict`).
 std::string ToCsv(const MetricsSnapshot& snapshot);
+
+// Prometheus text exposition. Names map `a/b_ms` -> `pilote_a_b_ms`;
+// counters gain the conventional `_total` suffix; histograms render as
+// summaries with quantile labels 0.5/0.95/0.99/0.999 plus _sum/_count;
+// failpoints render as pilote_failpoint_{hits,fires}_total{name="..."}.
+std::string ToPrometheus(const MetricsSnapshot& snapshot);
 
 // Captures a snapshot and writes it in the given format.
 Status WriteMetricsJson(const std::string& path);
@@ -44,10 +57,12 @@ Status WriteMetricsCsv(const std::string& path);
 // exit (last call wins). Used by the bench --metrics-json flag.
 void EnableMetricsJsonOutput(const std::string& path);
 
-// Strips observability flags (--metrics-json=PATH, --trace-out=PATH) from
-// an argv the downstream parser does not understand (google-benchmark
-// rejects unknown flags), applying their effects, and returns the new
-// argc. argv[0] is preserved.
+// Strips observability flags (--metrics-json=PATH, --trace-out=PATH,
+// --telemetry-out=PREFIX, --telemetry-interval-ms=N) from an argv the
+// downstream parser does not understand (google-benchmark rejects unknown
+// flags), applying their effects, and returns the new argc. argv[0] is
+// preserved. Also starts the streaming exporter when PILOTE_TELEMETRY_OUT
+// is set in the environment.
 int ConsumeMetricsFlags(int argc, char** argv);
 
 }  // namespace obs

@@ -1,0 +1,287 @@
+#include "obs/exporter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/exemplar.h"
+#include "obs/export.h"
+#include "obs/labels.h"
+#include "obs/metrics.h"
+
+namespace pilote {
+namespace obs {
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& body,
+                 const char* mode) {
+  std::FILE* file = std::fopen(path.c_str(), mode);
+  if (file == nullptr) {
+    return Status::IoError("cannot open telemetry output " + path);
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  if (written != body.size() || !closed) {
+    return Status::IoError("cannot write telemetry output " + path);
+  }
+  return Status::Ok();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';  // control characters cannot appear in metric names
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string JsonKey(const std::string& name, const std::string& labels) {
+  std::string key = labels.empty() ? name : name + "{" + labels + "}";
+  std::string out = "\"";
+  out += JsonEscape(key);
+  out += '"';
+  return out;
+}
+
+std::string Num(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+// One JSONL time-series record: rolling rates and windowed quantiles from
+// `summary`, instantaneous gauges, cumulative failpoint stats, and the
+// current slow-window exemplar ring.
+std::string BuildJsonlLine(int64_t tick, double uptime_s,
+                           const WindowSummary& summary,
+                           const MetricsSnapshot& cumulative,
+                           const std::vector<SlowWindowExemplar>& exemplars) {
+  std::ostringstream os;
+  os << "{\"tick\":" << tick << ",\"uptime_s\":" << Num(uptime_s)
+     << ",\"window_s\":" << Num(summary.window_seconds);
+  os << ",\"counters\":{";
+  for (size_t i = 0; i < summary.counters.size(); ++i) {
+    const WindowedCounterSample& c = summary.counters[i];
+    os << (i == 0 ? "" : ",") << JsonKey(c.name, c.labels)
+       << ":{\"delta\":" << c.delta
+       << ",\"rate_per_s\":" << Num(c.rate_per_s) << "}";
+  }
+  os << "},\"gauges\":{";
+  for (size_t i = 0; i < summary.gauges.size(); ++i) {
+    const GaugeSample& g = summary.gauges[i];
+    os << (i == 0 ? "" : ",") << JsonKey(g.name, g.labels) << ":"
+       << Num(g.value);
+  }
+  os << "},\"histograms\":{";
+  for (size_t i = 0; i < summary.histograms.size(); ++i) {
+    const HistogramSample& h = summary.histograms[i];
+    os << (i == 0 ? "" : ",") << JsonKey(h.name, h.labels)
+       << ":{\"count\":" << h.count << ",\"sum\":" << Num(h.sum)
+       << ",\"p50\":" << Num(h.p50) << ",\"p95\":" << Num(h.p95)
+       << ",\"p99\":" << Num(h.p99) << ",\"p999\":" << Num(h.p999) << "}";
+  }
+  os << "},\"failpoints\":{";
+  for (size_t i = 0; i < cumulative.failpoints.size(); ++i) {
+    const FailpointSample& f = cumulative.failpoints[i];
+    os << (i == 0 ? "" : ",") << "\"" << JsonEscape(f.name)
+       << "\":{\"armed\":" << (f.armed ? "true" : "false")
+       << ",\"hits\":" << f.hits << ",\"fires\":" << f.fires << "}";
+  }
+  os << "},\"exemplars\":[";
+  for (size_t i = 0; i < exemplars.size(); ++i) {
+    const SlowWindowExemplar& e = exemplars[i];
+    os << (i == 0 ? "" : ",") << "{\"sequence\":" << e.sequence
+       << ",\"session_id\":" << e.session_id
+       << ",\"model_version\":" << e.model_version
+       << ",\"queue_wait_ms\":" << Num(e.queue_wait_ms)
+       << ",\"batch_wait_ms\":" << Num(e.batch_wait_ms)
+       << ",\"predict_ms\":" << Num(e.predict_ms)
+       << ",\"total_ms\":" << Num(e.total_ms) << "}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+}  // namespace
+
+TelemetryExporter::TelemetryExporter(TelemetryOptions options)
+    : options_(std::move(options)),
+      start_time_(std::chrono::steady_clock::now()),
+      windows_(options_.window_capacity_ticks == 0
+                   ? 1
+                   : options_.window_capacity_ticks) {}
+
+TelemetryExporter::~TelemetryExporter() { Stop(); }
+
+Status TelemetryExporter::Start() {
+  if (options_.output_prefix.empty()) {
+    return Status::InvalidArgument("telemetry output prefix is empty");
+  }
+  if (options_.interval_ms <= 0) {
+    return Status::InvalidArgument("telemetry interval must be positive");
+  }
+  MutexLock lock(mutex_);
+  if (running_) {
+    return Status::FailedPrecondition("telemetry exporter already running");
+  }
+  stop_requested_ = false;
+  thread_ = std::thread(&TelemetryExporter::Loop, this);
+  running_ = true;
+  return Status::Ok();
+}
+
+void TelemetryExporter::Stop() {
+  {
+    MutexLock lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  stop_cv_.NotifyAll();
+  thread_.join();
+  {
+    MutexLock lock(mutex_);
+    running_ = false;
+    stop_requested_ = false;
+  }
+  // Final flush: even a run shorter than one interval leaves a record, and
+  // the last partial window reaches the artifacts.
+  Status status = TickNow();
+  if (!status.ok()) {
+    PILOTE_LOG(Warning) << "telemetry final tick failed: "
+                        << status.ToString();
+  }
+}
+
+void TelemetryExporter::Loop() {
+  const auto interval = std::chrono::milliseconds(options_.interval_ms);
+  auto next = std::chrono::steady_clock::now() + interval;
+  while (true) {
+    {
+      MutexLock lock(mutex_);
+      while (!stop_requested_ &&
+             std::chrono::steady_clock::now() < next) {
+        stop_cv_.WaitUntil(mutex_, next);
+      }
+      if (stop_requested_) return;
+    }
+    // Outside the lock: file I/O must never delay Stop().
+    Status status = TickNow();
+    if (!status.ok()) {
+      PILOTE_LOG(Warning) << "telemetry tick failed: " << status.ToString();
+    }
+    next += interval;
+  }
+}
+
+Status TelemetryExporter::TickNow() {
+  const double uptime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  RawMetricsSnapshot raw = MetricsRegistry::Global().RawSnapshot();
+  FamilyRegistry::Global().AppendTo(&raw);
+  windows_.Tick(raw, uptime_s);
+
+  const WindowSummary summary =
+      windows_.Summarize(options_.summary_window_ticks);
+  MetricsSnapshot cumulative = CaptureSnapshot();
+
+  // Exposition: cumulative counters/gauges/failpoints, WINDOWED quantiles.
+  MetricsSnapshot exposition = cumulative;
+  exposition.histograms = summary.histograms;
+  Status status = WriteFile(options_.output_prefix + ".prom",
+                            ToPrometheus(exposition), "w");
+
+  const int64_t tick = ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::string line = BuildJsonlLine(tick, uptime_s, summary, cumulative,
+                                          SlowWindows().Snapshot());
+  Status jsonl_status =
+      WriteFile(options_.output_prefix + ".jsonl", line, "a");
+  return status.ok() ? jsonl_status : status;
+}
+
+// ------------------------------------------------------- global instance
+
+namespace {
+
+Mutex& GlobalTelemetryMutex() {
+  static Mutex* mutex = new Mutex();
+  return *mutex;
+}
+
+TelemetryExporter*& GlobalTelemetrySlot() {
+  // Leaked: the atexit handler stops the thread; destruction order against
+  // other static teardown is not worth gambling on.
+  static TelemetryExporter* exporter = nullptr;
+  return exporter;
+}
+
+}  // namespace
+
+Status StartGlobalTelemetry(const TelemetryOptions& options) {
+  MutexLock lock(GlobalTelemetryMutex());
+  TelemetryExporter*& slot = GlobalTelemetrySlot();
+  if (slot != nullptr) {
+    return Status::FailedPrecondition("global telemetry already started");
+  }
+  SetEnabled(true);
+  auto* exporter = new TelemetryExporter(options);
+  Status status = exporter->Start();
+  if (!status.ok()) {
+    delete exporter;
+    return status;
+  }
+  slot = exporter;
+  static const bool registered = [] {
+    std::atexit(+[] { StopGlobalTelemetry(); });
+    return true;
+  }();
+  (void)registered;
+  return Status::Ok();
+}
+
+void StopGlobalTelemetry() {
+  TelemetryExporter* exporter = nullptr;
+  {
+    MutexLock lock(GlobalTelemetryMutex());
+    exporter = GlobalTelemetrySlot();
+    GlobalTelemetrySlot() = nullptr;
+  }
+  // Stop outside the lock (it joins the thread and does file I/O). The
+  // object is leaked so late metric reads from other atexit handlers stay
+  // safe.
+  if (exporter != nullptr) exporter->Stop();
+}
+
+TelemetryExporter* GlobalTelemetry() {
+  MutexLock lock(GlobalTelemetryMutex());
+  return GlobalTelemetrySlot();
+}
+
+void MaybeStartTelemetryFromEnv() {
+  const char* prefix = std::getenv("PILOTE_TELEMETRY_OUT");
+  if (prefix == nullptr || prefix[0] == '\0') return;
+  TelemetryOptions options;
+  options.output_prefix = prefix;
+  if (const char* interval = std::getenv("PILOTE_TELEMETRY_INTERVAL_MS")) {
+    const long parsed = std::strtol(interval, nullptr, 10);
+    if (parsed > 0) options.interval_ms = parsed;
+  }
+  Status status = StartGlobalTelemetry(options);
+  if (!status.ok() && status.code() != StatusCode::kFailedPrecondition) {
+    PILOTE_LOG(Warning) << "PILOTE_TELEMETRY_OUT: " << status.ToString();
+  }
+}
+
+}  // namespace obs
+}  // namespace pilote

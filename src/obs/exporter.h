@@ -1,0 +1,104 @@
+#ifndef PILOTE_OBS_EXPORTER_H_
+#define PILOTE_OBS_EXPORTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "obs/window.h"
+
+namespace pilote {
+namespace obs {
+
+// Background telemetry exporter: a thread that every `interval_ms` feeds
+// the windowed aggregator one snapshot delta and emits two artifacts under
+// `output_prefix`:
+//
+//   <prefix>.prom    Prometheus text exposition, rewritten per tick —
+//                    cumulative counters/gauges/failpoints plus WINDOWED
+//                    histogram quantiles (p50/p95/p99/p999 over the last
+//                    `summary_window_ticks` ticks), ready for a file-based
+//                    scrape (node_exporter textfile collector style).
+//   <prefix>.jsonl   one JSON object appended per tick — the time series
+//                    (rates, windowed quantiles, gauges, failpoint stats,
+//                    slow-window exemplars) CI uploads as its artifact.
+//
+// Lifecycle: Start() launches the thread, Stop() (idempotent; also run by
+// the destructor) joins it and performs one final tick so even runs shorter
+// than an interval leave a record. Start/Stop are control-plane calls from
+// one thread; the tick path never touches serving state beyond the
+// lock-free registries, so ingest threads are never blocked.
+struct TelemetryOptions {
+  std::string output_prefix;
+  int64_t interval_ms = 1000;
+  // Ring depth of the aggregator (lookback = capacity * interval).
+  size_t window_capacity_ticks = 60;
+  // Ticks merged into each windowed quantile summary.
+  size_t summary_window_ticks = 10;
+};
+
+class TelemetryExporter {
+ public:
+  explicit TelemetryExporter(TelemetryOptions options);
+  ~TelemetryExporter();
+
+  TelemetryExporter(const TelemetryExporter&) = delete;
+  TelemetryExporter& operator=(const TelemetryExporter&) = delete;
+
+  // kFailedPrecondition when already running; kInvalidArgument for a bad
+  // interval or empty output prefix.
+  Status Start() PILOTE_EXCLUDES(mutex_);
+
+  // Signals the thread, joins it, runs a final tick. Safe to call twice.
+  void Stop() PILOTE_EXCLUDES(mutex_);
+
+  // Captures, windows and writes both outputs immediately (also the final
+  // flush in Stop, and what tests call to avoid timing dependence).
+  Status TickNow() PILOTE_EXCLUDES(mutex_);
+
+  // Windowed views over what the exporter has ingested (tests ask this for
+  // "p999 over the last N ticks" without parsing the artifacts).
+  const WindowedAggregator& windows() const { return windows_; }
+
+  int64_t ticks_completed() const {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+
+  const TelemetryOptions& options() const { return options_; }
+
+ private:
+  void Loop() PILOTE_EXCLUDES(mutex_);
+
+  const TelemetryOptions options_;
+  const std::chrono::steady_clock::time_point start_time_;
+
+  Mutex mutex_;
+  CondVar stop_cv_;
+  bool stop_requested_ PILOTE_GUARDED_BY(mutex_) = false;
+  bool running_ PILOTE_GUARDED_BY(mutex_) = false;
+  // unguarded: written in Start, joined in Stop; control-plane calls are
+  // serialized by the caller.
+  std::thread thread_;
+  WindowedAggregator windows_;  // unguarded: internally synchronized
+  std::atomic<int64_t> ticks_{0};
+};
+
+// Process-wide exporter, the PILOTE_TELEMETRY_OUT surface. Start enables
+// metric recording, launches the exporter and registers an atexit stop
+// (final flush); kFailedPrecondition if one is already running.
+Status StartGlobalTelemetry(const TelemetryOptions& options);
+void StopGlobalTelemetry();
+TelemetryExporter* GlobalTelemetry();
+
+// Applies PILOTE_TELEMETRY_OUT / PILOTE_TELEMETRY_INTERVAL_MS if set and no
+// global exporter is running yet (called from ConsumeMetricsFlags).
+void MaybeStartTelemetryFromEnv();
+
+}  // namespace obs
+}  // namespace pilote
+
+#endif  // PILOTE_OBS_EXPORTER_H_

@@ -8,16 +8,28 @@
 #include <limits>
 
 #include "common/macros.h"
+#include "obs/exporter.h"
 
 namespace pilote {
 namespace obs {
 
 namespace internal {
 
+// hotpath-ok: one-time process init behind a function-local static; the
+// exporter machinery it may start is never reached from serve steady state
 bool InitFromEnvironment() {
+  // A telemetry destination both enables the instrumentation and starts
+  // the streaming exporter, for ANY pilote binary — not just the benches
+  // that route flags through ConsumeMetricsFlags. Runs once (this function
+  // backs a function-local static); the exporter start path never reads
+  // Enabled() on this thread, so the in-progress static cannot re-enter.
+  if (std::getenv("PILOTE_TELEMETRY_OUT") != nullptr) {
+    MaybeStartTelemetryFromEnv();
+    return true;
+  }
   const char* metrics = std::getenv("PILOTE_METRICS");
   if (metrics != nullptr && std::strcmp(metrics, "0") != 0) return true;
-  // A trace destination implies the instrumentation must run.
+  // A trace destination likewise implies the instrumentation must run.
   return std::getenv("PILOTE_TRACE_OUT") != nullptr;
 }
 
@@ -173,23 +185,56 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
   return *slot;
 }
 
+HistogramSample MakeHistogramSample(const std::string& name,
+                                    const std::string& labels,
+                                    const HistogramSnapshot& h) {
+  HistogramSample s;
+  s.name = name;
+  s.labels = labels;
+  s.count = h.count;
+  s.sum = h.sum;
+  s.min = h.min;
+  s.max = h.max;
+  s.p50 = h.Percentile(0.50);
+  s.p95 = h.Percentile(0.95);
+  s.p99 = h.Percentile(0.99);
+  s.p999 = h.Percentile(0.999);
+  return s;
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MutexLock lock(mutex_);
   MetricsSnapshot snapshot;
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
-    snapshot.counters.push_back({name, counter->value()});
+    snapshot.counters.push_back({name, /*labels=*/"", counter->value()});
   }
   snapshot.gauges.reserve(gauges_.size());
   for (const auto& [name, gauge] : gauges_) {
-    snapshot.gauges.push_back({name, gauge->value()});
+    snapshot.gauges.push_back({name, /*labels=*/"", gauge->value()});
   }
   snapshot.histograms.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
-    HistogramSnapshot h = histogram->Snapshot();
-    snapshot.histograms.push_back({name, h.count, h.sum, h.min, h.max,
-                                   h.Percentile(0.50), h.Percentile(0.95),
-                                   h.Percentile(0.99)});
+    snapshot.histograms.push_back(
+        MakeHistogramSample(name, /*labels=*/"", histogram->Snapshot()));
+  }
+  return snapshot;
+}
+
+RawMetricsSnapshot MetricsRegistry::RawSnapshot() const {
+  MutexLock lock(mutex_);
+  RawMetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, /*labels=*/"", counter->value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, /*labels=*/"", gauge->value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.push_back({name, /*labels=*/"", histogram->Snapshot()});
   }
   return snapshot;
 }

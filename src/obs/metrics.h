@@ -139,18 +139,24 @@ class Histogram {
   std::atomic<uint64_t> max_bits_;
 };
 
+// `labels` is the pre-rendered Prometheus-style label pair list without
+// braces (`stage="predict"`); empty for unlabeled metrics. Samples of a
+// labeled family carry the family name plus one labels string per slot.
 struct CounterSample {
   std::string name;
+  std::string labels;
   int64_t value = 0;
 };
 
 struct GaugeSample {
   std::string name;
+  std::string labels;
   double value = 0.0;
 };
 
 struct HistogramSample {
   std::string name;
+  std::string labels;
   int64_t count = 0;
   double sum = 0.0;
   double min = 0.0;
@@ -158,6 +164,7 @@ struct HistogramSample {
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
 };
 
 // One span name aggregated over all executions (see obs/trace.h).
@@ -168,14 +175,54 @@ struct SpanSample {
   double self_seconds = 0.0;  // total minus time spent in nested spans
 };
 
-// Point-in-time view of every registered metric (spans are merged in by
-// obs::CaptureSnapshot in obs/export.h).
+// Activity of one fault-injection site (mirrors fail::FailpointStats;
+// merged into the snapshot by obs::CaptureSnapshot so chaos runs ship one
+// telemetry artifact instead of a metrics JSON plus a failpoint JSON).
+struct FailpointSample {
+  std::string name;
+  bool armed = false;
+  int64_t hits = 0;
+  int64_t fires = 0;
+};
+
+// Point-in-time view of every registered metric (spans and failpoint stats
+// are merged in by obs::CaptureSnapshot in obs/export.h; labeled-family
+// samples by the family registry in obs/labels.h).
 struct MetricsSnapshot {
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
   std::vector<HistogramSample> histograms;
   std::vector<SpanSample> spans;
+  std::vector<FailpointSample> failpoints;
 };
+
+// Raw cumulative view keeping full bucket vectors, the input the
+// time-windowed aggregator (obs/window.h) diffs tick over tick. Gauges are
+// instantaneous and carried through as-is.
+struct RawHistogramSample {
+  std::string name;
+  std::string labels;
+  HistogramSnapshot snapshot;
+};
+
+struct RawCounterSample {
+  std::string name;
+  std::string labels;
+  int64_t value = 0;
+};
+
+struct RawMetricsSnapshot {
+  std::vector<RawCounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<RawHistogramSample> histograms;
+};
+
+// Computes p50/p95/p99/p999 from a frozen histogram view; shared by the
+// plain registry, the family registry (obs/labels.h) and the windowed
+// aggregator (obs/window.h).
+HistogramSample MakeHistogramSample(const std::string& name,
+                                    const std::string& labels,
+                                    const HistogramSnapshot& h);
 
 // Name -> metric map. Handles returned by Get* are stable for the process
 // lifetime (never invalidated, not even by ResetForTesting), so callers
@@ -190,6 +237,10 @@ class MetricsRegistry {
 
   // Counters/gauges/histograms only; spans live in the trace registry.
   MetricsSnapshot Snapshot() const PILOTE_EXCLUDES(mutex_);
+
+  // Like Snapshot() but preserving full histogram bucket vectors, for the
+  // windowed aggregator to diff tick over tick.
+  RawMetricsSnapshot RawSnapshot() const PILOTE_EXCLUDES(mutex_);
 
   // Zeroes every registered metric IN PLACE; handles stay valid.
   void ResetForTesting() PILOTE_EXCLUDES(mutex_);

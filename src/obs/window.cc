@@ -1,0 +1,155 @@
+#include "obs/window.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace pilote {
+namespace obs {
+
+HistogramSnapshot MergeHistograms(const HistogramSnapshot& a,
+                                  const HistogramSnapshot& b) {
+  if (a.count == 0) return b;
+  if (b.count == 0) return a;
+  PILOTE_CHECK_EQ(a.buckets.size(), b.buckets.size());
+  HistogramSnapshot merged;
+  merged.count = a.count + b.count;
+  merged.sum = a.sum + b.sum;
+  merged.min = std::min(a.min, b.min);
+  merged.max = std::max(a.max, b.max);
+  merged.buckets.resize(a.buckets.size());
+  for (size_t i = 0; i < a.buckets.size(); ++i) {
+    merged.buckets[i] = a.buckets[i] + b.buckets[i];
+  }
+  return merged;
+}
+
+WindowedAggregator::WindowedAggregator(size_t capacity)
+    : capacity_(capacity) {
+  PILOTE_CHECK_GT(capacity, 0u);
+}
+
+void WindowedAggregator::Tick(const RawMetricsSnapshot& cumulative,
+                              double timestamp_seconds) {
+  MutexLock lock(mutex_);
+  TickDelta tick;
+  tick.timestamp_seconds = timestamp_seconds;
+  if (has_baseline_) {
+    tick.duration_seconds = std::max(0.0, timestamp_seconds - last_timestamp_);
+  }
+  std::map<SeriesKey, int64_t> counters_now;
+  for (const RawCounterSample& c : cumulative.counters) {
+    const SeriesKey key{c.name, c.labels};
+    counters_now[key] = c.value;
+    auto prev = prev_counters_.find(key);
+    const int64_t before = prev == prev_counters_.end() ? 0 : prev->second;
+    tick.counters[key] = c.value - before;
+  }
+  for (const GaugeSample& g : cumulative.gauges) {
+    tick.gauges[{g.name, g.labels}] = g.value;
+  }
+  std::map<SeriesKey, HistogramSnapshot> histograms_now;
+  for (const RawHistogramSample& h : cumulative.histograms) {
+    const SeriesKey key{h.name, h.labels};
+    histograms_now[key] = h.snapshot;
+    auto prev = prev_histograms_.find(key);
+    if (prev == prev_histograms_.end()) {
+      tick.histograms[key] = h.snapshot;
+    } else {
+      tick.histograms[key] = Delta(prev->second, h.snapshot);
+    }
+  }
+  prev_counters_ = std::move(counters_now);
+  prev_histograms_ = std::move(histograms_now);
+  has_baseline_ = true;
+  last_timestamp_ = timestamp_seconds;
+  if (ticks_.size() == capacity_) ticks_.erase(ticks_.begin());
+  ticks_.push_back(std::move(tick));
+}
+
+WindowSummary WindowedAggregator::Summarize(size_t ticks) const {
+  MutexLock lock(mutex_);
+  WindowSummary summary;
+  if (ticks_.empty()) return summary;
+  const size_t n = std::min(ticks, ticks_.size());
+  const size_t first = ticks_.size() - n;
+  std::map<SeriesKey, int64_t> counters;
+  std::map<SeriesKey, HistogramSnapshot> histograms;
+  for (size_t i = first; i < ticks_.size(); ++i) {
+    const TickDelta& tick = ticks_[i];
+    summary.window_seconds += tick.duration_seconds;
+    ++summary.ticks;
+    for (const auto& [key, delta] : tick.counters) counters[key] += delta;
+    for (const auto& [key, delta] : tick.histograms) {
+      histograms[key] = MergeHistograms(histograms[key], delta);
+    }
+  }
+  for (const auto& [key, delta] : counters) {
+    WindowedCounterSample sample;
+    sample.name = key.first;
+    sample.labels = key.second;
+    sample.delta = delta;
+    if (summary.window_seconds > 0.0) {
+      sample.rate_per_s =
+          static_cast<double>(delta) / summary.window_seconds;
+    }
+    summary.counters.push_back(std::move(sample));
+  }
+  // Gauges are instantaneous: report the newest tick's values.
+  for (const auto& [key, value] : ticks_.back().gauges) {
+    summary.gauges.push_back({key.first, key.second, value});
+  }
+  for (const auto& [key, merged] : histograms) {
+    summary.histograms.push_back(
+        MakeHistogramSample(key.first, key.second, merged));
+  }
+  return summary;
+}
+
+HistogramSnapshot WindowedAggregator::WindowedHistogram(
+    const std::string& name, const std::string& labels, size_t ticks) const {
+  MutexLock lock(mutex_);
+  HistogramSnapshot merged;
+  if (ticks_.empty()) return merged;
+  const size_t n = std::min(ticks, ticks_.size());
+  for (size_t i = ticks_.size() - n; i < ticks_.size(); ++i) {
+    auto it = ticks_[i].histograms.find({name, labels});
+    if (it != ticks_[i].histograms.end()) {
+      merged = MergeHistograms(merged, it->second);
+    }
+  }
+  return merged;
+}
+
+double WindowedAggregator::WindowedRate(const std::string& name,
+                                        const std::string& labels,
+                                        size_t ticks) const {
+  MutexLock lock(mutex_);
+  if (ticks_.empty()) return 0.0;
+  const size_t n = std::min(ticks, ticks_.size());
+  int64_t delta = 0;
+  double seconds = 0.0;
+  for (size_t i = ticks_.size() - n; i < ticks_.size(); ++i) {
+    seconds += ticks_[i].duration_seconds;
+    auto it = ticks_[i].counters.find({name, labels});
+    if (it != ticks_[i].counters.end()) delta += it->second;
+  }
+  return seconds > 0.0 ? static_cast<double>(delta) / seconds : 0.0;
+}
+
+size_t WindowedAggregator::tick_count() const {
+  MutexLock lock(mutex_);
+  return ticks_.size();
+}
+
+void WindowedAggregator::Reset() {
+  MutexLock lock(mutex_);
+  ticks_.clear();
+  prev_counters_.clear();
+  prev_histograms_.clear();
+  has_baseline_ = false;
+  last_timestamp_ = 0.0;
+}
+
+}  // namespace obs
+}  // namespace pilote

@@ -1,0 +1,108 @@
+#ifndef PILOTE_OBS_WINDOW_H_
+#define PILOTE_OBS_WINDOW_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+
+namespace pilote {
+namespace obs {
+
+// Time-windowed aggregation over the cumulative registries: a ring of
+// periodic snapshot deltas. Each Tick() diffs the current cumulative
+// RawMetricsSnapshot against the previous one and stores the per-tick
+// increment; Summarize(n) merges the most recent n ticks into rolling
+// counter rates and windowed histogram quantiles (p50/p95/p99/p999) —
+// "p999 request latency over the last 10 seconds" instead of since
+// process start.
+//
+// Not a hot-path object: Tick() and the queries take a Mutex and allocate
+// freely. The hot path only ever touches the lock-free metric handles; the
+// exporter thread calls in here at its own cadence.
+
+// Rolling view of one counter over the summarized window.
+struct WindowedCounterSample {
+  std::string name;
+  std::string labels;
+  int64_t delta = 0;        // events within the window
+  double rate_per_s = 0.0;  // delta / window_seconds (0 for empty window)
+};
+
+// Merge of the most recent ticks (counters and histograms are windowed
+// deltas; gauges are the instantaneous value at the newest tick).
+struct WindowSummary {
+  double window_seconds = 0.0;
+  int64_t ticks = 0;
+  std::vector<WindowedCounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+// Bucketwise sum of two deltas of the same histogram (min/max widen).
+HistogramSnapshot MergeHistograms(const HistogramSnapshot& a,
+                                  const HistogramSnapshot& b);
+
+class WindowedAggregator {
+ public:
+  // Keeps the most recent `capacity` ticks (e.g. 60 one-second ticks for a
+  // one-minute lookback).
+  explicit WindowedAggregator(size_t capacity);
+
+  // Ingests the current cumulative snapshot, storing the delta since the
+  // previous Tick(). `timestamp_seconds` must be monotonic non-decreasing
+  // across calls. The first Tick() establishes the baseline and stores the
+  // full cumulative state as its delta.
+  void Tick(const RawMetricsSnapshot& cumulative, double timestamp_seconds)
+      PILOTE_EXCLUDES(mutex_);
+
+  // Merges the most recent `ticks` deltas (clamped to what the ring holds).
+  WindowSummary Summarize(size_t ticks) const PILOTE_EXCLUDES(mutex_);
+
+  // Windowed view of one histogram; empty snapshot when the key is absent.
+  HistogramSnapshot WindowedHistogram(const std::string& name,
+                                      const std::string& labels,
+                                      size_t ticks) const
+      PILOTE_EXCLUDES(mutex_);
+
+  // Windowed event rate of one counter; 0 when absent or no time elapsed.
+  double WindowedRate(const std::string& name, const std::string& labels,
+                      size_t ticks) const PILOTE_EXCLUDES(mutex_);
+
+  size_t tick_count() const PILOTE_EXCLUDES(mutex_);
+
+  // Drops all ticks and the cumulative baseline. Required after a registry
+  // ResetForTesting(), whose rewind would otherwise make deltas negative.
+  void Reset() PILOTE_EXCLUDES(mutex_);
+
+ private:
+  // (name, labels) uniquely identifies a series across registries.
+  using SeriesKey = std::pair<std::string, std::string>;
+
+  struct TickDelta {
+    double timestamp_seconds = 0.0;
+    double duration_seconds = 0.0;  // since the previous tick; 0 for first
+    std::map<SeriesKey, int64_t> counters;
+    std::map<SeriesKey, double> gauges;  // instantaneous at this tick
+    std::map<SeriesKey, HistogramSnapshot> histograms;
+  };
+
+  mutable Mutex mutex_;
+  const size_t capacity_;
+  // Ring, oldest first (index 0 evicted when full).
+  std::vector<TickDelta> ticks_ PILOTE_GUARDED_BY(mutex_);
+  bool has_baseline_ PILOTE_GUARDED_BY(mutex_) = false;
+  double last_timestamp_ PILOTE_GUARDED_BY(mutex_) = 0.0;
+  std::map<SeriesKey, int64_t> prev_counters_ PILOTE_GUARDED_BY(mutex_);
+  std::map<SeriesKey, HistogramSnapshot> prev_histograms_
+      PILOTE_GUARDED_BY(mutex_);
+};
+
+}  // namespace obs
+}  // namespace pilote
+
+#endif  // PILOTE_OBS_WINDOW_H_

@@ -8,6 +8,7 @@
 
 #include "common/alloc_tracker.h"
 #include "common/macros.h"
+#include "obs/exemplar.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/learner_handle.h"
@@ -15,9 +16,24 @@
 namespace pilote {
 namespace serve {
 
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 BatchingEngine::BatchingEngine(const ServeOptions& options)
     : options_(options),
-      queue_(static_cast<size_t>(options.queue_capacity)) {
+      queue_(static_cast<size_t>(options.queue_capacity)),
+      stage_ms_(obs::FamilyRegistry::Global().GetHistogramFamily(
+          "serve/stage_ms", "stage", {"queue_wait", "batch_wait", "predict"})),
+      degraded_(obs::FamilyRegistry::Global().GetCounterFamily(
+          "serve/degraded_total", "reason", {"fault"})),
+      last_progress_ns_(SteadyNowNs()) {
   Status valid = ValidateServeOptions(options_);
   PILOTE_CHECK(valid.ok()) << valid.ToString();
   worker_ = std::thread([this] { WorkerLoop(); });
@@ -86,8 +102,14 @@ void BatchingEngine::WorkerLoop() {
                          std::chrono::microseconds(options_.max_delay_us))) {
       break;  // closed and drained
     }
+    last_progress_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
     if (batch.empty()) continue;  // interrupted pop: re-check the gate
+    if (obs::Enabled()) {
+      const auto dequeued = std::chrono::steady_clock::now();
+      for (PredictRequest& request : batch) request.dequeue_time = dequeued;
+    }
     ProcessBatch(batch);
+    last_progress_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
   }
 }
 
@@ -156,6 +178,7 @@ void BatchingEngine::ProcessBatch(std::vector<PredictRequest>& batch) {
     // chaos suite the "serve/predict" failpoint). Anything else fails the
     // batch immediately — retrying a deterministic error only burns the
     // latency budget.
+    const auto predict_start = std::chrono::steady_clock::now();
     Result<std::vector<int>> labels =
         group_keys_[g]->TryPredictBatch(features);
     for (int attempt = 0;
@@ -177,6 +200,7 @@ void BatchingEngine::ProcessBatch(std::vector<PredictRequest>& batch) {
       // degraded with the session's last smoothed label, leaving the vote
       // history untouched — the same contract as a deadline miss.
       PILOTE_METRIC_COUNT("serve/faults_injected", 1);
+      CountDegradedFault(static_cast<int64_t>(rows.size()));
       for (size_t k = 0; k < rows.size(); ++k) {
         PredictRequest& request = batch[rows[k]];
         request.done.set_value(request.session->LastPrediction().label);
@@ -184,6 +208,7 @@ void BatchingEngine::ProcessBatch(std::vector<PredictRequest>& batch) {
       continue;
     }
 
+    const auto predict_end = std::chrono::steady_clock::now();
     PILOTE_CHECK_EQ(labels.value().size(), rows.size());
     for (size_t k = 0; k < rows.size(); ++k) {
       PredictRequest& request = batch[rows[k]];
@@ -194,6 +219,9 @@ void BatchingEngine::ProcessBatch(std::vector<PredictRequest>& batch) {
           MilliDouble(std::chrono::steady_clock::now() - request.enqueue_time)
               .count();
       PILOTE_METRIC_HISTOGRAM("serve/request_ms", request_ms);
+      if (obs::Enabled()) {
+        RecordStages(request, predict_start, predict_end, request_ms);
+      }
     }
   }
 
@@ -207,6 +235,56 @@ void BatchingEngine::ProcessBatch(std::vector<PredictRequest>& batch) {
     PILOTE_METRIC_HISTOGRAM("serve/window_allocs",
                             static_cast<double>(alloc_scope.count()) /
                                 static_cast<double>(batch.size()));
+  }
+}
+
+// hotpath-ok: one relaxed-atomic bump on the cold fault path; the bare
+// `Add` call must not enter the hot-path call graph, where it would alias
+// the tensor Add by name.
+void BatchingEngine::CountDegradedFault(int64_t rows) {
+  if (obs::Enabled()) degraded_.At(0).Add(rows);
+}
+
+void BatchingEngine::RecordStages(
+    const PredictRequest& request,
+    std::chrono::steady_clock::time_point predict_start,
+    std::chrono::steady_clock::time_point predict_end, double request_ms) {
+  using MilliDouble = std::chrono::duration<double, std::milli>;
+  const double queue_wait_ms =
+      MilliDouble(request.dequeue_time - request.enqueue_time).count();
+  const double batch_wait_ms =
+      MilliDouble(predict_start - request.dequeue_time).count();
+  const double predict_ms = MilliDouble(predict_end - predict_start).count();
+  stage_ms_.At(kQueueWaitSlot).Record(queue_wait_ms);
+  stage_ms_.At(kBatchWaitSlot).Record(batch_wait_ms);
+  stage_ms_.At(kPredictSlot).Record(predict_ms);
+
+  // Slow-window exemplar policy: an explicit slow_window_ms threshold, or
+  // (auto mode) any window landing in / establishing the top occupied
+  // latency bucket observed so far.
+  bool slow = false;
+  if (options_.slow_window_ms > 0.0) {
+    slow = request_ms >= options_.slow_window_ms;
+  } else {
+    const int bucket = obs::Histogram::BucketIndex(request_ms);
+    int top = top_bucket_.load(std::memory_order_relaxed);
+    if (bucket >= top) {
+      slow = true;
+      while (bucket > top &&
+             !top_bucket_.compare_exchange_weak(top, bucket,
+                                                std::memory_order_relaxed)) {
+      }
+    }
+  }
+  if (slow) {
+    obs::SlowWindowExemplar exemplar;
+    exemplar.session_id = request.session->id();
+    exemplar.model_version = request.session->learner()->model_version();
+    exemplar.queue_wait_ms = queue_wait_ms;
+    exemplar.batch_wait_ms = batch_wait_ms;
+    exemplar.predict_ms = predict_ms;
+    exemplar.total_ms = request_ms;
+    obs::SlowWindows().Record(exemplar);
   }
 }
 

@@ -10,6 +10,7 @@
 #include "common/bounded_queue.h"
 #include "common/hot_path.h"
 #include "common/thread_annotations.h"
+#include "obs/labels.h"
 #include "serve/session.h"
 #include "serve/types.h"
 #include "tensor/tensor.h"
@@ -17,11 +18,17 @@
 namespace pilote {
 namespace serve {
 
-// One completed feature window awaiting classification.
+// One completed feature window awaiting classification. The timestamps
+// split end-to-end latency into stages: enqueue->dequeue is queue wait,
+// dequeue->forward start is batch wait (grouping/assembly plus waiting for
+// earlier groups in the flush), forward start->completion is predict.
 struct PredictRequest {
   std::shared_ptr<Session> session;
   Tensor features;  // [1, input_dim] raw feature row
   std::chrono::steady_clock::time_point enqueue_time;
+  // Stamped by the worker when the request leaves the queue (only while
+  // metric recording is enabled; unused otherwise).
+  std::chrono::steady_clock::time_point dequeue_time;
   std::promise<int> done;  // fulfilled with the smoothed label
 };
 
@@ -49,7 +56,16 @@ class BatchingEngine {
   void Stop() PILOTE_EXCLUDES(pause_mutex_);
 
   int64_t queue_depth() const { return static_cast<int64_t>(queue_.size()); }
+  int64_t queue_capacity() const { return options_.queue_capacity; }
   int64_t batches_flushed() const PILOTE_EXCLUDES(stats_mutex_);
+
+  // Steady-clock nanoseconds of the worker's last liveness signal (a flush
+  // completed, or an idle pop timed out on an empty queue). The watchdog's
+  // flush-age input: a non-empty queue plus a stale value means the worker
+  // is stuck, not idle.
+  int64_t last_progress_ns() const {
+    return last_progress_ns_.load(std::memory_order_relaxed);
+  }
 
   // Test hooks: while paused the worker stops draining the queue, which
   // makes backpressure and deadline misses deterministic to provoke.
@@ -60,6 +76,17 @@ class BatchingEngine {
   void WorkerLoop() PILOTE_EXCLUDES(pause_mutex_);
   PILOTE_HOT_PATH void ProcessBatch(std::vector<PredictRequest>& batch)
       PILOTE_EXCLUDES(stats_mutex_);
+  // Stage histograms + slow-window exemplar capture for one completed
+  // request (called on the success path so stage counts match
+  // serve/request_ms).
+  PILOTE_HOT_PATH void RecordStages(const PredictRequest& request,
+                                    std::chrono::steady_clock::time_point
+                                        predict_start,
+                                    std::chrono::steady_clock::time_point
+                                        predict_end,
+                                    double request_ms);
+  // Bumps serve/degraded_total{reason="fault"} for `rows` requests.
+  void CountDegradedFault(int64_t rows);
 
   const ServeOptions options_;
   BoundedQueue<PredictRequest> queue_;  // unguarded: internally synchronized
@@ -82,6 +109,23 @@ class BatchingEngine {
   std::vector<const LearnerHandle*> group_keys_;  // unguarded: worker only
   size_t group_count_ = 0;                        // unguarded: worker only
   Tensor flush_features_;                         // unguarded: worker only
+
+  // Per-stage latency family, slots kQueueWaitSlot/kBatchWaitSlot/
+  // kPredictSlot of serve/stage_ms{stage=...}. Resolved once here so the
+  // worker records through stable handles, lock- and alloc-free.
+  static constexpr size_t kQueueWaitSlot = 0;
+  static constexpr size_t kBatchWaitSlot = 1;
+  static constexpr size_t kPredictSlot = 2;
+  const obs::HistogramFamily stage_ms_;  // unguarded: handles are lock-free
+  // serve/degraded_total{reason="fault"} slot (deadline/backpressure
+  // reasons are counted by the SessionManager).
+  const obs::CounterFamily degraded_;  // unguarded: handles are lock-free
+
+  // Worker liveness (see last_progress_ns()).
+  std::atomic<int64_t> last_progress_ns_;
+  // Highest occupied serve/request_ms bucket; the auto slow-window
+  // exemplar threshold when slow_window_ms == 0.
+  std::atomic<int> top_bucket_{0};
 
   std::thread worker_;  // unguarded: started in ctor, joined in Stop
 };

@@ -12,17 +12,33 @@ namespace pilote {
 namespace serve {
 
 SessionManager::SessionManager(const ServeOptions& options)
-    : options_(options) {
+    : options_(options),
+      degraded_(obs::FamilyRegistry::Global().GetCounterFamily(
+          "serve/degraded_total", "reason", {"deadline", "backpressure"})) {
   Status valid = ValidateServeOptions(options_);
   PILOTE_CHECK(valid.ok()) << valid.ToString();
   shards_.reserve(static_cast<size_t>(options_.num_shards));
   for (int s = 0; s < options_.num_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  if (options_.num_shards <= static_cast<int>(obs::kMaxLabelValues)) {
+    std::vector<std::string> shard_ids;
+    shard_ids.reserve(static_cast<size_t>(options_.num_shards));
+    for (int s = 0; s < options_.num_shards; ++s) {
+      shard_ids.push_back(std::to_string(s));
+    }
+    shard_sessions_ = obs::FamilyRegistry::Global().GetGaugeFamily(
+        "serve/shard_sessions", "shard", shard_ids);
+  }
   engine_ = std::make_unique<BatchingEngine>(options_);
+  watchdog_ = std::make_unique<Watchdog>(engine_.get(), options_);
+  watchdog_->Start();
 }
 
-SessionManager::~SessionManager() { engine_->Stop(); }
+SessionManager::~SessionManager() {
+  watchdog_->Stop();
+  engine_->Stop();
+}
 
 SessionManager::Shard& SessionManager::ShardFor(SessionId id) {
   return *shards_[id % shards_.size()];
@@ -36,6 +52,17 @@ Result<std::shared_ptr<Session>> SessionManager::FindSession(SessionId id) {
     return Status::NotFound("no session with id " + std::to_string(id));
   }
   return it->second;
+}
+
+void SessionManager::UpdateShardGauge(SessionId id) {
+  if (!obs::Enabled() || shard_sessions_.size() == 0) return;
+  const size_t shard_index = id % shards_.size();
+  size_t count;
+  {
+    MutexLock lock(shards_[shard_index]->mutex);
+    count = shards_[shard_index]->sessions.size();
+  }
+  shard_sessions_.At(shard_index).Set(static_cast<double>(count));
 }
 
 Result<SessionId> SessionManager::CreateSession(
@@ -54,6 +81,7 @@ Result<SessionId> SessionManager::CreateSession(
   }
   PILOTE_METRIC_GAUGE_SET("serve/sessions_active",
                           static_cast<double>(NumSessions()));
+  UpdateShardGauge(id);
   return id;
 }
 
@@ -67,6 +95,7 @@ Status SessionManager::CloseSession(SessionId id) {
   }
   PILOTE_METRIC_GAUGE_SET("serve/sessions_active",
                           static_cast<double>(NumSessions()));
+  UpdateShardGauge(id);
   return Status::Ok();
 }
 
@@ -87,6 +116,7 @@ Result<std::future<int>> SessionManager::SubmitWindow(SessionId id,
   std::future<int> done = request.done.get_future();
   if (!engine_->Submit(std::move(request))) {
     PILOTE_METRIC_COUNT("serve/backpressure_rejects", 1);
+    if (obs::Enabled()) degraded_.At(kBackpressureSlot).Increment();
     return Status::ResourceExhausted(
         "serving queue full (capacity " +
         std::to_string(options_.queue_capacity) + ")");
@@ -102,6 +132,7 @@ Result<Prediction> SessionManager::PushWindow(
     // Deadline miss: degrade to the session's last smoothed label. The
     // in-flight window still completes later and updates the vote.
     PILOTE_METRIC_COUNT("serve/deadline_degraded", 1);
+    if (obs::Enabled()) degraded_.At(kDeadlineSlot).Increment();
     PILOTE_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, FindSession(id));
     return session->LastPrediction();
   }

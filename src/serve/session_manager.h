@@ -13,10 +13,12 @@
 #include "core/config.h"
 #include "core/trainer.h"
 #include "data/dataset.h"
+#include "obs/labels.h"
 #include "serve/batching_engine.h"
 #include "serve/learner_handle.h"
 #include "serve/session.h"
 #include "serve/types.h"
+#include "serve/watchdog.h"
 
 namespace pilote {
 namespace serve {
@@ -74,6 +76,10 @@ class SessionManager {
   // The engine, for tests (pause/resume) and benchmarks (flush stats).
   BatchingEngine& engine() { return *engine_; }
 
+  // The stall detector (always constructed; its polling thread only runs
+  // when options.watchdog_poll_ms > 0).
+  Watchdog& watchdog() { return *watchdog_; }
+
  private:
   struct Shard {
     mutable Mutex mutex;
@@ -81,15 +87,28 @@ class SessionManager {
         PILOTE_GUARDED_BY(mutex);
   };
 
+  static constexpr size_t kDeadlineSlot = 0;
+  static constexpr size_t kBackpressureSlot = 1;
+
   Shard& ShardFor(SessionId id);
   Result<std::shared_ptr<Session>> FindSession(SessionId id);
+  // Refreshes serve/shard_sessions{shard=...} for the shard owning `id`.
+  void UpdateShardGauge(SessionId id);
 
   const ServeOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<SessionId> next_id_{1};
+  // serve/degraded_total{reason=deadline|backpressure}; the fault reason
+  // is counted inside the engine.
+  const obs::CounterFamily degraded_;
+  // Per-shard session gauges; empty when num_shards exceeds the bounded
+  // label cardinality (the aggregate serve/sessions_active still updates).
+  obs::GaugeFamily shard_sessions_;
   // Declared last: the engine stops (draining its queue, which holds
-  // shared_ptr<Session> references) before the shards are torn down.
+  // shared_ptr<Session> references) before the shards are torn down; the
+  // watchdog, which polls the engine, goes first of all.
   std::unique_ptr<BatchingEngine> engine_;
+  std::unique_ptr<Watchdog> watchdog_;
 };
 
 }  // namespace serve

@@ -40,6 +40,21 @@ struct ServeOptions {
   // retried.
   int predict_retries = 3;
   int64_t retry_backoff_us = 100;
+  // Slow-window exemplar policy (recording itself is gated on
+  // obs::Enabled()): a completed window whose end-to-end latency is at
+  // least `slow_window_ms` is captured into the obs::SlowWindows exemplar
+  // ring with its per-stage breakdown. 0 selects auto mode: capture
+  // whenever a window lands in (or establishes) the top occupied latency
+  // bucket seen so far — the windows that define the tail.
+  double slow_window_ms = 0.0;
+  // Stall watchdog (off when watchdog_poll_ms == 0). Every poll it checks
+  // the batching engine: a non-empty queue with no worker progress for
+  // `watchdog_stall_after_ms` is a flush-stale stall; queue depth at or
+  // above `watchdog_queue_watermark` * queue_capacity is a watermark
+  // stall. Events are edge-triggered (one per episode).
+  int64_t watchdog_poll_ms = 0;
+  int64_t watchdog_stall_after_ms = 200;
+  double watchdog_queue_watermark = 0.9;
 };
 
 inline Status ValidateServeOptions(const ServeOptions& options) {
@@ -66,6 +81,25 @@ inline Status ValidateServeOptions(const ServeOptions& options) {
   if (options.retry_backoff_us < 0) {
     return Status::InvalidArgument("retry_backoff_us must be >= 0, got " +
                                    std::to_string(options.retry_backoff_us));
+  }
+  if (options.slow_window_ms < 0.0) {
+    return Status::InvalidArgument("slow_window_ms must be >= 0, got " +
+                                   std::to_string(options.slow_window_ms));
+  }
+  if (options.watchdog_poll_ms < 0) {
+    return Status::InvalidArgument("watchdog_poll_ms must be >= 0, got " +
+                                   std::to_string(options.watchdog_poll_ms));
+  }
+  if (options.watchdog_stall_after_ms < 1) {
+    return Status::InvalidArgument(
+        "watchdog_stall_after_ms must be >= 1, got " +
+        std::to_string(options.watchdog_stall_after_ms));
+  }
+  if (!(options.watchdog_queue_watermark > 0.0 &&
+        options.watchdog_queue_watermark <= 1.0)) {
+    return Status::InvalidArgument(
+        "watchdog_queue_watermark must be in (0, 1], got " +
+        std::to_string(options.watchdog_queue_watermark));
   }
   return Status::Ok();
 }

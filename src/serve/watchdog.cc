@@ -1,0 +1,152 @@
+#include "serve/watchdog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "obs/metrics.h"
+
+namespace pilote {
+namespace serve {
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* StallReasonName(StallEvent::Reason reason) {
+  switch (reason) {
+    case StallEvent::Reason::kFlushStale:
+      return "flush_stale";
+    case StallEvent::Reason::kQueueWatermark:
+      return "queue_watermark";
+  }
+  return "unknown";
+}
+
+Watchdog::Watchdog(BatchingEngine* engine, const ServeOptions& options)
+    : engine_(engine),
+      options_(options),
+      stalls_(obs::FamilyRegistry::Global().GetCounterFamily(
+          "serve/stalls_total", "reason",
+          {"flush_stale", "queue_watermark"})) {
+  PILOTE_CHECK(engine != nullptr);
+}
+
+Watchdog::~Watchdog() { Stop(); }
+
+void Watchdog::Start() {
+  if (options_.watchdog_poll_ms <= 0) return;
+  MutexLock lock(mutex_);
+  if (running_) return;
+  stop_requested_ = false;
+  thread_ = std::thread(&Watchdog::Loop, this);
+  running_ = true;
+}
+
+void Watchdog::Stop() {
+  {
+    MutexLock lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  stop_cv_.NotifyAll();
+  thread_.join();
+  MutexLock lock(mutex_);
+  running_ = false;
+  stop_requested_ = false;
+}
+
+void Watchdog::Loop() {
+  const auto interval = std::chrono::milliseconds(options_.watchdog_poll_ms);
+  auto next = std::chrono::steady_clock::now() + interval;
+  while (true) {
+    {
+      MutexLock lock(mutex_);
+      while (!stop_requested_ && std::chrono::steady_clock::now() < next) {
+        stop_cv_.WaitUntil(mutex_, next);
+      }
+      if (stop_requested_) return;
+    }
+    Poll();
+    next += interval;
+  }
+}
+
+void Watchdog::Poll() {
+  const int64_t depth = engine_->queue_depth();
+  const int64_t now_ns = SteadyNowNs();
+  MutexLock lock(mutex_);
+
+  if (depth == 0) {
+    nonempty_since_ns_ = 0;
+    flush_stalled_ = false;
+  } else if (nonempty_since_ns_ == 0) {
+    nonempty_since_ns_ = now_ns;
+  }
+
+  // Flush age: time since the worker last made progress, but never counted
+  // from before the queue became non-empty (an idle worker's progress stamp
+  // is legitimately stale).
+  double flush_age_ms = 0.0;
+  if (depth > 0) {
+    const int64_t since_ns =
+        std::max(engine_->last_progress_ns(), nonempty_since_ns_);
+    flush_age_ms = static_cast<double>(now_ns - since_ns) / 1e6;
+    const bool stale =
+        flush_age_ms >= static_cast<double>(options_.watchdog_stall_after_ms);
+    if (stale && !flush_stalled_) {
+      flush_stalled_ = true;
+      Emit(StallEvent::Reason::kFlushStale, depth, flush_age_ms);
+    } else if (!stale) {
+      flush_stalled_ = false;
+    }
+  }
+
+  const double watermark = options_.watchdog_queue_watermark *
+                           static_cast<double>(options_.queue_capacity);
+  const bool above = static_cast<double>(depth) >= watermark;
+  if (above && !watermark_stalled_) {
+    watermark_stalled_ = true;
+    Emit(StallEvent::Reason::kQueueWatermark, depth, flush_age_ms);
+  } else if (!above) {
+    watermark_stalled_ = false;
+  }
+}
+
+void Watchdog::Emit(StallEvent::Reason reason, int64_t depth,
+                    double flush_age_ms) {
+  StallEvent event;
+  event.reason = reason;
+  event.queue_depth = depth;
+  event.flush_age_ms = flush_age_ms;
+  if (events_.size() < kMaxBufferedEvents) {
+    events_.push_back(event);
+  } else {
+    // Overwrite-oldest keeps the newest episodes visible to late readers.
+    events_.erase(events_.begin());
+    events_.push_back(event);
+  }
+  stalls_detected_.fetch_add(1, std::memory_order_relaxed);
+  const size_t slot = reason == StallEvent::Reason::kFlushStale
+                          ? kFlushStaleSlot
+                          : kQueueWatermarkSlot;
+  if (obs::Enabled()) stalls_.At(slot).Increment();
+  PILOTE_LOG(Warning) << "serve stall detected: " << StallReasonName(reason)
+                      << " queue_depth=" << depth
+                      << " flush_age_ms=" << flush_age_ms;
+}
+
+std::vector<StallEvent> Watchdog::Events() const {
+  MutexLock lock(mutex_);
+  return events_;
+}
+
+}  // namespace serve
+}  // namespace pilote

@@ -1,0 +1,103 @@
+#ifndef PILOTE_SERVE_WATCHDOG_H_
+#define PILOTE_SERVE_WATCHDOG_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "obs/labels.h"
+#include "serve/batching_engine.h"
+#include "serve/types.h"
+
+namespace pilote {
+namespace serve {
+
+// One detected stall episode (edge-triggered: a second event for the same
+// reason is only emitted after the condition has cleared in between).
+struct StallEvent {
+  enum class Reason {
+    // Queue non-empty but the worker made no progress for
+    // watchdog_stall_after_ms — a wedged or pathologically slow flush.
+    kFlushStale,
+    // Queue depth reached watchdog_queue_watermark * queue_capacity —
+    // ingest is outrunning the batcher and backpressure is imminent.
+    kQueueWatermark,
+  };
+  Reason reason = Reason::kFlushStale;
+  int64_t queue_depth = 0;
+  double flush_age_ms = 0.0;  // time since last worker progress
+};
+
+const char* StallReasonName(StallEvent::Reason reason);
+
+// Stall detector over one BatchingEngine: a polling thread (or explicit
+// PollOnceForTesting calls) watches queue-depth watermarks and flush age,
+// appends structured StallEvents to a bounded buffer, logs them, and
+// counts them in the serve/stalls_total{reason=...} family. The watchdog
+// only reads engine counters — it can never block or slow the serve path.
+class Watchdog {
+ public:
+  // `engine` must outlive the watchdog. Options: watchdog_poll_ms (0 means
+  // Start() is a no-op and only PollOnceForTesting drives detection),
+  // watchdog_stall_after_ms, watchdog_queue_watermark, queue_capacity.
+  Watchdog(BatchingEngine* engine, const ServeOptions& options);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  void Start() PILOTE_EXCLUDES(mutex_);
+  void Stop() PILOTE_EXCLUDES(mutex_);
+
+  // One detection pass, exactly what the polling thread runs per tick.
+  // Deterministic test surface: pause the engine, fill the queue, advance
+  // past the stall threshold, poll, assert the event.
+  void PollOnceForTesting() PILOTE_EXCLUDES(mutex_) { Poll(); }
+
+  // Copy of the (bounded) event buffer, oldest first.
+  std::vector<StallEvent> Events() const PILOTE_EXCLUDES(mutex_);
+
+  int64_t stalls_detected() const {
+    return stalls_detected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kMaxBufferedEvents = 128;
+  static constexpr size_t kFlushStaleSlot = 0;
+  static constexpr size_t kQueueWatermarkSlot = 1;
+
+  void Loop() PILOTE_EXCLUDES(mutex_);
+  void Poll() PILOTE_EXCLUDES(mutex_);
+  void Emit(StallEvent::Reason reason, int64_t depth, double flush_age_ms)
+      PILOTE_REQUIRES(mutex_);
+
+  BatchingEngine* const engine_;
+  const ServeOptions options_;
+  const obs::CounterFamily stalls_;  // unguarded: handles are lock-free
+
+  mutable Mutex mutex_;
+  CondVar stop_cv_;  // unguarded: internally synchronized
+  bool running_ PILOTE_GUARDED_BY(mutex_) = false;
+  bool stop_requested_ PILOTE_GUARDED_BY(mutex_) = false;
+  // Rising-edge latches: true while the matching condition holds, so each
+  // episode emits exactly one event.
+  bool flush_stalled_ PILOTE_GUARDED_BY(mutex_) = false;
+  bool watermark_stalled_ PILOTE_GUARDED_BY(mutex_) = false;
+  // Steady-clock ns when the queue was last observed going empty->nonempty;
+  // 0 while empty. Bounds flush age so a burst arriving after a long idle
+  // stretch is not mistaken for a stall (the worker's last_progress stamp
+  // is legitimately old while it sleeps in an empty-queue pop).
+  int64_t nonempty_since_ns_ PILOTE_GUARDED_BY(mutex_) = 0;
+  std::vector<StallEvent> events_ PILOTE_GUARDED_BY(mutex_);
+  std::atomic<int64_t> stalls_detected_{0};
+  // unguarded: written in Start, joined in Stop; control-plane calls are
+  // serialized by the caller.
+  std::thread thread_;
+};
+
+}  // namespace serve
+}  // namespace pilote
+
+#endif  // PILOTE_SERVE_WATCHDOG_H_

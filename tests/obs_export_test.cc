@@ -1,0 +1,183 @@
+// Exporter-format tests for obs/export.cc: JSON/CSV/Prometheus round
+// trips of labeled and unlabeled series, empty-registry output, histogram
+// delta edge cases at the export boundary, and the unification of
+// failpoint stats into the same snapshot/artifacts as the metrics.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "obs/export.h"
+#include "obs/labels.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pilote {
+namespace obs {
+namespace {
+
+class ObsExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().ResetForTesting();
+    FamilyRegistry::Global().ResetForTesting();
+    ResetSpansForTesting();
+    SetEnabled(true);
+  }
+  void TearDown() override {
+    SetEnabled(false);
+    MetricsRegistry::Global().ResetForTesting();
+    FamilyRegistry::Global().ResetForTesting();
+    ResetSpansForTesting();
+  }
+};
+
+// Must run before any test registers a series: ResetForTesting zeroes
+// metrics in place but registrations are permanent by design (handles are
+// cached in function-local statics), so a truly empty registry only exists
+// at the start of the process.
+TEST_F(ObsExportTest, EmptyRegistryProducesWellFormedOutput) {
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  FamilyRegistry::Global().AppendTo(&snapshot);
+  const std::string json = ToJson(snapshot);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"counters\":{}"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{}"), std::string::npos);
+
+  const std::string csv = ToCsv(snapshot);
+  EXPECT_EQ(
+      csv, "kind,name,labels,count,value,sum,min,max,p50,p95,p99,p999\n");
+
+  // Prometheus: no series, no TYPE headers.
+  EXPECT_EQ(ToPrometheus(snapshot), "");
+}
+
+TEST_F(ObsExportTest, LabeledSeriesRoundTripThroughJsonAndCsv) {
+  CounterFamily degraded = FamilyRegistry::Global().GetCounterFamily(
+      "test/degraded_total", "reason", {"deadline", "backpressure"});
+  degraded.At(0).Add(3);
+  degraded.At(1).Add(5);
+  HistogramFamily stage = FamilyRegistry::Global().GetHistogramFamily(
+      "test/stage_ms", "stage", {"predict"});
+  stage.At(0).Record(2.0);
+
+  MetricsSnapshot snapshot = CaptureSnapshot();
+  const std::string json = ToJson(snapshot);
+  EXPECT_NE(json.find("\"test/degraded_total{reason=\\\"deadline\\\"}\":3"),
+            std::string::npos);
+  EXPECT_NE(
+      json.find("\"test/degraded_total{reason=\\\"backpressure\\\"}\":5"),
+      std::string::npos);
+  EXPECT_NE(json.find("\"test/stage_ms{stage=\\\"predict\\\"}\""),
+            std::string::npos);
+
+  // CSV: labels land in their own column, quote-stripped so the row stays
+  // a plain 12-field record.
+  const std::string csv = ToCsv(snapshot);
+  EXPECT_NE(csv.find("counter,test/degraded_total,reason=deadline,,3"),
+            std::string::npos);
+  EXPECT_NE(csv.find("histogram,test/stage_ms,stage=predict,1,"),
+            std::string::npos);
+  const std::string header = csv.substr(0, csv.find('\n'));
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','), 11);
+}
+
+TEST_F(ObsExportTest, HistogramDeltaEdgeCasesAtExportBoundary) {
+  Histogram& hist = MetricsRegistry::Global().GetHistogram("test/delta_ms");
+  hist.Record(1.0);
+  const HistogramSnapshot before = hist.Snapshot();
+
+  // No recordings in between: the delta is empty and exports as a
+  // zero-count histogram with p999 present (0, not NaN/garbage).
+  HistogramSnapshot empty_delta = Delta(before, hist.Snapshot());
+  EXPECT_EQ(empty_delta.count, 0);
+  MetricsSnapshot snapshot;
+  snapshot.histograms.push_back(
+      MakeHistogramSample("test/delta_ms", "", empty_delta));
+  std::string json = ToJson(snapshot);
+  EXPECT_NE(json.find("\"count\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\":0"), std::string::npos);
+
+  // Recordings in between: the delta carries only those, and the sample
+  // quantiles stay within the delta's observed range.
+  hist.Record(8.0);
+  hist.Record(8.0);
+  HistogramSnapshot delta = Delta(before, hist.Snapshot());
+  EXPECT_EQ(delta.count, 2);
+  HistogramSample sample = MakeHistogramSample("test/delta_ms", "", delta);
+  EXPECT_GE(sample.p50, delta.min);
+  EXPECT_LE(sample.p999, delta.max);
+  EXPECT_GE(sample.p999, sample.p99);
+}
+
+TEST_F(ObsExportTest, PrometheusExpositionFollowsConventions) {
+  MetricsRegistry::Global().GetCounter("test/events").Add(7);
+  MetricsRegistry::Global().GetCounter("test/stalls_total").Add(2);
+  MetricsRegistry::Global().GetGauge("test/depth").Set(4.0);
+  CounterFamily family = FamilyRegistry::Global().GetCounterFamily(
+      "test/degraded_total", "reason", {"fault"});
+  family.At(0).Increment();
+  HistogramFamily stage = FamilyRegistry::Global().GetHistogramFamily(
+      "test/stage_ms", "stage", {"predict"});
+  stage.At(0).Record(1.5);
+
+  const std::string prom = ToPrometheus(CaptureSnapshot());
+  // Counters gain _total exactly once; '/' maps to '_'.
+  EXPECT_NE(prom.find("# TYPE pilote_test_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("pilote_test_events_total 7"), std::string::npos);
+  EXPECT_NE(prom.find("pilote_test_stalls_total 2"), std::string::npos);
+  EXPECT_EQ(prom.find("stalls_total_total"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE pilote_test_depth gauge"), std::string::npos);
+  // Labeled counter keeps its labels.
+  EXPECT_NE(
+      prom.find("pilote_test_degraded_total{reason=\"fault\"} 1"),
+      std::string::npos);
+  // Histograms export as summaries; the quantile label composes with the
+  // family label, and the tail quantile is present.
+  EXPECT_NE(prom.find("# TYPE pilote_test_stage_ms summary"),
+            std::string::npos);
+  EXPECT_NE(prom.find(
+                "pilote_test_stage_ms{stage=\"predict\",quantile=\"0.999\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("pilote_test_stage_ms_count{stage=\"predict\"} 1"),
+            std::string::npos);
+}
+
+TEST_F(ObsExportTest, FailpointStatsUnifiedIntoSnapshotAndArtifacts) {
+  fail::ScopedFailpoints scope;
+  ASSERT_TRUE(fail::FailpointRegistry::Global()
+                  .Arm("test/export_fp", fail::FailpointSpec::Always())
+                  .ok());
+
+  MetricsSnapshot snapshot = CaptureSnapshot();
+  bool found = false;
+  for (const FailpointSample& f : snapshot.failpoints) {
+    if (f.name == "test/export_fp") {
+      found = true;
+      EXPECT_TRUE(f.armed);
+    }
+  }
+  ASSERT_TRUE(found) << "failpoint stats not captured into the snapshot";
+
+  // One chaos artifact: the same JSON/exposition that carries the metrics
+  // carries the failpoint counters.
+  const std::string json = ToJson(snapshot);
+  EXPECT_NE(json.find("\"failpoints\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"test/export_fp\":{\"armed\":true"),
+            std::string::npos);
+  const std::string prom = ToPrometheus(snapshot);
+  EXPECT_NE(prom.find("pilote_failpoint_armed{name=\"test/export_fp\"} 1"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find("pilote_failpoint_fires_total{name=\"test/export_fp\"} 0"),
+      std::string::npos);
+  EXPECT_NE(prom.find("# TYPE pilote_failpoint_hits_total counter"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pilote

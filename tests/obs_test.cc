@@ -101,6 +101,25 @@ TEST_F(ObsTest, PercentilesOrderedAndClampedToObservedRange) {
   EXPECT_NEAR(p95, 0.95, 0.2);
 }
 
+TEST_F(ObsTest, TailPercentileResolvedAtBucketResolution) {
+  // 500 fast windows at 1ms and one straggler at 500ms (the straggler is
+  // ~0.2% of the population, so the 0.999 rank falls past the fast mass):
+  // p999 must land on the straggler within one log-bucket ratio (4
+  // buckets/octave, so the relative error of any in-bucket value is
+  // bounded by 2^(1/4) ~ 1.19), while p99 stays with the fast mass.
+  Histogram& hist = MetricsRegistry::Global().GetHistogram("test/pct");
+  for (int i = 0; i < 500; ++i) hist.Record(0.001);
+  hist.Record(0.5);
+  HistogramSnapshot snap = hist.Snapshot();
+  const double p99 = snap.Percentile(0.99);
+  const double p999 = snap.Percentile(0.999);
+  EXPECT_LT(p99, 0.002);
+  EXPECT_GE(p999, 0.5 / std::pow(2.0, 0.25));
+  EXPECT_LE(p999, 0.5);
+  // p999 is clamped to the observed max, never extrapolated past it.
+  EXPECT_LE(p999, snap.max);
+}
+
 TEST_F(ObsTest, EmptyHistogramPercentileIsZero) {
   Histogram& hist = MetricsRegistry::Global().GetHistogram("test/empty");
   HistogramSnapshot snap = hist.Snapshot();
@@ -249,11 +268,13 @@ TEST_F(ObsTest, JsonAndCsvExportersCarryAllKinds) {
   EXPECT_NE(json.find("\"test/export_span\""), std::string::npos);
 
   const std::string csv = ToCsv(snapshot);
-  EXPECT_EQ(csv.rfind("kind,name,count,value,sum,min,max,p50,p95,p99\n", 0),
-            0u);
-  EXPECT_NE(csv.find("counter,test/export_counter,,42"), std::string::npos);
-  EXPECT_NE(csv.find("histogram,test/export_hist,1,"), std::string::npos);
-  EXPECT_NE(csv.find("span,test/export_span,1,"), std::string::npos);
+  EXPECT_EQ(
+      csv.rfind("kind,name,labels,count,value,sum,min,max,p50,p95,p99,p999\n",
+                0),
+      0u);
+  EXPECT_NE(csv.find("counter,test/export_counter,,,42"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,test/export_hist,,1,"), std::string::npos);
+  EXPECT_NE(csv.find("span,test/export_span,,1,"), std::string::npos);
 
   const std::string report = ToReport(snapshot);
   EXPECT_NE(report.find("test/export_counter"), std::string::npos);

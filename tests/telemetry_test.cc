@@ -1,0 +1,575 @@
+// Streaming-telemetry-plane tests: labeled metric families, the windowed
+// aggregator, the slow-window exemplar ring, the stall watchdog, and the
+// background TelemetryExporter running concurrently with serving ingest
+// (the suite CI runs under TSan). The end-to-end test is the acceptance
+// drill: exporter thread + multi-threaded ingest + an injected-slow
+// predict failpoint, asserting windowed p999, stage/end-to-end latency
+// consistency, a captured exemplar, and a watchdog stall event.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "core/cloud.h"
+#include "nn/backbone.h"
+#include "obs/exemplar.h"
+#include "obs/export.h"
+#include "obs/exporter.h"
+#include "obs/labels.h"
+#include "obs/metrics.h"
+#include "obs/window.h"
+#include "serialize/io.h"
+#include "serve/session_manager.h"
+#include "tensor/tensor.h"
+
+namespace pilote {
+namespace obs {
+namespace {
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().ResetForTesting();
+    FamilyRegistry::Global().ResetForTesting();
+    SlowWindows().ResetForTesting();
+    SetEnabled(true);
+  }
+  void TearDown() override {
+    SetEnabled(false);
+    MetricsRegistry::Global().ResetForTesting();
+    FamilyRegistry::Global().ResetForTesting();
+    SlowWindows().ResetForTesting();
+  }
+};
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return "";
+  std::string body;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    body.append(buffer, n);
+  }
+  std::fclose(f);
+  return body;
+}
+
+// ------------------------------------------------------- metric families
+
+TEST_F(TelemetryTest, FamilySlotsAreSharedAcrossRegistrations) {
+  CounterFamily a = FamilyRegistry::Global().GetCounterFamily(
+      "test/family_total", "reason", {"x", "y"});
+  // A second site registering an overlapping value subset sees the same
+  // underlying slots, in ITS requested order.
+  CounterFamily b = FamilyRegistry::Global().GetCounterFamily(
+      "test/family_total", "reason", {"y", "z"});
+  a.At(1).Add(4);  // reason=y through site a
+  EXPECT_EQ(b.At(0).value(), 4);  // reason=y through site b
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST_F(TelemetryTest, FamilySamplesCarryRenderedLabels) {
+  GaugeFamily shard = FamilyRegistry::Global().GetGaugeFamily(
+      "test/shard_sessions", "shard", {"0", "1"});
+  shard.At(0).Set(2.0);
+  shard.At(1).Set(7.0);
+  MetricsSnapshot snapshot;
+  FamilyRegistry::Global().AppendTo(&snapshot);
+  ASSERT_EQ(snapshot.gauges.size(), 2u);
+  EXPECT_EQ(snapshot.gauges[0].name, "test/shard_sessions");
+  EXPECT_EQ(snapshot.gauges[0].labels, "shard=\"0\"");
+  EXPECT_DOUBLE_EQ(snapshot.gauges[0].value, 2.0);
+  EXPECT_EQ(snapshot.gauges[1].labels, "shard=\"1\"");
+}
+
+TEST_F(TelemetryTest, RenderLabelEscapesQuotesAndBackslashes) {
+  EXPECT_EQ(RenderLabel("k", "plain"), "k=\"plain\"");
+  EXPECT_EQ(RenderLabel("k", "a\"b\\c"), "k=\"a\\\"b\\\\c\"");
+}
+
+TEST_F(TelemetryTest, FamilyResetZeroesInPlaceAndViewsSurvive) {
+  HistogramFamily stage = FamilyRegistry::Global().GetHistogramFamily(
+      "test/stage_ms", "stage", {"predict"});
+  stage.At(0).Record(1.0);
+  FamilyRegistry::Global().ResetForTesting();
+  EXPECT_EQ(stage.At(0).Snapshot().count, 0);
+  stage.At(0).Record(2.0);
+  EXPECT_EQ(stage.At(0).Snapshot().count, 1);
+}
+
+// --------------------------------------------------- windowed aggregation
+
+TEST_F(TelemetryTest, AggregatorComputesRollingRatesAndDeltas) {
+  Counter& events = MetricsRegistry::Global().GetCounter("test/events_total");
+  Histogram& lat = MetricsRegistry::Global().GetHistogram("test/lat_ms");
+  WindowedAggregator agg(/*capacity=*/16);
+
+  events.Add(10);
+  lat.Record(1.0);
+  agg.Tick(MetricsRegistry::Global().RawSnapshot(), 0.0);  // baseline
+
+  events.Add(30);
+  lat.Record(2.0);
+  lat.Record(4.0);
+  agg.Tick(MetricsRegistry::Global().RawSnapshot(), 2.0);
+
+  // The last tick covers 2 seconds with 30 events and 2 recordings.
+  EXPECT_DOUBLE_EQ(agg.WindowedRate("test/events_total", "", 1), 15.0);
+  HistogramSnapshot window = agg.WindowedHistogram("test/lat_ms", "", 1);
+  EXPECT_EQ(window.count, 2);
+  EXPECT_DOUBLE_EQ(window.sum, 6.0);
+  // Merging back to the baseline recovers the full cumulative state.
+  EXPECT_EQ(agg.WindowedHistogram("test/lat_ms", "", 99).count, 3);
+
+  WindowSummary summary = agg.Summarize(1);
+  EXPECT_DOUBLE_EQ(summary.window_seconds, 2.0);
+  ASSERT_EQ(summary.counters.size(), 1u);
+  EXPECT_EQ(summary.counters[0].name, "test/events_total");
+  EXPECT_EQ(summary.counters[0].delta, 30);
+  EXPECT_DOUBLE_EQ(summary.counters[0].rate_per_s, 15.0);
+  ASSERT_EQ(summary.histograms.size(), 1u);
+  EXPECT_EQ(summary.histograms[0].count, 2);
+  EXPECT_GT(summary.histograms[0].p999, 0.0);
+}
+
+TEST_F(TelemetryTest, AggregatorEvictsBeyondCapacityAndResets) {
+  Counter& events = MetricsRegistry::Global().GetCounter("test/events_total");
+  WindowedAggregator agg(/*capacity=*/2);
+  for (int t = 0; t < 5; ++t) {
+    events.Add(1);
+    agg.Tick(MetricsRegistry::Global().RawSnapshot(),
+             static_cast<double>(t));
+  }
+  EXPECT_EQ(agg.tick_count(), 2u);
+  // Only the retained ticks contribute, however many are asked for.
+  EXPECT_EQ(agg.Summarize(99).counters[0].delta, 2);
+  agg.Reset();
+  EXPECT_EQ(agg.tick_count(), 0u);
+  // After Reset the next tick re-baselines instead of producing a bogus
+  // delta against pre-reset cumulative state.
+  agg.Tick(MetricsRegistry::Global().RawSnapshot(), 10.0);
+  EXPECT_EQ(agg.Summarize(99).counters[0].delta, 5);
+}
+
+TEST_F(TelemetryTest, MergeHistogramsSumsBucketsAndWidensRange) {
+  Histogram& a = MetricsRegistry::Global().GetHistogram("test/merge_a");
+  Histogram& b = MetricsRegistry::Global().GetHistogram("test/merge_b");
+  a.Record(1.0);
+  b.Record(8.0);
+  b.Record(16.0);
+  HistogramSnapshot merged = MergeHistograms(a.Snapshot(), b.Snapshot());
+  EXPECT_EQ(merged.count, 3);
+  EXPECT_DOUBLE_EQ(merged.sum, 25.0);
+  EXPECT_DOUBLE_EQ(merged.min, 1.0);
+  EXPECT_DOUBLE_EQ(merged.max, 16.0);
+  // Merging with an empty side is the identity.
+  HistogramSnapshot empty;
+  EXPECT_EQ(MergeHistograms(merged, empty).count, 3);
+  EXPECT_EQ(MergeHistograms(empty, merged).count, 3);
+}
+
+// -------------------------------------------------------- exemplar ring
+
+TEST_F(TelemetryTest, ExemplarRingOverwritesOldestAndCountsRecords) {
+  ExemplarRing ring(/*capacity=*/4);
+  for (uint64_t i = 0; i < 6; ++i) {
+    SlowWindowExemplar e;
+    e.session_id = i;
+    e.total_ms = static_cast<double>(i);
+    ring.Record(e);
+  }
+  EXPECT_EQ(ring.recorded(), 6);
+  std::vector<SlowWindowExemplar> snapshot = ring.Snapshot();
+  ASSERT_EQ(snapshot.size(), 4u);
+  // The surviving slots are the four most recent captures (sequence 2..5).
+  for (const SlowWindowExemplar& e : snapshot) {
+    EXPECT_GE(e.sequence, 2u);
+    EXPECT_LE(e.sequence, 5u);
+    EXPECT_EQ(e.session_id, e.sequence);
+  }
+  ring.ResetForTesting();
+  EXPECT_EQ(ring.recorded(), 0);
+  EXPECT_TRUE(ring.Snapshot().empty());
+}
+
+TEST_F(TelemetryTest, ExemplarRingIsSafeUnderConcurrentRecordAndSnapshot) {
+  ExemplarRing ring(/*capacity=*/8);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const SlowWindowExemplar& e : ring.Snapshot()) {
+        // Every writer records stages summing to total_ms; a torn slot
+        // that slipped past the seqlock would break the sum.
+        EXPECT_DOUBLE_EQ(
+            e.total_ms, e.queue_wait_ms + e.batch_wait_ms + e.predict_ms);
+        EXPECT_EQ(e.session_id, static_cast<uint64_t>(e.total_ms));
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&ring, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const double stage = static_cast<double>(t * 2000 + i);
+        SlowWindowExemplar e;
+        e.session_id = static_cast<uint64_t>(3.0 * stage);
+        e.queue_wait_ms = stage;
+        e.batch_wait_ms = stage;
+        e.predict_ms = stage;
+        e.total_ms = 3.0 * stage;
+        ring.Record(e);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_GT(ring.recorded(), 0);
+  EXPECT_LE(ring.Snapshot().size(), ring.capacity());
+}
+
+// ------------------------------------------------------------- exporter
+
+TEST_F(TelemetryTest, TickNowWritesPromAndJsonlArtifacts) {
+  MetricsRegistry::Global().GetCounter("test/events_total").Add(5);
+  MetricsRegistry::Global().GetHistogram("test/lat_ms").Record(3.0);
+
+  TelemetryOptions options;
+  options.output_prefix = ::testing::TempDir() + "/telemetry_ticknow";
+  options.interval_ms = 60000;  // never fires on its own; ticks are manual
+  options.summary_window_ticks = 1;  // each JSONL line covers one tick
+  std::remove((options.output_prefix + ".jsonl").c_str());
+  TelemetryExporter exporter(options);
+  ASSERT_TRUE(exporter.TickNow().ok());
+  MetricsRegistry::Global().GetCounter("test/events_total").Add(7);
+  ASSERT_TRUE(exporter.TickNow().ok());
+  EXPECT_EQ(exporter.ticks_completed(), 2);
+  EXPECT_EQ(exporter.windows().tick_count(), 2u);
+
+  const std::string prom = ReadFileOrEmpty(options.output_prefix + ".prom");
+  EXPECT_NE(prom.find("pilote_test_events_total 12"), std::string::npos);
+  EXPECT_NE(prom.find("quantile=\"0.999\""), std::string::npos);
+
+  // JSONL appends one record per tick; the second tick's windowed counter
+  // delta is exactly the 7 events recorded in between.
+  const std::string jsonl = ReadFileOrEmpty(options.output_prefix + ".jsonl");
+  ASSERT_FALSE(jsonl.empty());
+  const size_t lines =
+      static_cast<size_t>(std::count(jsonl.begin(), jsonl.end(), '\n'));
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(jsonl.find("\"tick\":2"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"test/events_total\":{\"delta\":7"),
+            std::string::npos);
+}
+
+TEST_F(TelemetryTest, GlobalTelemetryIsExclusiveAndRestartable) {
+  TelemetryOptions options;
+  options.output_prefix = ::testing::TempDir() + "/telemetry_global";
+  options.interval_ms = 50;
+  ASSERT_EQ(GlobalTelemetry(), nullptr);
+  ASSERT_TRUE(StartGlobalTelemetry(options).ok());
+  EXPECT_NE(GlobalTelemetry(), nullptr);
+  Status second = StartGlobalTelemetry(options);
+  EXPECT_EQ(second.code(), StatusCode::kFailedPrecondition);
+  StopGlobalTelemetry();
+  EXPECT_EQ(GlobalTelemetry(), nullptr);
+  ASSERT_TRUE(StartGlobalTelemetry(options).ok());
+  StopGlobalTelemetry();
+}
+
+// ------------------------------------------------- serving integration
+
+core::CloudArtifact MakeTestArtifact(const core::PiloteConfig& config) {
+  Rng rng(4242);
+  nn::MlpBackbone model(config.backbone, rng);
+  core::CloudArtifact artifact;
+  artifact.backbone_config = config.backbone;
+  artifact.model_payload = serialize::SerializeModuleToString(model);
+  const int64_t input_dim = config.backbone.input_dim;
+  artifact.scaler.Fit(Tensor::RandNormal(Shape::Matrix(64, input_dim), rng));
+  for (int label = 0; label < 4; ++label) {
+    Tensor exemplars =
+        Tensor::RandNormal(Shape::Matrix(8, input_dim), rng,
+                           /*mean=*/static_cast<float>(2 * label), 0.25f);
+    artifact.support.SetClassExemplars(label,
+                                       artifact.scaler.Transform(exemplars));
+    artifact.old_classes.push_back(label);
+  }
+  return artifact;
+}
+
+std::shared_ptr<serve::LearnerHandle> MakeHandle(
+    const core::PiloteConfig& config) {
+  Result<std::shared_ptr<serve::LearnerHandle>> handle =
+      serve::LearnerHandle::Create("pretrained", MakeTestArtifact(config),
+                                   config);
+  EXPECT_TRUE(handle.ok()) << handle.status().ToString();
+  return handle.value();
+}
+
+// The acceptance drill: exporter thread ticking at 5ms while three ingest
+// threads push windows through the batching engine and a failpoint makes
+// every 7th predict transiently fail (retried after a 3ms backoff, so the
+// affected flushes define the latency tail).
+TEST_F(TelemetryTest, ExporterRunsConcurrentlyWithServingIngest) {
+  fail::ScopedFailpoints failpoints;
+  ASSERT_TRUE(fail::FailpointRegistry::Global()
+                  .Arm("serve/predict",
+                       fail::FailpointSpec::EveryNth(
+                           7, StatusCode::kUnavailable))
+                  .ok());
+
+  TelemetryOptions telemetry;
+  telemetry.output_prefix = ::testing::TempDir() + "/telemetry_e2e";
+  telemetry.interval_ms = 5;
+  telemetry.window_capacity_ticks = 4096;
+  telemetry.summary_window_ticks = 4096;
+  std::remove((telemetry.output_prefix + ".jsonl").c_str());
+  TelemetryExporter exporter(telemetry);
+  ASSERT_TRUE(exporter.Start().ok());
+
+  const core::PiloteConfig config = core::PiloteConfig::Small();
+  serve::ServeOptions options;
+  options.max_batch = 4;
+  options.max_delay_us = 500;
+  options.queue_capacity = 256;
+  options.predict_retries = 2;
+  options.retry_backoff_us = 3000;
+  options.watchdog_poll_ms = 2;  // polling thread runs during ingest
+  options.watchdog_stall_after_ms = 10000;  // but never fires here
+  constexpr int kThreads = 3;
+  constexpr int kSessions = 4;
+  constexpr int kWindowsPerThread = 60;
+  std::atomic<int64_t> classified{0};
+  {
+    serve::SessionManager manager(options);
+    std::shared_ptr<serve::LearnerHandle> handle = MakeHandle(config);
+    std::vector<serve::SessionId> ids;
+    for (int s = 0; s < kSessions; ++s) {
+      Result<serve::SessionId> id =
+          manager.CreateSession(handle, config.streaming);
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      ids.push_back(*id);
+    }
+
+    std::vector<std::thread> ingest;
+    for (int t = 0; t < kThreads; ++t) {
+      ingest.emplace_back([&, t] {
+        Rng rng(100 + t);
+        std::vector<std::future<int>> futures;
+        for (int w = 0; w < kWindowsPerThread; ++w) {
+          const Tensor window = Tensor::RandNormal(
+              Shape::Matrix(1, config.backbone.input_dim), rng);
+          while (true) {
+            Result<std::future<int>> f = manager.SubmitWindow(
+                ids[static_cast<size_t>((t + w) % kSessions)], window);
+            if (f.ok()) {
+              futures.push_back(std::move(f).value());
+              break;
+            }
+            ASSERT_EQ(f.status().code(), StatusCode::kResourceExhausted);
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+        }
+        for (std::future<int>& f : futures) {
+          f.get();
+          classified.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& thread : ingest) thread.join();
+    EXPECT_EQ(manager.watchdog().stalls_detected(), 0);
+  }
+  exporter.Stop();
+  ASSERT_GE(exporter.ticks_completed(), 1);
+  const int64_t total = classified.load(std::memory_order_relaxed);
+  ASSERT_EQ(total, kThreads * kWindowsPerThread);
+
+  // Windowed tail latency is present: the aggregator retained every tick,
+  // so the full window recovers all requests and a positive p999.
+  HistogramSnapshot windowed =
+      exporter.windows().WindowedHistogram("serve/request_ms", "", 4096);
+  EXPECT_EQ(windowed.count, total);
+  WindowSummary summary = exporter.windows().Summarize(4096);
+  bool found_request_ms = false;
+  for (const HistogramSample& h : summary.histograms) {
+    if (h.name == "serve/request_ms" && h.labels.empty()) {
+      found_request_ms = true;
+      EXPECT_EQ(h.count, total);
+      EXPECT_GT(h.p999, 0.0);
+      EXPECT_GE(h.p999, h.p99);
+      EXPECT_LE(h.p999, h.max);
+    }
+  }
+  EXPECT_TRUE(found_request_ms);
+
+  // Per-stage histograms are sum-consistent with the end-to-end latency:
+  // every successful request recorded all three stages, and
+  // queue_wait + batch_wait + predict <= request_ms request by request
+  // (the stage clock stops at predict_end, the request clock after
+  // completion), so the sums obey the same bound.
+  HistogramFamily stage_ms = FamilyRegistry::Global().GetHistogramFamily(
+      "serve/stage_ms", "stage", {"queue_wait", "batch_wait", "predict"});
+  const HistogramSnapshot request =
+      MetricsRegistry::Global().GetHistogram("serve/request_ms").Snapshot();
+  ASSERT_EQ(request.count, total);
+  double stage_sum = 0.0;
+  for (size_t s = 0; s < 3; ++s) {
+    const HistogramSnapshot snap = stage_ms.At(s).Snapshot();
+    EXPECT_EQ(snap.count, total) << "stage slot " << s;
+    stage_sum += snap.sum;
+  }
+  EXPECT_GT(stage_sum, 0.0);
+  EXPECT_LE(stage_sum, request.sum * 1.0001 + 0.01);
+
+  // At least one slow-window exemplar was captured for the injected-slow
+  // flushes: the 3ms retry backoff dominates the tail, so the slowest
+  // captured window carries it.
+  EXPECT_GE(SlowWindows().recorded(), 1);
+  std::vector<SlowWindowExemplar> exemplars = SlowWindows().Snapshot();
+  ASSERT_FALSE(exemplars.empty());
+  double slowest_ms = 0.0;
+  for (const SlowWindowExemplar& e : exemplars) {
+    EXPECT_GE(e.total_ms,
+              e.queue_wait_ms + e.batch_wait_ms + e.predict_ms - 1e-6);
+    slowest_ms = std::max(slowest_ms, e.total_ms);
+  }
+  EXPECT_GE(slowest_ms, 2.5);
+
+  // Artifacts: the exposition carries the windowed tail quantile and the
+  // failpoint stats; the JSONL stream carries the exemplars.
+  const std::string prom =
+      ReadFileOrEmpty(telemetry.output_prefix + ".prom");
+  EXPECT_NE(prom.find("pilote_serve_request_ms{quantile=\"0.999\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("pilote_failpoint_fires_total{name=\"serve/predict\"}"),
+            std::string::npos);
+  const std::string jsonl =
+      ReadFileOrEmpty(telemetry.output_prefix + ".jsonl");
+  EXPECT_NE(jsonl.find("\"exemplars\":[{\"sequence\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"serve/request_ms\""), std::string::npos);
+}
+
+// ------------------------------------------------------------- watchdog
+
+TEST_F(TelemetryTest, WatchdogDetectsFlushStaleUnderStuckPredict) {
+  fail::ScopedFailpoints failpoints;
+  // Every predict fails; with a generous retry budget and exponential
+  // backoff the worker wedges inside one flush while windows queue behind
+  // it — exactly the flush-stale signature.
+  ASSERT_TRUE(fail::FailpointRegistry::Global()
+                  .Arm("serve/predict", fail::FailpointSpec::Always(
+                                            StatusCode::kUnavailable))
+                  .ok());
+
+  const core::PiloteConfig config = core::PiloteConfig::Small();
+  serve::ServeOptions options;
+  options.max_batch = 1;  // one window per flush keeps the queue non-empty
+  options.max_delay_us = 0;
+  options.predict_retries = 4;
+  options.retry_backoff_us = 20000;  // 20+40+80+160ms: ~300ms wedged/flush
+  options.watchdog_poll_ms = 0;      // polled deterministically below
+  options.watchdog_stall_after_ms = 40;
+  serve::SessionManager manager(options);
+  std::shared_ptr<serve::LearnerHandle> handle = MakeHandle(config);
+  Result<serve::SessionId> id =
+      manager.CreateSession(handle, config.streaming);
+  ASSERT_TRUE(id.ok());
+
+  Rng rng(7);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 3; ++i) {
+    Result<std::future<int>> f = manager.SubmitWindow(
+        *id, Tensor::RandNormal(Shape::Matrix(1, config.backbone.input_dim),
+                                rng));
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+    futures.push_back(std::move(f).value());
+  }
+
+  serve::Watchdog& watchdog = manager.watchdog();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (watchdog.stalls_detected() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    watchdog.PollOnceForTesting();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(watchdog.stalls_detected(), 1) << "no stall detected in 20s";
+  bool found = false;
+  for (const serve::StallEvent& event : watchdog.Events()) {
+    if (event.reason == serve::StallEvent::Reason::kFlushStale) {
+      found = true;
+      EXPECT_GE(event.queue_depth, 1);
+      EXPECT_GE(event.flush_age_ms, 40.0);
+    }
+  }
+  EXPECT_TRUE(found);
+  // The structured event is mirrored into the labeled stall counter.
+  CounterFamily stalls = FamilyRegistry::Global().GetCounterFamily(
+      "serve/stalls_total", "reason", {"flush_stale"});
+  EXPECT_GE(stalls.At(0).value(), 1);
+
+  // All requests eventually complete (degraded) once the retry budget
+  // drains; the manager then shuts down cleanly.
+  for (std::future<int>& f : futures) f.get();
+}
+
+TEST_F(TelemetryTest, WatchdogDetectsQueueWatermarkOnBacklog) {
+  const core::PiloteConfig config = core::PiloteConfig::Small();
+  serve::ServeOptions options;
+  options.queue_capacity = 8;
+  options.watchdog_queue_watermark = 0.5;
+  options.watchdog_poll_ms = 0;
+  serve::SessionManager manager(options);
+  std::shared_ptr<serve::LearnerHandle> handle = MakeHandle(config);
+  Result<serve::SessionId> id =
+      manager.CreateSession(handle, config.streaming);
+  ASSERT_TRUE(id.ok());
+
+  manager.engine().PauseForTesting();
+  Rng rng(9);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 5; ++i) {
+    Result<std::future<int>> f = manager.SubmitWindow(
+        *id, Tensor::RandNormal(Shape::Matrix(1, config.backbone.input_dim),
+                                rng));
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(f).value());
+  }
+
+  serve::Watchdog& watchdog = manager.watchdog();
+  watchdog.PollOnceForTesting();
+  watchdog.PollOnceForTesting();  // edge-triggered: no second event
+  std::vector<serve::StallEvent> events = watchdog.Events();
+  size_t watermark_events = 0;
+  for (const serve::StallEvent& event : events) {
+    if (event.reason == serve::StallEvent::Reason::kQueueWatermark) {
+      ++watermark_events;
+      EXPECT_GE(event.queue_depth, 4);
+    }
+  }
+  EXPECT_EQ(watermark_events, 1u);
+
+  manager.engine().ResumeForTesting();
+  for (std::future<int>& f : futures) f.get();
+  // Once the backlog drains, the episode ends and a fresh backlog would be
+  // a new event; an immediate poll on the empty queue emits nothing.
+  watchdog.PollOnceForTesting();
+  EXPECT_EQ(watchdog.Events().size(), events.size());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pilote

@@ -10,6 +10,10 @@ Keys are classified by name:
     per-window accounting. The current value must not exceed
     baseline * (1 + tolerance); lower is always fine (an improvement —
     the message suggests refreshing the baseline).
+  * tail-latency quantities (substring "_p99" or "_p999"): windowed
+    request-latency percentiles from the telemetry plane. Printed with a
+    "tail" marker so CI logs surface latency drift, but machine-dependent
+    and never failed on.
   * everything else (throughput, speedups): machine-dependent, printed
     for information only and never failed on.
 
@@ -25,6 +29,10 @@ import sys
 
 def is_counted(key):
     return "allocs" in key or "calls" in key
+
+
+def is_tail_latency(key):
+    return "_p99" in key or "_p999" in key
 
 
 def main():
@@ -54,7 +62,8 @@ def main():
             continue
         base, cur = float(baseline[key]), float(current[key])
         if not is_counted(key):
-            print(f"  info  {key}: baseline {base:g}, current {cur:g} "
+            marker = "tail" if is_tail_latency(key) else "info"
+            print(f"  {marker}  {key}: baseline {base:g}, current {cur:g} "
                   "(machine-dependent, not gated)")
             continue
         limit = base * (1.0 + args.tolerance)

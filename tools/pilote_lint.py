@@ -13,6 +13,11 @@ Three stages, selected with --stage (default: all).
   * no <iostream> in headers (it drags in static init and bloats every TU;
     logging.h is the sanctioned output path)
   * headers are self-contained (each compiles as its own translation unit)
+  * metric names at registration sites (PILOTE_METRIC_* macros and the
+    registry Get{Counter,Gauge,Histogram}[Family] calls) follow the
+    telemetry naming convention: a lowercase `subsystem/name` path, time
+    unit suffixes (_ms/_us/_ns/_seconds) only on histograms, and the
+    Prometheus-style `_total` suffix only on counters
 
 `--stage concurrency` enforces the repo side of the Clang thread-safety
 contract (src/common/thread_annotations.h) -- invariants that even
@@ -208,6 +213,113 @@ def check_file_contents(root, rel_path, errors):
                         "file/line and a message")
 
 
+# ---------------------------------------------------------------------------
+# Metric-name convention check
+# ---------------------------------------------------------------------------
+
+# Registration sites where a metric name appears as a string literal. The
+# Family variants are listed before their prefixes so the alternation
+# prefers the longer identifier.
+METRIC_SITE_RE = re.compile(
+    r"\b(PILOTE_METRIC_COUNT|PILOTE_METRIC_GAUGE_SET|"
+    r"PILOTE_METRIC_HISTOGRAM|GetCounterFamily|GetGaugeFamily|"
+    r"GetHistogramFamily|GetCounter|GetGauge|GetHistogram)\s*\(\s*\"([^\"]*)\"")
+
+METRIC_KIND = {
+    "PILOTE_METRIC_COUNT": "counter",
+    "GetCounter": "counter",
+    "GetCounterFamily": "counter",
+    "PILOTE_METRIC_GAUGE_SET": "gauge",
+    "GetGauge": "gauge",
+    "GetGaugeFamily": "gauge",
+    "PILOTE_METRIC_HISTOGRAM": "histogram",
+    "GetHistogram": "histogram",
+    "GetHistogramFamily": "histogram",
+}
+
+# subsystem/name: at least one slash, lowercase [a-z0-9_] segments.
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(/[a-z][a-z0-9_]*)+$")
+
+# Durations are distributions: a scalar counter or gauge named *_ms hides
+# the tail that the windowed quantiles exist to expose.
+METRIC_TIME_SUFFIXES = ("_ms", "_us", "_ns", "_seconds")
+
+
+def strip_comments_keep_strings(text):
+    """Removes // and /* */ comments from a whole file while preserving
+    string literal contents and line structure (newlines inside block
+    comments are kept so match positions map back to line numbers). The
+    per-line stripper empties string literals, so metric names -- which
+    live inside the literals -- need this variant."""
+    out = []
+    i, n = 0, len(text)
+    in_block = False
+    while i < n:
+        c = text[i]
+        if in_block:
+            if text.startswith("*/", i):
+                in_block = False
+                i += 2
+            else:
+                if c == "\n":
+                    out.append("\n")
+                i += 1
+            continue
+        if text.startswith("//", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if text.startswith("/*", i):
+            in_block = True
+            i += 2
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append(text[i:i + 2])
+                    i += 2
+                else:
+                    out.append(text[i])
+                    i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def check_metric_names(root, rel_path, errors):
+    with open(os.path.join(root, rel_path), encoding="utf-8") as f:
+        text = strip_comments_keep_strings(f.read())
+    for m in METRIC_SITE_RE.finditer(text):
+        site, name = m.group(1), m.group(2)
+        kind = METRIC_KIND[site]
+        lineno = text.count("\n", 0, m.start(2)) + 1
+        where = f"{rel_path}:{lineno}"
+        if not METRIC_NAME_RE.match(name):
+            errors.append(
+                f"{where}: metric name \"{name}\" does not follow the "
+                "subsystem/name convention (lowercase [a-z0-9_] segments "
+                "joined by '/', e.g. \"serve/request_ms\")")
+            continue
+        time_suffix = next(
+            (s for s in METRIC_TIME_SUFFIXES if name.endswith(s)), None)
+        if time_suffix is not None and kind != "histogram":
+            errors.append(
+                f"{where}: {kind} \"{name}\" carries the duration suffix "
+                f"{time_suffix}; durations are distributions -- record "
+                "them through a histogram (or drop the unit suffix)")
+        if name.endswith("_total") and kind != "counter":
+            errors.append(
+                f"{where}: {kind} \"{name}\" uses the _total suffix, "
+                "which the Prometheus exposition reserves for counters")
+
+
 def check_self_contained(root, headers, compiler, errors):
     """Each header must compile on its own: generate `#include "x.h"` TUs and
     run the compiler in syntax-only mode."""
@@ -256,6 +368,9 @@ UNGUARDED_MARKER_RE = re.compile(r"//\s*unguarded\s*:")
 SELF_SYNC_MEMBER_RE = re.compile(
     r"\bstd::(?:atomic\b|atomic_flag\b|thread\b|jthread\b|once_flag\b)")
 CONST_MEMBER_RE = re.compile(r"^(?:mutable\s+)?(?:static\s+)?const\b")
+# `Foo* const ptr_;` — the member itself is immutable after construction
+# (the pointee's thread-safety is its own concern), same as leading const.
+PTR_CONST_MEMBER_RE = re.compile(r"\*\s*const\s+[A-Za-z_]\w*")
 MEMBER_SKIP_RE = re.compile(
     r"^(?:static\b|constexpr\b|using\b|typedef\b|friend\b|enum\b|"
     r"template\b|struct\b|class\b|union\b|explicit\b|virtual\b|operator\b|"
@@ -421,6 +536,8 @@ def check_guarded_members(root, rel_path, stripped, raw, errors):
             if SELF_SYNC_MEMBER_RE.search(text):
                 continue
             if CONST_MEMBER_RE.match(text):
+                continue
+            if PTR_CONST_MEMBER_RE.search(text):
                 continue
             if "(" in text:   # method / ctor declaration, not a data member
                 continue
@@ -831,6 +948,9 @@ def run_style_stage(root, args, headers, sources, errors):
         check_header_guard(root, h, errors)
     for f in sources:
         check_file_contents(root, f, errors)
+        if f.endswith((".h", ".hpp", ".cc", ".cpp")) and \
+                f.split(os.sep)[0] in HEADER_DIRS:
+            check_metric_names(root, f, errors)
     if not args.no_self_contained:
         check_self_contained(root, headers, args.compiler, errors)
 

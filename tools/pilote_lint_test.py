@@ -115,6 +115,27 @@ class GuardedMembersTest(unittest.TestCase):
         """
         self.assertEqual(analyze(src, pilote_lint.check_guarded_members), [])
 
+    def test_pointer_const_member_passes(self):
+        src = """
+            class Watchdog {
+              Mutex mutex_;
+              Engine* const engine_;
+              int depth_ PILOTE_GUARDED_BY(mutex_);
+            };
+        """
+        self.assertEqual(analyze(src, pilote_lint.check_guarded_members), [])
+
+    def test_mutable_pointer_member_still_fires(self):
+        src = """
+            class Watchdog {
+              Mutex mutex_;
+              Engine* engine_;
+            };
+        """
+        errors = analyze(src, pilote_lint.check_guarded_members)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("engine_", errors[0])
+
     def test_class_without_lock_is_not_checked(self):
         src = """
             class Plain {
@@ -429,6 +450,83 @@ class HotpathClosureTest(unittest.TestCase):
         self.assertEqual(hotpath_errors(files), [])
 
 
+def metric_errors(source, rel_path=os.path.join("src", "serve", "x.cc")):
+    """check_metric_names reads the file itself (it needs raw string
+    literals, which the shared stripper empties), so this helper lays the
+    snippet out under a temp root at its rel_path."""
+    errors = []
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, rel_path)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(textwrap.dedent(source))
+        pilote_lint.check_metric_names(tmp, rel_path, errors)
+    return errors
+
+
+class MetricNamesTest(unittest.TestCase):
+    def test_conforming_names_pass(self):
+        src = """
+            PILOTE_METRIC_COUNT("serve/batches", 1);
+            PILOTE_METRIC_HISTOGRAM("serve/request_ms", ms);
+            PILOTE_METRIC_GAUGE_SET("serve/queue_depth", depth);
+            registry.GetCounter("tensor/gemm_calls");
+            registry.GetCounterFamily("serve/stalls_total", "reason", {"x"});
+            registry.GetHistogramFamily("serve/stage_ms", "stage", {"a"});
+        """
+        self.assertEqual(metric_errors(src), [])
+
+    def test_missing_subsystem_fires(self):
+        errors = metric_errors('PILOTE_METRIC_COUNT("batches", 1);\n')
+        self.assertEqual(len(errors), 1)
+        self.assertIn("subsystem/name", errors[0])
+
+    def test_uppercase_and_bad_chars_fire(self):
+        errors = metric_errors(
+            'registry.GetGauge("Serve/QueueDepth");\n'
+            'registry.GetCounter("serve/hit-rate");\n')
+        self.assertEqual(len(errors), 2)
+
+    def test_duration_suffix_on_counter_fires(self):
+        errors = metric_errors('PILOTE_METRIC_COUNT("serve/wait_ms", 1);\n')
+        self.assertEqual(len(errors), 1)
+        self.assertIn("histogram", errors[0])
+
+    def test_duration_suffix_on_histogram_passes(self):
+        self.assertEqual(
+            metric_errors('PILOTE_METRIC_HISTOGRAM("serve/wait_ms", v);\n'),
+            [])
+
+    def test_total_suffix_on_non_counter_fires(self):
+        errors = metric_errors(
+            'registry.GetGaugeFamily("serve/depth_total", "k", {"v"});\n')
+        self.assertEqual(len(errors), 1)
+        self.assertIn("_total", errors[0])
+
+    def test_name_in_comment_is_ignored(self):
+        src = """
+            // Example: PILOTE_METRIC_COUNT("BadName", 1);
+            /* registry.GetCounter("also_bad"); */
+            PILOTE_METRIC_COUNT("serve/good_total", 1);
+        """
+        self.assertEqual(metric_errors(src), [])
+
+    def test_name_on_continuation_line_is_found(self):
+        src = (
+            'stalls_(obs::FamilyRegistry::Global().GetCounterFamily(\n'
+            '    "serve/Bad", "reason", {"a"}))\n')
+        errors = metric_errors(src)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("serve/Bad", errors[0])
+        self.assertIn(":2:", errors[0])
+
+    def test_non_literal_name_is_ignored(self):
+        # The macro definition itself passes `name` through; no literal,
+        # nothing to check.
+        self.assertEqual(
+            metric_errors("Global().GetCounter(name).Add(delta);\n"), [])
+
+
 class StageWiringTest(unittest.TestCase):
     """End-to-end: the CLI catches a violation and passes a clean tree."""
 
@@ -484,6 +582,14 @@ class StageWiringTest(unittest.TestCase):
             "hotpath")
         self.assertEqual(proc.returncode, 1)
         self.assertIn("[hotpath:heap-new]", proc.stdout)
+
+    def test_style_stage_catches_bad_metric_name(self):
+        proc = self.run_cli(
+            {os.path.join("src", "bad.cc"):
+             'PILOTE_METRIC_COUNT("noslash", 1);\n'},
+            "style")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("subsystem/name", proc.stdout)
 
     def test_hotpath_stage_passes_marked_tree(self):
         proc = self.run_cli(
