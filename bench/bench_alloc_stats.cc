@@ -104,23 +104,40 @@ int main(int argc, char** argv) {
 
   pilote::obs::Counter& gemm_calls =
       pilote::obs::MetricsRegistry::Global().GetCounter("tensor/gemm_calls");
-  const int64_t gemm_before = gemm_calls.value();
   pilote::alloc::ScopedTracking track_allocs;
-  pilote::alloc::AllocationScope alloc_scope;
+
+  // One measured loop over the probe windows; the default run replays the
+  // compiled inference plan, the eager run pins Predict to the autograd
+  // tape — same windows, same labels, so the per-window deltas are the
+  // exact cost of eager execution.
   int64_t label_sink = 0;
-  for (const Tensor& window : windows) {
-    label_sink += learner.value()->Predict(window).front();
-  }
   const double n = static_cast<double>(args.windows);
-  const double allocs_per_window = static_cast<double>(alloc_scope.count()) / n;
-  const double gemm_per_window =
-      static_cast<double>(gemm_calls.value() - gemm_before) / n;
+  auto measure = [&](double* allocs_per_window, double* gemm_per_window) {
+    (void)learner.value()->Predict(windows.front());  // re-warm buffers
+    const int64_t gemm_before = gemm_calls.value();
+    pilote::alloc::AllocationScope alloc_scope;
+    for (const Tensor& window : windows) {
+      label_sink += learner.value()->Predict(window).front();
+    }
+    *allocs_per_window = static_cast<double>(alloc_scope.count()) / n;
+    *gemm_per_window =
+        static_cast<double>(gemm_calls.value() - gemm_before) / n;
+  };
+
+  double allocs_per_window = 0.0, gemm_per_window = 0.0;
+  measure(&allocs_per_window, &gemm_per_window);
+  learner.value()->SetCompiledInferenceEnabled(false);
+  double eager_allocs_per_window = 0.0, eager_gemm_per_window = 0.0;
+  measure(&eager_allocs_per_window, &eager_gemm_per_window);
+  learner.value()->SetCompiledInferenceEnabled(true);
 
   std::printf("alloc stats: %d windows (%s backbone), label checksum %lld\n",
               args.windows, args.small ? "small" : "paper",
               static_cast<long long>(label_sink));
-  std::printf("  allocs/window: %.2f\n", allocs_per_window);
-  std::printf("  gemm calls/window: %.2f\n", gemm_per_window);
+  std::printf("  allocs/window: %.2f (eager %.2f)\n", allocs_per_window,
+              eager_allocs_per_window);
+  std::printf("  gemm calls/window: %.2f (eager %.2f)\n", gemm_per_window,
+              eager_gemm_per_window);
 
   if (!args.bench_json.empty()) {
     std::FILE* f = std::fopen(args.bench_json.c_str(), "w");
@@ -128,9 +145,12 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "{\n"
                  "  \"allocs_per_window\": %.3f,\n"
-                 "  \"gemm_calls_per_window\": %.3f\n"
+                 "  \"gemm_calls_per_window\": %.3f,\n"
+                 "  \"exec_eager_allocs_per_window\": %.3f,\n"
+                 "  \"exec_eager_gemm_calls_per_window\": %.3f\n"
                  "}\n",
-                 allocs_per_window, gemm_per_window);
+                 allocs_per_window, gemm_per_window, eager_allocs_per_window,
+                 eager_gemm_per_window);
     std::fclose(f);
     std::printf("bench json written to %s\n", args.bench_json.c_str());
   }

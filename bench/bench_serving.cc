@@ -246,8 +246,24 @@ int main(int argc, char** argv) {
                                device_windows, args.max_batch);
   PILOTE_CHECK_EQ(batched.classified, total);
 
+  // The same two workloads with the compiled plan disabled: every predict
+  // walks the eager tape. The plan-vs-eager deltas below quantify what
+  // compilation buys the serve loop on identical inputs.
+  handle.value()->SetCompiledInferenceEnabled(false);
+  PassResult eager_unbatched = RunPass(args, handle.value(), config.streaming,
+                                       device_windows, /*max_batch=*/1);
+  PILOTE_CHECK_EQ(eager_unbatched.classified, total);
+  PassResult eager_batched = RunPass(args, handle.value(), config.streaming,
+                                     device_windows, args.max_batch);
+  PILOTE_CHECK_EQ(eager_batched.classified, total);
+  handle.value()->SetCompiledInferenceEnabled(true);
+
   const double speedup =
       batched.WindowsPerSecond() / unbatched.WindowsPerSecond();
+  const double plan_speedup_batch1 =
+      unbatched.WindowsPerSecond() / eager_unbatched.WindowsPerSecond();
+  const double plan_speedup_batched =
+      batched.WindowsPerSecond() / eager_batched.WindowsPerSecond();
   std::printf("\n%-12s %12s %12s %10s %10s %10s %10s %11s\n", "config",
               "windows/s", "mean batch", "p50 ms", "p95 ms", "p99 ms",
               "p999 ms", "allocs/win");
@@ -266,7 +282,26 @@ int main(int argc, char** argv) {
               batched.request_ms.Percentile(0.99),
               batched.request_ms.Percentile(0.999),
               batched.AllocsPerWindow());
+  std::printf("%-12s %12.0f %12.2f %10.3f %10.3f %10.3f %10.3f %11.1f\n",
+              "eager b=1", eager_unbatched.WindowsPerSecond(),
+              eager_unbatched.MeanBatch(),
+              eager_unbatched.request_ms.Percentile(0.50),
+              eager_unbatched.request_ms.Percentile(0.95),
+              eager_unbatched.request_ms.Percentile(0.99),
+              eager_unbatched.request_ms.Percentile(0.999),
+              eager_unbatched.AllocsPerWindow());
+  std::printf("%-12s %12.0f %12.2f %10.3f %10.3f %10.3f %10.3f %11.1f\n",
+              ("eager b=" + std::to_string(args.max_batch)).c_str(),
+              eager_batched.WindowsPerSecond(), eager_batched.MeanBatch(),
+              eager_batched.request_ms.Percentile(0.50),
+              eager_batched.request_ms.Percentile(0.95),
+              eager_batched.request_ms.Percentile(0.99),
+              eager_batched.request_ms.Percentile(0.999),
+              eager_batched.AllocsPerWindow());
   std::printf("\nbatched speedup: %.2fx\n", speedup);
+  std::printf("compiled-plan speedup over eager: %.2fx at batch 1, %.2fx "
+              "batched\n",
+              plan_speedup_batch1, plan_speedup_batched);
   std::printf(
       "devices servable per core (1 s windows): %.0f unbatched, %.0f "
       "batched\n",
@@ -281,15 +316,24 @@ int main(int argc, char** argv) {
     // The per-flush counts are gated by the regression check (they do
     // not depend on scheduling); the batched per-window rate varies with
     // the achieved batch size, so it is exported under a non-gated name.
+    // The exec_eager_* rows replay the same workload with the compiled
+    // plan disabled; the exec_plan_speedup_* ratios are the before/after
+    // throughput delta of compilation (machine-dependent, informational).
     std::fprintf(f,
                  "{\n"
                  "  \"allocs_per_window_batch1\": %.3f,\n"
                  "  \"batched_window_alloc_rate\": %.3f,\n"
                  "  \"allocs_per_flush_batch1\": %.3f,\n"
                  "  \"allocs_per_flush_batched\": %.3f,\n"
+                 "  \"exec_eager_allocs_per_window_batch1\": %.3f,\n"
+                 "  \"exec_eager_window_alloc_rate\": %.3f,\n"
                  "  \"windows_per_s_batch1\": %.1f,\n"
                  "  \"windows_per_s_batched\": %.1f,\n"
+                 "  \"exec_eager_windows_per_s_batch1\": %.1f,\n"
+                 "  \"exec_eager_windows_per_s_batched\": %.1f,\n"
                  "  \"batched_speedup\": %.3f,\n"
+                 "  \"exec_plan_speedup_batch1\": %.3f,\n"
+                 "  \"exec_plan_speedup_batched\": %.3f,\n"
                  "  \"request_p99_ms_batch1\": %.4f,\n"
                  "  \"request_p999_ms_batch1\": %.4f,\n"
                  "  \"request_p99_ms_batched\": %.4f,\n"
@@ -304,8 +348,13 @@ int main(int argc, char** argv) {
                      ? static_cast<double>(batched.flush_allocs) /
                            static_cast<double>(batched.batches)
                      : 0.0,
+                 eager_unbatched.AllocsPerWindow(),
+                 eager_batched.AllocsPerWindow(),
                  unbatched.WindowsPerSecond(), batched.WindowsPerSecond(),
-                 speedup, unbatched.request_ms.Percentile(0.99),
+                 eager_unbatched.WindowsPerSecond(),
+                 eager_batched.WindowsPerSecond(), speedup,
+                 plan_speedup_batch1, plan_speedup_batched,
+                 unbatched.request_ms.Percentile(0.99),
                  unbatched.request_ms.Percentile(0.999),
                  batched.request_ms.Percentile(0.99),
                  batched.request_ms.Percentile(0.999));

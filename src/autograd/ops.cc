@@ -20,7 +20,7 @@ Variable MakeOp(Tensor value, std::vector<Variable> parents,
     PILOTE_CHECK(p.defined());
     parent_nodes.push_back(p.node());
   }
-  return Variable::FromNode(Variable::MakeNode(
+  return internal::FromNode(internal::MakeNode(
       std::move(value), std::move(parent_nodes), std::move(backward_fn)));
 }
 

@@ -59,13 +59,13 @@ void Variable::ZeroGrad() {
   node_->grad = Tensor();
 }
 
-Variable Variable::FromNode(std::shared_ptr<Node> node) {
+Variable internal::FromNode(std::shared_ptr<Node> node) {
   Variable v;
   v.node_ = std::move(node);
   return v;
 }
 
-std::shared_ptr<Node> Variable::MakeNode(
+std::shared_ptr<Node> internal::MakeNode(
     Tensor value, std::vector<std::shared_ptr<Node>> parents,
     std::function<void(Node&)> backward_fn) {
   auto node = std::make_shared<Node>();

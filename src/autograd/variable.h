@@ -31,10 +31,33 @@ struct Node {
   void AccumulateGrad(const Tensor& delta);
 };
 
+class Variable;
+
+namespace internal {
+
+// Graph-construction hooks for the op library (autograd/ops.cc). These are
+// deliberately NOT part of Variable's public surface: user code builds
+// graphs exclusively by composing the ops in autograd/ops.h, which keeps
+// every non-leaf node's backward_fn and sequence numbering consistent.
+Variable FromNode(std::shared_ptr<Node> node);
+std::shared_ptr<Node> MakeNode(Tensor value,
+                               std::vector<std::shared_ptr<Node>> parents,
+                               std::function<void(Node&)> backward_fn);
+
+}  // namespace internal
+
 // Handle to a graph node. Cheap to copy (shared_ptr semantics): copies alias
 // the same node. The library's modules take and return Variables; calling
 // Backward() on a scalar Variable runs reverse-mode differentiation over
 // every reachable node that requires grad.
+//
+// Public surface:
+//   - Construction: the leaf constructors (explicit Variable(Tensor, bool),
+//     Constant, Parameter). Non-leaf Variables are only produced by the op
+//     library via internal::FromNode/MakeNode.
+//   - Inspection: defined(), value(), mutable_value(), grad(),
+//     requires_grad(), node().
+//   - Training: ZeroGrad(), Backward().
 class Variable {
  public:
   // Empty handle; most APIs CHECK against using one.
@@ -68,13 +91,11 @@ class Variable {
 
   const std::shared_ptr<Node>& node() const { return node_; }
 
-  // Graph-construction hook used by the op library.
-  static Variable FromNode(std::shared_ptr<Node> node);
-  static std::shared_ptr<Node> MakeNode(
-      Tensor value, std::vector<std::shared_ptr<Node>> parents,
-      std::function<void(Node&)> backward_fn);
-
  private:
+  // internal::FromNode wraps op-library nodes without exposing a public
+  // "adopt arbitrary node" constructor.
+  friend Variable internal::FromNode(std::shared_ptr<Node> node);
+
   std::shared_ptr<Node> node_;
 };
 

@@ -9,6 +9,7 @@
 #include "core/embedding.h"
 #include "data/splits.h"
 #include "eval/metrics.h"
+#include "exec/plan_builder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serialize/io.h"
@@ -83,9 +84,28 @@ Tensor EdgeLearner::EmbedRaw(const Tensor& raw_features) const {
   return EmbedBatched(*model_, scaler_.Transform(raw_features));
 }
 
+bool EdgeLearner::TryPredictCompiled(const Tensor& raw_features,
+                                     std::vector<int>* labels) const {
+  exec::Executor* executor = plan_executor_.get();
+  if (executor == nullptr) return false;
+  // Invariant guard, not a synchronization point: the plan is recaptured
+  // inside every mutation, so a live plan always matches model_version().
+  if (plan_version_.load(std::memory_order_acquire) != model_version()) {
+    return false;
+  }
+  if (!executor->TryRunClassify(raw_features, labels)) return false;
+  PILOTE_METRIC_COUNT("core/ncm_predictions", raw_features.rows());
+  PILOTE_METRIC_COUNT("exec/plan_windows", raw_features.rows());
+  return true;
+}
+
 std::vector<int> EdgeLearner::Predict(const Tensor& raw_features) const {
   PILOTE_TRACE_SPAN("core/predict");
   if (!obs::Enabled()) {
+    // hotpath-ok: the per-call output labels
+    std::vector<int> labels;
+    if (TryPredictCompiled(raw_features, &labels)) return labels;
+    PILOTE_METRIC_COUNT("exec/fallback_windows", raw_features.rows());
     return classifier_.Predict(EmbedRaw(raw_features));
   }
   // A batched Predict amortizes the embedding pass over all rows; record the
@@ -93,7 +113,11 @@ std::vector<int> EdgeLearner::Predict(const Tensor& raw_features) const {
   // row-at-a-time streaming path.
   WallTimer timer;
   // hotpath-ok: the per-call output labels
-  std::vector<int> labels = classifier_.Predict(EmbedRaw(raw_features));
+  std::vector<int> labels;
+  if (!TryPredictCompiled(raw_features, &labels)) {
+    PILOTE_METRIC_COUNT("exec/fallback_windows", raw_features.rows());
+    labels = classifier_.Predict(EmbedRaw(raw_features));
+  }
   const int64_t rows = std::max<int64_t>(1, raw_features.rows());
   const double per_window_ms = timer.ElapsedSeconds() * 1e3 /
                                static_cast<double>(rows);
@@ -105,6 +129,16 @@ std::vector<int> EdgeLearner::Predict(const Tensor& raw_features) const {
 
 std::vector<int> EdgeLearner::PredictBatch(const Tensor& raw_features) const {
   PILOTE_TRACE_SPAN("core/predict_batch");
+  // hotpath-ok: the per-call output labels
+  std::vector<int> labels;
+  if (TryPredictCompiled(raw_features, &labels)) return labels;
+  PILOTE_METRIC_COUNT("exec/fallback_windows", raw_features.rows());
+  return classifier_.Predict(EmbedRaw(raw_features));
+}
+
+std::vector<int> EdgeLearner::PredictBatchEager(
+    const Tensor& raw_features) const {
+  PILOTE_TRACE_SPAN("core/predict_batch_eager");
   return classifier_.Predict(EmbedRaw(raw_features));
 }
 
@@ -140,6 +174,56 @@ void EdgeLearner::RestoreSnapshot(Snapshot snapshot) {
   // The aborted update may have published intermediate prototypes; force
   // version-watching callers (serving shards) to refresh.
   model_version_.fetch_add(1, std::memory_order_relaxed);
+  // The aborted update may also have captured a plan over intermediate
+  // state; recapture from the restored members.
+  RebuildInferencePlan();
+}
+
+void EdgeLearner::RebuildInferencePlan() {
+  // Drop the old plan first: after a mutation it describes stale weights
+  // and prototypes, so "no plan" (eager fallback) is the only safe state
+  // until the new capture commits.
+  plan_executor_.reset();
+  plan_.reset();
+  plan_version_.store(-1, std::memory_order_release);
+  if (!compiled_inference_enabled_) return;
+  if (classifier_.NumClasses() == 0) return;
+
+  exec::PlanBuilder builder;
+  exec::ValueRef x = builder.DeclareInput(model_->input_dim());
+  x = builder.Standardize(x, scaler_.mean(), scaler_.stddev());
+  Status captured = model_->CaptureInference(builder, x);
+  if (!captured.ok()) {
+    PILOTE_METRIC_COUNT("exec/capture_failures", 1);
+    PILOTE_LOG(Warning) << "inference plan capture failed (eager fallback): "
+                        << captured.ToString();
+    return;
+  }
+  builder.MarkOutput(x);
+  Status tail = classifier_.CapturePredict(builder, x);
+  if (!tail.ok()) {
+    PILOTE_METRIC_COUNT("exec/capture_failures", 1);
+    PILOTE_LOG(Warning) << "classify-tail capture failed (eager fallback): "
+                        << tail.ToString();
+    return;
+  }
+  Result<std::shared_ptr<const exec::InferencePlan>> plan =
+      builder.Finish(model_version());
+  if (!plan.ok()) {
+    PILOTE_METRIC_COUNT("exec/capture_failures", 1);
+    PILOTE_LOG(Warning) << "inference plan finish failed (eager fallback): "
+                        << plan.status().ToString();
+    return;
+  }
+  plan_ = std::move(plan).value();
+  plan_executor_ = std::make_unique<exec::Executor>(plan_);
+  plan_version_.store(plan_->version(), std::memory_order_release);
+  PILOTE_METRIC_COUNT("exec/plan_rebuilds", 1);
+}
+
+void EdgeLearner::SetCompiledInferenceEnabled(bool enabled) {
+  compiled_inference_enabled_ = enabled;
+  RebuildInferencePlan();
 }
 
 Result<TrainReport> EdgeLearner::LearnNewClasses(const data::Dataset& d_new) {
@@ -196,6 +280,7 @@ Status EdgeLearner::ApplySupportSetUpdate(SupportSet support) {
   support_ = std::move(support);
   classifier_ = std::move(fresh);
   model_version_.fetch_add(1, std::memory_order_relaxed);
+  RebuildInferencePlan();
   return Status::Ok();
 }
 
@@ -212,6 +297,7 @@ void EdgeLearner::RebuildPrototypes() {
     classifier_.SetPrototypeFromEmbeddings(label, embeddings);
   }
   model_version_.fetch_add(1, std::memory_order_relaxed);
+  RebuildInferencePlan();
 }
 
 void EdgeLearner::EnrichSupportSet(const data::Dataset& scaled_new) {

@@ -23,8 +23,9 @@ Tensor Embed(nn::Module& model, const Tensor& features) {
   return out.value();
 }
 
-// hotpath-ok: autograd forward allocates per-op tape nodes; the
-// arena'd inference executor that removes them is roadmap item 3.
+// hotpath-ok: autograd forward allocates per-op tape nodes; this is the
+// eager fallback — steady-state serving replays the compiled plan
+// (src/exec/), which removes them.
 Tensor EmbedBatched(nn::Module& model, const Tensor& features,
                     int64_t batch_size) {
   PILOTE_CHECK_GT(batch_size, 0);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "exec/plan_builder.h"
 #include "obs/metrics.h"
 #include "tensor/tensor_ops.h"
 
@@ -126,6 +127,21 @@ std::vector<int> NcmClassifier::Predict(const Tensor& embeddings) const {
     result[i] = labels_[static_cast<size_t>(nearest[i])];
   }
   return result;
+}
+
+Status NcmClassifier::CapturePredict(exec::PlanBuilder& plan,
+                                     exec::ValueRef embeddings) const {
+  if (prototypes_.empty()) {
+    return Status::FailedPrecondition("no prototypes registered");
+  }
+  if (distance_ != NcmDistance::kSquaredEuclidean) {
+    return Status::Unimplemented(
+        "compiled predict supports squared Euclidean only");
+  }
+  exec::ValueRef distances =
+      plan.SquaredDistances(embeddings, proto_matrix_, proto_sq_norms_);
+  plan.ArgMinLabels(distances, labels_);
+  return Status::Ok();
 }
 
 int64_t NcmClassifier::StorageBytes() const {

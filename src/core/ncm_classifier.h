@@ -3,10 +3,17 @@
 
 #include <vector>
 
-#include "tensor/tensor.h"
 #include "common/hot_path.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
 
 namespace pilote {
+
+namespace exec {
+class PlanBuilder;
+struct ValueRef;
+}  // namespace exec
+
 namespace core {
 
 // Distance used between an embedding and a prototype.
@@ -47,6 +54,14 @@ class NcmClassifier {
   PILOTE_HOT_PATH Tensor DistanceMatrix(const Tensor& embeddings) const;
 
   NcmDistance distance() const { return distance_; }
+
+  // Records the classify tail (distances + argmin over Labels()) onto a
+  // compiled inference plan, reading the cached prototype matrix and norms
+  // so the plan is bit-identical to Predict(). Returns kFailedPrecondition
+  // with no prototypes and kUnimplemented for the cosine metric (callers
+  // fall back to the eager path).
+  Status CapturePredict(exec::PlanBuilder& plan,
+                        exec::ValueRef embeddings) const;
 
   // Bytes needed to store the prototypes (float32).
   int64_t StorageBytes() const;

@@ -1,0 +1,102 @@
+#include "exec/memory_planner.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace pilote {
+namespace exec {
+namespace {
+
+// A free gap in the arena, kept sorted by offset and coalesced with its
+// neighbours on release so first-fit sees maximal gaps.
+struct FreeGap {
+  int64_t offset = 0;
+  int64_t size = 0;
+};
+
+// An interval currently holding a slice; expires after `last_use`.
+struct ActiveSlice {
+  int32_t last_use = 0;
+  int64_t offset = 0;
+  int64_t size = 0;
+};
+
+void ReleaseGap(std::vector<FreeGap>& free_list, int64_t offset,
+                int64_t size) {
+  const auto it = std::lower_bound(
+      free_list.begin(), free_list.end(), offset,
+      [](const FreeGap& gap, int64_t value) { return gap.offset < value; });
+  const size_t pos = static_cast<size_t>(it - free_list.begin());
+  free_list.insert(it, FreeGap{offset, size});
+  // Coalesce with the right neighbour, then the left one.
+  if (pos + 1 < free_list.size() &&
+      free_list[pos].offset + free_list[pos].size ==
+          free_list[pos + 1].offset) {
+    free_list[pos].size += free_list[pos + 1].size;
+    free_list.erase(free_list.begin() + static_cast<ptrdiff_t>(pos) + 1);
+  }
+  if (pos > 0 && free_list[pos - 1].offset + free_list[pos - 1].size ==
+                     free_list[pos].offset) {
+    free_list[pos - 1].size += free_list[pos].size;
+    free_list.erase(free_list.begin() + static_cast<ptrdiff_t>(pos));
+  }
+}
+
+}  // namespace
+
+ArenaLayout PlanArena(const std::vector<LifetimeInterval>& intervals) {
+  ArenaLayout layout;
+  layout.slices.resize(intervals.size());
+
+  // def_step order, input position as the deterministic tie-break.
+  std::vector<size_t> order(intervals.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return intervals[a].def_step < intervals[b].def_step;
+  });
+
+  std::vector<FreeGap> free_list;
+  std::vector<ActiveSlice> active;
+  for (size_t idx : order) {
+    const LifetimeInterval& interval = intervals[idx];
+    PILOTE_CHECK_GT(interval.size, 0);
+    PILOTE_CHECK(interval.def_step <= interval.last_use)
+        << "interval defined at step " << interval.def_step
+        << " but last used at step " << interval.last_use;
+
+    // Expire every slice whose owner died strictly before this definition.
+    for (size_t a = 0; a < active.size();) {
+      if (active[a].last_use < interval.def_step) {
+        ReleaseGap(free_list, active[a].offset, active[a].size);
+        active.erase(active.begin() + static_cast<ptrdiff_t>(a));
+      } else {
+        ++a;
+      }
+    }
+
+    // First fit: the lowest-offset gap that is large enough.
+    int64_t offset = -1;
+    for (size_t g = 0; g < free_list.size(); ++g) {
+      if (free_list[g].size >= interval.size) {
+        offset = free_list[g].offset;
+        free_list[g].offset += interval.size;
+        free_list[g].size -= interval.size;
+        if (free_list[g].size == 0) {
+          free_list.erase(free_list.begin() + static_cast<ptrdiff_t>(g));
+        }
+        break;
+      }
+    }
+    if (offset < 0) {
+      offset = layout.total_size;
+      layout.total_size += interval.size;
+    }
+    layout.slices[idx] = ArenaSlice{offset, interval.size};
+    active.push_back(ActiveSlice{interval.last_use, offset, interval.size});
+  }
+  return layout;
+}
+
+}  // namespace exec
+}  // namespace pilote

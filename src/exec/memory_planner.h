@@ -1,0 +1,58 @@
+#ifndef PILOTE_EXEC_MEMORY_PLANNER_H_
+#define PILOTE_EXEC_MEMORY_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pilote {
+namespace exec {
+
+// Lifetime-interval arena planning for a compiled inference plan (see
+// DESIGN.md "Compiled inference plans").
+//
+// Every intermediate value of a plan is live over a contiguous range of
+// step indices [def_step, last_use]. The planner assigns each value a
+// [offset, offset + size) slice of a single flat arena such that slices of
+// values whose live ranges overlap are disjoint, while values whose live
+// ranges do not overlap may share the same bytes. Sizes and offsets are in
+// *per-row float units*: every intermediate of the backbone forward is a
+// [n, cols] matrix whose row count n is the batch size, so planning in
+// per-row units makes one layout valid for every batch size — the executor
+// scales offsets by n at run time, which preserves disjointness
+// (offset_a + size_a <= offset_b implies n*(offset_a + size_a) <=
+// n*offset_b) and keeps every scaled slice a contiguous row-major
+// [n, cols] block.
+
+// One value's live range. `def_step` is the step that writes the value,
+// `last_use` the last step that reads it (an in-place consumer counts as a
+// use). Requires def_step <= last_use and size > 0.
+struct LifetimeInterval {
+  int32_t def_step = 0;
+  int32_t last_use = 0;
+  int64_t size = 0;  // per-row floats
+};
+
+// Arena slice assigned to one value.
+struct ArenaSlice {
+  int64_t offset = 0;  // per-row floats
+  int64_t size = 0;    // per-row floats
+};
+
+// The planned layout: one slice per input interval (same order) and the
+// arena extent that covers them all.
+struct ArenaLayout {
+  std::vector<ArenaSlice> slices;
+  int64_t total_size = 0;  // per-row floats
+};
+
+// First-fit interval allocation: intervals are processed in def_step order
+// (ties broken by input position, so the layout is deterministic); at each
+// definition point every slice whose owner's live range has ended is
+// returned to a coalesced free list, and the first gap large enough is
+// taken — the arena only grows when no expired slice fits.
+ArenaLayout PlanArena(const std::vector<LifetimeInterval>& intervals);
+
+}  // namespace exec
+}  // namespace pilote
+
+#endif  // PILOTE_EXEC_MEMORY_PLANNER_H_

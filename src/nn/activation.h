@@ -2,6 +2,7 @@
 #define PILOTE_NN_ACTIVATION_H_
 
 #include "autograd/ops.h"
+#include "exec/plan_builder.h"
 #include "nn/module.h"
 
 namespace pilote {
@@ -12,11 +13,17 @@ class ReLU : public Module {
  public:
   ReLU() = default;
 
-  autograd::Variable Forward(const autograd::Variable& x) override {
+  using Module::Forward;
+  autograd::Variable Forward(const autograd::Variable& x) const override {
     return autograd::Relu(x);
   }
+  Status CaptureInference(exec::PlanBuilder& plan,
+                          exec::ValueRef& x) const override {
+    x = plan.Relu(x);
+    return Status::Ok();
+  }
   std::vector<autograd::Variable> Parameters() override { return {}; }
-  std::vector<Tensor*> StateTensors() override { return {}; }
+  std::vector<const Tensor*> StateTensors() const override { return {}; }
 };
 
 }  // namespace nn

@@ -1,5 +1,7 @@
 #include "nn/backbone.h"
 
+#include <utility>
+
 #include "nn/activation.h"
 #include "nn/batchnorm.h"
 #include "nn/linear.h"
@@ -34,15 +36,24 @@ MlpBackbone::MlpBackbone(const BackboneConfig& config, Rng& rng)
   layers_.Emplace<Linear>(in_dim, config.embedding_dim, rng);
 }
 
+autograd::Variable MlpBackbone::Forward(const autograd::Variable& x) const {
+  return std::as_const(layers_).Forward(x);
+}
+
 autograd::Variable MlpBackbone::Forward(const autograd::Variable& x) {
   return layers_.Forward(x);
+}
+
+Status MlpBackbone::CaptureInference(exec::PlanBuilder& plan,
+                                     exec::ValueRef& x) const {
+  return layers_.CaptureInference(plan, x);
 }
 
 std::vector<autograd::Variable> MlpBackbone::Parameters() {
   return layers_.Parameters();
 }
 
-std::vector<Tensor*> MlpBackbone::StateTensors() {
+std::vector<const Tensor*> MlpBackbone::StateTensors() const {
   return layers_.StateTensors();
 }
 

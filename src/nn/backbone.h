@@ -40,9 +40,12 @@ class MlpBackbone : public Module {
  public:
   MlpBackbone(const BackboneConfig& config, Rng& rng);
 
+  autograd::Variable Forward(const autograd::Variable& x) const override;
   autograd::Variable Forward(const autograd::Variable& x) override;
+  Status CaptureInference(exec::PlanBuilder& plan,
+                          exec::ValueRef& x) const override;
   std::vector<autograd::Variable> Parameters() override;
-  std::vector<Tensor*> StateTensors() override;
+  std::vector<const Tensor*> StateTensors() const override;
   void SetTraining(bool training) override;
   void SetNormalizationFrozen(bool frozen) override;
 
@@ -57,7 +60,7 @@ class MlpBackbone : public Module {
 
  private:
   BackboneConfig config_;
-  mutable Sequential layers_;
+  Sequential layers_;
 };
 
 }  // namespace nn

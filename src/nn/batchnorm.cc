@@ -1,6 +1,9 @@
 #include "nn/batchnorm.h"
 
+#include <utility>
+
 #include "autograd/ops.h"
+#include "exec/plan_builder.h"
 #include "tensor/tensor_ops.h"
 
 namespace pilote {
@@ -17,10 +20,17 @@ BatchNorm1d::BatchNorm1d(int64_t num_features, float eps, float momentum)
   running_var_ = Tensor::Ones(Shape::Vector(num_features));
 }
 
-autograd::Variable BatchNorm1d::Forward(const autograd::Variable& x) {
+autograd::Variable BatchNorm1d::Forward(const autograd::Variable& x) const {
   PILOTE_CHECK_EQ(x.value().rank(), 2);
   PILOTE_CHECK_EQ(x.value().cols(), num_features_);
+  return autograd::BatchNormInference(x, gamma_, beta_, running_mean_,
+                                      running_var_, eps_);
+}
+
+autograd::Variable BatchNorm1d::Forward(const autograd::Variable& x) {
   if (training() && !frozen_stats_) {
+    PILOTE_CHECK_EQ(x.value().rank(), 2);
+    PILOTE_CHECK_EQ(x.value().cols(), num_features_);
     autograd::BatchNormOutput out =
         autograd::BatchNormTraining(x, gamma_, beta_, eps_);
     // running <- (1 - momentum) * running + momentum * batch
@@ -30,17 +40,22 @@ autograd::Variable BatchNorm1d::Forward(const autograd::Variable& x) {
                        MulScalar(out.batch_var, momentum_));
     return out.y;
   }
-  return autograd::BatchNormInference(x, gamma_, beta_, running_mean_,
-                                      running_var_, eps_);
+  return std::as_const(*this).Forward(x);
+}
+
+Status BatchNorm1d::CaptureInference(exec::PlanBuilder& plan,
+                                     exec::ValueRef& x) const {
+  x = plan.BatchNormInference(x, gamma_.value(), beta_.value(),
+                              running_mean_, running_var_, eps_);
+  return Status::Ok();
 }
 
 std::vector<autograd::Variable> BatchNorm1d::Parameters() {
   return {gamma_, beta_};
 }
 
-std::vector<Tensor*> BatchNorm1d::StateTensors() {
-  return {&gamma_.mutable_value(), &beta_.mutable_value(), &running_mean_,
-          &running_var_};
+std::vector<const Tensor*> BatchNorm1d::StateTensors() const {
+  return {&gamma_.value(), &beta_.value(), &running_mean_, &running_var_};
 }
 
 }  // namespace nn

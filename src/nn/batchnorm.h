@@ -15,9 +15,15 @@ class BatchNorm1d : public Module {
   explicit BatchNorm1d(int64_t num_features, float eps = 1e-5f,
                        float momentum = 0.1f);
 
+  // Eval-mode forward: always normalizes with the running statistics.
+  autograd::Variable Forward(const autograd::Variable& x) const override;
+  // Training-mode forward: batch statistics + running-stat update, unless
+  // the layer is frozen (then identical to the eval computation).
   autograd::Variable Forward(const autograd::Variable& x) override;
+  Status CaptureInference(exec::PlanBuilder& plan,
+                          exec::ValueRef& x) const override;
   std::vector<autograd::Variable> Parameters() override;
-  std::vector<Tensor*> StateTensors() override;
+  std::vector<const Tensor*> StateTensors() const override;
   void SetNormalizationFrozen(bool frozen) override { frozen_stats_ = frozen; }
 
   bool frozen_stats() const { return frozen_stats_; }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "autograd/ops.h"
+#include "exec/plan_builder.h"
 
 namespace pilote {
 namespace nn {
@@ -17,18 +18,25 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng)
   bias_ = autograd::Variable::Parameter(Tensor::Zeros(Shape::Vector(out_features)));
 }
 
-autograd::Variable Linear::Forward(const autograd::Variable& x) {
+autograd::Variable Linear::Forward(const autograd::Variable& x) const {
   PILOTE_CHECK_EQ(x.value().rank(), 2);
   PILOTE_CHECK_EQ(x.value().cols(), in_features_);
   return autograd::AddRowVector(autograd::LinearTransform(x, weight_), bias_);
+}
+
+Status Linear::CaptureInference(exec::PlanBuilder& plan,
+                                exec::ValueRef& x) const {
+  // Same op order as Forward: GEMM against W^T, then the bias row add.
+  x = plan.BiasAdd(plan.Gemm(x, weight_.value()), bias_.value());
+  return Status::Ok();
 }
 
 std::vector<autograd::Variable> Linear::Parameters() {
   return {weight_, bias_};
 }
 
-std::vector<Tensor*> Linear::StateTensors() {
-  return {&weight_.mutable_value(), &bias_.mutable_value()};
+std::vector<const Tensor*> Linear::StateTensors() const {
+  return {&weight_.value(), &bias_.value()};
 }
 
 }  // namespace nn

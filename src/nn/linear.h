@@ -14,9 +14,14 @@ class Linear : public Module {
  public:
   Linear(int64_t in_features, int64_t out_features, Rng& rng);
 
-  autograd::Variable Forward(const autograd::Variable& x) override;
+  // Training and eval behaviour coincide; the const overload is the
+  // implementation and the training-mode default delegates to it.
+  using Module::Forward;
+  autograd::Variable Forward(const autograd::Variable& x) const override;
+  Status CaptureInference(exec::PlanBuilder& plan,
+                          exec::ValueRef& x) const override;
   std::vector<autograd::Variable> Parameters() override;
-  std::vector<Tensor*> StateTensors() override;
+  std::vector<const Tensor*> StateTensors() const override;
 
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }

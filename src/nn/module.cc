@@ -1,13 +1,37 @@
 #include "nn/module.h"
 
+#include <utility>
+
 #include "common/macros.h"
 
 namespace pilote {
 namespace nn {
 
-void Module::CopyStateFrom(Module& other) {
-  std::vector<Tensor*> dst = StateTensors();
-  std::vector<Tensor*> src = other.StateTensors();
+autograd::Variable Module::Forward(const autograd::Variable& x) {
+  // Default training-mode behaviour: same computation as eval mode.
+  return std::as_const(*this).Forward(x);
+}
+
+Status Module::CaptureInference(exec::PlanBuilder& /*plan*/,
+                                exec::ValueRef& /*x*/) const {
+  return Status::Unimplemented(
+      "no compiled-inference lowering for this module");
+}
+
+std::vector<Tensor*> Module::MutableStateTensors() {
+  // The const overload is the single source of truth for state order; the
+  // cast is sound because *this is non-const here.
+  std::vector<const Tensor*> state = std::as_const(*this).StateTensors();
+  std::vector<Tensor*> mutable_state(state.size());
+  for (size_t i = 0; i < state.size(); ++i) {
+    mutable_state[i] = const_cast<Tensor*>(state[i]);
+  }
+  return mutable_state;
+}
+
+void Module::CopyStateFrom(const Module& other) {
+  std::vector<Tensor*> dst = MutableStateTensors();
+  std::vector<const Tensor*> src = other.StateTensors();
   PILOTE_CHECK_EQ(dst.size(), src.size()) << "module structure mismatch";
   for (size_t i = 0; i < dst.size(); ++i) {
     PILOTE_CHECK(dst[i]->shape() == src[i]->shape())

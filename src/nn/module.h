@@ -6,8 +6,15 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "common/status.h"
 
 namespace pilote {
+
+namespace exec {
+class PlanBuilder;
+struct ValueRef;
+}  // namespace exec
+
 namespace nn {
 
 // Base class for neural-network layers. A Module owns its parameters as
@@ -17,8 +24,25 @@ class Module {
  public:
   virtual ~Module() = default;
 
-  // Maps a batch [n, in] to [n, out], recording the autograd graph.
-  virtual autograd::Variable Forward(const autograd::Variable& x) = 0;
+  // Eval-mode forward on a const module: maps a batch [n, in] to [n, out]
+  // using inference behaviour (batch norm normalizes with its running
+  // statistics) as a pure read — safe to call concurrently with other
+  // const members. Every layer implements its inference computation here.
+  virtual autograd::Variable Forward(const autograd::Variable& x) const = 0;
+
+  // Training-aware forward, recording the autograd graph. Layers whose
+  // training behaviour differs from inference (batch norm) override this;
+  // the default is the eval-mode computation above.
+  virtual autograd::Variable Forward(const autograd::Variable& x);
+
+  // Records this module's eval-mode computation into a compiled inference
+  // plan (see src/exec/): one recorder call per eager op, threading the
+  // shape-propagating value handle `x`. Layers the planner cannot lower
+  // return kUnimplemented (the default), in which case callers keep using
+  // the eager Forward. Constants are copied into the plan, so the module
+  // may mutate afterwards without invalidating it.
+  virtual Status CaptureInference(exec::PlanBuilder& plan,
+                                  exec::ValueRef& x) const;
 
   // Trainable parameters, in a deterministic order. The returned handles
   // alias the module's storage (mutating them mutates the module).
@@ -27,7 +51,11 @@ class Module {
   // All state in deterministic order: parameters followed by buffers.
   // Used by serialization and state copying. Pointers remain valid for the
   // lifetime of the module.
-  virtual std::vector<Tensor*> StateTensors() = 0;
+  virtual std::vector<const Tensor*> StateTensors() const = 0;
+
+  // Mutable view of the same tensors, same order (serialization load,
+  // CopyStateFrom destination).
+  std::vector<Tensor*> MutableStateTensors();
 
   // Training vs inference behaviour (batch norm switches statistics).
   virtual void SetTraining(bool training) { training_ = training; }
@@ -50,7 +78,7 @@ class Module {
 
   // Copies all state (parameters and buffers) from a module with an
   // identical structure.
-  void CopyStateFrom(Module& other);
+  void CopyStateFrom(const Module& other);
 
   // Sets/clears requires_grad on every parameter (freezing for teachers).
   void SetRequiresGrad(bool requires_grad);

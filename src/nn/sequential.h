@@ -30,10 +30,27 @@ class Sequential : public Module {
     return raw;
   }
 
+  autograd::Variable Forward(const autograd::Variable& x) const override {
+    autograd::Variable out = x;
+    for (const auto& child : children_) {
+      out = std::as_const(*child).Forward(out);
+    }
+    return out;
+  }
+
   autograd::Variable Forward(const autograd::Variable& x) override {
     autograd::Variable out = x;
     for (auto& child : children_) out = child->Forward(out);
     return out;
+  }
+
+  Status CaptureInference(exec::PlanBuilder& plan,
+                          exec::ValueRef& x) const override {
+    for (const auto& child : children_) {
+      Status status = child->CaptureInference(plan, x);
+      if (!status.ok()) return status;
+    }
+    return Status::Ok();
   }
 
   std::vector<autograd::Variable> Parameters() override {
@@ -45,10 +62,10 @@ class Sequential : public Module {
     return params;
   }
 
-  std::vector<Tensor*> StateTensors() override {
-    std::vector<Tensor*> state;
-    for (auto& child : children_) {
-      auto child_state = child->StateTensors();
+  std::vector<const Tensor*> StateTensors() const override {
+    std::vector<const Tensor*> state;
+    for (const auto& child : children_) {
+      auto child_state = std::as_const(*child).StateTensors();
       state.insert(state.end(), child_state.begin(), child_state.end());
     }
     return state;
@@ -65,6 +82,7 @@ class Sequential : public Module {
 
   size_t size() const { return children_.size(); }
   Module& child(size_t i) { return *children_.at(i); }
+  const Module& child(size_t i) const { return *children_.at(i); }
 
  private:
   std::vector<std::unique_ptr<Module>> children_;

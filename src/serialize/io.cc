@@ -217,9 +217,8 @@ Result<std::vector<Tensor>> LoadTensors(const std::string& path) {
 
 namespace {
 
-std::string SerializeModuleBody(nn::Module& module) {
-  std::vector<Tensor*> state = module.StateTensors();
-  std::vector<const Tensor*> refs(state.begin(), state.end());
+std::string SerializeModuleBody(const nn::Module& module) {
+  std::vector<const Tensor*> refs = module.StateTensors();
   std::ostringstream body(std::ios::binary);
   Status status = WriteTensorListBody(body, refs);
   // Writing to a memory stream only fails on logic errors, never I/O.
@@ -228,7 +227,7 @@ std::string SerializeModuleBody(nn::Module& module) {
 }
 
 Status ReadModuleBody(std::istream& is, nn::Module& module) {
-  std::vector<Tensor*> state = module.StateTensors();
+  std::vector<Tensor*> state = module.MutableStateTensors();
   PILOTE_ASSIGN_OR_RETURN(uint64_t count, ReadU64(is));
   if (count != state.size()) {
     return Status::DataLoss("module state count mismatch: stored " +
@@ -256,7 +255,7 @@ Status ReadFramedModule(std::istream& is, nn::Module& module) {
 
 }  // namespace
 
-Status SaveModule(const std::string& path, nn::Module& module) {
+Status SaveModule(const std::string& path, const nn::Module& module) {
   return WriteFileAtomic(
       path, FramePayload(kModuleFileMagic, SerializeModuleBody(module)));
 }
@@ -267,7 +266,7 @@ Status LoadModule(const std::string& path, nn::Module& module) {
   return ReadFramedModule(is, module);
 }
 
-std::string SerializeModuleToString(nn::Module& module) {
+std::string SerializeModuleToString(const nn::Module& module) {
   return FramePayload(kModuleFileMagic, SerializeModuleBody(module));
 }
 

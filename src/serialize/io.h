@@ -52,16 +52,18 @@ Status SaveTensors(const std::string& path, const std::vector<Tensor>& tensors);
 Result<std::vector<Tensor>> LoadTensors(const std::string& path);
 
 // ---- Module state ----
-// Serializes Module::StateTensors() in order (magic "PLTM"). Loading
-// verifies that the stored shapes match the module's structure.
-Status SaveModule(const std::string& path, nn::Module& module);
+// Serializes Module::StateTensors() in order (magic "PLTM"). Saving reads
+// through the const state surface; loading writes through
+// Module::MutableStateTensors() and verifies that the stored shapes match
+// the module's structure.
+Status SaveModule(const std::string& path, const nn::Module& module);
 Status LoadModule(const std::string& path, nn::Module& module);
 
 // In-memory round trip (used to model the cloud->edge transfer and to
 // measure the transfer payload in bytes). The string carries the same
 // CRC frame as the on-disk format, so an embedded payload (e.g. inside a
 // deployment artifact) detects corruption independently.
-std::string SerializeModuleToString(nn::Module& module);
+std::string SerializeModuleToString(const nn::Module& module);
 Status DeserializeModuleFromString(const std::string& payload,
                                    nn::Module& module);
 

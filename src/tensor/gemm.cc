@@ -148,6 +148,18 @@ void GemmTransB(const float* a, const float* b, float* c, int64_t m, int64_t k,
   });
 }
 
+void GemmSerial(const float* a, const float* b, float* c, int64_t m,
+                int64_t k, int64_t n) {
+  CountGemm(m, k, n);
+  GemmRows(a, b, c, 0, m, k, n);
+}
+
+void GemmTransBSerial(const float* a, const float* b, float* c, int64_t m,
+                      int64_t k, int64_t n) {
+  CountGemm(m, k, n);
+  GemmTransBRows(a, b, c, 0, m, k, n);
+}
+
 void GemmTransA(const float* a, const float* b, float* c, int64_t m, int64_t k,
                 int64_t n) {
   CountGemm(m, k, n);

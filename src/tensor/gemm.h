@@ -20,6 +20,19 @@ PILOTE_HOT_PATH void GemmTransB(const float* a, const float* b, float* c,
 void GemmTransA(const float* a, const float* b, float* c, int64_t m, int64_t k,
                 int64_t n);
 
+// Single-threaded variants running the same row kernels over the full row
+// range with no pool dispatch. The thread-pool Dispatch captures the row
+// callback in a std::function — a heap allocation per call — so the
+// compiled-inference executor (src/exec/), whose replay loop must be
+// allocation-free, calls these instead. Results are bit-identical to the
+// parallel entry points (identical per-element accumulation order), and
+// both variants tick the same tensor/gemm_calls metrics.
+PILOTE_HOT_PATH void GemmSerial(const float* a, const float* b, float* c,
+                                int64_t m, int64_t k, int64_t n);
+PILOTE_HOT_PATH void GemmTransBSerial(const float* a, const float* b,
+                                      float* c, int64_t m, int64_t k,
+                                      int64_t n);
+
 }  // namespace pilote
 
 #endif  // PILOTE_TENSOR_GEMM_H_

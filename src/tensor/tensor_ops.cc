@@ -360,28 +360,40 @@ Tensor PairwiseSquaredDistance(const Tensor& a, const Tensor& b,
   Tensor cross = MatMulTransB(a, b);  // [n,m]
   Tensor na = RowSquaredNorm(a);      // hotpath-ok: [n] temporary
   Tensor out(Shape::Matrix(a.rows(), b.rows()));  // hotpath-ok: output
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    float* po = out.row(i);
-    const float* pc = cross.row(i);
-    const float nai = na[i];
-    for (int64_t j = 0; j < b.rows(); ++j) {
-      // Clamp tiny negatives from cancellation.
-      po[j] = std::max(0.0f, nai + nb[j] - 2.0f * pc[j]);
-    }
-  }
+  SquaredDistanceCombineInto(cross.data(), na.data(), nb.data(), out.data(),
+                             a.rows(), b.rows());
   return out;
 }
 
 Tensor RowSquaredNorm(const Tensor& m) {
   PILOTE_CHECK_EQ(m.rank(), 2);
   Tensor out(Shape::Vector(m.rows()));  // hotpath-ok: output
-  for (int64_t r = 0; r < m.rows(); ++r) {
-    const float* pm = m.row(r);
+  RowSquaredNormInto(m.data(), m.rows(), m.cols(), out.data());
+  return out;
+}
+
+void RowSquaredNormInto(const float* m, int64_t rows, int64_t cols,
+                        float* out) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* pm = m + r * cols;
     float acc = 0.0f;
-    for (int64_t c = 0; c < m.cols(); ++c) acc += pm[c] * pm[c];
+    for (int64_t c = 0; c < cols; ++c) acc += pm[c] * pm[c];
     out[r] = acc;
   }
-  return out;
+}
+
+void SquaredDistanceCombineInto(const float* cross, const float* a_sq_norms,
+                                const float* b_sq_norms, float* out,
+                                int64_t rows, int64_t cols) {
+  for (int64_t i = 0; i < rows; ++i) {
+    float* po = out + i * cols;
+    const float* pc = cross + i * cols;
+    const float nai = a_sq_norms[i];
+    for (int64_t j = 0; j < cols; ++j) {
+      // Clamp tiny negatives from cancellation.
+      po[j] = std::max(0.0f, nai + b_sq_norms[j] - 2.0f * pc[j]);
+    }
+  }
 }
 
 float SquaredDistance(const Tensor& a, const Tensor& b) {

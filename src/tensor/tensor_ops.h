@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/hot_path.h"
 #include "tensor/tensor.h"
 
 namespace pilote {
@@ -89,6 +90,22 @@ Tensor PairwiseSquaredDistance(const Tensor& a, const Tensor& b,
 // Squared L2 norm of each row of m -> [n].
 Tensor RowSquaredNorm(const Tensor& m);
 float SquaredDistance(const Tensor& a, const Tensor& b);
+
+// Raw-buffer kernels behind RowSquaredNorm and the squared-distance
+// combine. The compiled-inference executor (src/exec/) replays these on
+// pre-planned arena slices; sharing one definition with the eager tensor
+// ops is what makes plan and eager results bit-identical — both paths run
+// the same accumulation code, so FP contraction decisions (-march=native)
+// cannot diverge between them.
+PILOTE_HOT_PATH void RowSquaredNormInto(const float* m, int64_t rows,
+                                        int64_t cols, float* out);
+// out[i, j] = max(0, a_sq_norms[i] + b_sq_norms[j] - 2 * cross[i, j]);
+// in-place use (out == cross) is allowed.
+PILOTE_HOT_PATH void SquaredDistanceCombineInto(const float* cross,
+                                                const float* a_sq_norms,
+                                                const float* b_sq_norms,
+                                                float* out, int64_t rows,
+                                                int64_t cols);
 
 // ---- Comparisons (testing support) ----
 bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f,

@@ -208,6 +208,14 @@ TEST_F(PipelineTest, EdgeProfileReportsBudget) {
   EXPECT_LE(profile.inference_p50_ms, profile.inference_p95_ms);
   EXPECT_LE(profile.inference_p95_ms, profile.inference_p99_ms);
   EXPECT_GT(profile.train_epoch_seconds, 0.0);
+  // Plan-vs-eager columns: the learner serves through a compiled plan, so
+  // both sides are measured, and the warmed-up plan replay never touches
+  // the allocator (the zero-alloc executor contract, here end to end).
+  EXPECT_TRUE(profile.exec_plan_live);
+  EXPECT_GT(profile.exec_plan_ms_per_window, 0.0);
+  EXPECT_GT(profile.exec_eager_ms_per_window, 0.0);
+  EXPECT_EQ(profile.exec_plan_allocs_per_window, 0.0);
+  EXPECT_NE(profile.ToString().find("exec: plan"), std::string::npos);
   EXPECT_FALSE(profile.ToString().empty());
 }
 

@@ -219,7 +219,7 @@ TEST(BackboneTest, CloneIsIndependentOfOriginal) {
   nn::MlpBackbone model(nn::BackboneConfig::Small(), rng);
   auto clone = model.Clone();
   // Mutate the original's first parameter; clone must not follow.
-  model.StateTensors()[0]->Fill(0.0f);
+  model.MutableStateTensors()[0]->Fill(0.0f);
   bool clone_nonzero = false;
   const Tensor* clone_w = clone->StateTensors()[0];
   for (int64_t i = 0; i < clone_w->numel(); ++i) {

@@ -418,6 +418,43 @@ class HotpathClosureTest(unittest.TestCase):
         }
         self.assertEqual(hotpath_errors(files), [])
 
+    def test_name_keyed_roots_catch_same_named_definitions(self):
+        # Root discovery is name-keyed: marking exec::Executor::Run hot
+        # makes every function whose bare name is `Run` a root, including
+        # an unrelated cold driver in another file.
+        files = {
+            os.path.join("src", "exec", "executor.cc"): (
+                "PILOTE_HOT_PATH void Run();\n"
+                "void Run() { Replay(); }\n"
+                "void Replay() { Use(arena_); }\n"),
+            os.path.join("src", "core", "cloud.cc"): (
+                "void Run() {\n"
+                "  std::vector<int> epochs;\n"
+                "}\n"),
+        }
+        errors = hotpath_errors(files)
+        self.assertEqual(len(errors), 1, errors)
+        self.assertIn("[hotpath:local-alloc]", errors[0])
+        self.assertIn("'Run'", errors[0])
+
+    def test_head_marker_releases_name_collided_cold_function(self):
+        # The escape for the collision above: a head-level hotpath-ok on
+        # the cold same-named definition prunes it (and its callees) while
+        # the genuinely hot definition stays checked.
+        files = {
+            os.path.join("src", "exec", "executor.cc"): (
+                "PILOTE_HOT_PATH void Run();\n"
+                "void Run() { Replay(); }\n"
+                "void Replay() { Use(arena_); }\n"),
+            os.path.join("src", "core", "cloud.cc"): (
+                "// hotpath-ok: cold pre-training driver, shares the bare\n"
+                "// name Run with the hot executor entry point\n"
+                "void Run() {\n"
+                "  std::vector<int> epochs;\n"
+                "}\n"),
+        }
+        self.assertEqual(hotpath_errors(files), [])
+
     def test_accessor_names_do_not_propagate(self):
         # `size` is an accessor name: a same-named free function with a
         # violation must not be dragged into the closure.
