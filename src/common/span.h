@@ -1,0 +1,199 @@
+#ifndef PILOTE_COMMON_SPAN_H_
+#define PILOTE_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "common/macros.h"
+
+namespace pilote {
+
+// Debug-checked contiguous views.
+//
+// Span<T> / ConstSpan<T> are the repo's sanctioned way to hand out a
+// window into someone else's buffer (a tensor row, an executor arena
+// slice, an assembler ring). The contract is mode-split:
+//
+//   * Release (NDEBUG): a Span is exactly {T*, size_t} — trivially
+//     copyable, no checks, no generation tracking. Passing one by value
+//     costs the same as passing a pointer and a length, so the serve hot
+//     path pays nothing (static_assert-enforced below).
+//   * Debug / sanitizer builds: every element access is bounds-checked,
+//     and a span built from a generation-tracked owner (Tensor) also
+//     carries the owner's generation counter at capture time. The owner
+//     bumps its counter whenever its buffer may move (Tensor::ResizeRows
+//     growth, assignment); a later access through the stale span is a
+//     CHECK-fatal "view outlived its buffer" instead of a silent
+//     use-after-free feeding corrupt values into predictions.
+//
+// The generation check is a debug aid, not a proof: it catches the
+// realloc-under-a-live-view class (the one `--stage lifetime` hunts
+// statically), not views that outlive the owner object itself (the
+// counter's address dies with the owner; ASan owns that class).
+//
+// BasicSpan<T, Checked> exposes both modes explicitly so tests can
+// exercise the checked variant under any build type; Span/ConstSpan pick
+// the mode from PILOTE_SPAN_CHECKS (default: on when NDEBUG is not
+// defined, overridable with -DPILOTE_SPAN_CHECKS=0/1).
+#ifndef PILOTE_SPAN_CHECKS
+#ifdef NDEBUG
+#define PILOTE_SPAN_CHECKS 0
+#else
+#define PILOTE_SPAN_CHECKS 1
+#endif
+#endif
+
+template <typename T, bool Checked>
+class BasicSpan;
+
+// Unchecked mode: raw pointer + size, nothing else.
+template <typename T>
+class BasicSpan<T, false> {
+ public:
+  using element_type = T;
+  using value_type = std::remove_cv_t<T>;
+
+  constexpr BasicSpan() = default;
+  constexpr BasicSpan(T* data, size_t size) : data_(data), size_(size) {}
+  // Generation-tracked construction: the tracking arguments are accepted
+  // (so call sites compile identically in both modes) and dropped.
+  constexpr BasicSpan(T* data, size_t size, const uint32_t* /*generation*/,
+                      uint32_t /*captured*/)
+      : data_(data), size_(size) {}
+  // Span<T> converts to Span<const T> implicitly, like std::span.
+  template <typename U,
+            typename = std::enable_if_t<
+                std::is_convertible_v<U (*)[], T (*)[]>>>
+  constexpr BasicSpan(const BasicSpan<U, false>& other)
+      : data_(other.data()), size_(other.size()) {}
+
+  constexpr T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+
+  constexpr T& operator[](size_t i) const { return data_[i]; }
+  constexpr T& front() const { return data_[0]; }
+  constexpr T& back() const { return data_[size_ - 1]; }
+
+  constexpr BasicSpan subspan(size_t pos, size_t count) const {
+    return BasicSpan(data_ + pos, count);
+  }
+  constexpr BasicSpan first(size_t count) const { return subspan(0, count); }
+  constexpr BasicSpan last(size_t count) const {
+    return subspan(size_ - count, count);
+  }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+// Checked mode: bounds on every access; generation validation when the
+// owner registered a counter at capture time.
+template <typename T>
+class BasicSpan<T, true> {
+ public:
+  using element_type = T;
+  using value_type = std::remove_cv_t<T>;
+
+  constexpr BasicSpan() = default;
+  constexpr BasicSpan(T* data, size_t size) : data_(data), size_(size) {}
+  constexpr BasicSpan(T* data, size_t size, const uint32_t* generation,
+                      uint32_t captured)
+      : data_(data),
+        size_(size),
+        generation_(generation),
+        captured_(captured) {}
+  template <typename U,
+            typename = std::enable_if_t<
+                std::is_convertible_v<U (*)[], T (*)[]>>>
+  constexpr BasicSpan(const BasicSpan<U, true>& other)
+      : data_(other.data()),
+        size_(other.size()),
+        generation_(other.generation_counter()),
+        captured_(other.captured_generation()) {}
+
+  T* data() const {
+    CheckLive();
+    return data_;
+  }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  T* begin() const {
+    CheckLive();
+    return data_;
+  }
+  T* end() const {
+    CheckLive();
+    return data_ + size_;
+  }
+
+  T& operator[](size_t i) const {
+    CheckLive();
+    PILOTE_CHECK_LT(i, size_) << "span index out of bounds";
+    return data_[i];
+  }
+  T& front() const { return (*this)[0]; }
+  T& back() const {
+    PILOTE_CHECK(!empty()) << "back() on empty span";
+    return (*this)[size_ - 1];
+  }
+
+  BasicSpan subspan(size_t pos, size_t count) const {
+    CheckLive();
+    PILOTE_CHECK_LE(pos, size_) << "subspan start out of bounds";
+    PILOTE_CHECK_LE(count, size_ - pos) << "subspan length out of bounds";
+    return BasicSpan(data_ + pos, count, generation_, captured_);
+  }
+  BasicSpan first(size_t count) const { return subspan(0, count); }
+  BasicSpan last(size_t count) const {
+    PILOTE_CHECK_LE(count, size_) << "last() length out of bounds";
+    return subspan(size_ - count, count);
+  }
+
+  // Introspection for the conversion constructor and tests.
+  constexpr const uint32_t* generation_counter() const { return generation_; }
+  constexpr uint32_t captured_generation() const { return captured_; }
+
+ private:
+  void CheckLive() const {
+    if (generation_ != nullptr) {
+      PILOTE_CHECK_EQ(*generation_, captured_)
+          << "stale span: the owning buffer was resized or reassigned "
+             "after this view was taken";
+    }
+  }
+
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  // Address of the owner's generation counter (nullptr for untracked
+  // buffers) and its value when the view was taken.
+  const uint32_t* generation_ = nullptr;
+  uint32_t captured_ = 0;
+};
+
+template <typename T>
+using Span = BasicSpan<T, PILOTE_SPAN_CHECKS != 0>;
+template <typename T>
+using ConstSpan = BasicSpan<const T, PILOTE_SPAN_CHECKS != 0>;
+
+// The release-mode contract: a span is a pointer and a size, nothing
+// more. Any member added to the unchecked specialization (or a stray
+// virtual) breaks this at compile time, in every build.
+static_assert(std::is_trivially_copyable_v<BasicSpan<float, false>>,
+              "release-mode Span must be trivially copyable");
+static_assert(sizeof(BasicSpan<float, false>) ==
+                  sizeof(float*) + sizeof(size_t),
+              "release-mode Span must be exactly pointer + size");
+#if !PILOTE_SPAN_CHECKS
+static_assert(std::is_trivially_copyable_v<Span<float>> &&
+                  sizeof(Span<float>) == sizeof(float*) + sizeof(size_t),
+              "Span must be the raw pointer+size form in release builds");
+#endif
+
+}  // namespace pilote
+
+#endif  // PILOTE_COMMON_SPAN_H_

@@ -24,6 +24,7 @@ ThreadPool::ThreadPool(int num_threads)
   if (num_threads_ == 1) return;
   workers_.reserve(static_cast<size_t>(num_threads_));
   for (int i = 0; i < num_threads_; ++i) {
+    // lifetime-ok: workers are joined in ~ThreadPool before `this` dies
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
@@ -90,6 +91,8 @@ void ThreadPool::ParallelForRanges(
   for (int64_t c = 0; c < chunks; ++c) {
     const int64_t begin = c * chunk_size;
     const int64_t end = std::min(count, begin + chunk_size);
+    // lifetime-ok: ParallelForRanges blocks on done_cv until every chunk
+    // has run, so the captured frame outlives all submitted tasks
     Submit([&, begin, end] {
       fn(begin, end);
       if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {

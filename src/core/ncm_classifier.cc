@@ -60,6 +60,18 @@ const Tensor& NcmClassifier::prototype(int label) const {
   return prototypes_[static_cast<size_t>(IndexOf(label))];
 }
 
+ConstSpan<float> NcmClassifier::prototype_view(int label) const {
+  return prototypes_[static_cast<size_t>(IndexOf(label))].span();
+}
+
+ConstSpan<float> NcmClassifier::prototype_row_view(int index) const {
+  PILOTE_CHECK(!prototypes_.empty()) << "no prototypes registered";
+  PILOTE_CHECK(index >= 0 &&
+               index < static_cast<int>(prototypes_.size()))
+      << "prototype index out of range";
+  return proto_matrix_.row_span(index);
+}
+
 std::vector<int> NcmClassifier::Labels() const { return labels_; }
 
 int64_t NcmClassifier::embedding_dim() const {
@@ -80,8 +92,10 @@ void NcmClassifier::RebuildCache() {
     proto_matrix_ = Tensor(Shape::Matrix(k, d));
   }
   for (size_t i = 0; i < prototypes_.size(); ++i) {
-    std::copy(prototypes_[i].data(), prototypes_[i].data() + d,
-              proto_matrix_.row(static_cast<int64_t>(i)));
+    ConstSpan<float> src = prototypes_[i].span();
+    Span<float> dst = proto_matrix_.row_span(static_cast<int64_t>(i));
+    PILOTE_DCHECK(src.size() == dst.size());
+    std::copy(src.begin(), src.end(), dst.begin());
   }
   proto_sq_norms_ = RowSquaredNorm(proto_matrix_);
 }

@@ -41,6 +41,14 @@ class NcmClassifier {
 
   bool HasPrototype(int label) const;
   const Tensor& prototype(int label) const;
+  // Generation-checked view of a prototype's elements (common/span.h):
+  // pointer+size in release; in debug, dereferencing after the prototype
+  // is replaced (SetPrototype) or the support set reshuffles is
+  // CHECK-fatal instead of silently reading a stale mean.
+  ConstSpan<float> prototype_view(int label) const;
+  // The stacked [k, d] prototype matrix row for the i-th label of
+  // Labels(), straight from the predict-path cache.
+  ConstSpan<float> prototype_row_view(int index) const;
   // Labels in ascending order.
   std::vector<int> Labels() const;
   int64_t NumClasses() const { return static_cast<int64_t>(labels_.size()); }

@@ -85,15 +85,18 @@ Executor::Executor(std::shared_ptr<const InferencePlan> plan)
   PILOTE_CHECK(plan_ != nullptr);
 }
 
-float* Executor::SliceAt(int32_t value, int64_t n) {
+Span<float> Executor::SliceAt(int32_t value, int64_t n) {
   PILOTE_DCHECK(value > 0);
   // Per-row offsets scale by the batch size; disjoint per-row slices stay
   // disjoint after scaling (see exec/memory_planner.h).
-  return arena_.data() + plan_->slice(value).offset * n;
+  const ArenaSlice& s = plan_->slice(value);
+  return Span<float>(arena_.data() + s.offset * n,
+                     static_cast<size_t>(s.size * n));
 }
 
-const float* Executor::ReadAt(const Tensor& in, int32_t value, int64_t n) {
-  if (value == 0) return in.data();
+ConstSpan<float> Executor::ReadAt(const Tensor& in, int32_t value,
+                                  int64_t n) {
+  if (value == 0) return in.span();
   return SliceAt(value, n);
 }
 
@@ -110,14 +113,16 @@ void Executor::ReplaySteps(const Tensor& in, int64_t n, int32_t last_step,
     switch (step.kind) {
       case StepKind::kGemmTransB: {
         const Tensor& weight = plan_->constant(step.constant);
-        GemmTransBSerial(ReadAt(in, step.in, n), weight.data(),
-                         SliceAt(step.out, n), n, step.k, step.cols);
-        GuardStepNumerics("gemm", SliceAt(step.out, n), n * step.cols);
+        GemmTransBSerial(ReadAt(in, step.in, n).data(), weight.data(),
+                         SliceAt(step.out, n).data(), n, step.k,
+                         step.cols);
+        GuardStepNumerics("gemm", SliceAt(step.out, n).data(),
+                          n * step.cols);
         break;
       }
       case StepKind::kElementwise: {
-        const float* src = ReadAt(in, step.in, n);
-        float* dst = SliceAt(step.out, n);
+        const float* src = ReadAt(in, step.in, n).data();
+        float* dst = SliceAt(step.out, n).data();
         for (const MicroStep& micro : step.micro) {
           const float* pa =
               micro.a >= 0 ? plan_->constant(micro.a).data() : nullptr;
@@ -130,24 +135,26 @@ void Executor::ReplaySteps(const Tensor& in, int64_t n, int32_t last_step,
         break;
       }
       case StepKind::kRowSquaredNorm: {
-        RowSquaredNormInto(ReadAt(in, step.in, n), n, step.k,
-                           SliceAt(step.out, n));
-        GuardStepNumerics("row_squared_norm", SliceAt(step.out, n), n);
+        RowSquaredNormInto(ReadAt(in, step.in, n).data(), n, step.k,
+                           SliceAt(step.out, n).data());
+        GuardStepNumerics("row_squared_norm",
+                          SliceAt(step.out, n).data(), n);
         break;
       }
       case StepKind::kNcmCombine: {
         const Tensor& proto_norms = plan_->constant(step.constant);
-        SquaredDistanceCombineInto(ReadAt(in, step.in, n),
-                                   ReadAt(in, step.in2, n),
-                                   proto_norms.data(), SliceAt(step.out, n),
-                                   n, step.cols);
-        GuardStepNumerics("ncm_combine", SliceAt(step.out, n),
+        SquaredDistanceCombineInto(ReadAt(in, step.in, n).data(),
+                                   ReadAt(in, step.in2, n).data(),
+                                   proto_norms.data(),
+                                   SliceAt(step.out, n).data(), n,
+                                   step.cols);
+        GuardStepNumerics("ncm_combine", SliceAt(step.out, n).data(),
                           n * step.cols);
         break;
       }
       case StepKind::kArgMinLabel: {
         PILOTE_DCHECK(labels != nullptr);
-        const float* distances = ReadAt(in, step.in, n);
+        const float* distances = ReadAt(in, step.in, n).data();
         const std::vector<int>& table = plan_->labels();
         labels->resize(static_cast<size_t>(n));  // hotpath-ok: the output
         for (int64_t r = 0; r < n; ++r) {
@@ -181,7 +188,7 @@ bool Executor::TryRun(const Tensor& in, Tensor* out) {
   } else {
     out->ResizeRows(n);
   }
-  std::memcpy(out->data(), SliceAt(output, n),
+  std::memcpy(out->data(), SliceAt(output, n).data(),
               static_cast<size_t>(n * out_cols) * sizeof(float));
   return true;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/hot_path.h"
+#include "common/span.h"
 #include "exec/plan.h"
 #include "tensor/tensor.h"
 
@@ -70,9 +71,12 @@ class Executor {
   PILOTE_HOT_PATH void ReplaySteps(const Tensor& in, int64_t n,
                                    int32_t last_step,
                                    std::vector<int>* labels);
-  PILOTE_HOT_PATH float* SliceAt(int32_t value, int64_t n);
-  PILOTE_HOT_PATH const float* ReadAt(const Tensor& in, int32_t value,
-                                      int64_t n);
+  // Arena slice of a planned value for a batch of n rows, as a sized
+  // span: pointer+size in release, bounds-checked kernels-side writes in
+  // debug. Slices are re-derived per use — never stored across a resize.
+  PILOTE_HOT_PATH Span<float> SliceAt(int32_t value, int64_t n);
+  PILOTE_HOT_PATH ConstSpan<float> ReadAt(const Tensor& in, int32_t value,
+                                          int64_t n);
 
   std::shared_ptr<const InferencePlan> plan_;
   std::vector<float> arena_;

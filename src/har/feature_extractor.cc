@@ -44,11 +44,13 @@ void JerkMeanVar(const Tensor& window, int channel, double* mean,
 
 // Writes the kNumFeatures features of `window` to `out`; the single
 // implementation behind every public extraction entry point, so the
-// allocating and in-place variants cannot diverge numerically.
-void FillFeatures(const Tensor& window, float* out) {
+// allocating and in-place variants cannot diverge numerically. Takes a
+// Span so every write is bounds- and staleness-checked in debug builds.
+void FillFeatures(const Tensor& window, Span<float> out) {
   PILOTE_CHECK_EQ(window.rank(), 2);
   PILOTE_CHECK_EQ(window.cols(), kNumChannels);
   PILOTE_CHECK_GE(window.rows(), 2);
+  PILOTE_CHECK_EQ(static_cast<int64_t>(out.size()), kNumFeatures);
   int64_t f = 0;
   for (int c = 0; c < kNumChannels; ++c) {
     double mean = 0.0;
@@ -71,7 +73,7 @@ void FillFeatures(const Tensor& window, float* out) {
 
 Tensor ExtractFeatures(const Tensor& window) {
   Tensor features(Shape::Vector(kNumFeatures));
-  FillFeatures(window, features.data());
+  FillFeatures(window, features.span());
   return features;
 }
 
@@ -81,7 +83,7 @@ void ExtractFeaturesInto(const Tensor& window, Tensor* features) {
       features->cols() != kNumFeatures) {
     *features = Tensor(Shape::Matrix(1, kNumFeatures));  // hotpath-ok: first window only
   }
-  FillFeatures(window, features->data());
+  FillFeatures(window, features->span());
 }
 
 Tensor ExtractFeaturesBatch(const std::vector<Tensor>& windows) {
@@ -89,7 +91,7 @@ Tensor ExtractFeaturesBatch(const std::vector<Tensor>& windows) {
   Tensor batch(Shape::Matrix(static_cast<int64_t>(windows.size()),
                              kNumFeatures));
   for (size_t i = 0; i < windows.size(); ++i) {
-    FillFeatures(windows[i], batch.row(static_cast<int64_t>(i)));
+    FillFeatures(windows[i], batch.row_span(static_cast<int64_t>(i)));
   }
   return batch;
 }

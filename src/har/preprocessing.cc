@@ -29,21 +29,23 @@ void DenoiseMovingAverageInto(const Tensor& recording, int half_width,
     *out = Tensor(recording.shape());  // hotpath-ok: first window only
   }
   if (half_width == 0) {
-    std::memcpy(out->data(), recording.data(),
-                static_cast<size_t>(recording.numel()) * sizeof(float));
+    ConstSpan<float> src = recording.span();
+    Span<float> dst = out->span();
+    PILOTE_DCHECK(src.size() == dst.size());
+    std::memcpy(dst.data(), src.data(), src.size() * sizeof(float));
     return;
   }
   const int64_t t_len = recording.rows();
   const int64_t channels = recording.cols();
-  Tensor& smoothed = *out;
   for (int64_t t = 0; t < t_len; ++t) {
     const int64_t begin = std::max<int64_t>(0, t - half_width);
     const int64_t end = std::min<int64_t>(t_len - 1, t + half_width);
     const float inv_n = 1.0f / static_cast<float>(end - begin + 1);
+    Span<float> out_row = out->row_span(t);
     for (int64_t c = 0; c < channels; ++c) {
       float acc = 0.0f;
       for (int64_t s = begin; s <= end; ++s) acc += recording(s, c);
-      smoothed(t, c) = acc * inv_n;
+      out_row[static_cast<size_t>(c)] = acc * inv_n;
     }
   }
 }

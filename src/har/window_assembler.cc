@@ -21,8 +21,9 @@ bool WindowAssembler::Append(const Tensor& sample, Tensor* features) {
   PILOTE_CHECK_EQ(sample.rank(), 1);
   PILOTE_CHECK_EQ(sample.dim(0), kNumChannels);
   PILOTE_CHECK(features != nullptr);
-  std::memcpy(window_.row(cursor_), sample.data(),
-              static_cast<size_t>(kNumChannels) * sizeof(float));
+  Span<float> slot = window_.row_span(cursor_);
+  PILOTE_DCHECK(sample.numel() == static_cast<int64_t>(slot.size()));
+  std::memcpy(slot.data(), sample.data(), slot.size() * sizeof(float));
   ++cursor_;
   if (cursor_ < window_length_) return false;
   cursor_ = 0;

@@ -33,6 +33,14 @@ class WindowAssembler {
   int pending() const { return cursor_; }
   int window_length() const { return window_length_; }
 
+  // Read-only view of the samples buffered so far (pending() rows of the
+  // ring). Generation-checked in debug builds: the view goes stale if the
+  // assembler's window buffer is ever reallocated or reassigned.
+  ConstSpan<float> pending_samples() const {
+    return window_.span().first(
+        static_cast<size_t>(cursor_) * static_cast<size_t>(window_.cols()));
+  }
+
  private:
   const int window_length_;
   const int half_width_;

@@ -135,6 +135,8 @@ Status TelemetryExporter::Start() {
     return Status::FailedPrecondition("telemetry exporter already running");
   }
   stop_requested_ = false;
+  // lifetime-ok: Loop's `this` is the exporter itself; Stop() (called by
+  // the destructor) joins the thread before the object is destroyed
   thread_ = std::thread(&TelemetryExporter::Loop, this);
   running_ = true;
   return Status::Ok();

@@ -36,6 +36,8 @@ BatchingEngine::BatchingEngine(const ServeOptions& options)
       last_progress_ns_(SteadyNowNs()) {
   Status valid = ValidateServeOptions(options_);
   PILOTE_CHECK(valid.ok()) << valid.ToString();
+  // lifetime-ok: Stop() (called by the destructor) joins worker_ before
+  // `this` is destroyed
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 

@@ -46,6 +46,8 @@ void Watchdog::Start() {
   MutexLock lock(mutex_);
   if (running_) return;
   stop_requested_ = false;
+  // lifetime-ok: Loop's `this` is the watchdog itself; Stop() (called by
+  // the destructor) joins the thread before the object is destroyed
   thread_ = std::thread(&Watchdog::Loop, this);
   running_ = true;
 }

@@ -7,6 +7,7 @@
 
 #include "common/macros.h"
 #include "common/rng.h"
+#include "common/span.h"
 #include "tensor/shape.h"
 
 namespace pilote {
@@ -33,10 +34,27 @@ class Tensor {
     PILOTE_CHECK_EQ(shape_.numel(), static_cast<int64_t>(data_.size()));
   }
 
+  // Copy/move construction starts a fresh generation (a new object has no
+  // outstanding views); assignment replaces the buffer of an existing
+  // object, so it bumps the generation to invalidate live spans.
   Tensor(const Tensor&) = default;
-  Tensor& operator=(const Tensor&) = default;
   Tensor(Tensor&&) = default;
-  Tensor& operator=(Tensor&&) = default;
+  Tensor& operator=(const Tensor& other) {
+    if (this != &other) {
+      shape_ = other.shape_;
+      data_ = other.data_;
+      ++generation_;
+    }
+    return *this;
+  }
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this != &other) {
+      shape_ = std::move(other.shape_);
+      data_ = std::move(other.data_);
+      ++generation_;
+    }
+    return *this;
+  }
 
   static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
   static Tensor Ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
@@ -99,6 +117,37 @@ class Tensor {
     return data_.data() + r * cols();
   }
 
+  // Generation-tracked views (see common/span.h): pointer+size in
+  // release, bounds- and staleness-checked in debug. A span taken before
+  // a reallocating ResizeRows or an assignment is CHECK-fatal to
+  // dereference in debug builds instead of silently reading freed memory.
+  Span<float> span() {
+    return Span<float>(data_.data(), data_.size(), &generation_, generation_);
+  }
+  ConstSpan<float> span() const {
+    return ConstSpan<float>(data_.data(), data_.size(), &generation_,
+                            generation_);
+  }
+  Span<float> row_span(int64_t r) {
+    PILOTE_DCHECK(rank() == 2);
+    PILOTE_DCHECK(r >= 0 && r < rows());
+    return Span<float>(data_.data() + r * cols(),
+                       static_cast<size_t>(cols()), &generation_,
+                       generation_);
+  }
+  ConstSpan<float> row_span(int64_t r) const {
+    PILOTE_DCHECK(rank() == 2);
+    PILOTE_DCHECK(r >= 0 && r < rows());
+    return ConstSpan<float>(data_.data() + r * cols(),
+                            static_cast<size_t>(cols()), &generation_,
+                            generation_);
+  }
+
+  // Buffer-identity introspection for checked spans and tests. The
+  // counter advances whenever the backing storage may have moved.
+  uint32_t generation() const { return generation_; }
+  const uint32_t* generation_counter() const { return &generation_; }
+
   // Reinterprets the data with a new shape of equal element count.
   Tensor Reshape(Shape new_shape) const {
     PILOTE_CHECK_EQ(new_shape.numel(), numel())
@@ -116,8 +165,12 @@ class Tensor {
   void ResizeRows(int64_t new_rows) {
     PILOTE_CHECK_EQ(rank(), 2);
     shape_.set_dim(0, new_rows);
+    const size_t new_size = static_cast<size_t>(shape_.numel());
+    // A growth past capacity reallocates, so every outstanding span is
+    // now dangling: advance the generation to make them check-fatal.
+    if (new_size > data_.capacity()) ++generation_;
     // hotpath-ok: grows only past the buffer's high-water mark
-    data_.resize(static_cast<size_t>(shape_.numel()));
+    data_.resize(new_size);
   }
 
   std::string DebugString(int64_t max_elements = 16) const;
@@ -125,6 +178,10 @@ class Tensor {
  private:
   Shape shape_;
   std::vector<float> data_;
+  // Bumped whenever data_'s storage may move (reallocating ResizeRows,
+  // assignment). Unconditional — one uint32_t — so checked spans
+  // (BasicSpan<T, true>) are exercisable even in NDEBUG test builds.
+  uint32_t generation_ = 0;
 };
 
 }  // namespace pilote

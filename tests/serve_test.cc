@@ -110,7 +110,7 @@ TEST(BoundedQueueTest, InterruptRacesConcurrentPushPop) {
   BoundedQueue<int> queue(64);
 
   std::atomic<bool> done{false};
-  std::thread interrupter([&] {
+  std::thread interrupter([&done, &queue] {
     while (!done.load(std::memory_order_acquire)) {
       queue.Interrupt();
       std::this_thread::yield();
@@ -131,7 +131,7 @@ TEST(BoundedQueueTest, InterruptRacesConcurrentPushPop) {
 
   std::int64_t sum = 0;
   int consumed = 0;
-  std::thread consumer([&] {
+  std::thread consumer([&queue, &sum, &consumed] {
     std::vector<int> batch;
     // Interrupted pops legitimately return true with an empty batch; the
     // loop only ends once the queue is closed and drained.
@@ -371,7 +371,7 @@ TEST(SessionManagerTest, ConcurrentMultiSessionIngest) {
   std::atomic<int> resolved{0};
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&, t] {
+    threads.emplace_back([&ids, &manager, &config, &resolved, t] {
       Rng rng(100 + static_cast<uint64_t>(t));
       std::vector<std::future<int>> futures;
       for (int w = 0; w < kWindowsPerSession; ++w) {
@@ -404,7 +404,7 @@ TEST(SessionManagerTest, LearnNewClassesQuiescesConcurrentIngest) {
 
   const int64_t known_before = handle->NumKnownClasses();
   std::atomic<bool> stop{false};
-  std::thread ingest([&] {
+  std::thread ingest([&stop, &manager, &id, &config] {
     Rng rng(55);
     while (!stop.load()) {
       Result<std::future<int>> f =

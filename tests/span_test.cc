@@ -1,0 +1,188 @@
+// Tests for common/span.h: the release-mode triviality contract, debug
+// bounds checking, and the Tensor generation counter that turns a stale
+// view into a CHECK failure instead of a silent use-after-free. The
+// checked variant (BasicSpan<T, true>) is instantiated directly so every
+// check is exercised even when this suite builds with NDEBUG.
+
+#include "common/span.h"
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/ncm_classifier.h"
+#include "gtest/gtest.h"
+#include "har/sensor_layout.h"
+#include "har/window_assembler.h"
+#include "tensor/tensor.h"
+
+namespace pilote {
+namespace {
+
+using CheckedSpan = BasicSpan<float, true>;
+using CheckedConstSpan = BasicSpan<const float, true>;
+using RawSpan = BasicSpan<float, false>;
+
+// The release contract is compile-time: pointer+size, trivially copyable.
+static_assert(std::is_trivially_copyable_v<RawSpan>);
+static_assert(sizeof(RawSpan) == sizeof(float*) + sizeof(size_t));
+#ifdef NDEBUG
+static_assert(std::is_trivially_copyable_v<Span<float>>,
+              "NDEBUG Span must be the raw form");
+static_assert(sizeof(Span<float>) == sizeof(float*) + sizeof(size_t),
+              "NDEBUG Span must be exactly pointer + size");
+#endif
+
+TEST(SpanTest, BasicAccessAndIteration) {
+  std::vector<float> buf = {1.0f, 2.0f, 3.0f, 4.0f};
+  Span<float> s(buf.data(), buf.size());
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.front(), 1.0f);
+  EXPECT_EQ(s.back(), 4.0f);
+  float sum = 0.0f;
+  for (float v : s) sum += v;
+  EXPECT_EQ(sum, 10.0f);
+  s[2] = 30.0f;
+  EXPECT_EQ(buf[2], 30.0f);
+}
+
+TEST(SpanTest, SubspanFirstLast) {
+  std::vector<float> buf = {0.0f, 1.0f, 2.0f, 3.0f, 4.0f};
+  ConstSpan<float> s(buf.data(), buf.size());
+  ConstSpan<float> mid = s.subspan(1, 3);
+  EXPECT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid[0], 1.0f);
+  EXPECT_EQ(s.first(2).back(), 1.0f);
+  EXPECT_EQ(s.last(2).front(), 3.0f);
+}
+
+TEST(SpanTest, MutableConvertsToConst) {
+  std::vector<float> buf = {5.0f, 6.0f};
+  Span<float> m(buf.data(), buf.size());
+  ConstSpan<float> c = m;
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[1], 6.0f);
+  CheckedSpan cm(buf.data(), buf.size());
+  CheckedConstSpan cc = cm;
+  EXPECT_EQ(cc[0], 5.0f);
+}
+
+TEST(SpanTest, CheckedBoundsAccessDies) {
+  std::vector<float> buf = {1.0f, 2.0f};
+  CheckedSpan s(buf.data(), buf.size());
+  EXPECT_EQ(s[1], 2.0f);
+  EXPECT_DEATH(s[2], "out of bounds");
+  EXPECT_DEATH(s.subspan(1, 2), "out of bounds");
+  CheckedSpan empty;
+  EXPECT_DEATH(empty.back(), "empty span");
+}
+
+TEST(SpanTest, TensorSpanViewsElements) {
+  Tensor t(Shape::Matrix(2, 3));
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(i);
+  ConstSpan<float> all = static_cast<const Tensor&>(t).span();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[5], 5.0f);
+  Span<float> row1 = t.row_span(1);
+  ASSERT_EQ(row1.size(), 3u);
+  EXPECT_EQ(row1[0], 3.0f);
+  row1[2] = 42.0f;
+  EXPECT_EQ(t(1, 2), 42.0f);
+}
+
+TEST(SpanTest, GenerationBumpsOnReallocOnly) {
+  Tensor t(Shape::Matrix(4, 8));
+  const uint32_t g0 = t.generation();
+  // Shrinking reuses the buffer: no reallocation, no bump.
+  t.ResizeRows(2);
+  EXPECT_EQ(t.generation(), g0);
+  // Growing back within the high-water mark reuses it too.
+  t.ResizeRows(4);
+  EXPECT_EQ(t.generation(), g0);
+  // Growth past capacity reallocates and must invalidate views.
+  t.ResizeRows(4096);
+  EXPECT_GT(t.generation(), g0);
+}
+
+TEST(SpanTest, GenerationBumpsOnAssignment) {
+  Tensor t(Shape::Matrix(2, 2));
+  Tensor other(Shape::Matrix(3, 3), 1.0f);
+  const uint32_t g0 = t.generation();
+  t = other;
+  EXPECT_GT(t.generation(), g0);
+  const uint32_t g1 = t.generation();
+  t = Tensor(Shape::Matrix(1, 1));
+  EXPECT_GT(t.generation(), g1);
+}
+
+TEST(SpanTest, StaleSpanAfterReallocDies) {
+  Tensor t(Shape::Matrix(2, 4));
+  t.Fill(7.0f);
+  CheckedConstSpan view(t.data(), static_cast<size_t>(t.numel()),
+                        t.generation_counter(), t.generation());
+  EXPECT_EQ(view[3], 7.0f);  // live: reads fine
+  t.ResizeRows(4096);        // reallocates -> generation bump
+  EXPECT_DEATH(view[0], "stale span");
+  EXPECT_DEATH(view.data(), "stale span");
+}
+
+TEST(SpanTest, StaleSpanAfterAssignmentDies) {
+  Tensor t(Shape::Matrix(2, 2), 3.0f);
+  CheckedConstSpan view(t.data(), static_cast<size_t>(t.numel()),
+                        t.generation_counter(), t.generation());
+  EXPECT_EQ(view[0], 3.0f);
+  t = Tensor(Shape::Matrix(2, 2), 9.0f);
+  EXPECT_DEATH(view[0], "stale span");
+}
+
+TEST(SpanTest, UntrackedCheckedSpanSkipsGenerationCheck) {
+  // A checked span over a plain buffer has no generation counter; bounds
+  // checks still apply but there is no staleness to validate.
+  std::vector<float> buf = {1.0f};
+  CheckedSpan s(buf.data(), buf.size());
+  EXPECT_EQ(s[0], 1.0f);
+  EXPECT_DEATH(s[1], "out of bounds");
+}
+
+TEST(SpanTest, CheckedSubspanInheritsGeneration) {
+  Tensor t(Shape::Matrix(1, 8), 2.0f);
+  CheckedConstSpan view(t.data(), static_cast<size_t>(t.numel()),
+                        t.generation_counter(), t.generation());
+  CheckedConstSpan tail = view.last(4);
+  EXPECT_EQ(tail.captured_generation(), view.captured_generation());
+  EXPECT_EQ(tail[0], 2.0f);
+  t.ResizeRows(4096);
+  EXPECT_DEATH(tail[0], "stale span");
+}
+
+TEST(SpanTest, AssemblerPendingSamplesTracksCursor) {
+  har::WindowAssembler assembler(/*window_length=*/4,
+                                 /*denoise_half_width=*/0);
+  EXPECT_TRUE(assembler.pending_samples().empty());
+  Tensor sample(Shape::Vector(har::kNumChannels), 0.5f);
+  Tensor features;
+  ASSERT_FALSE(assembler.Append(sample, &features));
+  ConstSpan<float> pending = assembler.pending_samples();
+  ASSERT_EQ(pending.size(), static_cast<size_t>(har::kNumChannels));
+  EXPECT_EQ(pending[0], 0.5f);
+}
+
+TEST(SpanTest, NcmPrototypeViewMatchesPrototype) {
+  core::NcmClassifier ncm;
+  Tensor proto(Shape::Vector(3));
+  proto[0] = 1.0f;
+  proto[1] = 2.0f;
+  proto[2] = 3.0f;
+  ncm.SetPrototype(7, proto);
+  ConstSpan<float> view = ncm.prototype_view(7);
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[1], 2.0f);
+  ConstSpan<float> row = ncm.prototype_row_view(0);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[2], 3.0f);
+}
+
+}  // namespace
+}  // namespace pilote

@@ -207,7 +207,7 @@ TEST_F(TelemetryTest, ExemplarRingOverwritesOldestAndCountsRecords) {
 TEST_F(TelemetryTest, ExemplarRingIsSafeUnderConcurrentRecordAndSnapshot) {
   ExemplarRing ring(/*capacity=*/8);
   std::atomic<bool> stop{false};
-  std::thread reader([&] {
+  std::thread reader([&stop, &ring] {
     while (!stop.load(std::memory_order_acquire)) {
       for (const SlowWindowExemplar& e : ring.Snapshot()) {
         // Every writer records stages summing to total_ms; a torn slot
@@ -366,7 +366,7 @@ TEST_F(TelemetryTest, ExporterRunsConcurrentlyWithServingIngest) {
 
     std::vector<std::thread> ingest;
     for (int t = 0; t < kThreads; ++t) {
-      ingest.emplace_back([&, t] {
+      ingest.emplace_back([&manager, &ids, &config, &classified, t] {
         Rng rng(100 + t);
         std::vector<std::future<int>> futures;
         for (int w = 0; w < kWindowsPerThread; ++w) {

@@ -24,9 +24,9 @@ TEST(ThreadPoolStressTest, ConcurrentParallelForFromManyClients) {
   std::vector<std::thread> clients;
   clients.reserve(kClients);
   for (int t = 0; t < kClients; ++t) {
-    clients.emplace_back([&] {
+    clients.emplace_back([&pool, &total] {
       for (int it = 0; it < kItersPerClient; ++it) {
-        pool.ParallelFor(kCount, [&](int64_t) {
+        pool.ParallelFor(kCount, [&total](int64_t) {
           total.fetch_add(1, std::memory_order_relaxed);
         });
       }
@@ -43,9 +43,9 @@ TEST(ThreadPoolStressTest, ConcurrentRangeDispatchCoversEverything) {
   std::vector<std::thread> clients;
   clients.reserve(kClients);
   for (int t = 0; t < kClients; ++t) {
-    clients.emplace_back([&] {
+    clients.emplace_back([&pool, &covered] {
       for (int it = 0; it < 20; ++it) {
-        pool.ParallelForRanges(257, [&](int64_t begin, int64_t end) {
+        pool.ParallelForRanges(257, [&covered](int64_t begin, int64_t end) {
           covered.fetch_add(end - begin, std::memory_order_relaxed);
         });
       }

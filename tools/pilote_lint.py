@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-invariant linter and analyzer for pilote.
 
-Three stages, selected with --stage (default: all).
+Four stages, selected with --stage (default: all).
 
 `--stage style` enforces project conventions that the compiler cannot:
 
@@ -63,16 +63,46 @@ documented per-call budget). Accessor-ish names (size, rows, data, ...)
 do not propagate the closure — by repo convention those are trivial
 inline accessors, and following every `size(` would pull in the world.
 
+`--stage lifetime` flags the dangling-reference bug class — views and
+captures that outlive the buffer or object they point into. Four checks,
+same name-based precision as the other stages:
+
+  * ref-capture: a lambda with a by-reference capture (`[&]`, `[&x]`,
+    `[this]`) passed to a deferred-execution sink (std::thread/jthread/
+    async construction, pool Submit, queue Push/TryPush, emplace_back of
+    workers, callback/failpoint registration) — the lambda runs after the
+    enclosing frame may be gone. Bare `this` handed to a std::thread
+    constructor counts too (member-fn thread entry points).
+  * return-local: a function whose return type is a reference, pointer,
+    string_view, or Span returning (a view into) a function-local owner
+    (std::string/vector/Tensor/... local or by-value parameter), or the
+    `.c_str()`/`.data()` of a temporary (`return std::string{...}.c_str()`).
+  * stored-view: assigning `&container[i]`, `.data()`, `.c_str()`,
+    `.begin()`/`.end()` of a known growable container (vector, string,
+    deque, Tensor — contiguous storage that reallocates) into a member or
+    outliving struct field; the next growth invalidates the stored view.
+  * iter-invalidation: mutating a container (push_back/erase/resize/
+    ResizeRows/...) inside a range-for over that same container.
+
+`// lifetime-ok: <reason>` on the flagged statement's first line (or the
+comment line directly above) records an audited suppression. The runtime
+complement is src/common/span.h: Span/ConstSpan views that bounds- and
+generation-check accesses in debug builds (Tensor bumps its generation
+on reallocation) and compile down to pointer+size in release.
+
 Run directly, via the `lint` CMake target, or as the `repo_lint` /
-`repo_analyzer` / `repo_hotpath` ctest tests:
+`repo_analyzer` / `repo_hotpath` / `repo_lifetime` ctest tests:
 
   python3 tools/pilote_lint.py --root . [--stage STAGE] [--compiler g++]
-                               [--no-self-contained]
+                               [--no-self-contained] [--json-out PATH]
 
 Exit status is 0 when clean, 1 when any invariant is violated.
+`--json-out` additionally writes the findings as a JSON artifact
+(file/line/message records) for CI upload.
 """
 
 import argparse
+import json
 import os
 import re
 import subprocess
@@ -771,10 +801,12 @@ def collect_functions(stripped):
         for ch in line:
             if ch == "{":
                 if current is None:
-                    parsed = parse_function_head("".join(buf))
+                    head_text = "".join(buf)
+                    parsed = parse_function_head(head_text)
                     if parsed:
                         current = {
                             "name": parsed[0], "qual": parsed[1],
+                            "head": head_text.strip(),
                             "head_line": buf_line or lineno,
                             "open_line": lineno, "close_line": None,
                             "fn_depth": depth,
@@ -943,6 +975,411 @@ def run_hotpath_stage(root, errors):
                     break
 
 
+# ---------------------------------------------------------------------------
+# Lifetime stage (--stage lifetime)
+# ---------------------------------------------------------------------------
+
+LIFETIME_OK_RE = re.compile(r"//\s*lifetime-ok\s*:")
+
+# Call names whose argument lambdas execute after the calling frame may
+# have returned: thread entry points, pool/queue submission, callback and
+# failpoint registration. Name-based, like the hotpath call graph.
+DEFERRED_SINK_RE = re.compile(
+    r"(?<!\w)(thread|jthread|async|Submit|Push|TryPush|emplace_back|"
+    r"push_back|SetCallback|RegisterCallback|RegisterFailpoint|Defer)\s*\(")
+# `std::thread worker(...)` declaration form: the argument paren follows
+# the variable name, not the type.
+THREAD_DECL_SINK_RE = re.compile(
+    r"(?<!\w)(thread|jthread)\s+[A-Za-z_]\w*\s*\(")
+# Sinks where a bare `this` argument is itself a deferred escape (the
+# `std::thread(&Class::Loop, this)` member-entry-point form).
+THREAD_CTOR_SINKS = {"thread", "jthread", "async"}
+
+# Owner types whose storage dies with the enclosing scope (for
+# return-local) or reallocates on growth (for stored-view; the growable
+# subset below).
+OWNER_TYPE_PATTERN = (
+    r"(?:std::(?:string|basic_string|vector|deque|list|map|unordered_map|"
+    r"set|unordered_set|array|ostringstream|istringstream|stringstream)|"
+    r"(?:pilote::)?Tensor)")
+LOCAL_OWNER_RE = re.compile(
+    r"^\s*(?:const\s+)?" + OWNER_TYPE_PATTERN +
+    r"\s*(?:<[^;=()]*>)?\s+([A-Za-z_]\w*)\s*[({=;\[]")
+# Contiguous-storage types that invalidate raw pointers/iterators on
+# growth. (Node-based maps/sets keep element addresses stable, so they
+# are owners above but not growables here.)
+GROWABLE_TYPE_PATTERN = (
+    r"(?:std::(?:string|basic_string|vector|deque)|(?:pilote::)?Tensor)")
+GROWABLE_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:const\s+)?" + GROWABLE_TYPE_PATTERN +
+    r"\s*(?:<[^;=()]*>)?\s+([A-Za-z_]\w*)\s*[({=;\[]?")
+
+CONTAINER_MUTATORS = (
+    r"(?:push_back|emplace_back|emplace|push_front|pop_front|pop_back|"
+    r"insert|erase|resize|reserve|clear|assign|ResizeRows|shrink_to_fit)")
+
+
+def statement_has_lifetime_ok(raw, first_line, last_line=None):
+    """True if the raw line range, or a comment-only line immediately above
+    it, carries `// lifetime-ok: <reason>`."""
+    last_line = last_line or first_line
+    for ln in range(first_line, min(last_line, len(raw)) + 1):
+        if LIFETIME_OK_RE.search(raw[ln - 1]):
+            return True
+    ln = first_line - 1
+    while ln >= 1 and raw[ln - 1].strip().startswith("//"):
+        if LIFETIME_OK_RE.search(raw[ln - 1]):
+            return True
+        ln -= 1
+    return False
+
+
+def joined_with_line_map(stripped):
+    """Joins stripped lines into one text blob plus a char-index -> 1-based
+    line number map, so regexes can cross statement line breaks."""
+    text = "\n".join(stripped)
+    line_of = []
+    ln = 1
+    for ch in text:
+        line_of.append(ln)
+        if ch == "\n":
+            ln += 1
+    return text, line_of
+
+
+def split_top_level_args(args_text):
+    parts, depth, buf = [], 0, []
+    for ch in args_text:
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(buf))
+            buf = []
+        else:
+            buf.append(ch)
+    parts.append("".join(buf))
+    return [p.strip() for p in parts]
+
+
+def lambda_capture_lists(args_text):
+    """Yields (offset, capture_list_text) for every lambda introducer in the
+    argument text. A `[` is a lambda introducer (not a subscript or array
+    bound) when the previous non-space char is not an identifier char,
+    `]`, or `)`."""
+    for m in re.finditer(r"\[", args_text):
+        i = m.start()
+        j = i - 1
+        while j >= 0 and args_text[j].isspace():
+            j -= 1
+        if j >= 0 and (args_text[j].isalnum() or args_text[j] in "_])"):
+            continue
+        close = args_text.find("]", i)
+        if close == -1:
+            continue
+        yield i, args_text[i + 1:close]
+
+
+def risky_captures(capture_list):
+    """Capture tokens that bind by reference: `&`, `&name`, `&name = expr`,
+    `this`. `=`, by-value names, init-captures, and `*this` are safe."""
+    risky = []
+    for tok in split_top_level_args(capture_list):
+        if not tok:
+            continue
+        if tok == "this" or tok.startswith("&"):
+            risky.append(tok)
+    return risky
+
+
+def check_deferred_ref_captures(root, rel_path, stripped, raw, errors):
+    text, line_of = joined_with_line_map(stripped)
+    sites = [(m.start(), m.end() - 1, m.group(1))
+             for m in DEFERRED_SINK_RE.finditer(text)]
+    sites += [(m.start(), m.end() - 1, m.group(1))
+              for m in THREAD_DECL_SINK_RE.finditer(text)]
+    for start, open_pos, sink in sorted(sites):
+        close_pos = find_matching_paren(text, open_pos)
+        if close_pos == -1:
+            continue
+        args_text = text[open_pos + 1:close_pos]
+        sink_line = line_of[start]
+        findings = []
+        for off, caps in lambda_capture_lists(args_text):
+            for tok in risky_captures(caps):
+                findings.append((
+                    line_of[open_pos + 1 + off],
+                    f"lambda captures `{tok}` by reference and is passed to "
+                    f"deferred sink '{sink}'"))
+        if sink in THREAD_CTOR_SINKS:
+            for arg in split_top_level_args(args_text):
+                if arg == "this":
+                    findings.append((
+                        sink_line,
+                        f"`this` passed to '{sink}' outlives the "
+                        "constructing frame"))
+        for lineno, what in findings:
+            if statement_has_lifetime_ok(raw, sink_line, lineno):
+                continue
+            errors.append(
+                f"{rel_path}:{sink_line}: [lifetime:ref-capture] {what}; "
+                "the callee runs after this frame may be gone -- capture by "
+                "value or annotate `// lifetime-ok: <reason>`")
+
+
+def return_kind(head):
+    """Classifies a function head's return type: 'ref', 'ptr', 'view'
+    (string_view/Span), or None for by-value / unparseable heads."""
+    head = re.sub(r"^\s*template\s*<[^>]*>\s*", "", head.strip())
+    p = head.find("(")
+    if p == -1:
+        return None
+    decl = head[:p]
+    m = re.search(r"((?:~\s*)?[A-Za-z_]\w*(?:\s*::\s*~?[A-Za-z_]\w*)*)\s*$",
+                  decl)
+    if not m:
+        return None
+    ret = decl[:m.start()].strip()
+    if not ret:
+        return None
+    if "string_view" in ret or re.search(r"\b(?:Basic)?(?:Const)?Span\s*<",
+                                         ret):
+        return "view"
+    if ret.endswith("&"):
+        return "ref"
+    if ret.endswith("*"):
+        return "ptr"
+    return None
+
+
+def param_owner_names(head):
+    """Names of by-value owner-typed parameters (their storage dies with
+    the frame just like a local)."""
+    p = head.find("(")
+    if p == -1:
+        return set()
+    close = find_matching_paren(head, p)
+    if close == -1:
+        return set()
+    names = set()
+    for prm in split_top_level_args(head[p + 1:close]):
+        if not prm or "&" in prm or "*" in prm:
+            continue
+        m = re.match(r"(?:const\s+)?" + OWNER_TYPE_PATTERN +
+                     r"\s*(?:<[^;=]*>)?\s+([A-Za-z_]\w*)\s*$", prm)
+        if m:
+            names.add(m.group(1))
+    return names
+
+
+def return_statements(fn, stripped):
+    """Yields (first_line, last_line, joined_statement) for every `return`
+    statement in the function body."""
+    acc = None
+    first = None
+    for ln, line_text in body_lines(fn, stripped):
+        if acc is None:
+            if not re.match(r"\s*return\b", line_text):
+                continue
+            acc, first = line_text.strip(), ln
+        else:
+            acc += " " + line_text.strip()
+        if acc.rstrip().endswith(";"):
+            yield first, ln, acc
+            acc = None
+
+
+TEMP_BUFFER_RETURN_RE = re.compile(r"[)}]\s*\.\s*(?:c_str|data)\s*\(")
+VIEW_TEMP_STRING_RE = re.compile(r"^std::(?:string|to_string)\s*[({]")
+
+
+def check_dangling_returns(root, rel_path, stripped, raw, errors):
+    for fn in collect_functions(stripped):
+        kind = return_kind(fn.get("head", ""))
+        if kind is None:
+            continue
+        locals_set = param_owner_names(fn.get("head", ""))
+        for _, line_text in body_lines(fn, stripped):
+            if re.search(r"\bstatic\b", line_text):
+                continue  # function-local statics outlive the frame
+            dm = LOCAL_OWNER_RE.match(line_text)
+            if dm:
+                locals_set.add(dm.group(1))
+        for first, last, stmt in return_statements(fn, stripped):
+            expr = re.sub(r"^\s*return\b", "", stmt).strip()
+            expr = expr.rstrip(";").strip()
+            if not expr:
+                continue
+            if statement_has_lifetime_ok(raw, first, last):
+                continue
+
+            def fire(what):
+                errors.append(
+                    f"{rel_path}:{first}: [lifetime:return-local] "
+                    f"'{fn['qual']}' returns a {kind} {what}; the storage "
+                    "dies when this frame returns -- return by value or "
+                    "annotate `// lifetime-ok: <reason>`")
+
+            if kind in ("ptr", "view") and TEMP_BUFFER_RETURN_RE.search(expr):
+                fire("into the internal buffer of a temporary")
+                continue
+            if kind == "view" and VIEW_TEMP_STRING_RE.match(expr):
+                fire("over a temporary std::string")
+                continue
+            mb = re.match(r"(&)?\s*([A-Za-z_]\w*)", expr)
+            if not mb:
+                continue
+            addr_of, name = mb.group(1), mb.group(2)
+            if name not in locals_set:
+                continue
+            rest = expr[mb.end():].lstrip()
+            if kind == "ref":
+                fire(f"tied to local '{name}'")
+            elif kind == "ptr" and (
+                    addr_of or
+                    re.match(r"\.\s*(?:data|c_str)\s*\(", rest)):
+                fire(f"into local '{name}'")
+            elif kind == "view" and not addr_of:
+                fire(f"viewing local '{name}'")
+
+
+STORE_STMT_RE = re.compile(
+    r"^\s*((?:this\s*->\s*)?[A-Za-z_]\w*"
+    r"(?:\s*(?:\.|->)\s*[A-Za-z_]\w*)*)\s*=(?![=])\s*(.+)$")
+
+
+def member_growable_names(stripped):
+    names = set()
+    for cls in collect_classes(stripped):
+        for _, _, member_text in cls["members"]:
+            m = GROWABLE_DECL_RE.match(member_text)
+            if m:
+                names.add(m.group(1))
+    return names
+
+
+def check_stored_container_views(root, rel_path, stripped, raw, errors):
+    growables = member_growable_names(stripped)
+    for fn in collect_functions(stripped):
+        for _, line_text in body_lines(fn, stripped):
+            dm = GROWABLE_DECL_RE.match(line_text)
+            if dm and not re.search(r"\bstatic\b", line_text):
+                growables.add(dm.group(1))
+    if not growables:
+        return
+    names_alt = "|".join(sorted(re.escape(n) for n in growables))
+    view_of_growable_re = re.compile(
+        r"(?:&\s*(?:" + names_alt + r")\s*(?:\[|\.\s*(?:front|back)\s*\())|"
+        r"(?:(?<![\w.])(?:" + names_alt +
+        r")\s*\.\s*(?:data|c_str|begin|end|cbegin|cend)\s*\(\s*\))")
+    for lineno, line_text in enumerate(stripped, start=1):
+        # Split into statement fragments so a store sharing its line with a
+        # function head or another statement is still anchored at its start.
+        for fragment in re.split(r"[;{}]", line_text):
+            m = STORE_STMT_RE.match(fragment)
+            if not m:
+                continue
+            report_stored_view(rel_path, raw, errors, lineno, m,
+                               view_of_growable_re)
+
+
+def report_stored_view(rel_path, raw, errors, lineno, m, view_of_growable_re):
+    lhs, rhs = m.group(1), m.group(2)
+    last = re.split(r"\.|->", lhs)[-1].strip()
+    member_ish = (last.endswith("_") or "." in lhs or "->" in lhs)
+    if not member_ish:
+        return
+    vm = view_of_growable_re.search(rhs)
+    if not vm:
+        return
+    if statement_has_lifetime_ok(raw, lineno):
+        return
+    errors.append(
+        f"{rel_path}:{lineno}: [lifetime:stored-view] `{lhs.strip()}` "
+        f"stores a pointer/iterator into growable container storage "
+        f"(`{vm.group(0).strip()}`); the next growth reallocates and "
+        "leaves it dangling -- store an index/Span re-derived per use "
+        "or annotate `// lifetime-ok: <reason>`")
+
+
+def find_matching_brace(text, open_pos):
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+RANGE_FOR_CONTAINER_RE = re.compile(
+    r"^[A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*$")
+
+
+def check_range_for_mutation(root, rel_path, stripped, raw, errors):
+    text, line_of = joined_with_line_map(stripped)
+    for m in re.finditer(r"\bfor\s*\(", text):
+        open_pos = m.end() - 1
+        close_pos = find_matching_paren(text, open_pos)
+        if close_pos == -1:
+            continue
+        head = text[open_pos + 1:close_pos]
+        # Find the range-for ':' at top nesting level (not '::').
+        colon = -1
+        depth = 0
+        for i, ch in enumerate(head):
+            if ch in "([{<":
+                depth += 1
+            elif ch in ")]}>":
+                depth -= 1
+            elif (ch == ":" and depth == 0 and
+                  head[i - 1:i] != ":" and head[i + 1:i + 2] != ":"):
+                colon = i
+                break
+        if colon == -1:
+            continue
+        container = head[colon + 1:].strip()
+        if not RANGE_FOR_CONTAINER_RE.match(container):
+            continue
+        # Loop body: braced block or single statement.
+        i = close_pos + 1
+        while i < len(text) and text[i].isspace():
+            i += 1
+        if i < len(text) and text[i] == "{":
+            body_end = find_matching_brace(text, i)
+        else:
+            body_end = text.find(";", i)
+        if body_end == -1:
+            continue
+        body = text[i:body_end + 1]
+        mut_re = re.compile(
+            r"(?<![\w.>])" + re.escape(container) + r"\s*(?:\.|->)\s*" +
+            CONTAINER_MUTATORS + r"\s*\(")
+        for mm in mut_re.finditer(body):
+            mut_line = line_of[i + mm.start()]
+            if statement_has_lifetime_ok(raw, mut_line):
+                continue
+            errors.append(
+                f"{rel_path}:{mut_line}: [lifetime:iter-invalidation] "
+                f"`{container}` is mutated inside a range-for over itself "
+                f"(loop at line {line_of[m.start()]}); the loop's hidden "
+                "iterators are invalidated -- collect changes and apply "
+                "after the loop, or annotate `// lifetime-ok: <reason>`")
+
+
+def run_lifetime_stage(root, errors):
+    src_files = find_files(root, ("src",), SOURCE_EXTENSIONS)
+    for rel_path in src_files:
+        stripped, raw = stripped_lines_of(os.path.join(root, rel_path))
+        check_deferred_ref_captures(root, rel_path, stripped, raw, errors)
+        check_dangling_returns(root, rel_path, stripped, raw, errors)
+        check_stored_container_views(root, rel_path, stripped, raw, errors)
+        check_range_for_mutation(root, rel_path, stripped, raw, errors)
+
+
 def run_style_stage(root, args, headers, sources, errors):
     for h in headers:
         check_header_guard(root, h, errors)
@@ -974,12 +1411,15 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=".", help="repository root")
     parser.add_argument("--stage",
-                        choices=("style", "concurrency", "hotpath", "all"),
+                        choices=("style", "concurrency", "hotpath",
+                                 "lifetime", "all"),
                         default="all", help="which invariant stage to run")
     parser.add_argument("--compiler", default="c++",
                         help="compiler used for the self-containedness check")
     parser.add_argument("--no-self-contained", action="store_true",
                         help="skip the (slower) header self-containedness check")
+    parser.add_argument("--json-out", default=None, metavar="PATH",
+                        help="also write findings as a JSON artifact")
     args = parser.parse_args()
 
     root = os.path.abspath(args.root)
@@ -993,6 +1433,24 @@ def main():
         run_concurrency_stage(root, errors)
     if args.stage in ("hotpath", "all"):
         run_hotpath_stage(root, errors)
+    if args.stage in ("lifetime", "all"):
+        run_lifetime_stage(root, errors)
+
+    if args.json_out:
+        findings = []
+        for e in errors:
+            m = re.match(r"(.*?):(\d+): (.*)", e)
+            if m:
+                findings.append({"file": m.group(1),
+                                 "line": int(m.group(2)),
+                                 "message": m.group(3)})
+            else:
+                findings.append({"file": None, "line": None, "message": e})
+        with open(args.json_out, "w", encoding="utf-8") as f:
+            json.dump({"stage": args.stage,
+                       "violations": len(errors),
+                       "findings": findings}, f, indent=2)
+            f.write("\n")
 
     if errors:
         for e in errors:

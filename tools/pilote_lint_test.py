@@ -564,10 +564,295 @@ class MetricNamesTest(unittest.TestCase):
             metric_errors("Global().GetCounter(name).Add(delta);\n"), [])
 
 
+def lifetime_errors(files):
+    """Writes a src/ tree and runs the lifetime stage over it."""
+    errors = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for rel, content in files.items():
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(textwrap.dedent(content))
+        pilote_lint.run_lifetime_stage(tmp, errors)
+    return errors
+
+
+def lifetime_src(source):
+    return lifetime_errors({os.path.join("src", "a.cc"): source})
+
+
+class LifetimeRefCaptureTest(unittest.TestCase):
+    """check_deferred_ref_captures: by-reference lambda captures handed to
+    deferred-execution sinks, and the lifetime-ok escape."""
+
+    def test_default_ref_capture_to_thread_fires(self):
+        errors = lifetime_src(
+            "void F(int x) {\n"
+            "  std::thread t([&] { Use(x); });\n"
+            "  t.join();\n"
+            "}\n")
+        self.assertEqual(len(errors), 1)
+        self.assertIn("[lifetime:ref-capture]", errors[0])
+        self.assertIn("'thread'", errors[0])
+
+    def test_this_capture_to_submit_fires(self):
+        errors = lifetime_src("void Engine::Go() {\n"
+                              "  pool.Submit([this] { Tick(); });\n"
+                              "}\n")
+        self.assertEqual(len(errors), 1)
+        self.assertIn("`this`", errors[0])
+
+    def test_named_ref_capture_to_queue_push_fires(self):
+        errors = lifetime_src("void F() {\n"
+                              "  int x = 0;\n"
+                              "  queue.TryPush([&x] { Use(x); });\n"
+                              "}\n")
+        self.assertEqual(len(errors), 1)
+        self.assertIn("`&x`", errors[0])
+
+    def test_bare_this_to_thread_ctor_fires(self):
+        errors = lifetime_src(
+            "void Engine::Start() {\n"
+            "  thread_ = std::thread(&Engine::Loop, this);\n"
+            "}\n")
+        self.assertEqual(len(errors), 1)
+        self.assertIn("`this` passed to 'thread'", errors[0])
+
+    def test_by_value_captures_pass(self):
+        self.assertEqual(
+            lifetime_src("void F(int x) {\n"
+                         "  std::thread t([x] { Use(x); });\n"
+                         "  pool.Submit([=] { Use(x); });\n"
+                         "  queue.Push([*this] { Tick(); });\n"
+                         "}\n"),
+            [])
+
+    def test_non_sink_call_with_ref_capture_passes(self):
+        # std::sort runs the lambda before returning; not a deferred sink.
+        self.assertEqual(
+            lifetime_src("void F(std::vector<int>& v) {\n"
+                         "  std::sort(v.begin(), v.end(),\n"
+                         "            [&](int a, int b) { return a < b; });\n"
+                         "}\n"),
+            [])
+
+    def test_subscript_bracket_is_not_a_capture_list(self):
+        self.assertEqual(
+            lifetime_src("void F() {\n"
+                         "  queue.Push(items[0]);\n"
+                         "  sink_.push_back(values[i]);\n"
+                         "}\n"),
+            [])
+
+    def test_trailing_lifetime_ok_suppresses(self):
+        self.assertEqual(
+            lifetime_src(
+                "void Engine::Start() {\n"
+                "  // lifetime-ok: joined in Stop() before `this` dies\n"
+                "  worker_ = std::thread([this] { Loop(); });\n"
+                "}\n"),
+            [])
+
+
+class LifetimeReturnLocalTest(unittest.TestCase):
+    """check_dangling_returns: references/pointers/views escaping a frame."""
+
+    def test_ref_return_of_local_fires(self):
+        errors = lifetime_src("const std::string& F() {\n"
+                              "  std::string s;\n"
+                              "  return s;\n"
+                              "}\n")
+        self.assertEqual(len(errors), 1)
+        self.assertIn("[lifetime:return-local]", errors[0])
+        self.assertIn("'s'", errors[0])
+
+    def test_ptr_return_of_local_c_str_fires(self):
+        errors = lifetime_src("const char* F() {\n"
+                              "  std::string msg(kText);\n"
+                              "  return msg.c_str();\n"
+                              "}\n")
+        self.assertEqual(len(errors), 1)
+        self.assertIn("'msg'", errors[0])
+
+    def test_ptr_return_of_temporary_buffer_fires(self):
+        errors = lifetime_src(
+            "const char* Name(int code) {\n"
+            "  return std::to_string(code).c_str();\n"
+            "}\n")
+        self.assertEqual(len(errors), 1)
+        self.assertIn("temporary", errors[0])
+
+    def test_string_view_of_local_fires(self):
+        errors = lifetime_src("std::string_view F() {\n"
+                              "  std::string s = Build();\n"
+                              "  return s;\n"
+                              "}\n")
+        self.assertEqual(len(errors), 1)
+        self.assertIn("viewing local", errors[0])
+
+    def test_span_of_local_tensor_fires(self):
+        errors = lifetime_src("Span<float> F(const Shape& shape) {\n"
+                              "  Tensor t(shape);\n"
+                              "  return t.span();\n"
+                              "}\n")
+        self.assertEqual(len(errors), 1)
+        self.assertIn("'t'", errors[0])
+
+    def test_byvalue_param_counts_as_local(self):
+        errors = lifetime_src("const char* F(std::string s) {\n"
+                              "  return s.c_str();\n"
+                              "}\n")
+        self.assertEqual(len(errors), 1)
+
+    def test_static_local_and_member_returns_pass(self):
+        self.assertEqual(
+            lifetime_src("const std::vector<int>& Table() {\n"
+                         "  static std::vector<int> table = Build();\n"
+                         "  return table;\n"
+                         "}\n"
+                         "const std::string& C::name() { return name_; }\n"),
+            [])
+
+    def test_value_return_of_local_passes(self):
+        self.assertEqual(
+            lifetime_src("std::string F() {\n"
+                         "  std::string s;\n"
+                         "  return s;\n"
+                         "}\n"),
+            [])
+
+    def test_lifetime_ok_on_return_suppresses(self):
+        self.assertEqual(
+            lifetime_src(
+                "const char* F() {\n"
+                "  std::string s;\n"
+                "  // lifetime-ok: consumed before the next statement\n"
+                "  return s.c_str();\n"
+                "}\n"),
+            [])
+
+
+class LifetimeStoredViewTest(unittest.TestCase):
+    """check_stored_container_views: pointers/iterators into growable
+    storage persisted past the next reallocation."""
+
+    def test_member_stores_local_vector_data_fires(self):
+        errors = lifetime_src("void C::F() {\n"
+                              "  std::vector<float> buf(n);\n"
+                              "  ptr_ = buf.data();\n"
+                              "}\n")
+        self.assertEqual(len(errors), 1)
+        self.assertIn("[lifetime:stored-view]", errors[0])
+        self.assertIn("ptr_", errors[0])
+
+    def test_member_stores_member_iterator_fires(self):
+        errors = lifetime_src("class C {\n"
+                              "  std::vector<int> items_;\n"
+                              "  void F();\n"
+                              "};\n"
+                              "void C::F() { cursor_ = items_.begin(); }\n")
+        self.assertEqual(len(errors), 1)
+        self.assertIn("items_", errors[0])
+
+    def test_struct_field_stores_element_address_fires(self):
+        errors = lifetime_src("void C::F(Request* req) {\n"
+                              "  std::vector<float> row(d);\n"
+                              "  req->features = &row[0];\n"
+                              "}\n")
+        self.assertEqual(len(errors), 1)
+
+    def test_local_pointer_into_growable_passes(self):
+        # A frame-local pointer dies with the frame; re-derived per use.
+        self.assertEqual(
+            lifetime_src("void F() {\n"
+                         "  std::vector<float> buf(n);\n"
+                         "  const float* p = buf.data();\n"
+                         "  Use(p);\n"
+                         "}\n"),
+            [])
+
+    def test_unknown_container_type_passes(self):
+        # `items` is not a declared growable anywhere in the file.
+        self.assertEqual(
+            lifetime_src("void C::F() { ptr_ = items.data(); }\n"), [])
+
+    def test_lifetime_ok_suppresses_store(self):
+        self.assertEqual(
+            lifetime_src(
+                "void C::F() {\n"
+                "  std::vector<float> buf(n);\n"
+                "  ptr_ = buf.data();  // lifetime-ok: buf outlives C\n"
+                "}\n"),
+            [])
+
+
+class LifetimeIterInvalidationTest(unittest.TestCase):
+    """check_range_for_mutation: growing/erasing a container inside a
+    range-for over the same container."""
+
+    def test_push_back_in_range_for_fires(self):
+        errors = lifetime_src("void F(std::vector<int>& v) {\n"
+                              "  for (int x : v) {\n"
+                              "    if (x > 0) v.push_back(-x);\n"
+                              "  }\n"
+                              "}\n")
+        self.assertEqual(len(errors), 1)
+        self.assertIn("[lifetime:iter-invalidation]", errors[0])
+
+    def test_member_container_erase_fires(self):
+        errors = lifetime_src(
+            "void C::Prune() {\n"
+            "  for (const auto& s : sessions_) {\n"
+            "    if (s.expired()) sessions_.erase(s.id());\n"
+            "  }\n"
+            "}\n")
+        self.assertEqual(len(errors), 1)
+        self.assertIn("sessions_", errors[0])
+
+    def test_mutating_other_container_passes(self):
+        self.assertEqual(
+            lifetime_src("void F() {\n"
+                         "  for (int x : input) {\n"
+                         "    output.push_back(x);\n"
+                         "    summary.counters.push_back(x);\n"
+                         "  }\n"
+                         "}\n"),
+            [])
+
+    def test_mutation_after_loop_passes(self):
+        self.assertEqual(
+            lifetime_src("void F(std::vector<int>& v) {\n"
+                         "  for (int x : v) Use(x);\n"
+                         "  v.push_back(1);\n"
+                         "}\n"),
+            [])
+
+    def test_classic_index_loop_passes(self):
+        # Not a range-for: growth with an index is the sanctioned pattern.
+        self.assertEqual(
+            lifetime_src("void F(std::vector<int>& v) {\n"
+                         "  for (size_t i = 0; i < v.size(); ++i) {\n"
+                         "    if (v[i] > 0) v.push_back(-v[i]);\n"
+                         "  }\n"
+                         "}\n"),
+            [])
+
+    def test_lifetime_ok_suppresses_mutation(self):
+        self.assertEqual(
+            lifetime_src(
+                "void F(std::vector<int>& v) {\n"
+                "  for (int x : v) {\n"
+                "    // lifetime-ok: loop breaks right after the push\n"
+                "    if (x > 0) v.push_back(-x);\n"
+                "  }\n"
+                "}\n"),
+            [])
+
+
 class StageWiringTest(unittest.TestCase):
     """End-to-end: the CLI catches a violation and passes a clean tree."""
 
-    def run_cli(self, files, stage):
+    def run_cli(self, files, stage, extra_args=()):
         with tempfile.TemporaryDirectory() as tmp:
             for rel, content in files.items():
                 path = os.path.join(tmp, rel)
@@ -578,7 +863,8 @@ class StageWiringTest(unittest.TestCase):
                 [sys.executable,
                  os.path.join(os.path.dirname(os.path.abspath(__file__)),
                               "pilote_lint.py"),
-                 "--root", tmp, "--stage", stage, "--no-self-contained"],
+                 "--root", tmp, "--stage", stage, "--no-self-contained",
+                 *extra_args],
                 capture_output=True, text=True)
         return proc
 
@@ -627,6 +913,48 @@ class StageWiringTest(unittest.TestCase):
             "style")
         self.assertEqual(proc.returncode, 1)
         self.assertIn("subsystem/name", proc.stdout)
+
+    LIFETIME_BAD = {
+        os.path.join("src", "bad.cc"):
+        "void F(int x) {\n"
+        "  std::thread t([&] { Use(x); });\n"
+        "  t.join();\n"
+        "}\n"}
+
+    def test_lifetime_stage_fails_on_ref_capture(self):
+        proc = self.run_cli(self.LIFETIME_BAD, "lifetime")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("[lifetime:ref-capture]", proc.stdout)
+
+    def test_all_stage_runs_lifetime(self):
+        proc = self.run_cli(self.LIFETIME_BAD, "all")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("[lifetime:ref-capture]", proc.stdout)
+
+    def test_lifetime_stage_passes_annotated_tree(self):
+        proc = self.run_cli(
+            {os.path.join("src", "ok.cc"):
+             "void Engine::Start() {\n"
+             "  // lifetime-ok: joined in Stop()\n"
+             "  worker_ = std::thread([this] { Loop(); });\n"
+             "}\n"},
+            "lifetime")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_json_out_writes_findings_artifact(self):
+        import json
+        with tempfile.TemporaryDirectory() as out_dir:
+            out_path = os.path.join(out_dir, "findings.json")
+            proc = self.run_cli(self.LIFETIME_BAD, "lifetime",
+                                extra_args=("--json-out", out_path))
+            self.assertEqual(proc.returncode, 1)
+            with open(out_path, encoding="utf-8") as f:
+                artifact = json.load(f)
+        self.assertEqual(artifact["stage"], "lifetime")
+        self.assertEqual(artifact["violations"], 1)
+        self.assertEqual(len(artifact["findings"]), 1)
+        self.assertEqual(artifact["findings"][0]["line"], 2)
+        self.assertIn("ref-capture", artifact["findings"][0]["message"])
 
     def test_hotpath_stage_passes_marked_tree(self):
         proc = self.run_cli(
