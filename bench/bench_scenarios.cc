@@ -1,0 +1,137 @@
+// Runs the named continual-learning scenario catalog end to end and emits
+// the full metric matrix. CI compares the flat JSON against the committed
+// BENCH_scenarios.json baseline (accuracy keys are gated from below,
+// forgetting keys from above; see tools/check_bench_regression.py).
+//
+//   bench_scenarios [--scenario=NAME] [--json-out=PATH] [--reports-dir=DIR]
+//
+// --json-out writes one flat {"<scenario>_<metric>": value} object;
+// --reports-dir writes each scenario's full deterministic report as
+// <dir>/<scenario>.json. Exit status is non-zero when any scenario fails
+// its own thresholds, so the bench doubles as a gate without a baseline.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "scenario/catalog.h"
+#include "scenario/scenario.h"
+
+namespace {
+
+using pilote::Result;
+using pilote::Status;
+using pilote::scenario::ScenarioReport;
+using pilote::scenario::ScenarioSpec;
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return std::string(buffer);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string only;
+  std::string json_out;
+  std::string reports_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scenario=", 0) == 0) {
+      only = arg.substr(11);
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      json_out = arg.substr(11);
+    } else if (arg.rfind("--reports-dir=", 0) == 0) {
+      reports_dir = arg.substr(14);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n"
+                << "usage: bench_scenarios [--scenario=NAME] "
+                   "[--json-out=PATH] [--reports-dir=DIR]\n";
+      return 2;
+    }
+  }
+
+  std::vector<ScenarioSpec> specs;
+  if (only.empty()) {
+    specs = pilote::scenario::AllScenarios();
+  } else {
+    Result<ScenarioSpec> found = pilote::scenario::FindScenario(only);
+    if (!found.ok()) {
+      std::cerr << found.status().ToString() << "\n";
+      return 2;
+    }
+    specs.push_back(std::move(found).value());
+  }
+
+  if (!reports_dir.empty()) {
+    std::filesystem::create_directories(reports_dir);
+  }
+
+  int gate_failures = 0;
+  std::string flat = "{\n";
+  bool first_key = true;
+  const auto emit = [&](const std::string& key, double value) {
+    if (!first_key) flat += ",\n";
+    first_key = false;
+    flat += "  \"" + key + "\": " + FormatDouble(value);
+  };
+
+  std::printf("%-22s %8s %8s %8s %8s %8s\n", "scenario", "final", "avg_inc",
+              "forget", "bwt", "fwt");
+  for (const ScenarioSpec& spec : specs) {
+    Result<ScenarioReport> run = pilote::scenario::RunScenario(spec);
+    if (!run.ok()) {
+      std::cerr << "scenario " << spec.name << ": "
+                << run.status().ToString() << "\n";
+      return 1;
+    }
+    const ScenarioReport& report = run.value();
+    const auto& metrics = report.metrics;
+    std::printf("%-22s %8.4f %8.4f %8.4f %+8.4f %+8.4f\n",
+                report.name.c_str(), metrics.final_average_accuracy,
+                metrics.average_incremental_accuracy, metrics.forgetting,
+                metrics.backward_transfer, metrics.forward_transfer);
+
+    emit(report.name + "_final_avg_acc", metrics.final_average_accuracy);
+    emit(report.name + "_avg_incremental_acc",
+         metrics.average_incremental_accuracy);
+    emit(report.name + "_forgetting", metrics.forgetting);
+    for (const auto& [key, value] : report.extras) {
+      emit(report.name + "_" + key, value);
+    }
+
+    const Status gate = pilote::scenario::CheckThresholds(spec, report);
+    if (!gate.ok()) {
+      std::cerr << "GATE " << gate.ToString() << "\n";
+      ++gate_failures;
+    }
+    if (!reports_dir.empty()) {
+      const std::string path = reports_dir + "/" + report.name + ".json";
+      std::ofstream out(path, std::ios::binary);
+      out << report.ToJson();
+      if (!out) {
+        std::cerr << "failed to write " << path << "\n";
+        return 1;
+      }
+    }
+  }
+  flat += "\n}\n";
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary);
+    out << flat;
+    if (!out) {
+      std::cerr << "failed to write " << json_out << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << json_out << "\n";
+  }
+  if (gate_failures > 0) {
+    std::cerr << gate_failures << " scenario(s) failed their thresholds\n";
+    return 1;
+  }
+  return 0;
+}

@@ -284,6 +284,50 @@ Status EdgeLearner::ApplySupportSetUpdate(SupportSet support) {
   return Status::Ok();
 }
 
+Status EdgeLearner::AdaptPrototype(int label, const Tensor& raw_features,
+                                   double rate) {
+  PILOTE_TRACE_SPAN("core/adapt_prototype");
+  if (!classifier_.HasPrototype(label)) {
+    return Status::InvalidArgument("AdaptPrototype: unknown class " +
+                                   std::to_string(label));
+  }
+  if (raw_features.rank() != 2 || raw_features.rows() == 0) {
+    return Status::InvalidArgument(
+        "AdaptPrototype: need a non-empty [n, d] row matrix");
+  }
+  if (raw_features.cols() != model_->input_dim()) {
+    return Status::InvalidArgument(
+        "AdaptPrototype: feature width " +
+        std::to_string(raw_features.cols()) + " does not match backbone " +
+        std::to_string(model_->input_dim()));
+  }
+  if (!(rate > 0.0 && rate <= 1.0)) {
+    return Status::InvalidArgument("AdaptPrototype: rate " +
+                                   std::to_string(rate) +
+                                   " outside (0, 1]");
+  }
+  const Tensor embeddings = EmbedRaw(raw_features);
+  const Tensor& current = classifier_.prototype(label);
+  Tensor blended(current.shape());
+  const int64_t dim = embeddings.cols();
+  const float keep = static_cast<float>(1.0 - rate);
+  const float pull = static_cast<float>(rate);
+  const float inv_rows = 1.0f / static_cast<float>(embeddings.rows());
+  for (int64_t d = 0; d < dim; ++d) {
+    float mean = 0.0f;
+    for (int64_t r = 0; r < embeddings.rows(); ++r) {
+      mean += embeddings(r, d);
+    }
+    mean *= inv_rows;
+    blended[d] = keep * current[d] + pull * mean;
+  }
+  classifier_.SetPrototype(label, std::move(blended));
+  model_version_.fetch_add(1, std::memory_order_relaxed);
+  RebuildInferencePlan();
+  PILOTE_METRIC_COUNT("core/prototype_adaptations", 1);
+  return Status::Ok();
+}
+
 void EdgeLearner::EnforceSupportBudget(int64_t cache_size) {
   support_.EnforceCacheSize(cache_size);
   RebuildPrototypes();

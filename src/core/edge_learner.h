@@ -29,7 +29,8 @@ namespace core {
 // through the type system): every const member is a pure read and safe to
 // call concurrently with other const members; every mutation goes through
 // a named non-const operation (LearnNewClasses, ApplySupportSetUpdate,
-// EnforceSupportBudget, RebuildPrototypes) that requires exclusive access.
+// EnforceSupportBudget, AdaptPrototype, RebuildPrototypes) that requires
+// exclusive access.
 // (The compiled-plan executor's scratch arena is the one piece of state a
 // const Predict touches; its lock-free single-claimant gate keeps
 // concurrent const calls safe — a loser of the claim race falls back to
@@ -130,6 +131,19 @@ class EdgeLearner {
   // Enforces a total cache budget of `cache_size` exemplars (Algo 1 line 1:
   // m = K / num_classes per class) and refreshes the prototypes.
   void EnforceSupportBudget(int64_t cache_size);
+
+  // On-device personalization (lifelong prototypical adaptation in the
+  // spirit of arXiv:2203.05692): blends the prototype of `label` toward
+  // the mean embedding of the caller's raw rows,
+  //   mu <- (1 - rate) * mu + rate * mean(phi(rows)),
+  // leaving the support set and model weights untouched — a fleet-shared
+  // artifact is nudged toward one user's distribution, and
+  // RebuildPrototypes() (or any model update) re-derives the shared
+  // prototypes, undoing the personalization. A named mutation like
+  // LearnNewClasses: requires exclusive access, bumps model_version() and
+  // recaptures the compiled plan. kInvalidArgument: unknown label, empty
+  // rows, feature-width mismatch, or rate outside (0, 1].
+  Status AdaptPrototype(int label, const Tensor& raw_features, double rate);
 
   // Re-embeds every support-set class and refreshes all prototypes
   // (required after any model update).

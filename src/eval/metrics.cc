@@ -38,6 +38,38 @@ std::map<int, double> PerClassAccuracy(const std::vector<int>& predictions,
   return result;
 }
 
+Result<std::map<int, double>> PerClassAccuracyOver(
+    const std::vector<int>& predictions, const std::vector<int>& labels,
+    const std::vector<int>& classes) {
+  if (predictions.size() != labels.size()) {
+    return Status::InvalidArgument(
+        "PerClassAccuracyOver: " + std::to_string(predictions.size()) +
+        " predictions vs " + std::to_string(labels.size()) + " labels");
+  }
+  if (labels.empty()) {
+    return Status::InvalidArgument("PerClassAccuracyOver: no samples");
+  }
+  if (classes.empty()) {
+    return Status::InvalidArgument("PerClassAccuracyOver: empty class list");
+  }
+  std::map<int, double> keyed = PerClassAccuracy(predictions, labels);
+  std::map<int, double> result;
+  for (int label : classes) {
+    if (result.count(label) > 0) {
+      return Status::InvalidArgument(
+          "PerClassAccuracyOver: duplicate class " + std::to_string(label));
+    }
+    const auto it = keyed.find(label);
+    if (it == keyed.end()) {
+      return Status::InvalidArgument("PerClassAccuracyOver: class " +
+                                     std::to_string(label) +
+                                     " has no samples");
+    }
+    result[label] = it->second;
+  }
+  return result;
+}
+
 MeanStd Summarize(const std::vector<double>& values) {
   PILOTE_CHECK(!values.empty());
   MeanStd result;
@@ -146,16 +178,31 @@ std::string ConfusionMatrix::ToString(const std::vector<std::string>& names,
   return os.str();
 }
 
-ForgettingReport ComputeForgetting(const std::vector<int>& labels,
-                                   const std::vector<int>& preds_before,
-                                   const std::vector<int>& preds_after,
-                                   const std::vector<int>& old_classes,
-                                   const std::vector<int>& new_classes) {
-  PILOTE_CHECK_EQ(labels.size(), preds_before.size());
-  PILOTE_CHECK_EQ(labels.size(), preds_after.size());
+Result<ForgettingReport> ComputeForgetting(
+    const std::vector<int>& labels, const std::vector<int>& preds_before,
+    const std::vector<int>& preds_after, const std::vector<int>& old_classes,
+    const std::vector<int>& new_classes) {
+  if (labels.size() != preds_before.size() ||
+      labels.size() != preds_after.size()) {
+    return Status::InvalidArgument(
+        "ComputeForgetting: size mismatch (" + std::to_string(labels.size()) +
+        " labels, " + std::to_string(preds_before.size()) + " before, " +
+        std::to_string(preds_after.size()) + " after)");
+  }
+  if (old_classes.empty() || new_classes.empty()) {
+    return Status::InvalidArgument(
+        "ComputeForgetting: empty old/new class list");
+  }
   auto in = [](const std::vector<int>& set, int label) {
     return std::find(set.begin(), set.end(), label) != set.end();
   };
+  for (int label : new_classes) {
+    if (in(old_classes, label)) {
+      return Status::InvalidArgument("ComputeForgetting: class " +
+                                     std::to_string(label) +
+                                     " is both old and new");
+    }
+  }
   int64_t old_total = 0;
   int64_t old_correct_before = 0;
   int64_t old_correct_after = 0;
@@ -171,19 +218,107 @@ ForgettingReport ComputeForgetting(const std::vector<int>& labels,
       if (preds_after[i] == labels[i]) ++new_correct_after;
     }
   }
+  if (old_total == 0) {
+    return Status::InvalidArgument(
+        "ComputeForgetting: no old-class samples in labels");
+  }
+  if (new_total == 0) {
+    return Status::InvalidArgument(
+        "ComputeForgetting: no new-class samples in labels");
+  }
   ForgettingReport report;
-  if (old_total > 0) {
-    report.old_acc_before =
-        static_cast<double>(old_correct_before) / static_cast<double>(old_total);
-    report.old_acc_after =
-        static_cast<double>(old_correct_after) / static_cast<double>(old_total);
-  }
-  if (new_total > 0) {
-    report.new_acc_after =
-        static_cast<double>(new_correct_after) / static_cast<double>(new_total);
-  }
+  report.old_acc_before =
+      static_cast<double>(old_correct_before) / static_cast<double>(old_total);
+  report.old_acc_after =
+      static_cast<double>(old_correct_after) / static_cast<double>(old_total);
+  report.new_acc_after =
+      static_cast<double>(new_correct_after) / static_cast<double>(new_total);
   report.forgetting = report.old_acc_before - report.old_acc_after;
   return report;
+}
+
+TaskAccuracyMatrix::TaskAccuracyMatrix(int num_tasks)
+    : num_tasks_(num_tasks) {
+  PILOTE_CHECK_GT(num_tasks, 0);
+  const size_t cells =
+      static_cast<size_t>(num_tasks) * static_cast<size_t>(num_tasks);
+  values_.assign(cells, 0.0);
+  set_.assign(cells, 0);
+}
+
+int TaskAccuracyMatrix::Index(int after_task, int eval_task) const {
+  PILOTE_CHECK(after_task >= 0 && after_task < num_tasks_)
+      << "after_task " << after_task << " of " << num_tasks_;
+  PILOTE_CHECK(eval_task >= 0 && eval_task < num_tasks_)
+      << "eval_task " << eval_task << " of " << num_tasks_;
+  return after_task * num_tasks_ + eval_task;
+}
+
+void TaskAccuracyMatrix::Set(int after_task, int eval_task, double accuracy) {
+  PILOTE_CHECK(accuracy >= 0.0 && accuracy <= 1.0) << accuracy;
+  const size_t i = static_cast<size_t>(Index(after_task, eval_task));
+  values_[i] = accuracy;
+  set_[i] = 1;
+}
+
+bool TaskAccuracyMatrix::Has(int after_task, int eval_task) const {
+  return set_[static_cast<size_t>(Index(after_task, eval_task))] != 0;
+}
+
+double TaskAccuracyMatrix::At(int after_task, int eval_task) const {
+  const size_t i = static_cast<size_t>(Index(after_task, eval_task));
+  PILOTE_CHECK(set_[i] != 0) << "unset matrix entry R(" << after_task << ", "
+                             << eval_task << ")";
+  return values_[i];
+}
+
+Result<ClMetrics> ComputeClMetrics(const TaskAccuracyMatrix& matrix,
+                                   double chance_accuracy) {
+  const int t = matrix.num_tasks();
+  for (int i = 0; i < t; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      if (!matrix.Has(i, j)) {
+        return Status::InvalidArgument(
+            "ComputeClMetrics: matrix entry R(" + std::to_string(i) + ", " +
+            std::to_string(j) + ") was never recorded");
+      }
+    }
+  }
+  ClMetrics metrics;
+  double incremental_sum = 0.0;
+  for (int i = 0; i < t; ++i) {
+    double seen_sum = 0.0;
+    for (int j = 0; j <= i; ++j) seen_sum += matrix.At(i, j);
+    incremental_sum += seen_sum / static_cast<double>(i + 1);
+  }
+  metrics.average_incremental_accuracy =
+      incremental_sum / static_cast<double>(t);
+  double final_sum = 0.0;
+  for (int j = 0; j < t; ++j) final_sum += matrix.At(t - 1, j);
+  metrics.final_average_accuracy = final_sum / static_cast<double>(t);
+  if (t > 1) {
+    double forgetting_sum = 0.0;
+    double bwt_sum = 0.0;
+    for (int j = 0; j < t - 1; ++j) {
+      double best = matrix.At(j, j);
+      for (int i = j; i < t - 1; ++i) best = std::max(best, matrix.At(i, j));
+      forgetting_sum += best - matrix.At(t - 1, j);
+      bwt_sum += matrix.At(t - 1, j) - matrix.At(j, j);
+    }
+    metrics.forgetting = forgetting_sum / static_cast<double>(t - 1);
+    metrics.backward_transfer = bwt_sum / static_cast<double>(t - 1);
+    bool have_upper = true;
+    for (int j = 1; j < t; ++j) have_upper = have_upper && matrix.Has(j - 1, j);
+    if (have_upper) {
+      double fwt_sum = 0.0;
+      for (int j = 1; j < t; ++j) {
+        fwt_sum += matrix.At(j - 1, j) - chance_accuracy;
+      }
+      metrics.forward_transfer = fwt_sum / static_cast<double>(t - 1);
+      metrics.has_forward_transfer = true;
+    }
+  }
+  return metrics;
 }
 
 }  // namespace eval

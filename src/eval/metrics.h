@@ -1,10 +1,12 @@
 #ifndef PILOTE_EVAL_METRICS_H_
 #define PILOTE_EVAL_METRICS_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "tensor/tensor.h"
 
 namespace pilote {
@@ -14,9 +16,20 @@ namespace eval {
 double Accuracy(const std::vector<int>& predictions,
                 const std::vector<int>& labels);
 
-// Accuracy restricted to samples of each class.
+// Accuracy restricted to samples of each class. Keys on the classes
+// present in `labels`; a class the caller expected but that has no
+// samples simply does not appear — use PerClassAccuracyOver when absence
+// must be an error rather than a missing key.
 std::map<int, double> PerClassAccuracy(const std::vector<int>& predictions,
                                        const std::vector<int>& labels);
+
+// Per-class accuracy over an explicit class list. kInvalidArgument when
+// the inputs are empty or size-mismatched, when `classes` is empty or
+// holds duplicates, or when a requested class has no samples in `labels`
+// — the silent-0.0 cases of the keyed-on-labels variant.
+Result<std::map<int, double>> PerClassAccuracyOver(
+    const std::vector<int>& predictions, const std::vector<int>& labels,
+    const std::vector<int>& classes);
 
 // Mean and (sample) standard deviation of a series of run results.
 struct MeanStd {
@@ -63,11 +76,66 @@ struct ForgettingReport {
   double forgetting = 0.0;       // before - after on old classes
 };
 
-ForgettingReport ComputeForgetting(const std::vector<int>& labels,
-                                   const std::vector<int>& preds_before,
-                                   const std::vector<int>& preds_after,
-                                   const std::vector<int>& old_classes,
-                                   const std::vector<int>& new_classes);
+// kInvalidArgument when the three vectors disagree in size, when either
+// class list is empty or the two overlap, or when `labels` holds no
+// old-class or no new-class sample — every case that previously produced
+// a silent all-zero report.
+Result<ForgettingReport> ComputeForgetting(
+    const std::vector<int>& labels, const std::vector<int>& preds_before,
+    const std::vector<int>& preds_after, const std::vector<int>& old_classes,
+    const std::vector<int>& new_classes);
+
+// Per-task accuracy matrix of a continual-learning run: R(i, j) is the
+// accuracy on the eval set of task j measured after learning task i
+// (0-based). The lower triangle including the diagonal covers seen tasks;
+// entries with j > i (evaluating a task before it is learned) feed the
+// forward-transfer measure. Entries start unset; reading an unset entry
+// is CHECK-fatal.
+class TaskAccuracyMatrix {
+ public:
+  explicit TaskAccuracyMatrix(int num_tasks);
+
+  void Set(int after_task, int eval_task, double accuracy);
+  bool Has(int after_task, int eval_task) const;
+  double At(int after_task, int eval_task) const;
+  int num_tasks() const { return num_tasks_; }
+
+ private:
+  int Index(int after_task, int eval_task) const;
+
+  int num_tasks_;
+  std::vector<double> values_;
+  std::vector<uint8_t> set_;
+};
+
+// Standard continual-learning summary measures (GEM / Chaudhry et al.
+// conventions) over a completed T-task matrix:
+//  * average_incremental_accuracy: mean over checkpoints i of the mean
+//    accuracy on tasks 0..i — the "average accuracy curve" collapsed.
+//  * final_average_accuracy: mean_j R(T-1, j).
+//  * forgetting: mean over j < T-1 of max_{i in [j, T-2]} R(i, j)
+//    - R(T-1, j) — how far below its historical best each earlier task
+//    ends (0 when T == 1).
+//  * backward_transfer: mean over j < T-1 of R(T-1, j) - R(j, j);
+//    negative values are forgetting, positive values mean later tasks
+//    improved earlier ones (0 when T == 1).
+//  * forward_transfer: mean over j > 0 of R(j-1, j) - chance_accuracy,
+//    present only when the upper-diagonal entries were recorded.
+struct ClMetrics {
+  double average_incremental_accuracy = 0.0;
+  double final_average_accuracy = 0.0;
+  double forgetting = 0.0;
+  double backward_transfer = 0.0;
+  double forward_transfer = 0.0;
+  bool has_forward_transfer = false;
+};
+
+// Requires every lower-triangle entry (j <= i) to be set; returns
+// kInvalidArgument naming the first missing entry. `chance_accuracy` is
+// the forward-transfer baseline (accuracy of uninformed guessing on a
+// task's eval set).
+Result<ClMetrics> ComputeClMetrics(const TaskAccuracyMatrix& matrix,
+                                   double chance_accuracy);
 
 }  // namespace eval
 }  // namespace pilote

@@ -13,6 +13,42 @@ constexpr double kEarthFieldUt = 45.0;
 
 }  // namespace
 
+bool SensorDrift::IsIdentity() const {
+  for (int i = 0; i < 3; ++i) {
+    if (accel_offset[i] != 0.0 || gyro_offset[i] != 0.0 ||
+        mag_offset[i] != 0.0) {
+      return false;
+    }
+  }
+  return baro_offset == 0.0 && gait_freq_scale == 1.0 &&
+         gait_amp_scale == 1.0 && speed_scale == 1.0 &&
+         noise_floor_scale == 1.0;
+}
+
+SensorDrift SensorDrift::UserProfile(uint64_t user_id, double severity) {
+  SensorDrift drift;
+  if (severity == 0.0) return drift;
+  // One private stream per user: the profile depends on (user_id,
+  // severity) alone, never on who asked first.
+  Rng rng(user_id ^ 0xA5C3D1E9F7B52468ULL);
+  drift.gait_freq_scale = 1.0 + severity * rng.UniformDouble(-0.12, 0.12);
+  drift.gait_amp_scale = 1.0 + severity * rng.UniformDouble(-0.25, 0.30);
+  drift.speed_scale = 1.0 + severity * rng.UniformDouble(-0.15, 0.15);
+  for (int i = 0; i < 3; ++i) {
+    drift.accel_offset[i] = severity * rng.Gaussian(0.0, 0.25);
+    drift.gyro_offset[i] = severity * rng.Gaussian(0.0, 0.04);
+    drift.mag_offset[i] = severity * rng.Gaussian(0.0, 2.5);
+  }
+  drift.baro_offset = severity * rng.Gaussian(0.0, 1.0);
+  drift.noise_floor_scale = 1.0 + severity * rng.UniformDouble(0.0, 0.4);
+  return drift;
+}
+
+void SensorSimulator::SetDrift(const SensorDrift& drift) {
+  drift_ = drift;
+  drift_active_ = !drift_.IsIdentity();
+}
+
 SensorSimulator::Episode SensorSimulator::DrawEpisode(Activity activity) {
   Episode e;
   // Carrying placement: a discrete mode with its own attitude band, axis
@@ -160,6 +196,15 @@ SensorSimulator::Episode SensorSimulator::DrawEpisode(Activity activity) {
       e.mag_distortion = rng_.UniformDouble(0.0, 8.0);
       break;
   }
+  // Gait/noise drift distorts the drawn episode AFTER all randomness is
+  // consumed, so an installed drift never shifts the RNG stream: clearing
+  // it resumes the undrifted sequence exactly.
+  if (drift_active_) {
+    e.gait_freq *= drift_.gait_freq_scale;
+    e.gait_amp *= drift_.gait_amp_scale;
+    e.speed *= drift_.speed_scale;
+    e.noise_scale *= drift_.noise_floor_scale;
+  }
   return e;
 }
 
@@ -271,6 +316,20 @@ Tensor SensorSimulator::GenerateWindow(Activity activity) {
     row[kGpsSpeed] = static_cast<float>(std::max(
         0.0,
         reported_speed + rng_.Gaussian(0.0, 0.05 * reported_speed + 0.02)));
+
+    // ---- Recalibration drift: raw-channel bias, no RNG consumed ----
+    if (drift_active_) {
+      for (int axis = 0; axis < 3; ++axis) {
+        row[kAccelerometer + axis] = static_cast<float>(
+            row[kAccelerometer + axis] + drift_.accel_offset[axis]);
+        row[kGyroscope + axis] = static_cast<float>(
+            row[kGyroscope + axis] + drift_.gyro_offset[axis]);
+        row[kMagnetometer + axis] = static_cast<float>(
+            row[kMagnetometer + axis] + drift_.mag_offset[axis]);
+      }
+      row[kBarometer] =
+          static_cast<float>(row[kBarometer] + drift_.baro_offset);
+    }
   }
   return window;
 }

@@ -9,6 +9,41 @@
 namespace pilote {
 namespace har {
 
+// Persistent distortion of the simulated sensor stream, modeling the
+// between-deployment changes a fleet sees over a device's lifetime:
+// sensor recalibration bias after a firmware update, a user's gait
+// changing (injury, fatigue, footwear, or simply a different user on the
+// same account), and the noise floor creeping up as hardware ages.
+//
+// The identity drift (all offsets 0, all scales 1) is guaranteed to leave
+// the generated stream BIT-IDENTICAL to an undrifted simulator with the
+// same seed: drift application never consumes randomness and is skipped
+// entirely when IsIdentity() holds, so scenario scripts can splice drift
+// events into a stream without perturbing the episodes before them.
+struct SensorDrift {
+  // Additive recalibration offsets on the raw channel groups.
+  double accel_offset[3] = {0.0, 0.0, 0.0};  // m/s^2, accelerometer axes
+  double gyro_offset[3] = {0.0, 0.0, 0.0};   // rad/s
+  double mag_offset[3] = {0.0, 0.0, 0.0};    // uT
+  double baro_offset = 0.0;                  // hPa
+  // Multiplicative shift of the per-episode gait draw (cadence, vertical
+  // amplitude, locomotion speed). Only gait-driven activities move.
+  double gait_freq_scale = 1.0;
+  double gait_amp_scale = 1.0;
+  double speed_scale = 1.0;
+  // Multiplier on every per-episode noise floor (sensor aging).
+  double noise_floor_scale = 1.0;
+
+  bool IsIdentity() const;
+
+  // Deterministic per-user idiosyncrasy profile derived from `user_id`:
+  // mild gait/calibration deviations whose magnitude grows with
+  // `severity` (0 = identity, 1 = a clearly distinct user). The same
+  // (user_id, severity) always yields the same profile, so per-user
+  // scenarios are exactly reproducible.
+  static SensorDrift UserProfile(uint64_t user_id, double severity);
+};
+
 // Stochastic generative model of the 22-channel phone sensor stream,
 // substituting for the paper's proprietary data collection campaign.
 //
@@ -30,6 +65,14 @@ class SensorSimulator {
 
   // Synthesizes one window: [kWindowLength, kNumChannels].
   Tensor GenerateWindow(Activity activity);
+
+  // Installs a drift that distorts every subsequent window (episodes in
+  // flight are unaffected; each window draws a fresh episode). Replaces,
+  // not composes: SetDrift(a) then SetDrift(b) leaves only b active.
+  // Setting the identity drift restores the undrifted stream exactly.
+  void SetDrift(const SensorDrift& drift);
+  void ClearDrift() { SetDrift(SensorDrift{}); }
+  const SensorDrift& drift() const { return drift_; }
 
   Rng& rng() { return rng_; }
 
@@ -94,6 +137,10 @@ class SensorSimulator {
   Episode DrawEpisode(Activity activity);
 
   Rng rng_;
+  SensorDrift drift_;
+  // Cached !drift_.IsIdentity(): the hot generate loop branches on a bool
+  // instead of re-comparing the whole struct per window.
+  bool drift_active_ = false;
 };
 
 }  // namespace har

@@ -1,0 +1,174 @@
+#include "scenario/catalog.h"
+
+#include <utility>
+
+namespace pilote {
+namespace scenario {
+namespace {
+
+using har::Activity;
+
+// Scenario-scale config: the Small test backbone with a slightly leaner
+// pretrain (the matrix runs six pretrains per ctest invocation) and an
+// edge-realistic exemplar budget.
+core::PiloteConfig ScenarioConfig(uint64_t seed) {
+  core::PiloteConfig config = core::PiloteConfig::Small();
+  config.pretrain.max_epochs = 12;
+  config.pretrain.batches_per_epoch = 72;
+  config.exemplars_per_class = 40;
+  config.seed = seed;
+  return config;
+}
+
+ScenarioSpec BaseSpec(std::string name, uint64_t seed,
+                      std::vector<Activity> base) {
+  ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.seed = seed;
+  spec.strategy = "pilote";
+  spec.config = ScenarioConfig(seed);
+  spec.base_activities = std::move(base);
+  spec.base_samples_per_class = 60;
+  spec.eval_samples_per_class = 24;
+  return spec;
+}
+
+// Two classes arrive one at a time — the paper's core increment loop,
+// doubled to expose forgetting across more than one update.
+ScenarioSpec ClassArrivalSpec() {
+  ScenarioSpec spec = BaseSpec(
+      "class_arrival", 11,
+      {Activity::kDrive, Activity::kEscooter, Activity::kStill});
+  spec.events = {
+      ClassArrival({Activity::kWalk}, 40),
+      ClassArrival({Activity::kRun}, 40),
+  };
+  spec.thresholds.min_final_average_accuracy = 0.75;
+  spec.thresholds.min_average_incremental_accuracy = 0.75;
+  spec.thresholds.max_forgetting = 0.25;
+  return spec;
+}
+
+// The device is re-mounted / recalibrated before the new class shows up:
+// offsets on the inertial and barometric channels plus a raised noise
+// floor. The increment must survive training on the drifted stream while
+// being graded on the nominal eval draw.
+ScenarioSpec RecalibrationDriftSpec() {
+  ScenarioSpec spec = BaseSpec(
+      "recalibration_drift", 12,
+      {Activity::kDrive, Activity::kEscooter, Activity::kStill,
+       Activity::kWalk});
+  har::SensorDrift drift;
+  drift.accel_offset[0] = 0.6;
+  drift.accel_offset[2] = -0.4;
+  drift.gyro_offset[1] = 0.05;
+  drift.baro_offset = 0.8;
+  drift.noise_floor_scale = 1.5;
+  spec.events = {
+      DriftTo(drift),
+      ClassArrival({Activity::kRun}, 40),
+  };
+  spec.thresholds.min_final_average_accuracy = 0.70;
+  spec.thresholds.min_average_incremental_accuracy = 0.70;
+  spec.thresholds.max_forgetting = 0.25;
+  return spec;
+}
+
+// 15% of the "running" recordings actually captured some old activity.
+ScenarioSpec LabelNoiseSpec() {
+  ScenarioSpec spec = BaseSpec(
+      "label_noise", 13,
+      {Activity::kDrive, Activity::kEscooter, Activity::kStill,
+       Activity::kWalk});
+  spec.events = {
+      LabelNoise(0.15),
+      ClassArrival({Activity::kRun}, 40),
+  };
+  spec.thresholds.min_final_average_accuracy = 0.70;
+  spec.thresholds.min_average_incremental_accuracy = 0.70;
+  spec.thresholds.max_forgetting = 0.30;
+  return spec;
+}
+
+// Interleaving: an old class is re-recorded between two arrivals and its
+// exemplars refreshed from the new recording.
+ScenarioSpec ClassRevisitSpec() {
+  ScenarioSpec spec = BaseSpec(
+      "class_revisit", 14,
+      {Activity::kDrive, Activity::kEscooter, Activity::kStill});
+  spec.events = {
+      ClassArrival({Activity::kWalk}, 40),
+      Revisit({Activity::kDrive}, 40),
+      ClassArrival({Activity::kRun}, 40),
+  };
+  spec.thresholds.min_final_average_accuracy = 0.70;
+  spec.thresholds.min_average_incremental_accuracy = 0.70;
+  spec.thresholds.max_forgetting = 0.30;
+  return spec;
+}
+
+// One user's gait/placement distribution shifts; the device personalizes
+// the prototypes from the user's own stream. The before/after accuracies
+// land in the report extras and are asserted by the ctest.
+ScenarioSpec UserShiftSpec() {
+  ScenarioSpec spec = BaseSpec(
+      "user_shift", 15,
+      {Activity::kDrive, Activity::kEscooter, Activity::kStill,
+       Activity::kWalk});
+  spec.events = {
+      ClassArrival({Activity::kRun}, 40),
+      UserShift(/*user_id=*/7, /*severity=*/0.8,
+                /*samples_per_class=*/24, /*adapt_rate=*/0.35),
+  };
+  spec.thresholds.min_final_average_accuracy = 0.70;
+  spec.thresholds.min_average_incremental_accuracy = 0.70;
+  spec.thresholds.max_forgetting = 0.25;
+  return spec;
+}
+
+// A device lifetime in miniature: three increments interleaved with a
+// mid-life recalibration, degraded labeling late in life, and accuracy
+// checkpoints between updates.
+ScenarioSpec LongHorizonSpec() {
+  ScenarioSpec spec = BaseSpec(
+      "long_horizon", 16, {Activity::kDrive, Activity::kStill});
+  har::SensorDrift drift;
+  drift.accel_offset[1] = 0.3;
+  drift.gait_freq_scale = 1.08;
+  drift.noise_floor_scale = 1.25;
+  spec.events = {
+      ClassArrival({Activity::kEscooter}, 40),
+      Checkpoint(),
+      DriftTo(drift),
+      ClassArrival({Activity::kWalk}, 40),
+      Checkpoint(),
+      LabelNoise(0.1),
+      ClassArrival({Activity::kRun}, 40),
+      Checkpoint(),
+  };
+  spec.thresholds.min_final_average_accuracy = 0.65;
+  spec.thresholds.min_average_incremental_accuracy = 0.70;
+  spec.thresholds.max_forgetting = 0.40;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<ScenarioSpec> AllScenarios() {
+  return {ClassArrivalSpec(),  RecalibrationDriftSpec(), LabelNoiseSpec(),
+          ClassRevisitSpec(),  UserShiftSpec(),          LongHorizonSpec()};
+}
+
+Result<ScenarioSpec> FindScenario(const std::string& name) {
+  std::string known;
+  for (ScenarioSpec& spec : AllScenarios()) {
+    if (spec.name == name) return std::move(spec);
+    if (!known.empty()) known += ", ";
+    known += spec.name;
+  }
+  return Status::NotFound("no scenario named \"" + name +
+                          "\" (known: " + known + ")");
+}
+
+}  // namespace scenario
+}  // namespace pilote

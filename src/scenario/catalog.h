@@ -1,0 +1,32 @@
+#ifndef PILOTE_SCENARIO_CATALOG_H_
+#define PILOTE_SCENARIO_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "scenario/scenario.h"
+
+namespace pilote {
+namespace scenario {
+
+// The named regression matrix: every spec here runs end-to-end as a
+// seeded ctest (label "scenario", one test per name) and through
+// bench_scenarios into the committed JSON baseline. Names are stable
+// identifiers — CI artifact keys and ctest names derive from them.
+//
+//   class_arrival        two sequential single-class increments
+//   recalibration_drift  sensor recalibration before the increment
+//   label_noise          contaminated new-class recordings
+//   class_revisit        old class re-recorded between two arrivals
+//   user_shift           per-user drift + on-device prototype adaptation
+//   long_horizon         three increments with drift, noise, checkpoints
+std::vector<ScenarioSpec> AllScenarios();
+
+// kNotFound listing the known names when `name` is not in the catalog.
+Result<ScenarioSpec> FindScenario(const std::string& name);
+
+}  // namespace scenario
+}  // namespace pilote
+
+#endif  // PILOTE_SCENARIO_CATALOG_H_

@@ -1,0 +1,114 @@
+#ifndef PILOTE_SCENARIO_EVENT_H_
+#define PILOTE_SCENARIO_EVENT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "har/activity.h"
+#include "har/sensor_simulator.h"
+
+namespace pilote {
+namespace scenario {
+
+// One scripted step of a long-horizon continual-learning stream. A
+// scenario is a seeded sequence of these events replayed against a fresh
+// edge learner (see scenario.h); the grammar covers the situations the
+// paper's edge deployment meets over a device lifetime.
+enum class EventKind {
+  // New classes arrive and are integrated with LearnNewClasses. Every
+  // arrival is a task boundary: the runner records one full row of the
+  // task-accuracy matrix after the update.
+  kClassArrival,
+  // The sensor stack drifts (recalibration offsets, gait shift, noise
+  // floor): all subsequently generated windows come from the drifted
+  // simulator. Sticky until the next kDrift event; an identity
+  // SensorDrift restores the nominal stream.
+  kDrift,
+  // Sets the label-noise level: each subsequent new-class row is, with
+  // this probability, a contaminated recording (the window actually
+  // captures a random already-known activity but keeps the new label).
+  // Sticky until the next kLabelNoise event.
+  kLabelNoise,
+  // Fresh recordings of already-known classes re-enter the stream and
+  // replace their support-set exemplars (ApplySupportSetUpdate). Not a
+  // task boundary; records a `revisit<k>_old_acc` extra.
+  kRevisit,
+  // One user's device distribution shifts (SensorDrift::UserProfile) and
+  // the learner personalizes via AdaptPrototype on the user's unlabeled
+  // stream. Records `user<id>_acc_before_adapt` / `_after_adapt` extras
+  // on a drifted eval draw; the pre-event drift is restored afterwards.
+  kUserShift,
+  // Mid-stream accuracy probe over the eval sets of every task seen so
+  // far; records a `checkpoint<k>_seen_acc` extra. Not a task boundary.
+  kCheckpoint,
+};
+
+struct ScenarioEvent {
+  EventKind kind = EventKind::kCheckpoint;
+  // kClassArrival / kRevisit: the classes; kUserShift uses every class
+  // known at event time instead.
+  std::vector<har::Activity> activities;
+  // Rows generated per class (arrival, revisit, user-shift adapt/eval).
+  int64_t samples_per_class = 0;
+  har::SensorDrift drift;     // kDrift
+  double label_noise = 0.0;   // kLabelNoise
+  uint64_t user_id = 0;       // kUserShift
+  double severity = 0.0;      // kUserShift: UserProfile severity
+  double adapt_rate = 0.0;    // kUserShift: AdaptPrototype rate
+};
+
+inline ScenarioEvent ClassArrival(std::vector<har::Activity> activities,
+                                  int64_t samples_per_class) {
+  ScenarioEvent event;
+  event.kind = EventKind::kClassArrival;
+  event.activities = std::move(activities);
+  event.samples_per_class = samples_per_class;
+  return event;
+}
+
+inline ScenarioEvent DriftTo(const har::SensorDrift& drift) {
+  ScenarioEvent event;
+  event.kind = EventKind::kDrift;
+  event.drift = drift;
+  return event;
+}
+
+inline ScenarioEvent LabelNoise(double probability) {
+  ScenarioEvent event;
+  event.kind = EventKind::kLabelNoise;
+  event.label_noise = probability;
+  return event;
+}
+
+inline ScenarioEvent Revisit(std::vector<har::Activity> activities,
+                             int64_t samples_per_class) {
+  ScenarioEvent event;
+  event.kind = EventKind::kRevisit;
+  event.activities = std::move(activities);
+  event.samples_per_class = samples_per_class;
+  return event;
+}
+
+inline ScenarioEvent UserShift(uint64_t user_id, double severity,
+                               int64_t samples_per_class,
+                               double adapt_rate) {
+  ScenarioEvent event;
+  event.kind = EventKind::kUserShift;
+  event.user_id = user_id;
+  event.severity = severity;
+  event.samples_per_class = samples_per_class;
+  event.adapt_rate = adapt_rate;
+  return event;
+}
+
+inline ScenarioEvent Checkpoint() {
+  ScenarioEvent event;
+  event.kind = EventKind::kCheckpoint;
+  return event;
+}
+
+}  // namespace scenario
+}  // namespace pilote
+
+#endif  // PILOTE_SCENARIO_EVENT_H_

@@ -1,0 +1,89 @@
+#include "scenario/report.h"
+
+#include <cstdio>
+#include <string>
+
+namespace pilote {
+namespace scenario {
+namespace {
+
+// Shortest round-trippable-enough form; "%.9g" keeps accuracies exact to
+// well below any threshold tolerance and never emits locale-dependent
+// grouping (the process runs under the default "C" locale).
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return std::string(buffer);
+}
+
+std::string Quote(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string ScenarioReport::ToJson() const {
+  std::string json = "{\n";
+  json += "  \"scenario\": " + Quote(name) + ",\n";
+  json += "  \"seed\": " + std::to_string(seed) + ",\n";
+  json += "  \"strategy\": " + Quote(strategy) + ",\n";
+  json += "  \"chance_accuracy\": " + FormatDouble(chance_accuracy) + ",\n";
+  json += "  \"num_tasks\": " + std::to_string(task_classes.size()) + ",\n";
+
+  json += "  \"task_classes\": [";
+  for (size_t t = 0; t < task_classes.size(); ++t) {
+    if (t > 0) json += ", ";
+    json += "[";
+    for (size_t c = 0; c < task_classes[t].size(); ++c) {
+      if (c > 0) json += ", ";
+      json += std::to_string(task_classes[t][c]);
+    }
+    json += "]";
+  }
+  json += "],\n";
+
+  json += "  \"accuracy_matrix\": [\n";
+  for (size_t i = 0; i < accuracy_matrix.size(); ++i) {
+    json += "    [";
+    for (size_t j = 0; j < accuracy_matrix[i].size(); ++j) {
+      if (j > 0) json += ", ";
+      json += FormatDouble(accuracy_matrix[i][j]);
+    }
+    json += i + 1 < accuracy_matrix.size() ? "],\n" : "]\n";
+  }
+  json += "  ],\n";
+
+  json += "  \"metrics\": {\n";
+  json += "    \"average_incremental_accuracy\": " +
+          FormatDouble(metrics.average_incremental_accuracy) + ",\n";
+  json += "    \"final_average_accuracy\": " +
+          FormatDouble(metrics.final_average_accuracy) + ",\n";
+  json += "    \"forgetting\": " + FormatDouble(metrics.forgetting) + ",\n";
+  json += "    \"backward_transfer\": " +
+          FormatDouble(metrics.backward_transfer) + ",\n";
+  if (metrics.has_forward_transfer) {
+    json += "    \"forward_transfer\": " +
+            FormatDouble(metrics.forward_transfer) + ",\n";
+  }
+  json += "    \"has_forward_transfer\": ";
+  json += metrics.has_forward_transfer ? "true" : "false";
+  json += "\n  },\n";
+
+  json += "  \"extras\": {";
+  for (size_t k = 0; k < extras.size(); ++k) {
+    json += k > 0 ? ",\n    " : "\n    ";
+    json += Quote(extras[k].first) + ": " + FormatDouble(extras[k].second);
+  }
+  json += extras.empty() ? "}\n" : "\n  }\n";
+  json += "}\n";
+  return json;
+}
+
+}  // namespace scenario
+}  // namespace pilote

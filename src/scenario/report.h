@@ -1,0 +1,44 @@
+#ifndef PILOTE_SCENARIO_REPORT_H_
+#define PILOTE_SCENARIO_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace pilote {
+namespace scenario {
+
+// The full outcome of one scenario run. Plain data, fully determined by
+// (spec, seed): no wall-clock, pointers, or environment leak in, so the
+// same run serializes to byte-identical JSON every time — the property
+// the determinism golden test and the CI artifact diff rely on.
+struct ScenarioReport {
+  std::string name;
+  uint64_t seed = 0;
+  std::string strategy;
+  // Forward-transfer baseline: accuracy of uninformed guessing over every
+  // class the scenario ever introduces.
+  double chance_accuracy = 0.0;
+  // Class labels of each task (task 0 = cloud pretraining classes).
+  std::vector<std::vector<int>> task_classes;
+  // Full accuracy matrix: accuracy_matrix[i][j] = accuracy on task j's
+  // eval set after checkpoint i (rows are recorded complete, so the
+  // upper triangle carries the forward-transfer probes).
+  std::vector<std::vector<double>> accuracy_matrix;
+  eval::ClMetrics metrics;
+  // Named scalar observations recorded by non-task events (checkpoints,
+  // revisits, user shifts), in event order.
+  std::vector<std::pair<std::string, double>> extras;
+
+  // Deterministic JSON: fixed key order, insertion-ordered extras,
+  // locale-independent "%.9g" doubles. Ends with a trailing newline.
+  std::string ToJson() const;
+};
+
+}  // namespace scenario
+}  // namespace pilote
+
+#endif  // PILOTE_SCENARIO_REPORT_H_

@@ -1,0 +1,318 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cloud.h"
+#include "core/edge_learner.h"
+#include "core/support_set.h"
+#include "data/dataset.h"
+#include "har/har_dataset.h"
+
+namespace pilote {
+namespace scenario {
+namespace {
+
+std::vector<int> LabelsOf(const std::vector<har::Activity>& activities) {
+  std::vector<int> labels;
+  labels.reserve(activities.size());
+  for (har::Activity activity : activities) {
+    labels.push_back(har::ActivityLabel(activity));
+  }
+  return labels;
+}
+
+// One task's fixed eval set: per-class rows from the (undrifted) eval
+// generator, concatenated in the spec's class order.
+data::Dataset DrawEvalSet(har::HarDataGenerator& generator,
+                          const std::vector<har::Activity>& activities,
+                          int64_t per_class) {
+  std::vector<data::Dataset> parts;
+  parts.reserve(activities.size());
+  for (har::Activity activity : activities) {
+    parts.push_back(generator.Generate(activity, per_class));
+  }
+  return data::Dataset::Concat(parts);
+}
+
+// Contaminated recordings: with probability `noise` a new-class row's
+// window actually captured a random already-known activity; the label
+// keeps claiming the new class. Coin flips and replacement draws come
+// from dedicated streams so toggling noise does not shift the rest of
+// the scenario.
+data::Dataset ContaminateRows(const data::Dataset& clean,
+                              const std::vector<int>& known_classes,
+                              double noise, har::HarDataGenerator& stream,
+                              Rng& coin) {
+  Tensor features = clean.features();
+  const int64_t dim = features.cols();
+  for (int64_t row = 0; row < features.rows(); ++row) {
+    if (!coin.Bernoulli(noise)) continue;
+    const size_t pick = static_cast<size_t>(
+        coin.UniformUint64(known_classes.size()));
+    const auto activity = static_cast<har::Activity>(known_classes[pick]);
+    const data::Dataset replacement = stream.Generate(activity, 1);
+    for (int64_t d = 0; d < dim; ++d) {
+      features(row, d) = replacement.features()(0, d);
+    }
+  }
+  return data::Dataset(std::move(features), clean.labels());
+}
+
+}  // namespace
+
+Result<ScenarioReport> RunScenario(const ScenarioSpec& spec) {
+  if (spec.base_activities.empty()) {
+    return Status::InvalidArgument("scenario \"" + spec.name +
+                                   "\": no base activities");
+  }
+
+  // Task layout: task 0 is the pretraining base, then one task per
+  // arrival. Validated up front so a malformed spec fails before the
+  // expensive pretrain.
+  std::vector<std::vector<int>> task_classes;
+  task_classes.push_back(LabelsOf(spec.base_activities));
+  std::set<int> introduced(task_classes[0].begin(), task_classes[0].end());
+  for (const ScenarioEvent& event : spec.events) {
+    switch (event.kind) {
+      case EventKind::kClassArrival: {
+        if (event.activities.empty() || event.samples_per_class <= 0) {
+          return Status::InvalidArgument(
+              "scenario \"" + spec.name +
+              "\": arrival without classes/samples");
+        }
+        std::vector<int> labels = LabelsOf(event.activities);
+        for (int label : labels) {
+          if (!introduced.insert(label).second) {
+            return Status::InvalidArgument(
+                "scenario \"" + spec.name + "\": class " +
+                std::to_string(label) + " arrives twice");
+          }
+        }
+        task_classes.push_back(std::move(labels));
+        break;
+      }
+      case EventKind::kRevisit:
+        for (int label : LabelsOf(event.activities)) {
+          if (introduced.count(label) == 0) {
+            return Status::InvalidArgument(
+                "scenario \"" + spec.name + "\": revisit of class " +
+                std::to_string(label) + " before it is introduced");
+          }
+        }
+        if (event.activities.empty() || event.samples_per_class <= 0) {
+          return Status::InvalidArgument(
+              "scenario \"" + spec.name +
+              "\": revisit without classes/samples");
+        }
+        break;
+      case EventKind::kLabelNoise:
+        if (event.label_noise < 0.0 || event.label_noise >= 1.0) {
+          return Status::InvalidArgument(
+              "scenario \"" + spec.name + "\": label noise " +
+              std::to_string(event.label_noise) + " outside [0, 1)");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  const int num_tasks = static_cast<int>(task_classes.size());
+
+  ScenarioReport report;
+  report.name = spec.name;
+  report.seed = spec.seed;
+  report.strategy = spec.strategy;
+  report.task_classes = task_classes;
+  report.chance_accuracy = 1.0 / static_cast<double>(introduced.size());
+
+  // Independent streams: training data (drift applies here), fixed eval
+  // sets, and label-noise coin flips never share RNG state, so each knob
+  // can change without silently reshuffling the others.
+  har::HarDataGenerator stream(spec.seed);
+  har::HarDataGenerator eval_stream(spec.seed ^ 0x9E3779B97F4A7C15ULL);
+  Rng noise_rng(spec.seed ^ 0xC2B2AE3D27D4EB4FULL);
+
+  std::vector<data::Dataset> eval_sets;
+  eval_sets.reserve(task_classes.size());
+  for (int task = 0; task < num_tasks; ++task) {
+    std::vector<har::Activity> activities;
+    for (int label : task_classes[static_cast<size_t>(task)]) {
+      activities.push_back(static_cast<har::Activity>(label));
+    }
+    eval_sets.push_back(
+        DrawEvalSet(eval_stream, activities, spec.eval_samples_per_class));
+  }
+
+  data::Dataset d_base = stream.GenerateBalanced(spec.base_samples_per_class,
+                                                 spec.base_activities);
+  core::CloudPretrainer pretrainer(spec.config);
+  PILOTE_ASSIGN_OR_RETURN(core::CloudPretrainResult pretrain,
+                          pretrainer.Run(d_base));
+  PILOTE_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::EdgeLearner> learner,
+      core::MakeEdgeLearner(spec.strategy, pretrain.artifact, spec.config));
+
+  // Records a complete matrix row (all tasks, future ones included — the
+  // upper triangle is the forward-transfer probe).
+  eval::TaskAccuracyMatrix matrix(num_tasks);
+  std::vector<std::vector<double>> rows;
+  const auto record_row = [&](int after_task) {
+    std::vector<double> row(static_cast<size_t>(num_tasks), 0.0);
+    for (int task = 0; task < num_tasks; ++task) {
+      const double accuracy =
+          learner->Evaluate(eval_sets[static_cast<size_t>(task)]);
+      matrix.Set(after_task, task, accuracy);
+      row[static_cast<size_t>(task)] = accuracy;
+    }
+    rows.push_back(std::move(row));
+  };
+  record_row(0);
+
+  int task_index = 0;
+  int checkpoint_index = 0;
+  int revisit_index = 0;
+  double label_noise = 0.0;
+  for (const ScenarioEvent& event : spec.events) {
+    switch (event.kind) {
+      case EventKind::kDrift:
+        stream.simulator().SetDrift(event.drift);
+        break;
+
+      case EventKind::kLabelNoise:
+        label_noise = event.label_noise;
+        break;
+
+      case EventKind::kClassArrival: {
+        std::vector<data::Dataset> parts;
+        for (har::Activity activity : event.activities) {
+          parts.push_back(
+              stream.Generate(activity, event.samples_per_class));
+        }
+        data::Dataset d_new = data::Dataset::Concat(parts);
+        if (label_noise > 0.0) {
+          d_new = ContaminateRows(d_new, learner->known_classes(),
+                                  label_noise, stream, noise_rng);
+        }
+        Result<core::TrainReport> learned = learner->LearnNewClasses(d_new);
+        PILOTE_RETURN_IF_ERROR(learned.status());
+        ++task_index;
+        record_row(task_index);
+        break;
+      }
+
+      case EventKind::kRevisit: {
+        core::SupportSet updated = learner->support();
+        for (har::Activity activity : event.activities) {
+          const int label = har::ActivityLabel(activity);
+          if (!updated.HasClass(label)) {
+            return Status::InvalidArgument(
+                "scenario \"" + spec.name + "\": revisit of unknown class " +
+                std::to_string(label));
+          }
+          data::Dataset fresh =
+              stream.Generate(activity, event.samples_per_class);
+          updated.SetClassExemplars(
+              label, pretrain.artifact.scaler.Transform(fresh.features()));
+        }
+        updated.TrimPerClass(spec.config.exemplars_per_class);
+        PILOTE_RETURN_IF_ERROR(
+            learner->ApplySupportSetUpdate(std::move(updated)));
+        std::vector<data::Dataset> probe_parts;
+        for (int task = 0; task <= task_index; ++task) {
+          data::Dataset part =
+              eval_sets[static_cast<size_t>(task)].FilterByClasses(
+                  LabelsOf(event.activities));
+          if (!part.empty()) probe_parts.push_back(std::move(part));
+        }
+        report.extras.emplace_back(
+            "revisit" + std::to_string(revisit_index) + "_old_acc",
+            learner->Evaluate(data::Dataset::Concat(probe_parts)));
+        ++revisit_index;
+        break;
+      }
+
+      case EventKind::kUserShift: {
+        const har::SensorDrift previous = stream.simulator().drift();
+        stream.simulator().SetDrift(
+            har::SensorDrift::UserProfile(event.user_id, event.severity));
+        // The user's world: drifted draws of every class known right now.
+        std::vector<har::Activity> known;
+        for (int label : learner->known_classes()) {
+          known.push_back(static_cast<har::Activity>(label));
+        }
+        std::vector<data::Dataset> adapt_parts;
+        std::vector<data::Dataset> eval_parts;
+        for (har::Activity activity : known) {
+          adapt_parts.push_back(
+              stream.Generate(activity, event.samples_per_class));
+          eval_parts.push_back(
+              stream.Generate(activity, event.samples_per_class));
+        }
+        const data::Dataset user_eval = data::Dataset::Concat(eval_parts);
+        const std::string prefix =
+            "user" + std::to_string(event.user_id);
+        report.extras.emplace_back(prefix + "_acc_before_adapt",
+                                   learner->Evaluate(user_eval));
+        for (const data::Dataset& part : adapt_parts) {
+          PILOTE_RETURN_IF_ERROR(learner->AdaptPrototype(
+              part.label(0), part.features(), event.adapt_rate));
+        }
+        report.extras.emplace_back(prefix + "_acc_after_adapt",
+                                   learner->Evaluate(user_eval));
+        stream.simulator().SetDrift(previous);
+        break;
+      }
+
+      case EventKind::kCheckpoint: {
+        std::vector<data::Dataset> seen(
+            eval_sets.begin(), eval_sets.begin() + task_index + 1);
+        report.extras.emplace_back(
+            "checkpoint" + std::to_string(checkpoint_index) + "_seen_acc",
+            learner->Evaluate(data::Dataset::Concat(seen)));
+        ++checkpoint_index;
+        break;
+      }
+    }
+  }
+
+  report.accuracy_matrix = std::move(rows);
+  PILOTE_ASSIGN_OR_RETURN(
+      report.metrics, eval::ComputeClMetrics(matrix, report.chance_accuracy));
+  return report;
+}
+
+Status CheckThresholds(const ScenarioSpec& spec,
+                       const ScenarioReport& report) {
+  const ScenarioThresholds& gates = spec.thresholds;
+  const eval::ClMetrics& metrics = report.metrics;
+  if (metrics.final_average_accuracy < gates.min_final_average_accuracy) {
+    return Status::FailedPrecondition(
+        "scenario \"" + spec.name + "\": final_average_accuracy " +
+        std::to_string(metrics.final_average_accuracy) + " below gate " +
+        std::to_string(gates.min_final_average_accuracy));
+  }
+  if (metrics.average_incremental_accuracy <
+      gates.min_average_incremental_accuracy) {
+    return Status::FailedPrecondition(
+        "scenario \"" + spec.name + "\": average_incremental_accuracy " +
+        std::to_string(metrics.average_incremental_accuracy) +
+        " below gate " +
+        std::to_string(gates.min_average_incremental_accuracy));
+  }
+  if (metrics.forgetting > gates.max_forgetting) {
+    return Status::FailedPrecondition(
+        "scenario \"" + spec.name + "\": forgetting " +
+        std::to_string(metrics.forgetting) + " above gate " +
+        std::to_string(gates.max_forgetting));
+  }
+  return Status::Ok();
+}
+
+}  // namespace scenario
+}  // namespace pilote

@@ -1,0 +1,62 @@
+#ifndef PILOTE_SCENARIO_SCENARIO_H_
+#define PILOTE_SCENARIO_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/config.h"
+#include "har/activity.h"
+#include "scenario/event.h"
+#include "scenario/report.h"
+
+namespace pilote {
+namespace scenario {
+
+// Regression gates a scenario's metrics must clear (checked by the
+// labeled ctests and, with tolerance, by the bench baseline diff).
+// Defaults are vacuous so a spec only states the gates it cares about.
+struct ScenarioThresholds {
+  double min_final_average_accuracy = 0.0;
+  double min_average_incremental_accuracy = 0.0;
+  double max_forgetting = 1.0;
+};
+
+// A named, seeded continual-learning scenario: cloud pretraining on the
+// base classes followed by a scripted event stream. Everything that
+// influences the run is in here, so (spec -> report) is a pure function
+// and the report JSON is reproducible byte-for-byte.
+struct ScenarioSpec {
+  std::string name;
+  uint64_t seed = 1;
+  // MakeEdgeLearner strategy: "pretrained", "retrained", "pilote", "gdumb".
+  std::string strategy = "pilote";
+  core::PiloteConfig config;
+  // Task 0: classes the cloud pretrains on.
+  std::vector<har::Activity> base_activities;
+  int64_t base_samples_per_class = 60;
+  // Rows per class in each task's fixed (undrifted) eval set.
+  int64_t eval_samples_per_class = 24;
+  std::vector<ScenarioEvent> events;
+  ScenarioThresholds thresholds;
+};
+
+// Replays `spec`: pretrains on the base classes, builds the edge learner,
+// walks the events, and records one full accuracy-matrix row after task 0
+// and after every kClassArrival. Eval sets are drawn once, undrifted,
+// from a generator seeded independently of the training stream — drift
+// events change what the learner trains on, never what it is graded on.
+// kInvalidArgument for a malformed spec (no base classes, an arrival of
+// an already-introduced class, a revisit of an unknown one); propagates
+// any learner/pretrainer error.
+Result<ScenarioReport> RunScenario(const ScenarioSpec& spec);
+
+// kFailedPrecondition naming the first metric outside its threshold.
+Status CheckThresholds(const ScenarioSpec& spec,
+                       const ScenarioReport& report);
+
+}  // namespace scenario
+}  // namespace pilote
+
+#endif  // PILOTE_SCENARIO_SCENARIO_H_

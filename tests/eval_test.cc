@@ -79,20 +79,137 @@ TEST(ForgettingTest, DetectsOldClassDegradation) {
   std::vector<int> labels = {0, 0, 1};
   std::vector<int> before = {0, 0, 0};  // old model: old perfect, new wrong
   std::vector<int> after = {0, 1, 1};   // updated: forgot one old sample
-  ForgettingReport report =
+  Result<ForgettingReport> report =
       ComputeForgetting(labels, before, after, {0}, {1});
-  EXPECT_DOUBLE_EQ(report.old_acc_before, 1.0);
-  EXPECT_DOUBLE_EQ(report.old_acc_after, 0.5);
-  EXPECT_DOUBLE_EQ(report.new_acc_after, 1.0);
-  EXPECT_DOUBLE_EQ(report.forgetting, 0.5);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_DOUBLE_EQ(report->old_acc_before, 1.0);
+  EXPECT_DOUBLE_EQ(report->old_acc_after, 0.5);
+  EXPECT_DOUBLE_EQ(report->new_acc_after, 1.0);
+  EXPECT_DOUBLE_EQ(report->forgetting, 0.5);
 }
 
 TEST(ForgettingTest, NoForgettingWhenStable) {
   std::vector<int> labels = {0, 1};
-  ForgettingReport report =
+  Result<ForgettingReport> report =
       ComputeForgetting(labels, {0, 0}, {0, 1}, {0}, {1});
-  EXPECT_DOUBLE_EQ(report.forgetting, 0.0);
-  EXPECT_DOUBLE_EQ(report.new_acc_after, 1.0);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_DOUBLE_EQ(report->forgetting, 0.0);
+  EXPECT_DOUBLE_EQ(report->new_acc_after, 1.0);
+}
+
+TEST(ForgettingTest, RejectsDegenerateInputs) {
+  // Each of these used to come back as a silent all-zero report.
+  const std::vector<int> labels = {0, 1};
+  const std::vector<int> preds = {0, 1};
+  // Size mismatch.
+  EXPECT_FALSE(ComputeForgetting({0}, preds, preds, {0}, {1}).ok());
+  // Empty class lists.
+  EXPECT_FALSE(ComputeForgetting(labels, preds, preds, {}, {1}).ok());
+  EXPECT_FALSE(ComputeForgetting(labels, preds, preds, {0}, {}).ok());
+  // Overlapping class lists.
+  EXPECT_FALSE(ComputeForgetting(labels, preds, preds, {0, 1}, {1}).ok());
+  // No old-class samples present in labels.
+  Result<ForgettingReport> no_old =
+      ComputeForgetting(labels, preds, preds, {7}, {0, 1});
+  ASSERT_FALSE(no_old.ok());
+  EXPECT_NE(no_old.status().ToString().find("no old-class samples"),
+            std::string::npos);
+  // No new-class samples present in labels.
+  EXPECT_FALSE(ComputeForgetting(labels, preds, preds, {0, 1}, {7}).ok());
+}
+
+TEST(PerClassAccuracyOverTest, ValidatesClassList) {
+  const std::vector<int> labels = {0, 0, 1};
+  const std::vector<int> preds = {0, 1, 1};
+  Result<std::map<int, double>> ok = PerClassAccuracyOver(preds, labels, {0, 1});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_DOUBLE_EQ(ok->at(0), 0.5);
+  EXPECT_DOUBLE_EQ(ok->at(1), 1.0);
+  // A requested class without samples errors instead of reading 0.0.
+  Result<std::map<int, double>> missing =
+      PerClassAccuracyOver(preds, labels, {0, 2});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().ToString().find("has no samples"),
+            std::string::npos);
+  EXPECT_FALSE(PerClassAccuracyOver(preds, labels, {}).ok());
+  EXPECT_FALSE(PerClassAccuracyOver(preds, labels, {0, 0}).ok());
+  EXPECT_FALSE(PerClassAccuracyOver({0}, labels, {0}).ok());
+  EXPECT_FALSE(PerClassAccuracyOver({}, {}, {0}).ok());
+}
+
+// ---------------------------------------------------------------- CL metrics
+
+TEST(TaskAccuracyMatrixTest, SetHasAt) {
+  TaskAccuracyMatrix m(3);
+  EXPECT_EQ(m.num_tasks(), 3);
+  EXPECT_FALSE(m.Has(0, 0));
+  m.Set(0, 0, 0.9);
+  EXPECT_TRUE(m.Has(0, 0));
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.9);
+  m.Set(0, 0, 0.8);  // overwrite keeps the latest
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.8);
+}
+
+TEST(TaskAccuracyMatrixDeathTest, UnsetAndOutOfRangeAreFatal) {
+  TaskAccuracyMatrix m(2);
+  EXPECT_DEATH(m.At(0, 0), "unset matrix entry");
+  EXPECT_DEATH(m.Set(2, 0, 0.5), "after_task");
+  EXPECT_DEATH(m.Set(0, 0, 1.5), "CHECK");
+}
+
+TEST(ClMetricsTest, HandComputedThreeTaskRun) {
+  // R = [ [0.9,  - ,  - ],
+  //       [0.8, 0.7,  - ],
+  //       [0.6, 0.7, 0.9] ]
+  TaskAccuracyMatrix m(3);
+  m.Set(0, 0, 0.9);
+  m.Set(1, 0, 0.8);
+  m.Set(1, 1, 0.7);
+  m.Set(2, 0, 0.6);
+  m.Set(2, 1, 0.7);
+  m.Set(2, 2, 0.9);
+  Result<ClMetrics> metrics = ComputeClMetrics(m, 0.2);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  // Incremental: mean(0.9, (0.8+0.7)/2, (0.6+0.7+0.9)/3).
+  EXPECT_NEAR(metrics->average_incremental_accuracy,
+              (0.9 + 0.75 + 2.2 / 3.0) / 3.0, 1e-12);
+  EXPECT_NEAR(metrics->final_average_accuracy, 2.2 / 3.0, 1e-12);
+  // Forgetting: task0 best 0.9 -> 0.6 (0.3); task1 best 0.7 -> 0.7 (0.0).
+  EXPECT_NEAR(metrics->forgetting, 0.15, 1e-12);
+  // BWT: (0.6-0.9 + 0.7-0.7) / 2 = -0.15.
+  EXPECT_NEAR(metrics->backward_transfer, -0.15, 1e-12);
+  // Upper diagonal absent -> no forward transfer.
+  EXPECT_FALSE(metrics->has_forward_transfer);
+
+  // With the upper diagonal recorded the FWT appears.
+  m.Set(0, 1, 0.3);
+  m.Set(1, 2, 0.4);
+  Result<ClMetrics> with_fwt = ComputeClMetrics(m, 0.2);
+  ASSERT_TRUE(with_fwt.ok());
+  EXPECT_TRUE(with_fwt->has_forward_transfer);
+  EXPECT_NEAR(with_fwt->forward_transfer, ((0.3 - 0.2) + (0.4 - 0.2)) / 2.0,
+              1e-12);
+}
+
+TEST(ClMetricsTest, SingleTaskHasNoForgetting) {
+  TaskAccuracyMatrix m(1);
+  m.Set(0, 0, 0.85);
+  Result<ClMetrics> metrics = ComputeClMetrics(m, 0.5);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_DOUBLE_EQ(metrics->average_incremental_accuracy, 0.85);
+  EXPECT_DOUBLE_EQ(metrics->final_average_accuracy, 0.85);
+  EXPECT_DOUBLE_EQ(metrics->forgetting, 0.0);
+  EXPECT_DOUBLE_EQ(metrics->backward_transfer, 0.0);
+  EXPECT_FALSE(metrics->has_forward_transfer);
+}
+
+TEST(ClMetricsTest, MissingLowerTriangleEntryIsAnError) {
+  TaskAccuracyMatrix m(2);
+  m.Set(0, 0, 0.9);
+  m.Set(1, 1, 0.8);  // R(1, 0) missing
+  Result<ClMetrics> metrics = ComputeClMetrics(m, 0.0);
+  ASSERT_FALSE(metrics.ok());
+  EXPECT_NE(metrics.status().ToString().find("R(1, 0)"), std::string::npos);
 }
 
 // ---------------------------------------------------------------- PCA

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
@@ -144,6 +145,140 @@ TEST(SensorSimulatorTest, DriveDistortsMagnetometer) {
   };
   // The car-body offset biases the x-field upward on average.
   EXPECT_GT(mag_x(Activity::kDrive), mag_x(Activity::kStill) + 5.0);
+}
+
+// ---------------------------------------------------------------- Drift
+
+TEST(SensorDriftTest, IdentityByDefault) {
+  EXPECT_TRUE(SensorDrift{}.IsIdentity());
+  SensorDrift drift;
+  drift.accel_offset[1] = 0.5;
+  EXPECT_FALSE(drift.IsIdentity());
+  SensorDrift scaled;
+  scaled.gait_amp_scale = 1.2;
+  EXPECT_FALSE(scaled.IsIdentity());
+}
+
+TEST(SensorDriftTest, ZeroMagnitudeDriftIsBitIdentical) {
+  // Installing the identity drift must not perturb the stream at all:
+  // same seed, same activities, byte-for-byte identical windows.
+  SensorSimulator plain(77);
+  SensorSimulator drifted(77);
+  drifted.SetDrift(SensorDrift{});
+  for (Activity activity : AllActivities()) {
+    Tensor a = plain.GenerateWindow(activity);
+    Tensor b = drifted.GenerateWindow(activity);
+    ASSERT_EQ(std::memcmp(a.data(), b.data(),
+                          sizeof(float) * static_cast<size_t>(a.numel())),
+              0)
+        << ActivityName(activity);
+  }
+}
+
+TEST(SensorDriftTest, ClearDriftResumesUndriftedStream) {
+  // Drift application consumes no randomness, so clearing it resumes the
+  // exact undrifted sequence: window k of a simulator that was drifted
+  // for windows 0..k-1 matches window k of a never-drifted twin.
+  SensorSimulator plain(78);
+  SensorSimulator toggled(78);
+  SensorDrift drift;
+  drift.accel_offset[0] = 2.0;
+  toggled.SetDrift(drift);
+  for (int i = 0; i < 3; ++i) {
+    (void)plain.GenerateWindow(Activity::kWalk);
+    (void)toggled.GenerateWindow(Activity::kWalk);
+  }
+  toggled.ClearDrift();
+  Tensor a = plain.GenerateWindow(Activity::kWalk);
+  Tensor b = toggled.GenerateWindow(Activity::kWalk);
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        sizeof(float) * static_cast<size_t>(a.numel())),
+            0);
+}
+
+TEST(SensorDriftTest, RecalibrationOffsetShiftsChannelMeans) {
+  SensorDrift drift;
+  drift.accel_offset[0] = 1.5;
+  drift.gyro_offset[2] = -0.3;
+  drift.mag_offset[1] = 8.0;
+  drift.baro_offset = 5.0;
+  // Same seed on both sides: drift consumes no RNG, so every episode is
+  // identical and the mean shift equals the offset exactly (up to float
+  // rounding of the per-sample addition).
+  SensorSimulator plain(79);
+  SensorSimulator drifted(79);
+  drifted.SetDrift(drift);
+  const int kWindows = 20;
+  auto means = [&](SensorSimulator& sim, int channel) {
+    return MeanOverWindows(sim, Activity::kStill, kWindows,
+                           [channel](const Tensor& w) {
+                             return ChannelMean(w, channel);
+                           });
+  };
+  EXPECT_NEAR(means(drifted, kAccelerometer + 0) - means(plain, kAccelerometer + 0),
+              1.5, 1e-3);
+  EXPECT_NEAR(means(drifted, kGyroscope + 2) - means(plain, kGyroscope + 2),
+              -0.3, 1e-3);
+  EXPECT_NEAR(means(drifted, kMagnetometer + 1) - means(plain, kMagnetometer + 1),
+              8.0, 1e-3);
+  EXPECT_NEAR(means(drifted, kBarometer) - means(plain, kBarometer), 5.0,
+              1e-3);
+}
+
+TEST(SensorDriftTest, NoiseFloorScaleRaisesVariance) {
+  SensorDrift drift;
+  drift.noise_floor_scale = 3.0;
+  SensorSimulator plain(80);
+  SensorSimulator drifted(80);
+  drifted.SetDrift(drift);
+  auto var = [&](SensorSimulator& sim) {
+    return MeanOverWindows(sim, Activity::kStill, 30, [](const Tensor& w) {
+      return ChannelVar(w, kLinearAcceleration + 0);
+    });
+  };
+  // Identical episodes (same seed, no extra RNG draws), 3x the noise
+  // sigma: the linear-acceleration variance must rise clearly.
+  EXPECT_GT(var(drifted), 2.0 * var(plain));
+}
+
+TEST(SensorDriftTest, GaitShiftMovesAmplitudeAndSpeedInAssertedDirection) {
+  SensorDrift drift;
+  drift.gait_amp_scale = 2.0;
+  drift.speed_scale = 1.6;
+  SensorSimulator plain(81);
+  SensorSimulator drifted(81);
+  drifted.SetDrift(drift);
+  const int kWindows = 30;
+  auto dyn = [&](SensorSimulator& sim) {
+    return MeanOverWindows(sim, Activity::kWalk, kWindows,
+                           [](const Tensor& w) {
+                             return ChannelVar(w, kLinearAcceleration + 2);
+                           });
+  };
+  auto speed = [&](SensorSimulator& sim) {
+    return MeanOverWindows(sim, Activity::kWalk, kWindows,
+                           [](const Tensor& w) {
+                             return ChannelMean(w, kGpsSpeed);
+                           });
+  };
+  EXPECT_GT(dyn(drifted), 1.5 * dyn(plain));
+  EXPECT_GT(speed(drifted), 1.2 * speed(plain));
+}
+
+TEST(SensorDriftTest, UserProfileIsDeterministicAndScalesWithSeverity) {
+  SensorDrift a = SensorDrift::UserProfile(1234, 1.0);
+  SensorDrift b = SensorDrift::UserProfile(1234, 1.0);
+  EXPECT_EQ(a.gait_freq_scale, b.gait_freq_scale);
+  EXPECT_EQ(a.accel_offset[0], b.accel_offset[0]);
+  EXPECT_FALSE(a.IsIdentity());
+  EXPECT_TRUE(SensorDrift::UserProfile(1234, 0.0).IsIdentity());
+  // Different users get different profiles.
+  SensorDrift c = SensorDrift::UserProfile(99, 1.0);
+  EXPECT_NE(a.gait_freq_scale, c.gait_freq_scale);
+  // Severity shrinks the deviation from identity.
+  SensorDrift mild = SensorDrift::UserProfile(1234, 0.1);
+  EXPECT_LT(std::abs(mild.gait_freq_scale - 1.0),
+            std::abs(a.gait_freq_scale - 1.0));
 }
 
 // ---------------------------------------------------------------- Features

@@ -308,6 +308,66 @@ TEST_F(PipelineTest, CacheBudgetSurvivesNewClass) {
   EXPECT_GT(learner.Evaluate(state_->test_all), 0.5);
 }
 
+TEST_F(PipelineTest, AdaptPrototypeValidatesInputs) {
+  PretrainedLearner learner(state_->artifact, state_->config);
+  const Tensor rows = state_->test_all.features();
+
+  Status unknown = learner.AdaptPrototype(ActivityLabel(Activity::kRun),
+                                          rows, 0.5);
+  EXPECT_EQ(unknown.code(), StatusCode::kInvalidArgument);
+
+  const int known = learner.known_classes().front();
+  Status empty = learner.AdaptPrototype(known, Tensor(), 0.5);
+  EXPECT_EQ(empty.code(), StatusCode::kInvalidArgument);
+
+  Tensor narrow(Shape::Matrix(4, 7));
+  Status bad_width = learner.AdaptPrototype(known, narrow, 0.5);
+  EXPECT_EQ(bad_width.code(), StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(learner.AdaptPrototype(known, rows, 0.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(learner.AdaptPrototype(known, rows, 1.5).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PipelineTest, AdaptPrototypeBlendsAndRebuildUndoesIt) {
+  PretrainedLearner learner(state_->artifact, state_->config);
+  const int label = learner.known_classes().front();
+  const Tensor before = learner.classifier().prototype(label);
+  const int64_t version_before = learner.model_version();
+
+  // One user's walking data, drawn from a drifted simulator.
+  har::HarDataGenerator user_gen(4242);
+  data::Dataset user_rows = user_gen.Generate(
+      static_cast<Activity>(label), 12);
+
+  // rate = 1 replaces the prototype with the mean user embedding.
+  ASSERT_TRUE(
+      learner.AdaptPrototype(label, user_rows.features(), 1.0).ok());
+  const Tensor embedded = learner.EmbedRaw(user_rows.features());
+  const Tensor& adapted = learner.classifier().prototype(label);
+  for (int64_t d = 0; d < adapted.dim(0); ++d) {
+    float mean = 0.0f;
+    for (int64_t r = 0; r < embedded.rows(); ++r) mean += embedded(r, d);
+    mean /= static_cast<float>(embedded.rows());
+    EXPECT_NEAR(adapted[d], mean, 1e-4f);
+  }
+  EXPECT_GT(learner.model_version(), version_before);
+  // The compiled plan was recaptured at the new version.
+  if (learner.inference_plan() != nullptr) {
+    EXPECT_EQ(learner.plan_version(), learner.model_version());
+  }
+
+  // Personalization is ephemeral: a prototype rebuild re-derives the
+  // fleet-shared prototype from the support set.
+  learner.RebuildPrototypes();
+  const Tensor& restored = learner.classifier().prototype(label);
+  ASSERT_EQ(restored.dim(0), before.dim(0));
+  for (int64_t d = 0; d < restored.dim(0); ++d) {
+    EXPECT_NEAR(restored[d], before[d], 1e-5f);
+  }
+}
+
 TEST_F(PipelineTest, FactoryRejectsUnknownStrategy) {
   Result<std::unique_ptr<EdgeLearner>> made =
       MakeEdgeLearner("magic", state_->artifact, state_->config);

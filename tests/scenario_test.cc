@@ -1,0 +1,290 @@
+// Scenario-engine tests: spec validation, deterministic reporting, the
+// catalog contract, and the six named regression scenarios (suite
+// ScenarioMatrix, registered one-per-name with ctest label "scenario").
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scenario/catalog.h"
+#include "scenario/scenario.h"
+
+namespace pilote {
+namespace scenario {
+namespace {
+
+using har::Activity;
+
+// A deliberately small scenario for engine-level tests: two base classes,
+// one arrival, a short pretrain. Runs in ~1 s.
+ScenarioSpec TinySpec() {
+  ScenarioSpec spec;
+  spec.name = "tiny";
+  spec.seed = 5;
+  spec.strategy = "pilote";
+  spec.config = core::PiloteConfig::Small();
+  spec.config.pretrain.max_epochs = 4;
+  spec.config.pretrain.batches_per_epoch = 24;
+  spec.config.incremental.max_epochs = 6;
+  spec.config.incremental.batches_per_epoch = 8;
+  spec.config.exemplars_per_class = 16;
+  spec.config.seed = 5;
+  spec.base_activities = {Activity::kStill, Activity::kWalk};
+  spec.base_samples_per_class = 24;
+  spec.eval_samples_per_class = 10;
+  spec.events = {ClassArrival({Activity::kRun}, 16)};
+  return spec;
+}
+
+TEST(ScenarioEngineTest, RejectsSpecWithoutBaseClasses) {
+  ScenarioSpec spec = TinySpec();
+  spec.base_activities.clear();
+  Result<ScenarioReport> report = RunScenario(spec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ScenarioEngineTest, RejectsSecondArrivalOfTheSameClass) {
+  ScenarioSpec spec = TinySpec();
+  spec.events.push_back(ClassArrival({Activity::kRun}, 16));
+  Result<ScenarioReport> report = RunScenario(spec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("arrives twice"),
+            std::string::npos);
+}
+
+TEST(ScenarioEngineTest, RejectsArrivalOfABaseClass) {
+  ScenarioSpec spec = TinySpec();
+  spec.events = {ClassArrival({Activity::kWalk}, 16)};
+  Result<ScenarioReport> report = RunScenario(spec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ScenarioEngineTest, RejectsRevisitBeforeIntroduction) {
+  ScenarioSpec spec = TinySpec();
+  spec.events = {Revisit({Activity::kRun}, 16),
+                 ClassArrival({Activity::kRun}, 16)};
+  Result<ScenarioReport> report = RunScenario(spec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("before it is introduced"),
+            std::string::npos);
+}
+
+TEST(ScenarioEngineTest, RejectsOutOfRangeLabelNoise) {
+  ScenarioSpec spec = TinySpec();
+  spec.events.insert(spec.events.begin(), LabelNoise(1.0));
+  Result<ScenarioReport> report = RunScenario(spec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Satellite 2: the determinism golden test. The same spec must serialize
+// to byte-identical JSON on every run — any wall-clock, pointer, or
+// global-state leak into the report shows up here.
+TEST(ScenarioEngineTest, SameSpecAndSeedGiveByteIdenticalJson) {
+  const ScenarioSpec spec = TinySpec();
+  Result<ScenarioReport> first = RunScenario(spec);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  Result<ScenarioReport> second = RunScenario(spec);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first->ToJson(), second->ToJson());
+}
+
+TEST(ScenarioEngineTest, DifferentSeedsChangeTheReport) {
+  ScenarioSpec spec = TinySpec();
+  Result<ScenarioReport> first = RunScenario(spec);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  spec.seed = 6;
+  spec.config.seed = 6;
+  Result<ScenarioReport> second = RunScenario(spec);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_NE(first->ToJson(), second->ToJson());
+}
+
+TEST(ScenarioReportTest, ToJsonIsStableAndOrdered) {
+  ScenarioReport report;
+  report.name = "demo";
+  report.seed = 9;
+  report.strategy = "pilote";
+  report.chance_accuracy = 0.25;
+  report.task_classes = {{0, 3}, {4}};
+  report.accuracy_matrix = {{0.875, 0.0}, {0.75, 0.5}};
+  report.metrics.average_incremental_accuracy = 0.75;
+  report.metrics.final_average_accuracy = 0.625;
+  report.metrics.forgetting = 0.125;
+  report.metrics.backward_transfer = -0.125;
+  report.metrics.forward_transfer = -0.25;
+  report.metrics.has_forward_transfer = true;
+  report.extras = {{"checkpoint0_seen_acc", 0.8125}};
+  EXPECT_EQ(report.ToJson(),
+            "{\n"
+            "  \"scenario\": \"demo\",\n"
+            "  \"seed\": 9,\n"
+            "  \"strategy\": \"pilote\",\n"
+            "  \"chance_accuracy\": 0.25,\n"
+            "  \"num_tasks\": 2,\n"
+            "  \"task_classes\": [[0, 3], [4]],\n"
+            "  \"accuracy_matrix\": [\n"
+            "    [0.875, 0],\n"
+            "    [0.75, 0.5]\n"
+            "  ],\n"
+            "  \"metrics\": {\n"
+            "    \"average_incremental_accuracy\": 0.75,\n"
+            "    \"final_average_accuracy\": 0.625,\n"
+            "    \"forgetting\": 0.125,\n"
+            "    \"backward_transfer\": -0.125,\n"
+            "    \"forward_transfer\": -0.25,\n"
+            "    \"has_forward_transfer\": true\n"
+            "  },\n"
+            "  \"extras\": {\n"
+            "    \"checkpoint0_seen_acc\": 0.8125\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(ScenarioCatalogTest, SixUniquelyNamedScenariosWithRealGates) {
+  const std::vector<ScenarioSpec> all = AllScenarios();
+  ASSERT_EQ(all.size(), 6u);
+  std::vector<std::string> names;
+  for (const ScenarioSpec& spec : all) {
+    names.push_back(spec.name);
+    EXPECT_FALSE(spec.base_activities.empty()) << spec.name;
+    EXPECT_FALSE(spec.events.empty()) << spec.name;
+    // Every catalog entry must gate on something real, not the vacuous
+    // defaults — otherwise the ctest asserts nothing.
+    EXPECT_GT(spec.thresholds.min_final_average_accuracy, 0.0) << spec.name;
+    EXPECT_LT(spec.thresholds.max_forgetting, 1.0) << spec.name;
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_TRUE(std::unique(names.begin(), names.end()) == names.end());
+}
+
+TEST(ScenarioCatalogTest, FindScenarioListsKnownNamesOnMiss) {
+  Result<ScenarioSpec> missing = FindScenario("no_such_scenario");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(missing.status().message().find("class_arrival"),
+            std::string::npos);
+  Result<ScenarioSpec> found = FindScenario("user_shift");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->name, "user_shift");
+}
+
+// The sanitizer smoke: one tiny scenario end-to-end, structural asserts
+// only (thresholds are a Release-build concern; under ASan/UBSan the
+// point is the memory/UB coverage of the full engine path).
+TEST(ScenarioSmoke, TinyScenarioRunsEndToEnd) {
+  ScenarioSpec spec = TinySpec();
+  spec.events = {ClassArrival({Activity::kRun}, 16), Checkpoint(),
+                 Revisit({Activity::kStill}, 12),
+                 UserShift(3, 0.5, 8, 0.5)};
+  Result<ScenarioReport> report = RunScenario(spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->accuracy_matrix.size(), 2u);
+  ASSERT_EQ(report->accuracy_matrix[0].size(), 2u);
+  EXPECT_EQ(report->task_classes.size(), 2u);
+  EXPECT_EQ(report->extras.size(), 4u);  // checkpoint + revisit + 2 user
+  EXPECT_NE(report->ToJson().find("\"scenario\": \"tiny\""),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The named regression matrix. Each test is registered as its own labeled
+// ctest (scenario_<name>, label "scenario"); keep one scenario per test.
+// ---------------------------------------------------------------------------
+
+ScenarioReport MustRun(const ScenarioSpec& spec) {
+  Result<ScenarioReport> report = RunScenario(spec);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() ? std::move(report).value() : ScenarioReport{};
+}
+
+ScenarioSpec MustFind(const std::string& name) {
+  Result<ScenarioSpec> spec = FindScenario(name);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  return spec.ok() ? std::move(spec).value() : ScenarioSpec{};
+}
+
+double ExtraOrDie(const ScenarioReport& report, const std::string& key) {
+  for (const auto& [name, value] : report.extras) {
+    if (name == key) return value;
+  }
+  ADD_FAILURE() << "missing extra \"" << key << "\" in " << report.ToJson();
+  return 0.0;
+}
+
+TEST(ScenarioMatrix, ClassArrival) {
+  const ScenarioSpec spec = MustFind("class_arrival");
+  const ScenarioReport report = MustRun(spec);
+  SCOPED_TRACE(report.ToJson());
+  EXPECT_TRUE(CheckThresholds(spec, report).ok())
+      << CheckThresholds(spec, report).ToString();
+  // Sanity beyond the gates: the learner actually picks up each task when
+  // it arrives (diagonal well above chance).
+  for (size_t t = 0; t < report.accuracy_matrix.size(); ++t) {
+    EXPECT_GT(report.accuracy_matrix[t][t], 2.0 * report.chance_accuracy);
+  }
+}
+
+TEST(ScenarioMatrix, RecalibrationDrift) {
+  const ScenarioSpec spec = MustFind("recalibration_drift");
+  const ScenarioReport report = MustRun(spec);
+  SCOPED_TRACE(report.ToJson());
+  EXPECT_TRUE(CheckThresholds(spec, report).ok())
+      << CheckThresholds(spec, report).ToString();
+}
+
+TEST(ScenarioMatrix, LabelNoise) {
+  const ScenarioSpec spec = MustFind("label_noise");
+  const ScenarioReport report = MustRun(spec);
+  SCOPED_TRACE(report.ToJson());
+  EXPECT_TRUE(CheckThresholds(spec, report).ok())
+      << CheckThresholds(spec, report).ToString();
+}
+
+TEST(ScenarioMatrix, ClassRevisit) {
+  const ScenarioSpec spec = MustFind("class_revisit");
+  const ScenarioReport report = MustRun(spec);
+  SCOPED_TRACE(report.ToJson());
+  EXPECT_TRUE(CheckThresholds(spec, report).ok())
+      << CheckThresholds(spec, report).ToString();
+  // The refreshed class must still be recognized after its exemplars are
+  // replaced by the re-recorded data.
+  EXPECT_GT(ExtraOrDie(report, "revisit0_old_acc"),
+            2.0 * report.chance_accuracy);
+}
+
+TEST(ScenarioMatrix, UserShift) {
+  const ScenarioSpec spec = MustFind("user_shift");
+  const ScenarioReport report = MustRun(spec);
+  SCOPED_TRACE(report.ToJson());
+  EXPECT_TRUE(CheckThresholds(spec, report).ok())
+      << CheckThresholds(spec, report).ToString();
+  // On-device prototype adaptation must not hurt — and is expected to
+  // help — on the user's drifted distribution.
+  const double before = ExtraOrDie(report, "user7_acc_before_adapt");
+  const double after = ExtraOrDie(report, "user7_acc_after_adapt");
+  EXPECT_GE(after, before - 0.02);
+  EXPECT_GT(after, 2.0 * report.chance_accuracy);
+}
+
+TEST(ScenarioMatrix, LongHorizon) {
+  const ScenarioSpec spec = MustFind("long_horizon");
+  const ScenarioReport report = MustRun(spec);
+  SCOPED_TRACE(report.ToJson());
+  EXPECT_TRUE(CheckThresholds(spec, report).ok())
+      << CheckThresholds(spec, report).ToString();
+  // Three mid-stream checkpoints recorded, none collapsed.
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_GT(ExtraOrDie(report,
+                         "checkpoint" + std::to_string(k) + "_seen_acc"),
+              2.0 * report.chance_accuracy);
+  }
+}
+
+}  // namespace
+}  // namespace scenario
+}  // namespace pilote

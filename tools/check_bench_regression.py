@@ -3,13 +3,19 @@
 
 Usage:
   python3 tools/check_bench_regression.py BASELINE.json CURRENT.json \
-      [--tolerance=0.15]
+      [--tolerance=0.15] [--quality-tolerance=0.05]
 
 Keys are classified by name:
   * counted quantities (substring "allocs" or "calls"): deterministic
     per-window accounting. The current value must not exceed
     baseline * (1 + tolerance); lower is always fine (an improvement —
     the message suggests refreshing the baseline).
+  * accuracy quantities (substring "_acc"): model-quality measures in
+    [0, 1] from the seeded scenario matrix. Gated from BELOW: the current
+    value must not fall under baseline - quality_tolerance (an absolute
+    delta — these are already normalized). Higher is always fine.
+  * forgetting quantities (substring "forgetting"): lower is better;
+    gated from ABOVE at baseline + quality_tolerance.
   * tail-latency quantities (substring "_p99" or "_p999"): windowed
     request-latency percentiles from the telemetry plane. Printed with a
     "tail" marker so CI logs surface latency drift, but machine-dependent
@@ -17,8 +23,8 @@ Keys are classified by name:
   * everything else (throughput, speedups): machine-dependent, printed
     for information only and never failed on.
 
-Exits 1 when any counted quantity regressed, 0 otherwise. Keys present in
-only one file are reported (missing baseline keys fail: the baseline must
+Exits 1 when any counted or quality quantity regressed, 0 otherwise.
+Keys present in only one file are reported (missing baseline keys fail: the baseline must
 be refreshed deliberately, not silently skipped).
 """
 
@@ -29,6 +35,14 @@ import sys
 
 def is_counted(key):
     return "allocs" in key or "calls" in key
+
+
+def is_accuracy(key):
+    return "_acc" in key
+
+
+def is_forgetting(key):
+    return "forgetting" in key
 
 
 def is_tail_latency(key):
@@ -43,6 +57,9 @@ def main():
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="allowed relative growth for counted "
                              "quantities (default 0.15)")
+    parser.add_argument("--quality-tolerance", type=float, default=0.05,
+                        help="allowed absolute drop (rise) for accuracy "
+                             "(forgetting) quantities (default 0.05)")
     args = parser.parse_args()
 
     with open(args.baseline, encoding="utf-8") as f:
@@ -61,6 +78,32 @@ def main():
                             f"from {args.baseline}; add it to the baseline")
             continue
         base, cur = float(baseline[key]), float(current[key])
+        if is_accuracy(key):
+            floor = base - args.quality_tolerance
+            if cur < floor:
+                failures.append(
+                    f"{key}: {cur:g} below baseline {base:g} "
+                    f"(floor {floor:g}, quality tolerance "
+                    f"{args.quality_tolerance:g})")
+            else:
+                note = ""
+                if cur > base + args.quality_tolerance:
+                    note = "  <- improved; consider refreshing the baseline"
+                print(f"  ok    {key}: {cur:g} (baseline {base:g}){note}")
+            continue
+        if is_forgetting(key):
+            ceiling = base + args.quality_tolerance
+            if cur > ceiling:
+                failures.append(
+                    f"{key}: {cur:g} above baseline {base:g} "
+                    f"(ceiling {ceiling:g}, quality tolerance "
+                    f"{args.quality_tolerance:g})")
+            else:
+                note = ""
+                if cur < base - args.quality_tolerance:
+                    note = "  <- improved; consider refreshing the baseline"
+                print(f"  ok    {key}: {cur:g} (baseline {base:g}){note}")
+            continue
         if not is_counted(key):
             marker = "tail" if is_tail_latency(key) else "info"
             print(f"  {marker}  {key}: baseline {base:g}, current {cur:g} "
